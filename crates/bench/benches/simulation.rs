@@ -1,0 +1,87 @@
+//! Criterion benchmarks of the storage-platform simulator substrate:
+//! cache replacement policies, the discrete-event engine's access path,
+//! and whole-program simulation throughput.
+
+use cachemap_storage::cache::{ChunkCache, FifoCache, LfuCache, LruCache};
+use cachemap_storage::{ClientOp, MappedProgram, PlatformConfig, Simulator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// A deterministic pseudo-random chunk stream (LCG; no rand dependency
+/// needed here).
+fn stream(len: usize, span: usize) -> Vec<usize> {
+    let mut x = 0x2545_f491_4f6c_dd1du64;
+    (0..len)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) as usize % span
+        })
+        .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let accesses = stream(10_000, 512);
+    let mut group = c.benchmark_group("cache-policy");
+    group.bench_function("lru", |b| {
+        b.iter(|| {
+            let mut cache = LruCache::new(128);
+            for &a in &accesses {
+                if !cache.access(black_box(a), false) {
+                    cache.insert(a, false);
+                }
+            }
+            cache.stats().misses
+        })
+    });
+    group.bench_function("fifo", |b| {
+        b.iter(|| {
+            let mut cache = FifoCache::new(128);
+            for &a in &accesses {
+                if !cache.access(black_box(a), false) {
+                    cache.insert(a, false);
+                }
+            }
+            cache.stats().misses
+        })
+    });
+    group.bench_function("lfu", |b| {
+        b.iter(|| {
+            let mut cache = LfuCache::new(128);
+            for &a in &accesses {
+                if !cache.access(black_box(a), false) {
+                    cache.insert(a, false);
+                }
+            }
+            cache.stats().misses
+        })
+    });
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let platform = PlatformConfig::paper_default();
+    let sim = Simulator::new(platform.clone());
+
+    // 64 clients × 2000 accesses of mixed locality.
+    let mut program = MappedProgram::new(platform.num_clients);
+    for (ci, ops) in program.per_client.iter_mut().enumerate() {
+        for (k, chunk) in stream(2000, 2048).into_iter().enumerate() {
+            ops.push(ClientOp::Access {
+                chunk: (chunk + ci * 7) % 2048,
+                write: k % 5 == 0,
+            });
+        }
+    }
+    let total = program.total_accesses();
+
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(total));
+    group.bench_function("mixed-128k-accesses", |b| {
+        b.iter(|| sim.run(black_box(&program)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,392 @@
+//! `repro` — regenerate the tables and figures of the HPDC'10 paper.
+//!
+//! ```text
+//! repro [--test-scale] <experiment> [experiment...]
+//! repro all
+//! ```
+//!
+//! Experiments: `table1 table2 example fig10 fig11 fig12 fig13 fig14
+//! fig18 alphabeta prefetch refine linkage policies schedmetric deps multinest
+//! mapping-cost`, plus the diagnostics `detail:<app>` and
+//! `clients:<app>`.
+//!
+//! Each experiment prints a paper-style table and archives the raw
+//! numbers under `reports/<id>.json`.
+
+use cachemap_bench::{experiments, report::Matrix, write_report};
+use cachemap_storage::PlatformConfig;
+use cachemap_workloads::Scale;
+
+fn emit(matrices: &[Matrix]) {
+    for m in matrices {
+        println!("{}", m.render());
+        match write_report(&m.id, m) {
+            Ok(path) => println!("   [raw numbers: {}]\n", path.display()),
+            Err(e) => eprintln!("   [warning: could not write report: {e}]\n"),
+        }
+    }
+}
+
+/// Renders the §4.4 worked example (Figures 6-9 and 17) as text.
+fn worked_example() -> String {
+    use cachemap_core::cluster::{distribute, ClusterParams};
+    use cachemap_core::graph::SimilarityGraph;
+    use cachemap_core::schedule::{schedule, ScheduleParams};
+    use cachemap_core::tags::tag_nest;
+    use cachemap_polyhedral::{
+        AffineExpr, ArrayDecl, ArrayRef, DataSpace, IterationSpace, Loop, LoopNest, Program,
+    };
+    use cachemap_storage::HierarchyTree;
+
+    // Figure 6: A[m], 12 chunks of d elements, i = 0 .. m-4d-1,
+    // accessing A[i], A[i%d] (≡ chunk 0), A[i+4d], A[i+2d].
+    let d: i64 = 4;
+    let m = 12 * d;
+    let a = ArrayDecl::new("A", vec![m], 8);
+    let space = IterationSpace::new(vec![Loop::constant(0, m - 4 * d - 1)]);
+    let refs = vec![
+        ArrayRef::write(0, vec![AffineExpr::var(0)]),
+        ArrayRef::read(0, vec![AffineExpr::var(0).with_mod(d)]),
+        ArrayRef::read(0, vec![AffineExpr::var_plus(0, 4 * d)]),
+        ArrayRef::read(0, vec![AffineExpr::var_plus(0, 2 * d)]),
+    ];
+    let program = Program::new(
+        "fig6",
+        vec![a],
+        vec![LoopNest::new("fig6", space, refs)],
+    );
+    let data = DataSpace::new(&program.arrays, 8 * d as u64);
+
+    let mut out = String::from("== example — §4.4 worked example (Figures 6-9, 17) ==\n");
+    let tagged = tag_nest(&program, 0, &data);
+    out.push_str("Iteration chunks and tags (Figure 8):\n");
+    for (k, c) in tagged.chunks.iter().enumerate() {
+        out.push_str(&format!(
+            "  γ{} : i = {:>2} .. {:>2}   tag {}\n",
+            k + 1,
+            c.points.first().unwrap()[0],
+            c.points.last().unwrap()[0],
+            c.tag.to_tag_string()
+        ));
+    }
+
+    let g = SimilarityGraph::build(&tagged.chunks);
+    out.push_str("Similarity edges with weight ≥ 2 (Figure 8 graph):\n");
+    for (i, j, w) in g.edges_at_least(2) {
+        out.push_str(&format!("  ω(γ{}, γ{}) = {}\n", i + 1, j + 1, w));
+    }
+
+    let cfg = cachemap_storage::PlatformConfig::tiny();
+    let tree = HierarchyTree::from_config(&cfg);
+    let dist = distribute(&tagged.chunks, &tree, &ClusterParams::default());
+    out.push_str("Clustering (Figure 9):\n");
+    for (c, items) in dist.per_client.iter().enumerate() {
+        let names: Vec<String> = items.iter().map(|i| format!("γ{}", i.chunk + 1)).collect();
+        out.push_str(&format!("  CN{} ← {{{}}}\n", c, names.join(", ")));
+    }
+
+    let sched = schedule(&dist, &tagged.chunks, &tree, &ScheduleParams::default());
+    out.push_str("Final schedule (Figure 17):\n");
+    for (c, items) in sched.per_client.iter().enumerate() {
+        let names: Vec<String> = items.iter().map(|i| format!("γ{}", i.chunk + 1)).collect();
+        out.push_str(&format!("  Compute Node {} : {}\n", c, names.join(", ")));
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let test_scale = args.iter().any(|a| a == "--test-scale");
+    let mut wanted: Vec<String> = args
+        .into_iter()
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    if wanted.is_empty() {
+        eprintln!(
+            "usage: repro [--test-scale] <experiment...>\n\
+             experiments: all table1 table2 example fig10 fig11 fig12 fig13 fig14 \
+             fig18 alphabeta prefetch refine linkage policies schedmetric deps multinest mapping-cost"
+        );
+        std::process::exit(2);
+    }
+    if wanted.iter().any(|w| w == "all") {
+        wanted = [
+            "table1",
+            "table2",
+            "example",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig18",
+            "alphabeta",
+            "prefetch",
+            "refine",
+            "linkage",
+            "policies",
+            "schedmetric",
+            "deps",
+            "multinest",
+            "mapping-cost",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    let scale = if test_scale { Scale::Test } else { Scale::Paper };
+    let platform = PlatformConfig::paper_default();
+
+    // The default-platform runs are shared by table2 / fig10 / fig11 /
+    // fig18; compute them lazily, at most once.
+    let mut default_runs: Option<Vec<cachemap_bench::AppResults>> = None;
+    let needs_default = ["table2", "fig10", "fig11", "fig18"];
+    let mut get_runs = |scale: Scale, platform: &PlatformConfig| {
+        if default_runs.is_none() {
+            eprintln!("[running default-platform suite: 8 apps × 4 versions …]");
+            default_runs = Some(experiments::default_runs(scale, platform));
+        }
+        default_runs.clone().unwrap()
+    };
+    let _ = needs_default;
+
+    for exp in &wanted {
+        match exp.as_str() {
+            "table1" => println!("{}", experiments::table1(&platform)),
+            "table2" => {
+                let runs = get_runs(scale, &platform);
+                emit(&[experiments::table2(&runs, scale)]);
+            }
+            "example" => println!("{}", worked_example()),
+            "fig10" => {
+                let runs = get_runs(scale, &platform);
+                emit(&experiments::fig10(&runs));
+            }
+            "fig11" => {
+                let runs = get_runs(scale, &platform);
+                emit(&experiments::fig11(&runs));
+            }
+            "fig12" => {
+                eprintln!("[fig12: topology sweep …]");
+                emit(&experiments::fig12(scale, &platform));
+            }
+            "fig13" => {
+                eprintln!("[fig13: cache capacity sweep …]");
+                emit(&experiments::fig13(scale, &platform));
+            }
+            "fig14" => {
+                eprintln!("[fig14: chunk size sweep …]");
+                emit(&experiments::fig14(scale, &platform));
+            }
+            "fig18" => {
+                let runs = get_runs(scale, &platform);
+                emit(&experiments::fig18(&runs));
+            }
+            "alphabeta" => {
+                eprintln!("[alphabeta: scheduling weight sweep …]");
+                emit(&[experiments::alphabeta(scale, &platform)]);
+            }
+            "refine" => {
+                eprintln!("[refine: boundary-refinement ablation …]");
+                emit(&[experiments::refine_ablation(scale, &platform)]);
+            }
+            "prefetch" => {
+                eprintln!("[prefetch: server read-ahead ablation …]");
+                emit(&[experiments::prefetch_ablation(scale, &platform)]);
+            }
+            "linkage" => {
+                eprintln!("[linkage: merge-linkage ablation …]");
+                emit(&[experiments::linkage_ablation(scale, &platform)]);
+            }
+            "policies" => {
+                eprintln!("[policies: replacement-policy ablation …]");
+                emit(&[experiments::policy_ablation(scale, &platform)]);
+            }
+            "schedmetric" => {
+                eprintln!("[schedmetric: scheduling-metric ablation …]");
+                emit(&[experiments::schedule_metric_ablation(scale, &platform)]);
+            }
+            "deps" => emit(&[experiments::deps_exp(scale, &platform)]),
+            s if s.starts_with("detail:") => {
+                let name = &s["detail:".len()..];
+                let app = cachemap_workloads::by_name(name, scale)
+                    .unwrap_or_else(|| panic!("unknown app {name}"));
+                println!("== detail — {name} per-version simulator statistics ==");
+                for v in cachemap_core::Version::ALL {
+                    let rep = cachemap_bench::run_cell(
+                        &app,
+                        &platform,
+                        &cachemap_core::MapperConfig::default(),
+                        v,
+                    );
+                    let mut finishes = rep.per_client_finish_ns.clone();
+                    finishes.sort_unstable();
+                    let med = finishes[finishes.len() / 2] as f64 / 1e6;
+                    let max = *finishes.last().unwrap() as f64 / 1e6;
+                    println!(
+                        "{:<22} L1 {:5.1}% ({:>8} acc)  L2 {:5.1}%  L3 {:5.1}%  io {:>8.1}ms  exec med/max {:>8.1}/{:<8.1}ms  disk r/w {:>6}/{:<5} seq {:4.1}%",
+                        v.label(),
+                        rep.l1_miss_rate() * 100.0,
+                        rep.l1.accesses(),
+                        rep.l2_miss_rate() * 100.0,
+                        rep.l3_miss_rate() * 100.0,
+                        rep.io_latency_ms() / platform.num_clients as f64,
+                        med,
+                        max,
+                        rep.disk_reads,
+                        rep.disk_writes,
+                        rep.disk_sequential_fraction * 100.0,
+                    );
+                }
+            }
+            "multinest" => emit(&[experiments::multinest(scale, &platform)]),
+            "mapping-cost" => emit(&[experiments::mapping_cost(scale, &platform)]),
+            s if s.starts_with("analyze:") => {
+                // Static quality metrics (Section 3's two rules, measured)
+                // for one app: a block split vs the clustered mapping.
+                let name = &s["analyze:".len()..];
+                let app = cachemap_workloads::by_name(name, scale)
+                    .unwrap_or_else(|| panic!("unknown app {name}"));
+                let data = cachemap_polyhedral::DataSpace::new(
+                    &app.program.arrays,
+                    platform.chunk_bytes,
+                );
+                let tree = cachemap_storage::HierarchyTree::from_config(&platform);
+                println!("== analyze — {name}: replication / affinity capture per level ==");
+                let (chunks, _) = cachemap_core::tags::tag_nests(
+                    &app.program,
+                    &(0..app.program.nests.len()).collect::<Vec<_>>(),
+                    &data,
+                );
+                let k = platform.num_clients;
+                let total: usize = chunks.iter().map(|c| c.len()).sum();
+                let mut block = cachemap_core::cluster::Distribution {
+                    per_client: vec![Vec::new(); k],
+                };
+                let mut acc = 0usize;
+                for (ci, c) in chunks.iter().enumerate() {
+                    let client = (acc * k / total.max(1)).min(k - 1);
+                    block.per_client[client]
+                        .push(cachemap_core::cluster::WorkItem::whole(ci, c.len()));
+                    acc += c.len();
+                }
+                let clustered = cachemap_core::cluster::distribute(
+                    &chunks,
+                    &tree,
+                    &cachemap_core::cluster::ClusterParams::default(),
+                );
+                for (label, dist) in
+                    [("block (approximates original)", &block), ("inter-processor", &clustered)]
+                {
+                    let a = cachemap_core::analysis::analyze(dist, &chunks, &tree);
+                    println!("{label}: {} chunks used", a.total_chunks_used);
+                    for lvl in &a.levels {
+                        println!(
+                            "  {:<8?} domains {:>3}  mean footprint {:>8.1}  replication {:>5.2}x  affinity captured {:>5.1}%",
+                            lvl.level,
+                            lvl.domains,
+                            lvl.mean_footprint,
+                            lvl.replication_factor,
+                            lvl.affinity_captured * 100.0
+                        );
+                    }
+                }
+            }
+            s if s.starts_with("trace:") => {
+                // Reuse-distance profiles per version of one app.
+                let name = &s["trace:".len()..];
+                let app = cachemap_workloads::by_name(name, scale)
+                    .unwrap_or_else(|| panic!("unknown app {name}"));
+                let data = cachemap_polyhedral::DataSpace::new(
+                    &app.program.arrays,
+                    platform.chunk_bytes,
+                );
+                let tree = cachemap_storage::HierarchyTree::from_config(&platform);
+                let sim = cachemap_storage::Simulator::new(platform.clone());
+                let mapper = cachemap_core::Mapper::paper_defaults();
+                println!("== trace — {name}: reuse-distance profiles ==");
+                for v in cachemap_core::Version::ALL {
+                    let mapped = mapper.map(&app.program, &data, &platform, &tree, v);
+                    let (rep, trace) = sim.run_traced(&mapped);
+                    let mut private = cachemap_storage::trace::ReuseProfile::default();
+                    for c in 0..platform.num_clients {
+                        private.merge(&trace.client_reuse_profile(c));
+                    }
+                    let served = trace.served_histogram();
+                    println!(
+                        "{:<22} private: mean dist {:>7.1}, predicted L1 miss {:>5.1}% (sim {:>5.1}%)  served L1/L2/L3/disk = {}/{}/{}/{}",
+                        v.label(),
+                        private.mean_distance().unwrap_or(f64::NAN),
+                        private.miss_rate_at_capacity(platform.client_cache_chunks) * 100.0,
+                        rep.l1_miss_rate() * 100.0,
+                        served.get(&cachemap_storage::trace::ServedBy::L1).unwrap_or(&0),
+                        served.get(&cachemap_storage::trace::ServedBy::L2).unwrap_or(&0),
+                        served.get(&cachemap_storage::trace::ServedBy::L3).unwrap_or(&0),
+                        served.get(&cachemap_storage::trace::ServedBy::Disk).unwrap_or(&0),
+                    );
+                }
+            }
+            s if s.starts_with("clients:") => {
+                // Per-client composition of the inter-processor mapping:
+                // accesses, unique chunks, simulated finish time.
+                let name = &s["clients:".len()..];
+                let app = cachemap_workloads::by_name(name, scale)
+                    .unwrap_or_else(|| panic!("unknown app {name}"));
+                let data = cachemap_polyhedral::DataSpace::new(
+                    &app.program.arrays,
+                    platform.chunk_bytes,
+                );
+                let tree = cachemap_storage::HierarchyTree::from_config(&platform);
+                let mapper = cachemap_core::Mapper::paper_defaults();
+                let mapped = mapper.map(
+                    &app.program,
+                    &data,
+                    &platform,
+                    &tree,
+                    cachemap_core::Version::InterProcessor,
+                );
+                let rep = cachemap_storage::Simulator::new(platform.clone()).run(&mapped);
+                println!("== clients — {name} inter-processor per-client composition ==");
+                let mut rows: Vec<(usize, u64, usize, f64)> = (0..platform.num_clients)
+                    .map(|c| {
+                        let mut uniq = std::collections::HashSet::new();
+                        let mut accs = 0u64;
+                        for op in &mapped.per_client[c] {
+                            if let cachemap_storage::ClientOp::Access { chunk, .. } = op {
+                                uniq.insert(*chunk);
+                                accs += 1;
+                            }
+                        }
+                        (c, accs, uniq.len(), rep.per_client_finish_ns[c] as f64 / 1e6)
+                    })
+                    .collect();
+                rows.sort_by(|a, b| b.3.total_cmp(&a.3));
+                for (c, accs, uniq, fin) in rows.iter().take(6) {
+                    println!("  client {c:>3}: {accs:>6} accesses, {uniq:>5} unique chunks, finish {fin:>8.1} ms");
+                }
+                println!("  ...");
+                for (c, accs, uniq, fin) in rows.iter().rev().take(3).rev() {
+                    println!("  client {c:>3}: {accs:>6} accesses, {uniq:>5} unique chunks, finish {fin:>8.1} ms");
+                }
+                // Access traces of the slowest and fastest client (first
+                // distinct chunk per iteration) to inspect coherence.
+                for (c, ..) in [*rows.first().unwrap(), *rows.last().unwrap()] {
+                    let chunks: Vec<usize> = mapped.per_client[c]
+                        .iter()
+                        .filter_map(|op| match op {
+                            cachemap_storage::ClientOp::Access { chunk, .. } => Some(*chunk),
+                            _ => None,
+                        })
+                        .collect();
+                    let firsts: Vec<usize> = chunks.iter().step_by(5).copied().take(30).collect();
+                    println!("  trace client {c}: {firsts:?}");
+                }
+            }
+            other => {
+                eprintln!("unknown experiment: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Experiment harness for the HPDC'10 reproduction.
+//!
+//! This crate contains the shared machinery behind the `repro` binary
+//! (one subcommand per table/figure of the paper's Section 5) and the
+//! criterion benchmarks. The central entry point is [`run_cell`]: map one
+//! application with one version on one platform, simulate it, and return
+//! the [`SimReport`]. Everything above that is sweep + formatting logic.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use cachemap_core::{Mapper, MapperConfig, Version};
+use cachemap_polyhedral::DataSpace;
+use cachemap_storage::{HierarchyTree, PlatformConfig, SimReport, Simulator};
+use cachemap_workloads::{Application, Scale};
+use serde::{Deserialize, Serialize};
+
+pub mod experiments;
+pub mod report;
+
+/// Runs one (application, version, platform) cell end to end.
+pub fn run_cell(
+    app: &Application,
+    platform: &PlatformConfig,
+    mapper_cfg: &MapperConfig,
+    version: Version,
+) -> SimReport {
+    let data = DataSpace::new(&app.program.arrays, platform.chunk_bytes);
+    let tree = HierarchyTree::from_config(platform);
+    let mapper = Mapper::new(*mapper_cfg);
+    let mapped = mapper.map(&app.program, &data, platform, &tree, version);
+    Simulator::new(platform.clone()).run(&mapped)
+}
+
+/// The reports of all requested versions for one application.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppResults {
+    /// Application name.
+    pub app: String,
+    /// `(version label, report)` in request order.
+    pub versions: Vec<(String, SimReport)>,
+}
+
+impl AppResults {
+    /// The report for a version label.
+    pub fn get(&self, label: &str) -> &SimReport {
+        &self
+            .versions
+            .iter()
+            .find(|(l, _)| l == label)
+            .unwrap_or_else(|| panic!("no version {label}"))
+            .1
+    }
+}
+
+/// Runs the given versions for every app of the suite on one platform,
+/// fanning the independent (app, version) cells out over worker threads.
+pub fn run_suite(
+    scale: Scale,
+    platform: &PlatformConfig,
+    mapper_cfg: &MapperConfig,
+    versions: &[Version],
+) -> Vec<AppResults> {
+    let apps = cachemap_workloads::suite(scale);
+    let mut cells: Vec<(usize, Version)> = Vec::new();
+    for ai in 0..apps.len() {
+        for &v in versions {
+            cells.push((ai, v));
+        }
+    }
+
+    let results: Vec<(usize, Version, SimReport)> = {
+        let mut out: Vec<Option<(usize, Version, SimReport)>> = vec![None; cells.len()];
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(cells.len().max(1));
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let out_slots: Vec<parking_lot::Mutex<Option<(usize, Version, SimReport)>>> =
+            (0..cells.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+        crossbeam::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    let (ai, v) = cells[i];
+                    let rep = run_cell(&apps[ai], platform, mapper_cfg, v);
+                    *out_slots[i].lock() = Some((ai, v, rep));
+                });
+            }
+        })
+        .expect("worker thread panicked");
+        for (slot, o) in out_slots.into_iter().zip(out.iter_mut()) {
+            *o = slot.into_inner();
+        }
+        out.into_iter().map(|o| o.expect("cell completed")).collect()
+    };
+
+    let mut per_app: Vec<AppResults> = apps
+        .iter()
+        .map(|a| AppResults {
+            app: a.name.to_string(),
+            versions: Vec::new(),
+        })
+        .collect();
+    // Preserve the requested version order per app.
+    for &v in versions {
+        for r in &results {
+            if r.1 == v {
+                per_app[r.0]
+                    .versions
+                    .push((v.label().to_string(), r.2.clone()));
+            }
+        }
+    }
+    per_app
+}
+
+/// Writes a serializable result as pretty JSON under `reports/`.
+pub fn write_report<T: Serialize>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("reports");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, serde_json::to_string_pretty(value)?)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_cell_produces_consistent_reports() {
+        let app = cachemap_workloads::by_name("contour", Scale::Test).unwrap();
+        let platform = PlatformConfig::paper_default().with_cache_chunks(8, 8, 8);
+        let cfg = MapperConfig::default();
+        let a = run_cell(&app, &platform, &cfg, Version::Original);
+        let b = run_cell(&app, &platform, &cfg, Version::Original);
+        assert_eq!(a.io_latency_ns, b.io_latency_ns, "must be deterministic");
+        assert!(a.l1.accesses() > 0);
+    }
+
+    #[test]
+    fn run_suite_returns_all_apps_and_versions() {
+        let platform = PlatformConfig::paper_default().with_cache_chunks(8, 8, 8);
+        let cfg = MapperConfig::default();
+        let res = run_suite(
+            Scale::Test,
+            &platform,
+            &cfg,
+            &[Version::Original, Version::InterProcessor],
+        );
+        assert_eq!(res.len(), 8);
+        for r in &res {
+            assert_eq!(r.versions.len(), 2);
+            assert_eq!(r.versions[0].0, "original");
+            let orig = r.get("original");
+            let inter = r.get("inter-processor");
+            assert_eq!(
+                orig.l1.accesses(),
+                inter.l1.accesses(),
+                "{}: same access totals across versions",
+                r.app
+            );
+        }
+    }
+}

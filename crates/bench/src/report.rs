@@ -1,0 +1,151 @@
+//! Result matrices and rendering shared by all experiments.
+
+use cachemap_util::table::TextTable;
+use serde::{Deserialize, Serialize};
+
+/// How to format the numeric cells of a matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellFormat {
+    /// Percentages with one decimal (`26.3`).
+    Percent,
+    /// Normalized ratios with three decimals (`0.737`).
+    Ratio,
+    /// Milliseconds with one decimal.
+    Millis,
+    /// Plain numbers with two decimals.
+    Plain,
+}
+
+impl CellFormat {
+    fn render(&self, x: f64) -> String {
+        match self {
+            CellFormat::Percent => format!("{:.1}", x * 100.0),
+            CellFormat::Ratio => format!("{x:.3}"),
+            CellFormat::Millis => format!("{:.1}", x / 1e6),
+            CellFormat::Plain => format!("{x:.2}"),
+        }
+    }
+}
+
+/// A labelled numeric result matrix — one per table/figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Matrix {
+    /// Experiment id, e.g. `"fig11"`.
+    pub id: String,
+    /// Human title printed above the table.
+    pub title: String,
+    /// Column headers (first column is the row label).
+    pub columns: Vec<String>,
+    /// `(row label, cells)`.
+    pub rows: Vec<(String, Vec<f64>)>,
+    /// Cell formatting.
+    pub format: CellFormat,
+    /// Free-form notes (averages, paper reference values).
+    pub notes: Vec<String>,
+}
+
+impl Matrix {
+    /// Creates an empty matrix.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        columns: Vec<String>,
+        format: CellFormat,
+    ) -> Self {
+        Matrix {
+            id: id.into(),
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+            format,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    pub fn row(&mut self, label: impl Into<String>, cells: Vec<f64>) -> &mut Self {
+        self.rows.push((label.into(), cells));
+        self
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) -> &mut Self {
+        self.notes.push(s.into());
+        self
+    }
+
+    /// Column-wise arithmetic means of the data rows.
+    pub fn column_means(&self) -> Vec<f64> {
+        let ncols = self.columns.len().saturating_sub(1);
+        let mut sums = vec![0.0; ncols];
+        for (_, cells) in &self.rows {
+            for (i, &c) in cells.iter().enumerate() {
+                sums[i] += c;
+            }
+        }
+        let n = self.rows.len().max(1) as f64;
+        sums.iter().map(|s| s / n).collect()
+    }
+
+    /// Renders the matrix as the harness's standard text block.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(self.columns.iter().map(String::as_str));
+        for (label, cells) in &self.rows {
+            let mut row = vec![label.clone()];
+            row.extend(cells.iter().map(|&c| self.format.render(c)));
+            t.row(row);
+        }
+        if !self.rows.is_empty() {
+            let mut avg_row = vec!["AVG".to_string()];
+            avg_row.extend(self.column_means().iter().map(|&c| self.format.render(c)));
+            t.row(avg_row);
+        }
+        let mut out = format!("== {} — {} ==\n", self.id, self.title);
+        out.push_str(&t.render());
+        for n in &self.notes {
+            out.push_str("   ");
+            out.push_str(n);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_rows_and_average() {
+        let mut m = Matrix::new(
+            "figX",
+            "demo",
+            vec!["app".into(), "a".into(), "b".into()],
+            CellFormat::Ratio,
+        );
+        m.row("hf", vec![0.5, 1.0]);
+        m.row("sar", vec![1.5, 3.0]);
+        m.note("hello");
+        let s = m.render();
+        assert!(s.contains("figX"));
+        assert!(s.contains("hf"));
+        assert!(s.contains("AVG"));
+        assert!(s.contains("1.000")); // avg of column a
+        assert!(s.contains("2.000")); // avg of column b
+        assert!(s.contains("hello"));
+    }
+
+    #[test]
+    fn cell_formats() {
+        assert_eq!(CellFormat::Percent.render(0.263), "26.3");
+        assert_eq!(CellFormat::Ratio.render(0.7372), "0.737");
+        assert_eq!(CellFormat::Millis.render(2_500_000.0), "2.5");
+        assert_eq!(CellFormat::Plain.render(1.234), "1.23");
+    }
+
+    #[test]
+    fn column_means_empty_safe() {
+        let m = Matrix::new("x", "t", vec!["r".into(), "c".into()], CellFormat::Plain);
+        assert_eq!(m.column_means(), vec![0.0]);
+    }
+}

@@ -1,0 +1,299 @@
+//! Static quality analysis of a distribution — the "two rules" of
+//! Section 3, measured.
+//!
+//! The paper's intuition: (1) iterations that share no data should not
+//! be mapped to clients with affinity at some cache, and (2) iterations
+//! that do share data should. This module quantifies how well a
+//! [`Distribution`] follows those rules *before* simulation:
+//!
+//! * **replication factor** — across how many level-ℓ cache domains the
+//!   average data chunk is spread (rule 2 violations inflate it: the
+//!   same chunk must be fetched into several sibling caches);
+//! * **footprints** — distinct chunks per client/domain vs. accesses
+//!   (rule 1 violations inflate a shared domain's footprint relative to
+//!   its members');
+//! * **affinity capture** — how much of the total pairwise tag overlap
+//!   (the similarity graph's edge mass) falls *inside* cache domains
+//!   rather than across them.
+//!
+//! The harness's `analyze:<app>` diagnostic prints these side by side
+//! for every version; EXPERIMENTS.md uses them to explain the simulated
+//! outcomes.
+
+use crate::cluster::Distribution;
+use crate::tags::IterationChunk;
+use cachemap_storage::topology::{CacheLevel, HierarchyTree};
+use cachemap_util::{FxHashMap, FxHashSet};
+use serde::{Deserialize, Serialize};
+
+/// Quality metrics of one distribution at one cache level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelAnalysis {
+    /// Which level the domains belong to.
+    pub level: CacheLevel,
+    /// Number of cache domains at this level.
+    pub domains: usize,
+    /// Mean distinct chunks per domain.
+    pub mean_footprint: f64,
+    /// Mean number of domains each used chunk appears in (1.0 = every
+    /// chunk confined to one domain; higher = replication).
+    pub replication_factor: f64,
+    /// Fraction of the similarity graph's edge mass captured inside
+    /// domains (both endpoints in the same domain), in `[0, 1]`.
+    pub affinity_captured: f64,
+}
+
+/// Full analysis across the hierarchy's levels (client, I/O, storage).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistributionAnalysis {
+    /// Per-level metrics, leaf level first.
+    pub levels: Vec<LevelAnalysis>,
+    /// Total distinct chunks used by the program.
+    pub total_chunks_used: usize,
+}
+
+/// Analyzes a distribution against the hierarchy.
+pub fn analyze(
+    dist: &Distribution,
+    chunks: &[IterationChunk],
+    tree: &HierarchyTree,
+) -> DistributionAnalysis {
+    // Chunk sets per client.
+    let client_sets: Vec<FxHashSet<usize>> = dist
+        .per_client
+        .iter()
+        .map(|items| {
+            let mut s = FxHashSet::default();
+            for it in items {
+                if !it.is_empty() {
+                    s.extend(chunks[it.chunk].tag.iter_ones());
+                }
+            }
+            s
+        })
+        .collect();
+    let total_chunks_used = {
+        let mut all = FxHashSet::default();
+        for s in &client_sets {
+            all.extend(s.iter().copied());
+        }
+        all.len()
+    };
+
+    // Pairwise edge mass between clients: ω(a, b) summed over iteration
+    // chunk pairs is expensive; the per-client chunk-set overlap is the
+    // domain-level equivalent and what replication actually feels.
+    let mut levels = Vec::new();
+    for level in [CacheLevel::Client, CacheLevel::Io, CacheLevel::Storage] {
+        let domains = domains_at(tree, level);
+        if domains.is_empty() {
+            continue;
+        }
+        // Union footprint per domain.
+        let domain_sets: Vec<FxHashSet<usize>> = domains
+            .iter()
+            .map(|clients| {
+                let mut s = FxHashSet::default();
+                for &c in clients {
+                    s.extend(client_sets[c].iter().copied());
+                }
+                s
+            })
+            .collect();
+        let mean_footprint = domain_sets.iter().map(|s| s.len() as f64).sum::<f64>()
+            / domain_sets.len() as f64;
+
+        // Replication: in how many domains does each used chunk appear?
+        let mut appearances: FxHashMap<usize, u32> = FxHashMap::default();
+        for s in &domain_sets {
+            for &c in s {
+                *appearances.entry(c).or_insert(0) += 1;
+            }
+        }
+        let replication_factor = if appearances.is_empty() {
+            0.0
+        } else {
+            appearances.values().map(|&v| v as f64).sum::<f64>() / appearances.len() as f64
+        };
+
+        // Affinity capture: edge mass = Σ over client pairs of
+        // |chunks(a) ∩ chunks(b)|; captured = pairs in the same domain.
+        let mut total_mass = 0u64;
+        let mut captured = 0u64;
+        let domain_of: Vec<usize> = {
+            let mut v = vec![0usize; client_sets.len()];
+            for (d, clients) in domains.iter().enumerate() {
+                for &c in clients {
+                    v[c] = d;
+                }
+            }
+            v
+        };
+        for a in 0..client_sets.len() {
+            for b in (a + 1)..client_sets.len() {
+                let overlap = client_sets[a]
+                    .iter()
+                    .filter(|c| client_sets[b].contains(c))
+                    .count() as u64;
+                total_mass += overlap;
+                if domain_of[a] == domain_of[b] {
+                    captured += overlap;
+                }
+            }
+        }
+        let affinity_captured = if total_mass == 0 {
+            1.0
+        } else {
+            captured as f64 / total_mass as f64
+        };
+
+        levels.push(LevelAnalysis {
+            level,
+            domains: domains.len(),
+            mean_footprint,
+            replication_factor,
+            affinity_captured,
+        });
+    }
+
+    DistributionAnalysis {
+        levels,
+        total_chunks_used,
+    }
+}
+
+/// The client groups under each cache domain of `level`.
+fn domains_at(tree: &HierarchyTree, level: CacheLevel) -> Vec<Vec<usize>> {
+    tree.nodes()
+        .iter()
+        .filter(|n| n.level == level)
+        .map(|n| tree.clients_under(n.id))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::WorkItem;
+    use cachemap_storage::PlatformConfig;
+    use cachemap_util::BitSet;
+
+    fn mk(tag: &str) -> IterationChunk {
+        IterationChunk {
+            nest: 0,
+            tag: BitSet::from_tag_str(tag),
+            points: vec![vec![0]],
+        }
+    }
+
+    fn tiny_tree() -> HierarchyTree {
+        HierarchyTree::from_config(&PlatformConfig::tiny())
+    }
+
+    #[test]
+    fn disjoint_perfect_mapping_has_no_replication() {
+        // Four chunks with disjoint tags, one per client.
+        let chunks = vec![mk("1000"), mk("0100"), mk("0010"), mk("0001")];
+        let dist = Distribution {
+            per_client: (0..4).map(|c| vec![WorkItem::whole(c, 1)]).collect(),
+        };
+        let a = analyze(&dist, &chunks, &tiny_tree());
+        assert_eq!(a.total_chunks_used, 4);
+        for lvl in &a.levels {
+            assert!((lvl.replication_factor - 1.0).abs() < 1e-12, "{lvl:?}");
+            assert!((lvl.affinity_captured - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shared_chunk_across_io_domains_counts_as_replication() {
+        // Clients 0 and 2 (different I/O nodes) share data chunk 0.
+        let chunks = vec![mk("1100"), mk("1010")];
+        let dist = Distribution {
+            per_client: vec![
+                vec![WorkItem::whole(0, 1)],
+                vec![],
+                vec![WorkItem::whole(1, 1)],
+                vec![],
+            ],
+        };
+        let a = analyze(&dist, &chunks, &tiny_tree());
+        let io = a
+            .levels
+            .iter()
+            .find(|l| l.level == CacheLevel::Io)
+            .expect("io level");
+        // Chunk 0 appears in both I/O domains; chunks 1, 2, 3 in one.
+        assert!(io.replication_factor > 1.0);
+        assert!(io.affinity_captured < 1.0, "cross-domain sharing missed");
+    }
+
+    #[test]
+    fn same_domain_sharing_is_captured() {
+        // Clients 0 and 1 share I/O node 0 and the shared chunk.
+        let chunks = vec![mk("1100"), mk("1010")];
+        let dist = Distribution {
+            per_client: vec![
+                vec![WorkItem::whole(0, 1)],
+                vec![WorkItem::whole(1, 1)],
+                vec![],
+                vec![],
+            ],
+        };
+        let a = analyze(&dist, &chunks, &tiny_tree());
+        let io = a
+            .levels
+            .iter()
+            .find(|l| l.level == CacheLevel::Io)
+            .unwrap();
+        assert!((io.affinity_captured - 1.0).abs() < 1e-12);
+        let client = a
+            .levels
+            .iter()
+            .find(|l| l.level == CacheLevel::Client)
+            .unwrap();
+        // At the private level the shared chunk necessarily replicates.
+        assert!(client.replication_factor > 1.0);
+    }
+
+    #[test]
+    fn inter_mapping_captures_more_affinity_than_block_mapping() {
+        // The Figure 6 example: tag families straddle a block partition
+        // but align with clustering.
+        let (program, data) = crate::tags::tests::figure6_program(4);
+        let tagged = crate::tags::tag_nest(&program, 0, &data);
+        let tree = tiny_tree();
+
+        // Block partition: chunks 0-1 → client 0, 2-3 → client 1, …
+        let block = Distribution {
+            per_client: (0..4)
+                .map(|c| {
+                    vec![
+                        WorkItem::whole(2 * c, 4),
+                        WorkItem::whole(2 * c + 1, 4),
+                    ]
+                })
+                .collect(),
+        };
+        let clustered = crate::cluster::distribute(
+            &tagged.chunks,
+            &tree,
+            &crate::cluster::ClusterParams::default(),
+        );
+        let a_block = analyze(&block, &tagged.chunks, &tree);
+        let a_clustered = analyze(&clustered, &tagged.chunks, &tree);
+        let io_block = a_block.levels.iter().find(|l| l.level == CacheLevel::Io).unwrap();
+        let io_clust = a_clustered
+            .levels
+            .iter()
+            .find(|l| l.level == CacheLevel::Io)
+            .unwrap();
+        assert!(
+            io_clust.affinity_captured >= io_block.affinity_captured,
+            "clustering must not capture less affinity: {} vs {}",
+            io_clust.affinity_captured,
+            io_block.affinity_captured
+        );
+        assert!(io_clust.replication_factor <= io_block.replication_factor);
+    }
+}

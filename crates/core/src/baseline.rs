@@ -1,0 +1,267 @@
+//! The two comparison versions of Section 5.1.
+//!
+//! * [`original`] — "the set of iterations to be executed in parallel is
+//!   first ordered lexicographically (the default order implied by the
+//!   sequential execution) and then divided into K clusters, where K is
+//!   the number of client nodes. Each cluster is then assigned to a
+//!   client node."
+//! * [`intra_processor`] — "well-known data locality enhancing
+//!   transformations … loop permutation … and iteration space tiling …
+//!   To approximate the ideal tile size, we experimented with different
+//!   tile sizes and selected the one that performs the best. After these
+//!   locality optimizations, the iterations are divided into k clusters
+//!   and each cluster is assigned to a client node." The tile-size /
+//!   permutation search uses a *single-processor-centric* metric — a
+//!   private LRU simulated over the whole traversal — deliberately blind
+//!   to inter-client sharing, exactly as the paper characterizes this
+//!   baseline.
+
+use cachemap_polyhedral::deps::exact_dependences;
+use cachemap_polyhedral::transform::Traversal;
+use cachemap_polyhedral::{DataSpace, Point, Program};
+use cachemap_storage::cache::{ChunkCache, LruCache};
+use cachemap_storage::MappedProgram;
+
+use crate::codegen::lower_iteration_lists;
+
+/// Splits an ordered iteration sequence into `k` contiguous blocks of
+/// near-equal size (block `c` gets iterations
+/// `[c·N/k, (c+1)·N/k)`).
+pub fn block_partition(points: Vec<Point>, nest_idx: usize, k: usize) -> Vec<Vec<(usize, Point)>> {
+    let n = points.len();
+    let mut out: Vec<Vec<(usize, Point)>> = vec![Vec::new(); k];
+    for (i, p) in points.into_iter().enumerate() {
+        // Stable proportional assignment without floats.
+        let c = i * k / n.max(1);
+        out[c.min(k - 1)].push((nest_idx, p));
+    }
+    out
+}
+
+/// The *original* version: lexicographic order, contiguous block
+/// distribution over `k` clients, one mapped program per nest
+/// concatenated in program order.
+pub fn original(program: &Program, data: &DataSpace, k: usize) -> MappedProgram {
+    let mut mp = MappedProgram::new(k);
+    for (ni, nest) in program.nests.iter().enumerate() {
+        let points: Vec<Point> = nest.space.iter().collect();
+        let lists = block_partition(points, ni, k);
+        let part = lower_iteration_lists(&lists, program, data);
+        crate::codegen::append_program(&mut mp, part);
+    }
+    mp
+}
+
+/// Candidate traversals considered by the intra-processor search for one
+/// nest: identity, all legal loop permutations (nest depth ≤ 4 keeps
+/// this cheap), and — for rectangular spaces with legal tiling — uniform
+/// tile sizes 4..=64 with and without the best tile-loop permutation.
+pub fn candidate_traversals(program: &Program, nest_idx: usize) -> Vec<Traversal> {
+    let nest = &program.nests[nest_idx];
+    let deps = exact_dependences(nest, &program.arrays);
+    let depth = nest.depth();
+    let mut out = vec![Traversal::Identity];
+
+    // All permutations for small depths.
+    if (2..=4).contains(&depth) {
+        let mut perm: Vec<usize> = (0..depth).collect();
+        permutations(&mut perm, 0, &mut |p| {
+            if p != (0..depth).collect::<Vec<_>>() {
+                let t = Traversal::Permuted(p.to_vec());
+                if t.is_legal(&deps) {
+                    out.push(t);
+                }
+            }
+        });
+    }
+
+    if nest.space.is_rectangular() && depth >= 2 {
+        for ts in [4i64, 8, 16, 32, 64] {
+            let t = Traversal::Tiled(vec![ts; depth]);
+            if t.is_legal(&deps) {
+                out.push(t);
+            }
+        }
+    }
+    out
+}
+
+fn permutations(perm: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == perm.len() {
+        f(perm);
+        return;
+    }
+    for i in k..perm.len() {
+        perm.swap(k, i);
+        permutations(perm, k + 1, f);
+        perm.swap(k, i);
+    }
+}
+
+/// Single-processor locality cost of a traversal: misses of one private
+/// LRU of `l1_chunks` chunks replayed over the full chunk trace.
+pub fn locality_cost(
+    program: &Program,
+    data: &DataSpace,
+    nest_idx: usize,
+    order: &[Point],
+    l1_chunks: usize,
+) -> u64 {
+    let nest = &program.nests[nest_idx];
+    let mut lru = LruCache::new(l1_chunks.max(1));
+    for p in order {
+        for r in &nest.refs {
+            let lin = r.eval_linear(p, &program.arrays[r.array]);
+            let chunk = data.chunk_of(r.array, lin);
+            if !lru.access(chunk, false) {
+                lru.insert(chunk, false);
+            }
+        }
+    }
+    lru.stats().misses
+}
+
+/// The *intra-processor* version: per nest, search the candidate
+/// traversals for the one minimizing the private-LRU miss count, then
+/// block-partition the winning order over `k` clients.
+pub fn intra_processor(
+    program: &Program,
+    data: &DataSpace,
+    k: usize,
+    l1_chunks: usize,
+) -> MappedProgram {
+    let mut mp = MappedProgram::new(k);
+    for ni in 0..program.nests.len() {
+        let order = best_traversal_order(program, data, ni, l1_chunks);
+        let lists = block_partition(order, ni, k);
+        let part = lower_iteration_lists(&lists, program, data);
+        crate::codegen::append_program(&mut mp, part);
+    }
+    mp
+}
+
+/// The winning iteration order for one nest under the intra-processor
+/// search (exposed for tests and the ablation harness).
+pub fn best_traversal_order(
+    program: &Program,
+    data: &DataSpace,
+    nest_idx: usize,
+    l1_chunks: usize,
+) -> Vec<Point> {
+    let mut best: Option<(u64, Vec<Point>)> = None;
+    for t in candidate_traversals(program, nest_idx) {
+        let order = t.enumerate(&program.nests[nest_idx].space);
+        let cost = locality_cost(program, data, nest_idx, &order, l1_chunks);
+        match &best {
+            Some((bc, _)) if *bc <= cost => {}
+            _ => best = Some((cost, order)),
+        }
+    }
+    best.expect("at least the identity traversal exists").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachemap_polyhedral::{AffineExpr, ArrayDecl, ArrayRef, IterationSpace, LoopNest};
+
+    /// Column-major walk over a row-major array: identity order has
+    /// terrible chunk locality; permuting the loops fixes it.
+    fn column_major_program(n: i64) -> (Program, DataSpace) {
+        let a = ArrayDecl::new("A", vec![n, n], 8);
+        let space = IterationSpace::rectangular(&[n, n]);
+        // A[i1][i0]: inner loop strides by a whole row.
+        let r = ArrayRef::read(0, vec![AffineExpr::var(1), AffineExpr::var(0)]);
+        let nest = LoopNest::new("colmajor", space, vec![r]);
+        let program = Program::new("p", vec![a], vec![nest]);
+        let data = DataSpace::new(&program.arrays, 64); // 8 elements/chunk
+        (program, data)
+    }
+
+    #[test]
+    fn block_partition_is_contiguous_and_balanced() {
+        let points: Vec<Point> = (0..10).map(|i| vec![i]).collect();
+        let parts = block_partition(points, 0, 4);
+        let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| (2..=3).contains(&s)), "{sizes:?}");
+        // Contiguity: each part's points are consecutive.
+        for part in &parts {
+            for w in part.windows(2) {
+                assert_eq!(w[1].1[0], w[0].1[0] + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn original_covers_all_iterations() {
+        let (program, data) = column_major_program(8);
+        let mp = original(&program, &data, 4);
+        assert_eq!(mp.total_accesses(), 64);
+        let per = mp.accesses_per_client();
+        assert!(per.iter().all(|&x| x == 16), "{per:?}");
+    }
+
+    #[test]
+    fn intra_processor_beats_original_locality_on_bad_nest() {
+        let (program, data) = column_major_program(16);
+        let identity: Vec<Point> = program.nests[0].space.iter().collect();
+        let ident_cost = locality_cost(&program, &data, 0, &identity, 4);
+        let best = best_traversal_order(&program, &data, 0, 4);
+        let best_cost = locality_cost(&program, &data, 0, &best, 4);
+        assert!(
+            best_cost < ident_cost,
+            "search must improve locality: {best_cost} vs {ident_cost}"
+        );
+        // The permuted (row-of-array) order is optimal here: one miss per
+        // chunk.
+        assert_eq!(best_cost, data.num_chunks() as u64);
+    }
+
+    #[test]
+    fn candidate_set_respects_dependences() {
+        // A[i][j] = A[i-1][j] + A[i][j-1]: no permutation is illegal
+        // (all distances non-negative), but check the recurrence version:
+        // A[i][j] = A[i-1][j+1] forbids interchange.
+        let a = ArrayDecl::new("A", vec![8, 8], 8);
+        let space = IterationSpace::new(vec![
+            cachemap_polyhedral::Loop::constant(1, 7),
+            cachemap_polyhedral::Loop::constant(0, 6),
+        ]);
+        let refs = vec![
+            ArrayRef::read(
+                0,
+                vec![AffineExpr::var_plus(0, -1), AffineExpr::var_plus(1, 1)],
+            ),
+            ArrayRef::write(0, vec![AffineExpr::var(0), AffineExpr::var(1)]),
+        ];
+        let nest = LoopNest::new("skew", space, refs);
+        let program = Program::new("p", vec![a], vec![nest]);
+        let cands = candidate_traversals(&program, 0);
+        assert!(
+            !cands.contains(&Traversal::Permuted(vec![1, 0])),
+            "interchange must be rejected for distance (1,-1)"
+        );
+        assert!(cands.contains(&Traversal::Identity));
+    }
+
+    #[test]
+    fn intra_processor_same_iteration_set_as_original() {
+        let (program, data) = column_major_program(8);
+        let o = original(&program, &data, 4);
+        let i = intra_processor(&program, &data, 4, 4);
+        assert_eq!(o.total_accesses(), i.total_accesses());
+    }
+
+    #[test]
+    fn single_loop_nest_candidates() {
+        // Depth-1 nests only get the identity (nothing to permute/tile).
+        let a = ArrayDecl::new("A", vec![32], 8);
+        let space = IterationSpace::rectangular(&[32]);
+        let r = ArrayRef::read(0, vec![AffineExpr::var(0)]);
+        let nest = LoopNest::new("n", space, vec![r]);
+        let program = Program::new("p", vec![a], vec![nest]);
+        let cands = candidate_traversals(&program, 0);
+        assert_eq!(cands, vec![Traversal::Identity]);
+    }
+}

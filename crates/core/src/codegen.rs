@@ -1,0 +1,194 @@
+//! Lowering mapped iterations to simulator operation streams.
+//!
+//! The paper uses the Omega Library's `codegen(.)` to emit loops that
+//! enumerate the iterations of each γΛ assigned to a client, and MPI-IO
+//! calls for the actual accesses. Our equivalent lowers a
+//! [`Distribution`] (or an explicit per-client iteration order, for the
+//! baselines) into the [`MappedProgram`] op streams the discrete-event
+//! simulator executes: one `Compute` op plus one `Access` op per array
+//! reference for every iteration.
+
+use crate::cluster::Distribution;
+use crate::tags::IterationChunk;
+use cachemap_polyhedral::{AccessKind, DataSpace, Point, Program};
+use cachemap_storage::{ClientOp, MappedProgram};
+
+/// Appends the ops of a single iteration of `nest_idx` to `out`.
+pub fn emit_iteration(
+    program: &Program,
+    data: &DataSpace,
+    nest_idx: usize,
+    point: &Point,
+    out: &mut Vec<ClientOp>,
+) {
+    let nest = &program.nests[nest_idx];
+    let compute_ns = (nest.compute_us * 1000.0).round() as u64;
+    if compute_ns > 0 {
+        out.push(ClientOp::Compute { ns: compute_ns });
+    }
+    for r in &nest.refs {
+        let lin = r.eval_linear(point, &program.arrays[r.array]);
+        let chunk = data.chunk_of(r.array, lin);
+        out.push(ClientOp::Access {
+            chunk,
+            write: r.kind == AccessKind::Write,
+        });
+    }
+}
+
+/// Lowers a distribution over iteration chunks to per-client op streams.
+/// Items execute in their per-client order; iterations within an item in
+/// their stored (lexicographic) order.
+pub fn lower_distribution(
+    dist: &Distribution,
+    chunks: &[IterationChunk],
+    program: &Program,
+    data: &DataSpace,
+) -> MappedProgram {
+    let mut mp = MappedProgram::new(dist.per_client.len());
+    for (c, items) in dist.per_client.iter().enumerate() {
+        let ops = &mut mp.per_client[c];
+        for item in items {
+            let chunk = &chunks[item.chunk];
+            for point in &chunk.points[item.start..item.end] {
+                emit_iteration(program, data, chunk.nest, point, ops);
+            }
+        }
+    }
+    mp
+}
+
+/// Lowers explicit per-client iteration orders (used by the original and
+/// intra-processor baselines, which do not operate at iteration-chunk
+/// granularity). Each entry is `(nest index, iteration point)`.
+pub fn lower_iteration_lists(
+    per_client: &[Vec<(usize, Point)>],
+    program: &Program,
+    data: &DataSpace,
+) -> MappedProgram {
+    let mut mp = MappedProgram::new(per_client.len());
+    for (c, list) in per_client.iter().enumerate() {
+        let ops = &mut mp.per_client[c];
+        for (nest_idx, point) in list {
+            emit_iteration(program, data, *nest_idx, point, ops);
+        }
+    }
+    mp
+}
+
+/// Appends the ops of another mapped program to this one, client by
+/// client (used when a program has several nests mapped independently).
+pub fn append_program(dst: &mut MappedProgram, src: MappedProgram) {
+    assert_eq!(
+        dst.num_clients(),
+        src.num_clients(),
+        "client counts must match"
+    );
+    for (d, s) in dst.per_client.iter_mut().zip(src.per_client) {
+        d.extend(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::WorkItem;
+    use cachemap_polyhedral::{AffineExpr, ArrayDecl, ArrayRef, IterationSpace, LoopNest};
+
+    fn tiny_program() -> (Program, DataSpace) {
+        let a = ArrayDecl::new("A", vec![16], 8);
+        let space = IterationSpace::rectangular(&[16]);
+        let refs = vec![
+            ArrayRef::read(0, vec![AffineExpr::var(0)]),
+            ArrayRef::write(0, vec![AffineExpr::var(0)]),
+        ];
+        let nest = LoopNest::new("n", space, refs).with_compute_us(2.0);
+        let program = Program::new("p", vec![a], vec![nest]);
+        let data = DataSpace::new(&program.arrays, 32); // 4 elems per chunk
+        (program, data)
+    }
+
+    #[test]
+    fn emit_iteration_shapes_ops() {
+        let (program, data) = tiny_program();
+        let mut ops = Vec::new();
+        emit_iteration(&program, &data, 0, &vec![5], &mut ops);
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops[0], ClientOp::Compute { ns: 2000 });
+        assert_eq!(
+            ops[1],
+            ClientOp::Access {
+                chunk: 1,
+                write: false
+            }
+        );
+        assert_eq!(
+            ops[2],
+            ClientOp::Access {
+                chunk: 1,
+                write: true
+            }
+        );
+    }
+
+    #[test]
+    fn lower_distribution_respects_item_ranges() {
+        let (program, data) = tiny_program();
+        let chunk = IterationChunk {
+            nest: 0,
+            tag: cachemap_util::BitSet::from_tag_str("1000"),
+            points: (0..4).map(|i| vec![i]).collect(),
+        };
+        let dist = Distribution {
+            per_client: vec![
+                vec![WorkItem {
+                    chunk: 0,
+                    start: 1,
+                    end: 3,
+                }],
+                vec![],
+            ],
+        };
+        let mp = lower_distribution(&dist, &[chunk], &program, &data);
+        // 2 iterations × (1 compute + 2 accesses) = 6 ops.
+        assert_eq!(mp.per_client[0].len(), 6);
+        assert!(mp.per_client[1].is_empty());
+        assert_eq!(mp.total_accesses(), 4);
+    }
+
+    #[test]
+    fn lower_iteration_lists_orders_ops() {
+        let (program, data) = tiny_program();
+        let lists = vec![vec![(0usize, vec![15i64]), (0, vec![0])]];
+        let mp = lower_iteration_lists(&lists, &program, &data);
+        // First iteration (15) touches chunk 3, second (0) chunk 0.
+        let accesses: Vec<usize> = mp.per_client[0]
+            .iter()
+            .filter_map(|op| match op {
+                ClientOp::Access { chunk, .. } => Some(*chunk),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(accesses, vec![3, 3, 0, 0]);
+    }
+
+    #[test]
+    fn append_concatenates_streams() {
+        let (program, data) = tiny_program();
+        let lists = vec![vec![(0usize, vec![0i64])]];
+        let mut a = lower_iteration_lists(&lists, &program, &data);
+        let b = lower_iteration_lists(&lists, &program, &data);
+        let before = a.per_client[0].len();
+        append_program(&mut a, b);
+        assert_eq!(a.per_client[0].len(), 2 * before);
+    }
+
+    #[test]
+    fn zero_compute_emits_no_compute_op() {
+        let (mut program, data) = tiny_program();
+        program.nests[0].compute_us = 0.0;
+        let mut ops = Vec::new();
+        emit_iteration(&program, &data, 0, &vec![0], &mut ops);
+        assert!(ops.iter().all(|op| !matches!(op, ClientOp::Compute { .. })));
+    }
+}

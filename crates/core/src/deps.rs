@@ -1,0 +1,468 @@
+//! Handling loops with cross-iteration dependences (Section 5.4).
+//!
+//! The paper offers two extensions, both implemented here:
+//!
+//! 1. **Co-clustering** — "associate an infinite edge weight between
+//!    iteration chunks that have dependencies between them", so all
+//!    dependent chunks land in a single cluster and execute on one
+//!    client, needing no synchronization. Implemented as a union-find
+//!    pre-merge of the iteration chunks connected by dependence edges.
+//! 2. **Dependences as sharing + synchronization** (the paper's chosen
+//!    implementation) — the clustering step treats dependences as normal
+//!    data sharing (the tags already capture the shared chunks), and the
+//!    scheduling step inserts inter-client synchronization directives to
+//!    respect the dependences: the client finishing a source chunk
+//!    signals a token; every client holding a dependent chunk waits on
+//!    it before starting that chunk.
+
+use crate::cluster::Distribution;
+use crate::tags::{IterationChunk, TaggedNest};
+use cachemap_polyhedral::access::AccessKind;
+use cachemap_polyhedral::{DataSpace, Program};
+use cachemap_storage::{ClientOp, MappedProgram};
+use cachemap_util::{FxHashMap, FxHashSet};
+use serde::{Deserialize, Serialize};
+
+/// How the mapper handles loops with cross-iteration dependences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DepStrategy {
+    /// Assume the parallelized iterations are dependence-free (the
+    /// baseline assumption of Section 4; cheapest, skips the dependence
+    /// scan entirely).
+    Ignore,
+    /// Strategy 1: infinite edge weights — dependent chunks are merged
+    /// before clustering so they land on one client.
+    CoCluster,
+    /// Strategy 2 (the paper's implementation): dependences are treated
+    /// as data sharing and inter-client synchronization is inserted at
+    /// scheduling time.
+    SyncInsert,
+}
+
+/// A chunk-level dependence edge: every iteration of `dst` that depends
+/// on an iteration of `src` comes lexicographically later, so `src` must
+/// complete before `dst` starts (conservative chunk-granularity view).
+pub type ChunkDep = (usize, usize);
+
+/// Computes chunk-level dependence edges for one tagged nest by scanning
+/// the iteration space once (same adjacent-pair technique as
+/// `cachemap_polyhedral::deps::exact_dependences`, lifted to iteration
+/// chunks). Self-edges are dropped — intra-chunk order is sequential on
+/// one client anyway.
+pub fn chunk_dependence_edges(
+    program: &Program,
+    nest_idx: usize,
+    data: &DataSpace,
+    tagged: &TaggedNest,
+) -> Vec<ChunkDep> {
+    let nest = &program.nests[nest_idx];
+    let _ = data; // element→chunk mapping not needed: deps are on elements
+
+    #[derive(Default, Clone)]
+    struct LastTouch {
+        write: Option<u32>, // iteration chunk of last writer
+        read: Option<u32>,
+    }
+
+    let mut last: FxHashMap<(usize, u64), LastTouch> = FxHashMap::default();
+    let mut edges: FxHashSet<ChunkDep> = FxHashSet::default();
+
+    for (idx, point) in nest.space.iter().enumerate() {
+        let me = tagged.iter_chunk_of[idx];
+        for r in &nest.refs {
+            let lin = r.eval_linear(&point, &program.arrays[r.array]);
+            let entry = last.entry((r.array, lin)).or_default();
+            match r.kind {
+                AccessKind::Read => {
+                    if let Some(w) = entry.write {
+                        if w != me {
+                            edges.insert((w as usize, me as usize));
+                        }
+                    }
+                    entry.read = Some(me);
+                }
+                AccessKind::Write => {
+                    if let Some(rd) = entry.read {
+                        if rd != me {
+                            edges.insert((rd as usize, me as usize));
+                        }
+                    }
+                    if let Some(w) = entry.write {
+                        if w != me {
+                            edges.insert((w as usize, me as usize));
+                        }
+                    }
+                    entry.write = Some(me);
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<ChunkDep> = edges.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Strategy 1: merges every dependence-connected component of chunks
+/// into a single iteration chunk (union of members, union of tags), so
+/// clustering keeps dependent work together and no synchronization is
+/// needed. Iterations inside a merged chunk stay in lexicographic order.
+pub fn co_cluster(chunks: &[IterationChunk], edges: &[ChunkDep]) -> Vec<IterationChunk> {
+    let n = chunks.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = x;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    for &(a, b) in edges {
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra != rb {
+            parent[ra.max(rb)] = ra.min(rb);
+        }
+    }
+
+    let mut groups: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        groups.entry(r).or_default().push(i);
+    }
+    let mut roots: Vec<usize> = groups.keys().copied().collect();
+    roots.sort_unstable();
+
+    roots
+        .into_iter()
+        .map(|r| {
+            let members = &groups[&r];
+            if members.len() == 1 {
+                return chunks[members[0]].clone();
+            }
+            let mut tag = chunks[members[0]].tag.clone();
+            let mut points = Vec::new();
+            for &m in members {
+                tag.union_with(&chunks[m].tag);
+                points.extend(chunks[m].points.iter().cloned());
+            }
+            points.sort();
+            IterationChunk {
+                nest: chunks[members[0]].nest,
+                tag,
+                points,
+            }
+        })
+        .collect()
+}
+
+/// Strategy 2: lowers a distribution to a mapped program with
+/// synchronization. For each dependence edge whose source and
+/// destination chunks live (at least partly) on different clients, the
+/// source's owners signal a token after their last source item, and
+/// every other owner of the destination waits on those tokens before its
+/// first destination item.
+///
+/// # Panics
+/// The resulting program panics *at simulation time* if the chunk-level
+/// dependence graph had a cycle across clients (the engine detects the
+/// deadlock); the workloads exercised here have forward-only chunk
+/// dependences.
+pub fn lower_with_sync(
+    dist: &Distribution,
+    chunks: &[IterationChunk],
+    program: &Program,
+    data: &DataSpace,
+    edges: &[ChunkDep],
+) -> MappedProgram {
+    // Owners of each chunk (clients executing at least one item of it).
+    let mut owners: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
+    for (c, items) in dist.per_client.iter().enumerate() {
+        for it in items {
+            let v = owners.entry(it.chunk).or_default();
+            if !v.contains(&c) {
+                v.push(c);
+            }
+        }
+    }
+
+    // Token per (edge, source owner). Signal goes after the owner's last
+    // item of the source chunk; waits go before the first item of the
+    // destination chunk on every *other* client.
+    let mut next_token: u32 = 0;
+    // signals[client][item position] → tokens to signal after that item.
+    let mut signal_after: FxHashMap<(usize, usize), Vec<u32>> = FxHashMap::default();
+    let mut wait_before: FxHashMap<(usize, usize), Vec<u32>> = FxHashMap::default();
+
+    for &(src, dst) in edges {
+        let src_owners = match owners.get(&src) {
+            Some(o) => o.clone(),
+            None => continue,
+        };
+        let dst_owners = match owners.get(&dst) {
+            Some(o) => o.clone(),
+            None => continue,
+        };
+        for &so in &src_owners {
+            // Destinations on other clients need to wait on this owner.
+            let external: Vec<usize> =
+                dst_owners.iter().copied().filter(|&d| d != so).collect();
+            if external.is_empty() {
+                continue;
+            }
+            let token = next_token;
+            next_token += 1;
+            let last_pos = dist.per_client[so]
+                .iter()
+                .rposition(|it| it.chunk == src)
+                .expect("owner has a source item");
+            signal_after.entry((so, last_pos)).or_default().push(token);
+            for d in external {
+                let first_pos = dist.per_client[d]
+                    .iter()
+                    .position(|it| it.chunk == dst)
+                    .expect("owner has a destination item");
+                wait_before.entry((d, first_pos)).or_default().push(token);
+            }
+        }
+    }
+
+    let mut mp = MappedProgram::new(dist.per_client.len());
+    for (c, items) in dist.per_client.iter().enumerate() {
+        let ops = &mut mp.per_client[c];
+        for (pos, item) in items.iter().enumerate() {
+            if let Some(tokens) = wait_before.get(&(c, pos)) {
+                for &t in tokens {
+                    ops.push(ClientOp::Wait { token: t });
+                }
+            }
+            let chunk = &chunks[item.chunk];
+            for point in &chunk.points[item.start..item.end] {
+                crate::codegen::emit_iteration(program, data, chunk.nest, point, ops);
+            }
+            if let Some(tokens) = signal_after.get(&(c, pos)) {
+                for &t in tokens {
+                    ops.push(ClientOp::Signal { token: t });
+                }
+            }
+        }
+    }
+    mp
+}
+
+/// Reorders each client's items so that all orders are consistent with
+/// **one global topological order** of the chunk dependence DAG —
+/// applied after scheduling, which is reuse-driven and
+/// dependence-oblivious.
+///
+/// Per-client forward edges alone are not enough: with the signal/wait
+/// protocol of [`lower_with_sync`], two clients whose item orders
+/// interleave two independent dependence chains in opposite directions
+/// deadlock even though the chunk DAG is acyclic. Sorting every client's
+/// items by a single topological rank makes the union of dependence
+/// edges and program-order edges acyclic, which guarantees progress.
+/// Within equal ranks the scheduler's (reuse-driven) order is preserved.
+///
+/// If the conservative chunk-level graph contains a cycle, the cycle is
+/// broken at an arbitrary (deterministic) edge — the affected chunks get
+/// the same rank and their cross-client edges are dropped by
+/// [`lower_with_sync`]'s caller passing the reduced edge list.
+pub fn enforce_intra_client_order(dist: &mut Distribution, edges: &[ChunkDep]) {
+    if edges.is_empty() {
+        return;
+    }
+    let rank = topological_ranks(edges);
+    for items in &mut dist.per_client {
+        items.sort_by_key(|it| rank.get(&it.chunk).copied().unwrap_or(0));
+        // sort_by_key is stable: equal-rank items keep schedule order.
+    }
+}
+
+/// Kahn's algorithm over the chunk dependence graph; chunks left in a
+/// cycle (conservative over-approximation artifacts) share the maximum
+/// rank seen so far.
+pub fn topological_ranks(edges: &[ChunkDep]) -> FxHashMap<usize, usize> {
+    let mut succs: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
+    let mut indeg: FxHashMap<usize, usize> = FxHashMap::default();
+    for &(a, b) in edges {
+        succs.entry(a).or_default().push(b);
+        *indeg.entry(b).or_default() += 1;
+        indeg.entry(a).or_default();
+    }
+    let mut ready: Vec<usize> = indeg
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&n, _)| n)
+        .collect();
+    ready.sort_unstable();
+    let mut rank: FxHashMap<usize, usize> = FxHashMap::default();
+    let mut next_rank = 0usize;
+    let mut frontier = ready;
+    while !frontier.is_empty() {
+        let mut next: Vec<usize> = Vec::new();
+        for &n in &frontier {
+            rank.insert(n, next_rank);
+            if let Some(ss) = succs.get(&n) {
+                for &s in ss {
+                    let d = indeg.get_mut(&s).expect("successor has indegree");
+                    *d -= 1;
+                    if *d == 0 {
+                        next.push(s);
+                    }
+                }
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        next_rank += 1;
+        frontier = next;
+    }
+    // Any node not ranked sits in a cycle: give it the max rank.
+    for &n in indeg.keys() {
+        rank.entry(n).or_insert(next_rank);
+    }
+    rank
+}
+
+/// Removes edges that are part of a cycle in the conservative chunk
+/// graph (both endpoints unranked by a clean topological pass, or an
+/// edge going backward in rank). The remaining forward edges are safe
+/// for [`lower_with_sync`].
+pub fn acyclic_edges(edges: &[ChunkDep]) -> Vec<ChunkDep> {
+    let rank = topological_ranks(edges);
+    edges
+        .iter()
+        .copied()
+        .filter(|&(a, b)| rank.get(&a) < rank.get(&b))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{distribute, ClusterParams, WorkItem};
+    use crate::tags::tag_nest;
+    use cachemap_polyhedral::{
+        AffineExpr, ArrayDecl, ArrayRef, IterationSpace, Loop, LoopNest,
+    };
+    use cachemap_storage::{HierarchyTree, PlatformConfig, Simulator};
+
+    /// for i = 8..63: A[i] = A[i-8] — forward flow dependence crossing
+    /// chunk boundaries (8 elements per chunk).
+    fn recurrence_program() -> (Program, DataSpace) {
+        let a = ArrayDecl::new("A", vec![64], 8);
+        let space = IterationSpace::new(vec![Loop::constant(8, 63)]);
+        let refs = vec![
+            ArrayRef::read(0, vec![AffineExpr::var_plus(0, -8)]),
+            ArrayRef::write(0, vec![AffineExpr::var(0)]),
+        ];
+        let nest = LoopNest::new("rec", space, refs);
+        let program = Program::new("rec", vec![a], vec![nest]);
+        let data = DataSpace::new(&program.arrays, 64); // 8 elems/chunk
+        (program, data)
+    }
+
+    #[test]
+    fn chunk_edges_follow_the_recurrence() {
+        let (program, data) = recurrence_program();
+        let tagged = tag_nest(&program, 0, &data);
+        let edges = chunk_dependence_edges(&program, 0, &data, &tagged);
+        assert!(!edges.is_empty());
+        // All edges go forward in chunk index (forward-only recurrence).
+        for &(s, d) in &edges {
+            assert!(s < d, "edge ({s},{d}) must be forward");
+        }
+    }
+
+    #[test]
+    fn co_cluster_merges_connected_components() {
+        let (program, data) = recurrence_program();
+        let tagged = tag_nest(&program, 0, &data);
+        let edges = chunk_dependence_edges(&program, 0, &data, &tagged);
+        let merged = co_cluster(&tagged.chunks, &edges);
+        // The chain i → i-8 connects everything into one component.
+        assert_eq!(merged.len(), 1);
+        assert_eq!(
+            merged[0].points.len() as u64,
+            program.nests[0].num_iterations()
+        );
+        // Points stay sorted lexicographically.
+        for w in merged[0].points.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn co_cluster_keeps_independent_chunks_separate() {
+        let mk = |tag: &str| IterationChunk {
+            nest: 0,
+            tag: cachemap_util::BitSet::from_tag_str(tag),
+            points: vec![vec![0]],
+        };
+        let chunks = vec![mk("10"), mk("01"), mk("11")];
+        let merged = co_cluster(&chunks, &[(0, 2)]);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn sync_program_runs_without_deadlock_and_orders_clients() {
+        let (program, data) = recurrence_program();
+        let tagged = tag_nest(&program, 0, &data);
+        let edges = chunk_dependence_edges(&program, 0, &data, &tagged);
+        let cfg = PlatformConfig::tiny();
+        let tree = HierarchyTree::from_config(&cfg);
+        let mut dist = distribute(&tagged.chunks, &tree, &ClusterParams::default());
+        enforce_intra_client_order(&mut dist, &edges);
+        let mp = lower_with_sync(&dist, &tagged.chunks, &program, &data, &edges);
+        // Must contain some synchronization if chunks crossed clients.
+        let has_sync = mp
+            .per_client
+            .iter()
+            .flatten()
+            .any(|op| matches!(op, ClientOp::Signal { .. }));
+        assert!(has_sync, "cross-client dependences must synchronize");
+        // And it must simulate to completion (engine would panic on
+        // deadlock).
+        let sim = Simulator::new(cfg);
+        let rep = sim.run(&mp);
+        assert!(rep.exec_time_ns > 0);
+    }
+
+    #[test]
+    fn enforce_order_moves_sources_first() {
+        let mk = |tag: &str, n: usize| IterationChunk {
+            nest: 0,
+            tag: cachemap_util::BitSet::from_tag_str(tag),
+            points: (0..n).map(|i| vec![i as i64]).collect(),
+        };
+        let chunks = vec![mk("10", 2), mk("01", 2)];
+        let mut dist = Distribution {
+            per_client: vec![vec![WorkItem::whole(1, 2), WorkItem::whole(0, 2)]],
+        };
+        // Chunk 0 must precede chunk 1.
+        enforce_intra_client_order(&mut dist, &[(0, 1)]);
+        let order: Vec<usize> = dist.per_client[0].iter().map(|i| i.chunk).collect();
+        assert_eq!(order, vec![0, 1]);
+        let _ = chunks;
+    }
+
+    #[test]
+    fn no_edges_no_sync_ops() {
+        let (program, data) = recurrence_program();
+        let tagged = tag_nest(&program, 0, &data);
+        let cfg = PlatformConfig::tiny();
+        let tree = HierarchyTree::from_config(&cfg);
+        let dist = distribute(&tagged.chunks, &tree, &ClusterParams::default());
+        let mp = lower_with_sync(&dist, &tagged.chunks, &program, &data, &[]);
+        assert!(mp
+            .per_client
+            .iter()
+            .flatten()
+            .all(|op| !matches!(op, ClientOp::Signal { .. } | ClientOp::Wait { .. })));
+    }
+}

@@ -1,0 +1,133 @@
+//! The iteration-chunk similarity graph (Section 4.3, *Initialization*).
+//!
+//! Nodes are iteration chunks; the weight of edge `(γΛi, γΛj)` is
+//! `ω = popcount(Λi ∧ Λj)` — the number of data chunks the two iteration
+//! chunks share. A zero weight (zero common bits) means the two chunks
+//! share no data and should *not* be mapped to clients with affinity at
+//! any storage cache; a large weight means mapping them to
+//! cache-sharing clients converts reuse into locality.
+
+use crate::tags::IterationChunk;
+use serde::{Deserialize, Serialize};
+
+/// Dense symmetric similarity graph over iteration chunks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimilarityGraph {
+    n: usize,
+    /// Row-major `n × n` weight matrix; diagonal holds the tag popcount.
+    weights: Vec<u32>,
+}
+
+impl SimilarityGraph {
+    /// Builds the graph from the chunks' tags. `O(n² · r/64)`.
+    pub fn build(chunks: &[IterationChunk]) -> Self {
+        let n = chunks.len();
+        let mut weights = vec![0u32; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let w = chunks[i].tag.and_count(&chunks[j].tag);
+                weights[i * n + j] = w;
+                weights[j * n + i] = w;
+            }
+        }
+        SimilarityGraph { n, weights }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Edge weight `ω(γΛi, γΛj)`.
+    pub fn weight(&self, i: usize, j: usize) -> u32 {
+        self.weights[i * self.n + j]
+    }
+
+    /// Edges with non-zero weight, as `(i, j, w)` with `i < j`.
+    pub fn edges(&self) -> Vec<(usize, usize, u32)> {
+        let mut out = Vec::new();
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                let w = self.weight(i, j);
+                if w > 0 {
+                    out.push((i, j, w));
+                }
+            }
+        }
+        out
+    }
+
+    /// Edges with weight at least `min_w` (Figure 8 omits weight-1 edges
+    /// for legibility; this supports the same filtering).
+    pub fn edges_at_least(&self, min_w: u32) -> Vec<(usize, usize, u32)> {
+        self.edges()
+            .into_iter()
+            .filter(|&(_, _, w)| w >= min_w)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tags::IterationChunk;
+    use cachemap_util::BitSet;
+
+    fn chunk(tag: &str) -> IterationChunk {
+        IterationChunk {
+            nest: 0,
+            tag: BitSet::from_tag_str(tag),
+            points: vec![vec![0]],
+        }
+    }
+
+    #[test]
+    fn weights_are_common_ones() {
+        let chunks = vec![chunk("1100"), chunk("0110"), chunk("0001")];
+        let g = SimilarityGraph::build(&chunks);
+        assert_eq!(g.weight(0, 1), 1);
+        assert_eq!(g.weight(0, 2), 0);
+        assert_eq!(g.weight(1, 2), 0);
+        assert_eq!(g.weight(1, 0), g.weight(0, 1), "symmetric");
+        assert_eq!(g.weight(0, 0), 2, "diagonal is tag popcount");
+    }
+
+    #[test]
+    fn figure8_graph_weights() {
+        // Rebuild the Figure 8 example graph and check the highlighted
+        // weights: ω(γ1,γ3)=3, ω(γ3,γ5)=3, ω(γ5,γ7)=3, ω(γ1,γ5)=2,
+        // ω(γ3,γ7)=2 (same pattern on the even side).
+        let (program, data) = crate::tags::tests::figure6_program(4);
+        let tagged = crate::tags::tag_nest(&program, 0, &data);
+        let g = SimilarityGraph::build(&tagged.chunks);
+        // Odd family (indices 0,2,4,6 = γ1,γ3,γ5,γ7).
+        assert_eq!(g.weight(0, 2), 3);
+        assert_eq!(g.weight(2, 4), 3);
+        assert_eq!(g.weight(4, 6), 3);
+        assert_eq!(g.weight(0, 4), 2);
+        assert_eq!(g.weight(2, 6), 2);
+        // Even family (indices 1,3,5,7 = γ2,γ4,γ6,γ8).
+        assert_eq!(g.weight(1, 3), 3);
+        assert_eq!(g.weight(3, 5), 3);
+        assert_eq!(g.weight(5, 7), 3);
+        assert_eq!(g.weight(1, 5), 2);
+        assert_eq!(g.weight(3, 7), 2);
+        // Cross-family pairs share only chunk 0 (weight 1) — these are
+        // the edges Figure 8 leaves out for legibility.
+        assert_eq!(g.weight(0, 1), 1);
+        let strong = g.edges_at_least(2);
+        assert_eq!(strong.len(), 10);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = SimilarityGraph::build(&[]);
+        assert!(g.is_empty());
+        assert!(g.edges().is_empty());
+    }
+}

@@ -1,0 +1,238 @@
+//! Pairwise boundary refinement of a distribution (extension).
+//!
+//! The Figure 5 pipeline is greedy and hierarchical: once the descent
+//! has split a cluster, no later stage reconsiders the boundary. This
+//! optional pass — in the spirit of Kernighan-Lin graph-partitioning
+//! refinement, and a natural "future work" step the paper's conclusion
+//! gestures at — revisits each pair of sibling clients under one I/O
+//! cache and swaps mis-assigned iteration chunks:
+//!
+//! an item prefers the sibling when its tag overlaps the sibling's
+//! aggregate tag more than its own cluster's (minus itself). Swapping
+//! two such items (of comparable size, to preserve the load balance)
+//! strictly increases the total intra-client affinity, so the pass
+//! terminates.
+//!
+//! Off by default (`MapperConfig::refine_passes = 0`): the headline
+//! reproduction uses the paper's pipeline only. `repro refine` measures
+//! what the extension buys.
+
+use crate::cluster::{Distribution, WorkItem};
+use crate::tags::IterationChunk;
+use cachemap_storage::topology::HierarchyTree;
+use cachemap_util::CountVec;
+
+/// Runs up to `passes` refinement sweeps over every sibling pair; stops
+/// early when a sweep makes no swap. Returns the number of swaps made.
+pub fn refine(
+    dist: &mut Distribution,
+    chunks: &[IterationChunk],
+    tree: &HierarchyTree,
+    passes: usize,
+) -> usize {
+    if chunks.is_empty() {
+        return 0;
+    }
+    let r = chunks[0].tag.len();
+    let mut total_swaps = 0;
+    for _ in 0..passes {
+        let mut swapped_this_pass = 0;
+        // Sibling pairs under each I/O node.
+        let num_io = (0..tree.num_clients())
+            .map(|c| tree.io_of_client(c))
+            .max()
+            .map_or(0, |m| m + 1);
+        for io in 0..num_io {
+            let group: Vec<usize> = (0..tree.num_clients())
+                .filter(|&c| tree.io_of_client(c) == io)
+                .collect();
+            for ai in 0..group.len() {
+                for bi in (ai + 1)..group.len() {
+                    swapped_this_pass +=
+                        refine_pair(dist, chunks, group[ai], group[bi], r);
+                }
+            }
+        }
+        total_swaps += swapped_this_pass;
+        if swapped_this_pass == 0 {
+            break;
+        }
+    }
+    total_swaps
+}
+
+/// One greedy sweep over the (a, b) boundary. Returns swaps made.
+fn refine_pair(
+    dist: &mut Distribution,
+    chunks: &[IterationChunk],
+    a: usize,
+    b: usize,
+    r: usize,
+) -> usize {
+    let mut tag_a = aggregate_tag(&dist.per_client[a], chunks, r);
+    let mut tag_b = aggregate_tag(&dist.per_client[b], chunks, r);
+    let mut swaps = 0;
+
+    loop {
+        // Joint KL gain of swapping item i (from a) with item j (from b):
+        //   gain_a(i) + gain_b(j) − 2·ω(i, j)
+        // where gain_x(k) = external − internal affinity of item k, and
+        // the cross term corrects for i and j sharing data with *each
+        // other* (they end up on opposite sides either way).
+        let gain_of = |it: &WorkItem, own: &CountVec, other: &CountVec| {
+            let t = &chunks[it.chunk].tag;
+            let internal = own.dot_bitset(t) as i64 - t.count_ones() as i64;
+            let external = other.dot_bitset(t) as i64;
+            external - internal
+        };
+
+        let mut best: Option<(usize, usize, i64)> = None;
+        for (i, ita) in dist.per_client[a].iter().enumerate() {
+            let ga = gain_of(ita, &tag_a, &tag_b);
+            for (j, itb) in dist.per_client[b].iter().enumerate() {
+                // Keep the load balance: sizes must be comparable.
+                let (sa, sb) = (ita.len() as i64, itb.len() as i64);
+                if (sa - sb).abs() > sa.max(sb) / 2 {
+                    continue;
+                }
+                let gb = gain_of(itb, &tag_b, &tag_a);
+                let cross =
+                    chunks[ita.chunk].tag.and_count(&chunks[itb.chunk].tag) as i64;
+                let joint = ga + gb - 2 * cross;
+                match best {
+                    Some((_, _, g)) if g >= joint => {}
+                    _ => best = Some((i, j, joint)),
+                }
+            }
+        }
+        let Some((ia, ib, joint)) = best else { break };
+        if joint <= 0 {
+            break;
+        }
+
+        let item_a = dist.per_client[a].remove(ia);
+        let item_b = dist.per_client[b].remove(ib);
+        tag_a.sub_bitset(&chunks[item_a.chunk].tag);
+        tag_a.add_bitset(&chunks[item_b.chunk].tag);
+        tag_b.sub_bitset(&chunks[item_b.chunk].tag);
+        tag_b.add_bitset(&chunks[item_a.chunk].tag);
+        dist.per_client[a].push(item_b);
+        dist.per_client[b].push(item_a);
+        swaps += 1;
+
+        // Safety valve: a pathological oscillation cannot occur (each
+        // swap strictly increases total affinity), but bound the loop
+        // against arithmetic surprises anyway.
+        if swaps > dist.per_client[a].len() + dist.per_client[b].len() {
+            break;
+        }
+    }
+    swaps
+}
+
+fn aggregate_tag(items: &[WorkItem], chunks: &[IterationChunk], r: usize) -> CountVec {
+    let mut cv = CountVec::new(r);
+    for it in items {
+        cv.add_bitset(&chunks[it.chunk].tag);
+    }
+    cv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachemap_storage::PlatformConfig;
+    use cachemap_util::BitSet;
+
+    fn mk(tag: &str, iters: usize) -> IterationChunk {
+        IterationChunk {
+            nest: 0,
+            tag: BitSet::from_tag_str(tag),
+            points: (0..iters).map(|i| vec![i as i64]).collect(),
+        }
+    }
+
+    fn tiny_tree() -> HierarchyTree {
+        HierarchyTree::from_config(&PlatformConfig::tiny())
+    }
+
+    #[test]
+    fn fixes_a_deliberately_crossed_assignment() {
+        // Two tag families; one member of each family starts on the
+        // wrong sibling. Refinement must swap them back.
+        let chunks = vec![
+            mk("11100000", 4), // family A
+            mk("11010000", 4), // family A
+            mk("00001110", 4), // family B
+            mk("00001101", 4), // family B
+        ];
+        let mut dist = Distribution {
+            per_client: vec![
+                vec![WorkItem::whole(0, 4), WorkItem::whole(2, 4)], // mixed!
+                vec![WorkItem::whole(1, 4), WorkItem::whole(3, 4)], // mixed!
+                vec![],
+                vec![],
+            ],
+        };
+        let swaps = refine(&mut dist, &chunks, &tiny_tree(), 4);
+        assert!(swaps >= 1, "refinement must find the crossed pair");
+        let sets: Vec<std::collections::BTreeSet<usize>> = dist
+            .per_client
+            .iter()
+            .map(|v| v.iter().map(|i| i.chunk).collect())
+            .collect();
+        assert!(
+            sets.contains(&[0usize, 1].into_iter().collect())
+                && sets.contains(&[2usize, 3].into_iter().collect()),
+            "families must be reunited: {sets:?}"
+        );
+    }
+
+    #[test]
+    fn leaves_a_good_assignment_alone() {
+        let chunks = vec![
+            mk("1100", 4),
+            mk("1010", 4),
+            mk("0011", 4),
+            mk("0101", 4),
+        ];
+        let mut dist = Distribution {
+            per_client: vec![
+                vec![WorkItem::whole(0, 4), WorkItem::whole(1, 4)],
+                vec![WorkItem::whole(2, 4), WorkItem::whole(3, 4)],
+                vec![],
+                vec![],
+            ],
+        };
+        let before = dist.clone();
+        let swaps = refine(&mut dist, &chunks, &tiny_tree(), 4);
+        assert_eq!(swaps, 0);
+        assert_eq!(dist, before);
+    }
+
+    #[test]
+    fn preserves_the_partition_and_balance() {
+        let chunks: Vec<IterationChunk> = (0..12)
+            .map(|k| mk(&format!("{:012b}", 1u32 << (k % 12)), 3))
+            .collect();
+        let mut dist = Distribution {
+            per_client: (0..4)
+                .map(|c| (0..3).map(|j| WorkItem::whole(3 * c + j, 3)).collect())
+                .collect(),
+        };
+        let total_before = dist.total_iterations();
+        let per_before = dist.iterations_per_client();
+        refine(&mut dist, &chunks, &tiny_tree(), 3);
+        assert_eq!(dist.total_iterations(), total_before);
+        // Equal-size swaps keep per-client loads identical here.
+        assert_eq!(dist.iterations_per_client(), per_before);
+    }
+
+    #[test]
+    fn empty_inputs_are_noops() {
+        let mut dist = Distribution {
+            per_client: vec![vec![]; 4],
+        };
+        assert_eq!(refine(&mut dist, &[], &tiny_tree(), 5), 0);
+    }
+}

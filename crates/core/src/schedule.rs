@@ -1,0 +1,318 @@
+//! Cache-hierarchy-conscious iteration chunk scheduling (Figure 15).
+//!
+//! The distribution algorithm decides *which* chunks a client executes
+//! but not in what order. This enhancement (Section 5.4) reorders each
+//! client's chunks to exploit chunk-level data reuse in two dimensions:
+//!
+//! * **vertical** — consecutive chunks on the *same* client should reuse
+//!   each other's data (own L1 locality), weighted by `β`;
+//! * **horizontal** — chunks scheduled in the same round on *adjacent*
+//!   clients of one I/O-cache group should reuse each other's data
+//!   (shared L2 locality), weighted by `α`.
+//!
+//! Scheduling proceeds round-robin over the clients of each I/O-node
+//! group: the first client's first pick is the chunk touching the fewest
+//! data chunks; an empty-schedule client picks the chunk maximizing
+//! `α·(Λa • Λx)` against the last chunk of its left neighbor; afterwards
+//! each visit picks chunks maximizing `α·(Λa • Λx) + β·(Λa • Λy)` (left
+//! neighbor and own last), scheduling until the client's iteration count
+//! catches up with its predecessor's — the circular iteration-count
+//! balancing the paper describes.
+
+use crate::cluster::{Distribution, WorkItem};
+use crate::tags::IterationChunk;
+use cachemap_storage::topology::HierarchyTree;
+use serde::{Deserialize, Serialize};
+
+/// How chunk-to-chunk reuse affinity is measured when scheduling.
+///
+/// The paper's prose first motivates **Hamming distance** ("scheduling
+/// the iteration chunks such that the tags … have the least possible
+/// Hamming Distance") while the Figure 15 algorithm box maximizes **dot
+/// products**; both are provided, with the algorithm box's choice as the
+/// default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReuseMetric {
+    /// Maximize `Λa • Λx` (Figure 15). The default.
+    DotProduct,
+    /// Minimize the Hamming distance between tags (§5.4 prose).
+    HammingDistance,
+}
+
+/// Scheduling weights (the paper's α and β; both 0.5 in its experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleParams {
+    /// Weight of the horizontal (shared I/O cache) reuse term.
+    pub alpha: f64,
+    /// Weight of the vertical (own cache) reuse term.
+    pub beta: f64,
+    /// Affinity measure between tags.
+    pub metric: ReuseMetric,
+}
+
+impl Default for ScheduleParams {
+    fn default() -> Self {
+        ScheduleParams {
+            alpha: 0.5,
+            beta: 0.5,
+            metric: ReuseMetric::DotProduct,
+        }
+    }
+}
+
+/// Reorders every client's items per Figure 15 and returns the new
+/// distribution (same items per client, scheduled order).
+pub fn schedule(
+    dist: &Distribution,
+    chunks: &[IterationChunk],
+    tree: &HierarchyTree,
+    params: &ScheduleParams,
+) -> Distribution {
+    let mut out: Vec<Vec<WorkItem>> = vec![Vec::new(); dist.per_client.len()];
+
+    // One group per I/O node ("the algorithm starts out by considering
+    // each level in the storage cache hierarchy individually; an
+    // iteration chunk schedule is computed for each client node
+    // considering the I/O nodes").
+    let num_io = {
+        // Number of distinct I/O nodes = highest io index + 1.
+        (0..tree.num_clients())
+            .map(|c| tree.io_of_client(c))
+            .max()
+            .map_or(0, |m| m + 1)
+    };
+    for io in 0..num_io {
+        let group: Vec<usize> = (0..tree.num_clients())
+            .filter(|&c| tree.io_of_client(c) == io)
+            .collect();
+        schedule_group(&group, dist, chunks, params, &mut out);
+    }
+    Distribution { per_client: out }
+}
+
+/// Schedules the clients of one I/O-cache group.
+fn schedule_group(
+    group: &[usize],
+    dist: &Distribution,
+    chunks: &[IterationChunk],
+    params: &ScheduleParams,
+    out: &mut [Vec<WorkItem>],
+) {
+    let n = group.len();
+    let mut remaining: Vec<Vec<WorkItem>> =
+        group.iter().map(|&c| dist.per_client[c].clone()).collect();
+    let mut counts: Vec<u64> = vec![0; n];
+
+    let tag_of = |item: &WorkItem| &chunks[item.chunk].tag;
+    // Affinity score — higher is always better: dot product directly,
+    // Hamming distance negated.
+    let dot = |a: &WorkItem, b: &WorkItem| match params.metric {
+        ReuseMetric::DotProduct => tag_of(a).and_count(tag_of(b)) as f64,
+        ReuseMetric::HammingDistance => -(tag_of(a).hamming(tag_of(b)) as f64),
+    };
+
+    while remaining.iter().any(|r| !r.is_empty()) {
+        for pos in 0..n {
+            if remaining[pos].is_empty() {
+                continue;
+            }
+            let client = group[pos];
+            let left_pos = (pos + n - 1) % n;
+            let left_client = group[left_pos];
+            // Target for circular iteration-count balancing: the
+            // predecessor in group order (the last client for position 0).
+            let target = counts[left_pos];
+
+            let mut scheduled_this_visit = 0usize;
+            loop {
+                if remaining[pos].is_empty() {
+                    break;
+                }
+                // Pick the next item per the Figure 15 case analysis.
+                let own_last = out[client].last().copied();
+                let left_last = out[left_client].last().copied();
+                let pick = match (own_last, left_last) {
+                    (None, None) => {
+                        // First client, first chunk: least number of "1"
+                        // bits (fewest data chunks touched).
+                        argmin_by(&remaining[pos], |it| {
+                            tag_of(it).count_ones() as u64
+                        })
+                    }
+                    (None, Some(lx)) => {
+                        // Empty own schedule: follow the left neighbor.
+                        argmax_by_f64(&remaining[pos], |it| params.alpha * dot(it, &lx))
+                    }
+                    (Some(ly), None) => {
+                        argmax_by_f64(&remaining[pos], |it| params.beta * dot(it, &ly))
+                    }
+                    (Some(ly), Some(lx)) => argmax_by_f64(&remaining[pos], |it| {
+                        params.alpha * dot(it, &lx) + params.beta * dot(it, &ly)
+                    }),
+                };
+                let item = remaining[pos].remove(pick);
+                counts[pos] += item.len() as u64;
+                out[client].push(item);
+                scheduled_this_visit += 1;
+
+                // Keep scheduling while behind the predecessor; the
+                // at-least-one-per-visit rule (already satisfied here)
+                // guarantees every round makes progress.
+                if counts[pos] >= target {
+                    break;
+                }
+            }
+            debug_assert!(scheduled_this_visit >= 1);
+        }
+    }
+}
+
+/// Index of the item minimizing `key` (ties → lowest chunk index, then
+/// lowest position).
+fn argmin_by(items: &[WorkItem], key: impl Fn(&WorkItem) -> u64) -> usize {
+    items
+        .iter()
+        .enumerate()
+        .min_by_key(|(i, it)| (key(it), it.chunk, *i))
+        .map(|(i, _)| i)
+        .expect("non-empty item list")
+}
+
+/// Index of the item maximizing `key` (ties → lowest chunk index, then
+/// lowest position). Uses total ordering on finite f64 keys.
+fn argmax_by_f64(items: &[WorkItem], key: impl Fn(&WorkItem) -> f64) -> usize {
+    let mut best = 0usize;
+    let mut best_key = f64::NEG_INFINITY;
+    for (i, it) in items.iter().enumerate() {
+        let k = key(it);
+        if k > best_key
+            || (k == best_key && (it.chunk, i) < (items[best].chunk, best))
+        {
+            best = i;
+            best_key = k;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{distribute, ClusterParams};
+    use crate::tags::tag_nest;
+    use cachemap_storage::PlatformConfig;
+
+    fn figure_example() -> (Vec<IterationChunk>, HierarchyTree, Distribution) {
+        let (program, data) = crate::tags::tests::figure6_program(4);
+        let tagged = tag_nest(&program, 0, &data);
+        let tree = HierarchyTree::from_config(&PlatformConfig::tiny());
+        let dist = distribute(&tagged.chunks, &tree, &ClusterParams::default());
+        (tagged.chunks, tree, dist)
+    }
+
+    #[test]
+    fn figure17_schedule_reproduced() {
+        // Final schedule of Figure 17: each client executes its family
+        // pair in ascending order — {γ2,γ4} as (γ2, γ4), {γ6,γ8} as
+        // (γ6, γ8), {γ1,γ3} as (γ1, γ3), {γ5,γ7} as (γ5, γ7).
+        let (chunks, tree, dist) = figure_example();
+        let sched = schedule(&dist, &chunks, &tree, &ScheduleParams::default());
+        let orders: Vec<Vec<usize>> = sched
+            .per_client
+            .iter()
+            .map(|items| items.iter().map(|i| i.chunk).collect())
+            .collect();
+        // Chunk indices: γk has index k-1. Figure 17 orders each family
+        // pair ascending: (γ2,γ4), (γ6,γ8), (γ1,γ3), (γ5,γ7).
+        let expected_orders = [vec![1, 3], vec![5, 7], vec![0, 2], vec![4, 6]];
+        for want in &expected_orders {
+            assert!(
+                orders.contains(want),
+                "expected order {want:?} not among {orders:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_preserves_items() {
+        let (chunks, tree, dist) = figure_example();
+        let sched = schedule(&dist, &chunks, &tree, &ScheduleParams::default());
+        for c in 0..4 {
+            let mut a: Vec<WorkItem> = dist.per_client[c].clone();
+            let mut b: Vec<WorkItem> = sched.per_client[c].clone();
+            a.sort_by_key(|i| (i.chunk, i.start));
+            b.sort_by_key(|i| (i.chunk, i.start));
+            assert_eq!(a, b, "client {c} must keep exactly its items");
+        }
+        assert_eq!(sched.total_iterations(), dist.total_iterations());
+    }
+
+    #[test]
+    fn first_pick_is_least_populated_tag() {
+        let (chunks, tree, dist) = figure_example();
+        let sched = schedule(&dist, &chunks, &tree, &ScheduleParams::default());
+        // Whichever client holds {γ1, γ3} must start with γ1 (popcount 3
+        // beats γ3's 4) — it is the first client of its group in every
+        // symmetric assignment.
+        let holder = sched
+            .per_client
+            .iter()
+            .find(|items| items.iter().any(|i| i.chunk == 0))
+            .expect("some client holds γ1");
+        assert_eq!(holder[0].chunk, 0, "γ1 must be scheduled first");
+    }
+
+    #[test]
+    fn alpha_beta_extremes_still_schedule_everything() {
+        let (chunks, tree, dist) = figure_example();
+        for (alpha, beta) in [(1.0, 0.0), (0.0, 1.0), (0.0, 0.0)] {
+            let sched = schedule(&dist, &chunks, &tree, &ScheduleParams { alpha, beta, ..Default::default() });
+            assert_eq!(sched.total_iterations(), 32, "α={alpha} β={beta}");
+        }
+    }
+
+    #[test]
+    fn handles_unequal_client_loads() {
+        // Client with many items vs client with one: circular balancing
+        // must still drain everything.
+        let mk = |tag: &str, n: usize| IterationChunk {
+            nest: 0,
+            tag: cachemap_util::BitSet::from_tag_str(tag),
+            points: (0..n).map(|i| vec![i as i64]).collect(),
+        };
+        let chunks = vec![
+            mk("1100", 4),
+            mk("0110", 4),
+            mk("0011", 4),
+            mk("1000", 50),
+        ];
+        let tree = HierarchyTree::from_config(&PlatformConfig::tiny());
+        let dist = Distribution {
+            per_client: vec![
+                vec![
+                    WorkItem::whole(0, 4),
+                    WorkItem::whole(1, 4),
+                    WorkItem::whole(2, 4),
+                ],
+                vec![WorkItem::whole(3, 50)],
+                vec![],
+                vec![],
+            ],
+        };
+        let sched = schedule(&dist, &chunks, &tree, &ScheduleParams::default());
+        assert_eq!(sched.total_iterations(), 62);
+        assert_eq!(sched.per_client[0].len(), 3);
+        assert_eq!(sched.per_client[1].len(), 1);
+        assert!(sched.per_client[2].is_empty());
+    }
+
+    #[test]
+    fn empty_distribution_schedules_empty() {
+        let tree = HierarchyTree::from_config(&PlatformConfig::tiny());
+        let dist = Distribution {
+            per_client: vec![vec![]; 4],
+        };
+        let sched = schedule(&dist, &[], &tree, &ScheduleParams::default());
+        assert!(sched.per_client.iter().all(Vec::is_empty));
+    }
+}

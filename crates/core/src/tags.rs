@@ -1,0 +1,247 @@
+//! Iteration tags and iteration chunks (Section 4.2).
+//!
+//! Every iteration `σ` gets an r-bit tag `Λ = λ0…λ(r-1)` with `λk = 1`
+//! iff `σ` accesses data chunk `π_k` through any reference in the loop
+//! body. An **iteration chunk** `γΛ` is the set of iterations sharing a
+//! tag: all of them have the same chunk-level data access pattern, so
+//! they are executed back-to-back when scheduled (exploiting reuse), and
+//! their tags measure similarity between chunks of work.
+
+use cachemap_polyhedral::{DataSpace, LoopNest, Point, Program};
+use cachemap_util::{BitSet, FxHashMap};
+use serde::{Deserialize, Serialize};
+
+/// A set of iterations with identical data-chunk access tags.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IterationChunk {
+    /// Index of the loop nest (within its program) these iterations come
+    /// from — needed to evaluate the right references at codegen time.
+    pub nest: usize,
+    /// The r-bit tag `Λ`.
+    pub tag: BitSet,
+    /// Member iterations in lexicographic order.
+    pub points: Vec<Point>,
+}
+
+impl IterationChunk {
+    /// Size `S(γΛ)` — the number of member iterations.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the chunk has no iterations (never produced by tagging).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// The result of tagging one loop nest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaggedNest {
+    /// Iteration chunks in order of first appearance.
+    pub chunks: Vec<IterationChunk>,
+    /// For the `i`-th iteration in lexicographic order, the index of its
+    /// chunk in `chunks` (used by the dependence machinery to translate
+    /// iteration-level dependences to chunk level).
+    pub iter_chunk_of: Vec<u32>,
+}
+
+impl TaggedNest {
+    /// Total iterations across all chunks.
+    pub fn total_iterations(&self) -> u64 {
+        self.chunks.iter().map(|c| c.len() as u64).sum()
+    }
+}
+
+/// Computes the tag of a single iteration of a nest.
+pub fn tag_of_iteration(
+    nest: &LoopNest,
+    nest_arrays: &[cachemap_polyhedral::ArrayDecl],
+    data: &DataSpace,
+    point: &Point,
+) -> BitSet {
+    let mut tag = BitSet::new(data.num_chunks());
+    for r in &nest.refs {
+        let lin = r.eval_linear(point, &nest_arrays[r.array]);
+        tag.set(data.chunk_of(r.array, lin));
+    }
+    tag
+}
+
+/// Tags every iteration of nest `nest_idx` of `program` and groups them
+/// into iteration chunks (equal-tag classes, first-appearance order).
+pub fn tag_nest(program: &Program, nest_idx: usize, data: &DataSpace) -> TaggedNest {
+    let nest = &program.nests[nest_idx];
+    let mut index: FxHashMap<BitSet, u32> = FxHashMap::default();
+    let mut chunks: Vec<IterationChunk> = Vec::new();
+    let mut iter_chunk_of: Vec<u32> =
+        Vec::with_capacity(nest.space.size().min(1 << 24) as usize);
+
+    for point in nest.space.iter() {
+        let tag = tag_of_iteration(nest, &program.arrays, data, &point);
+        let idx = *index.entry(tag.clone()).or_insert_with(|| {
+            chunks.push(IterationChunk {
+                nest: nest_idx,
+                tag,
+                points: Vec::new(),
+            });
+            (chunks.len() - 1) as u32
+        });
+        chunks[idx as usize].points.push(point);
+        iter_chunk_of.push(idx);
+    }
+
+    TaggedNest {
+        chunks,
+        iter_chunk_of,
+    }
+}
+
+/// Tags several nests of a program against one shared data space and
+/// concatenates their chunk lists (the multi-nest extension of §5.4:
+/// "we simply form G to contain iterations of both the nests").
+///
+/// Returns the combined chunk list plus, per nest, the range of chunk
+/// indices belonging to it.
+pub fn tag_nests(
+    program: &Program,
+    nest_indices: &[usize],
+    data: &DataSpace,
+) -> (Vec<IterationChunk>, Vec<std::ops::Range<usize>>) {
+    let mut chunks = Vec::new();
+    let mut ranges = Vec::with_capacity(nest_indices.len());
+    for &ni in nest_indices {
+        let tagged = tag_nest(program, ni, data);
+        let start = chunks.len();
+        chunks.extend(tagged.chunks);
+        ranges.push(start..chunks.len());
+    }
+    (chunks, ranges)
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use cachemap_polyhedral::{
+        AccessKind, AffineExpr, ArrayDecl, ArrayRef, IterationSpace, Loop,
+    };
+
+    /// The paper's running example (Figure 6): a 1-D array of `m`
+    /// elements split into 12 chunks of size `d`; each iteration `i`
+    /// accesses `A[i]`, `A[i%d]`, `A[i+4d]`, `A[i+2d]`.
+    ///
+    /// The `i%d` reference is quasi-affine and expressed exactly with a
+    /// modular subscript; since `0 ≤ i%d < d`, it always lands in chunk
+    /// π0, producing precisely the Figure 8 tags.
+    pub(crate) fn figure6_program(d: i64) -> (Program, DataSpace) {
+        let m = 12 * d;
+        let elem = 8u64;
+        let a = ArrayDecl::new("A", vec![m], elem);
+        // for i = 0 to m - 4d - 1
+        let space = IterationSpace::new(vec![Loop::constant(0, m - 4 * d - 1)]);
+        let refs = vec![
+            ArrayRef::write(0, vec![AffineExpr::var(0)]), // A[i] =
+            ArrayRef::read(0, vec![AffineExpr::var(0).with_mod(d)]), // A[i % d]
+            ArrayRef::read(0, vec![AffineExpr::var_plus(0, 4 * d)]), // A[i+4d]
+            ArrayRef::read(0, vec![AffineExpr::var_plus(0, 2 * d)]), // A[i+2d]
+        ];
+        let nest = cachemap_polyhedral::LoopNest::new("fig6", space, refs);
+        let program = Program::new("fig6", vec![a], vec![nest]);
+        let chunk_bytes = d as u64 * elem; // chunk size d elements
+        let data = DataSpace::new(&program.arrays, chunk_bytes);
+        (program, data)
+    }
+
+    #[test]
+    fn figure8_tags_reproduced() {
+        // With d = 4 (12 chunks), the paper's Figure 8 lists 8 iteration
+        // chunks with these tags.
+        let (program, data) = figure6_program(4);
+        assert_eq!(data.num_chunks(), 12);
+        let tagged = tag_nest(&program, 0, &data);
+        let expected = [
+            "101010000000", // γ1: i = 0..d-1
+            "110101000000", // γ2: i = d..2d-1
+            "101010100000", // γ3: i = 2d..3d-1
+            "100101010000", // γ4: i = 3d..4d-1
+            "100010101000", // γ5
+            "100001010100", // γ6
+            "100000101010", // γ7
+            "100000010101", // γ8
+        ];
+        assert_eq!(tagged.chunks.len(), 8);
+        for (k, want) in expected.iter().enumerate() {
+            assert_eq!(
+                tagged.chunks[k].tag.to_tag_string(),
+                *want,
+                "iteration chunk γ{}",
+                k + 1
+            );
+            assert_eq!(tagged.chunks[k].len(), 4, "each chunk spans d iterations");
+        }
+    }
+
+    #[test]
+    fn chunks_partition_the_iteration_space() {
+        let (program, data) = figure6_program(4);
+        let tagged = tag_nest(&program, 0, &data);
+        let total: usize = tagged.chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(total as u64, program.nests[0].num_iterations());
+        assert_eq!(tagged.iter_chunk_of.len(), total);
+        // Each iteration mapped to the chunk that contains it.
+        for (idx, point) in program.nests[0].space.iter().enumerate() {
+            let c = tagged.iter_chunk_of[idx] as usize;
+            assert!(tagged.chunks[c].points.contains(&point));
+        }
+    }
+
+    #[test]
+    fn tag_reflects_all_references() {
+        let (program, data) = figure6_program(4);
+        let nest = &program.nests[0];
+        // Iteration 0 touches chunks {0 (A[0], A[i%d]), 2 (A[8]), 4 (A[16])}.
+        let tag = tag_of_iteration(nest, &program.arrays, &data, &vec![0]);
+        let ones: Vec<usize> = tag.iter_ones().collect();
+        assert_eq!(ones, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn iterations_within_chunk_are_lexicographic() {
+        let (program, data) = figure6_program(4);
+        let tagged = tag_nest(&program, 0, &data);
+        for c in &tagged.chunks {
+            for w in c.points.windows(2) {
+                assert!(w[0] < w[1], "points must stay in lexicographic order");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_nest_tagging_concatenates() {
+        let (mut program, data) = figure6_program(4);
+        let second = program.nests[0].clone();
+        program.nests.push(second);
+        let (chunks, ranges) = tag_nests(&program, &[0, 1], &data);
+        assert_eq!(chunks.len(), 16);
+        assert_eq!(ranges, vec![0..8, 8..16]);
+        assert!(chunks[..8].iter().all(|c| c.nest == 0));
+        assert!(chunks[8..].iter().all(|c| c.nest == 1));
+    }
+
+    #[test]
+    fn two_d_nest_tags_group_rows() {
+        // A[8][8] with 64-byte chunks of 8 elements: each row is one
+        // chunk, so each row of iterations forms one iteration chunk.
+        let a = ArrayDecl::new("A", vec![8, 8], 8);
+        let space = IterationSpace::rectangular(&[8, 8]);
+        let r = ArrayRef::read(0, vec![AffineExpr::var(0), AffineExpr::var(1)]);
+        assert_eq!(r.kind, AccessKind::Read);
+        let nest = cachemap_polyhedral::LoopNest::new("rows", space, vec![r]);
+        let program = Program::new("p", vec![a], vec![nest]);
+        let data = DataSpace::new(&program.arrays, 64);
+        let tagged = tag_nest(&program, 0, &data);
+        assert_eq!(tagged.chunks.len(), 8);
+        assert!(tagged.chunks.iter().all(|c| c.len() == 8));
+        assert!(tagged.chunks.iter().all(|c| c.tag.count_ones() == 1));
+    }
+}

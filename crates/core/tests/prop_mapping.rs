@@ -1,0 +1,150 @@
+//! Property tests for the mapping algorithms: tagging partitions, the
+//! clustering invariants of Figure 5, and the scheduling invariants of
+//! Figure 15.
+
+use cachemap_core::cluster::{distribute, ClusterParams, Linkage};
+use cachemap_core::schedule::{schedule, ScheduleParams};
+use cachemap_core::tags::{tag_nest, IterationChunk};
+use cachemap_polyhedral::{
+    AffineExpr, ArrayDecl, ArrayRef, DataSpace, IterationSpace, LoopNest, Program,
+};
+use cachemap_storage::{HierarchyTree, PlatformConfig};
+use cachemap_util::BitSet;
+use proptest::prelude::*;
+
+/// Random small single-nest program with chunk-crossing strides.
+fn arb_program() -> impl Strategy<Value = (Program, DataSpace)> {
+    (2i64..14, 1i64..5, 0i64..3, 1u64..4).prop_map(|(n, stride, off, chunk_elems)| {
+        let elems = n * stride + off + stride + 2;
+        let arrays = vec![ArrayDecl::new("A", vec![elems], 8)];
+        let refs = vec![
+            ArrayRef::read(0, vec![AffineExpr::new(vec![stride], off)]),
+            ArrayRef::write(0, vec![AffineExpr::new(vec![stride], off + stride)]),
+        ];
+        let space = IterationSpace::rectangular(&[n]);
+        let nest = LoopNest::new("p", space, refs);
+        let program = Program::new("p", arrays, vec![nest]);
+        let data = DataSpace::new(&program.arrays, chunk_elems * 8);
+        (program, data)
+    })
+}
+
+fn arb_chunks() -> impl Strategy<Value = Vec<IterationChunk>> {
+    proptest::collection::vec(
+        (proptest::collection::vec(0usize..24, 1..5), 1usize..6),
+        1..24,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(k, (bits, iters))| IterationChunk {
+                nest: 0,
+                tag: BitSet::from_bits(24, bits),
+                points: (0..iters).map(|i| vec![(k * 8 + i) as i64]).collect(),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn tags_partition_the_iteration_space((program, data) in arb_program()) {
+        let tagged = tag_nest(&program, 0, &data);
+        prop_assert_eq!(tagged.total_iterations(), program.total_iterations());
+        // Each chunk's members really produce that tag.
+        for chunk in &tagged.chunks {
+            for p in &chunk.points {
+                let tag = cachemap_core::tags::tag_of_iteration(
+                    &program.nests[0], &program.arrays, &data, p);
+                prop_assert_eq!(&tag, &chunk.tag);
+            }
+        }
+        // Distinct chunks have distinct tags.
+        for (i, a) in tagged.chunks.iter().enumerate() {
+            for b in &tagged.chunks[i + 1..] {
+                prop_assert!(a.tag != b.tag);
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_is_exact_partition_for_any_linkage(
+        chunks in arb_chunks(),
+        linkage in prop_oneof![
+            Just(Linkage::Total), Just(Linkage::Average), Just(Linkage::Sqrt)],
+        bthres in 0.0f64..0.5,
+    ) {
+        let tree = HierarchyTree::from_config(&PlatformConfig::tiny());
+        let params = ClusterParams { balance_threshold: bthres, linkage };
+        let dist = distribute(&chunks, &tree, &params);
+        let total: u64 = chunks.iter().map(|c| c.len() as u64).sum();
+        prop_assert_eq!(dist.total_iterations(), total);
+        // No duplicated iteration.
+        let mut seen = std::collections::HashSet::new();
+        for items in &dist.per_client {
+            for it in items {
+                for k in it.start..it.end {
+                    prop_assert!(seen.insert((it.chunk, k)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_is_a_permutation_of_the_distribution(chunks in arb_chunks()) {
+        let tree = HierarchyTree::from_config(&PlatformConfig::tiny());
+        let dist = distribute(&chunks, &tree, &ClusterParams::default());
+        let sched = schedule(&dist, &chunks, &tree, &ScheduleParams::default());
+        prop_assert_eq!(sched.total_iterations(), dist.total_iterations());
+        for c in 0..4 {
+            let mut a = dist.per_client[c].clone();
+            let mut b = sched.per_client[c].clone();
+            a.sort_by_key(|i| (i.chunk, i.start));
+            b.sort_by_key(|i| (i.chunk, i.start));
+            prop_assert_eq!(a, b, "client {} items changed", c);
+        }
+    }
+
+    #[test]
+    fn deeper_trees_distribute_over_all_clients(
+        chunks in arb_chunks(),
+    ) {
+        // A bigger tree must still partition exactly, with empty clients
+        // allowed only when there are fewer items than clients.
+        let cfg = PlatformConfig::paper_default().with_topology(16, 8, 4);
+        let tree = HierarchyTree::from_config(&cfg);
+        let dist = distribute(&chunks, &tree, &ClusterParams::default());
+        let total: u64 = chunks.iter().map(|c| c.len() as u64).sum();
+        prop_assert_eq!(dist.total_iterations(), total);
+        prop_assert_eq!(dist.per_client.len(), 16);
+    }
+
+    #[test]
+    fn balance_threshold_zero_is_as_tight_as_granularity_allows(
+        iters_per_chunk in 1usize..5,
+        nchunks in 8usize..40,
+    ) {
+        // Uniform chunks: with bthres 0 every client must land within
+        // one chunk of the mean.
+        let chunks: Vec<IterationChunk> = (0..nchunks)
+            .map(|k| IterationChunk {
+                nest: 0,
+                tag: BitSet::from_bits(64, [k % 64, (k * 7) % 64]),
+                points: (0..iters_per_chunk).map(|i| vec![(k * 8 + i) as i64]).collect(),
+            })
+            .collect();
+        let tree = HierarchyTree::from_config(&PlatformConfig::tiny());
+        let params = ClusterParams { balance_threshold: 0.0, linkage: Linkage::Average };
+        let dist = distribute(&chunks, &tree, &params);
+        let per = dist.iterations_per_client();
+        let mean = per.iter().sum::<u64>() as f64 / per.len() as f64;
+        for &p in &per {
+            prop_assert!(
+                (p as f64 - mean).abs() <= iters_per_chunk as f64 + 1.0,
+                "load {} vs mean {} (chunk size {})",
+                p, mean, iters_per_chunk
+            );
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Affine array references `R(i) = Q·i + q̄`.
+//!
+//! Section 2 of the paper represents each array reference in linear
+//! algebraic form: `Q` is the access matrix and `q̄` the offset vector.
+//! Here each row of `Q` together with its offset entry is one
+//! [`AffineExpr`], so the reference for `A[i1+3, i2-1]` is the pair of
+//! expressions `i1 + 3` and `i2 - 1`.
+
+use crate::affine::AffineExpr;
+use crate::array::{ArrayDecl, ArrayId};
+use serde::{Deserialize, Serialize};
+
+/// Whether a reference reads or writes its array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Read access (uses).
+    Read,
+    /// Write access (definitions).
+    Write,
+}
+
+/// One affine array reference within a loop body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrayRef {
+    /// Which array the reference targets.
+    pub array: ArrayId,
+    /// One affine subscript expression per array dimension (row of `Q`
+    /// plus its `q̄` entry).
+    pub subscripts: Vec<AffineExpr>,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+impl ArrayRef {
+    /// Creates a read reference.
+    pub fn read(array: ArrayId, subscripts: Vec<AffineExpr>) -> Self {
+        ArrayRef {
+            array,
+            subscripts,
+            kind: AccessKind::Read,
+        }
+    }
+
+    /// Creates a write reference.
+    pub fn write(array: ArrayId, subscripts: Vec<AffineExpr>) -> Self {
+        ArrayRef {
+            array,
+            subscripts,
+            kind: AccessKind::Write,
+        }
+    }
+
+    /// Evaluates the subscripts at an iteration point, yielding the array
+    /// index touched by this reference at that iteration.
+    pub fn eval(&self, point: &[i64]) -> Vec<i64> {
+        self.subscripts.iter().map(|e| e.eval(point)).collect()
+    }
+
+    /// Evaluates and row-major-linearizes against the array declaration.
+    ///
+    /// # Panics
+    /// Panics if the evaluated index is out of bounds for `decl`.
+    pub fn eval_linear(&self, point: &[i64], decl: &ArrayDecl) -> u64 {
+        let idx = self.eval(point);
+        decl.linearize(&idx)
+    }
+
+    /// True if the evaluated index lies within the array bounds.
+    pub fn in_bounds_at(&self, point: &[i64], decl: &ArrayDecl) -> bool {
+        decl.in_bounds(&self.eval(point))
+    }
+
+    /// Rewrites the reference for a permuted loop order (see
+    /// [`AffineExpr::remap`]).
+    pub fn remap(&self, perm: &[usize]) -> Self {
+        ArrayRef {
+            array: self.array,
+            subscripts: self.subscripts.iter().map(|e| e.remap(perm)).collect(),
+            kind: self.kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_reference_a_i1p3_i2m1() {
+        // A[i1+3, i2-1]: Q = I, q = (3, -1)ᵀ — the example of Section 2.
+        let r = ArrayRef::read(
+            0,
+            vec![AffineExpr::var_plus(0, 3), AffineExpr::var_plus(1, -1)],
+        );
+        assert_eq!(r.eval(&[10, 20]), vec![13, 19]);
+        assert_eq!(r.kind, AccessKind::Read);
+    }
+
+    #[test]
+    fn figure3_reference() {
+        // A[i1-1, i2, i3+1] from Figure 3.
+        let r = ArrayRef::read(
+            0,
+            vec![
+                AffineExpr::var_plus(0, -1),
+                AffineExpr::var(1),
+                AffineExpr::var_plus(2, 1),
+            ],
+        );
+        assert_eq!(r.eval(&[2, 1, 1]), vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn eval_linear_uses_row_major() {
+        let decl = ArrayDecl::new("A", vec![4, 4], 8);
+        let r = ArrayRef::write(0, vec![AffineExpr::var(0), AffineExpr::var(1)]);
+        assert_eq!(r.eval_linear(&[2, 3], &decl), 11);
+        assert!(r.in_bounds_at(&[3, 3], &decl));
+        assert!(!r.in_bounds_at(&[4, 0], &decl));
+    }
+
+    #[test]
+    fn remap_preserves_meaning_under_permutation() {
+        // Reference A[i0, i1]; permute loops so old i0 becomes new i1.
+        let r = ArrayRef::read(0, vec![AffineExpr::var(0), AffineExpr::var(1)]);
+        let perm = [1, 0];
+        let rp = r.remap(&perm);
+        // Old point (a, b) corresponds to new point (b, a).
+        assert_eq!(r.eval(&[7, 9]), rp.eval(&[9, 7]));
+    }
+}

@@ -1,0 +1,326 @@
+//! Affine expressions over loop iterators.
+//!
+//! An affine expression `c0·i0 + c1·i1 + … + c(n-1)·i(n-1) + k` is the
+//! basic building block of the polyhedral model: loop bounds, the rows of
+//! an access matrix `Q`, and the offset vector `q̄` are all affine in the
+//! surrounding iterators.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An affine expression over the iterators of an `n`-deep loop nest,
+/// optionally reduced modulo a constant.
+///
+/// `coeffs[j]` multiplies iterator `i_j` (outermost first); `constant` is
+/// the additive term. Expressions are evaluated against iteration points
+/// (`&[i64]`) whose length must be at least the number of coefficients.
+///
+/// The optional `modulus` supports quasi-affine subscripts like the
+/// `A[i % d]` of the paper's Figure 6 example and the periodic-boundary
+/// accesses of lattice codes — the "irregular data access patterns" the
+/// paper's conclusion names as the next extension. A modular expression
+/// evaluates to the mathematical (non-negative) remainder.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AffineExpr {
+    coeffs: Vec<i64>,
+    constant: i64,
+    #[serde(default)]
+    modulus: Option<i64>,
+}
+
+impl AffineExpr {
+    /// A constant expression `k` (no iterator terms).
+    pub fn constant(k: i64) -> Self {
+        AffineExpr {
+            coeffs: Vec::new(),
+            constant: k,
+            modulus: None,
+        }
+    }
+
+    /// The expression `i_j` (single iterator, unit coefficient).
+    pub fn var(j: usize) -> Self {
+        let mut coeffs = vec![0; j + 1];
+        coeffs[j] = 1;
+        AffineExpr {
+            coeffs,
+            constant: 0,
+            modulus: None,
+        }
+    }
+
+    /// The expression `i_j + k`.
+    pub fn var_plus(j: usize, k: i64) -> Self {
+        let mut e = Self::var(j);
+        e.constant = k;
+        e
+    }
+
+    /// Builds an expression from explicit coefficients and constant.
+    pub fn new(coeffs: Vec<i64>, constant: i64) -> Self {
+        AffineExpr {
+            coeffs,
+            constant,
+            modulus: None,
+        }
+    }
+
+    /// Returns `self mod m` (quasi-affine subscript, e.g. `A[i % d]`).
+    ///
+    /// # Panics
+    /// Panics if `m <= 0`.
+    pub fn with_mod(mut self, m: i64) -> Self {
+        assert!(m > 0, "modulus must be positive, got {m}");
+        self.modulus = Some(m);
+        self
+    }
+
+    /// The modulus, if this is a quasi-affine (modular) expression.
+    pub fn modulus(&self) -> Option<i64> {
+        self.modulus
+    }
+
+    /// The coefficient of iterator `i_j` (0 if beyond stored terms).
+    pub fn coeff(&self, j: usize) -> i64 {
+        self.coeffs.get(j).copied().unwrap_or(0)
+    }
+
+    /// The additive constant `k`.
+    pub fn constant_term(&self) -> i64 {
+        self.constant
+    }
+
+    /// Number of explicitly stored coefficients (trailing zeros may be
+    /// omitted).
+    pub fn num_coeffs(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Index of the innermost iterator with a non-zero coefficient, or
+    /// `None` for a constant expression.
+    pub fn max_var(&self) -> Option<usize> {
+        self.coeffs.iter().rposition(|&c| c != 0)
+    }
+
+    /// True if no iterator has a non-zero coefficient.
+    pub fn is_constant(&self) -> bool {
+        self.max_var().is_none()
+    }
+
+    /// Evaluates at an iteration point.
+    ///
+    /// # Panics
+    /// Panics if the point is shorter than the highest referenced iterator.
+    #[inline]
+    pub fn eval(&self, point: &[i64]) -> i64 {
+        let mut acc = self.constant;
+        for (j, &c) in self.coeffs.iter().enumerate() {
+            if c != 0 {
+                acc += c * point[j];
+            }
+        }
+        match self.modulus {
+            Some(m) => acc.rem_euclid(m),
+            None => acc,
+        }
+    }
+
+    /// Returns `self` with every coefficient and the constant scaled by `s`.
+    ///
+    /// # Panics
+    /// Panics on modular expressions (scaling does not commute with the
+    /// reduction).
+    pub fn scaled(&self, s: i64) -> Self {
+        assert!(self.modulus.is_none(), "cannot scale a modular expression");
+        AffineExpr {
+            coeffs: self.coeffs.iter().map(|c| c * s).collect(),
+            constant: self.constant * s,
+            modulus: None,
+        }
+    }
+
+    /// Returns `self + other` (component-wise).
+    ///
+    /// # Panics
+    /// Panics on modular expressions (addition does not commute with the
+    /// reduction).
+    pub fn plus(&self, other: &AffineExpr) -> Self {
+        assert!(
+            self.modulus.is_none() && other.modulus.is_none(),
+            "cannot add modular expressions"
+        );
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut coeffs = vec![0i64; n];
+        for (j, c) in coeffs.iter_mut().enumerate() {
+            *c = self.coeff(j) + other.coeff(j);
+        }
+        AffineExpr {
+            coeffs,
+            constant: self.constant + other.constant,
+            modulus: None,
+        }
+    }
+
+    /// Returns `self` with iterators renumbered through `perm`:
+    /// new iterator `perm[j]` takes the role of old iterator `j`.
+    ///
+    /// Used when permuting loops: a bound/access written against the old
+    /// loop order is rewritten against the new order.
+    ///
+    /// # Panics
+    /// Panics if `perm` is shorter than the stored coefficients.
+    pub fn remap(&self, perm: &[usize]) -> Self {
+        let mut coeffs = vec![0i64; perm.iter().copied().max().map_or(0, |m| m + 1)];
+        for (j, &c) in self.coeffs.iter().enumerate() {
+            if c != 0 {
+                let nj = perm[j];
+                if nj >= coeffs.len() {
+                    coeffs.resize(nj + 1, 0);
+                }
+                coeffs[nj] += c;
+            }
+        }
+        AffineExpr {
+            coeffs,
+            constant: self.constant,
+            modulus: self.modulus,
+        }
+    }
+}
+
+impl fmt::Debug for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (j, &c) in self.coeffs.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, " + ")?;
+            }
+            if c == 1 {
+                write!(f, "i{j}")?;
+            } else {
+                write!(f, "{c}*i{j}")?;
+            }
+            first = false;
+        }
+        if first || self.constant != 0 {
+            if !first {
+                write!(f, " + ")?;
+            }
+            write!(f, "{}", self.constant)?;
+        }
+        if let Some(m) = self.modulus {
+            write!(f, " mod {m}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_eval() {
+        let e = AffineExpr::constant(7);
+        assert_eq!(e.eval(&[1, 2, 3]), 7);
+        assert!(e.is_constant());
+        assert_eq!(e.max_var(), None);
+    }
+
+    #[test]
+    fn var_plus_eval() {
+        // A[i1 - 1] style subscript.
+        let e = AffineExpr::var_plus(0, -1);
+        assert_eq!(e.eval(&[5]), 4);
+        assert_eq!(e.coeff(0), 1);
+        assert_eq!(e.constant_term(), -1);
+    }
+
+    #[test]
+    fn general_eval() {
+        // 2*i0 + 3*i2 + 4
+        let e = AffineExpr::new(vec![2, 0, 3], 4);
+        assert_eq!(e.eval(&[1, 99, 2]), 2 + 6 + 4);
+        assert_eq!(e.max_var(), Some(2));
+    }
+
+    #[test]
+    fn plus_and_scaled() {
+        let a = AffineExpr::new(vec![1, 2], 3);
+        let b = AffineExpr::new(vec![0, 1, 1], -1);
+        let s = a.plus(&b);
+        assert_eq!(s.eval(&[1, 1, 1]), a.eval(&[1, 1, 1]) + b.eval(&[1, 1, 1]));
+        let d = a.scaled(-2);
+        assert_eq!(d.eval(&[1, 1]), -2 * a.eval(&[1, 1]));
+    }
+
+    #[test]
+    fn remap_permutes_iterators() {
+        // e = i0 + 2*i1; swap loops 0 and 1.
+        let e = AffineExpr::new(vec![1, 2], 0);
+        let r = e.remap(&[1, 0]);
+        // Under the new order, old i0 is new i1 and vice versa.
+        assert_eq!(r.eval(&[10, 20]), 20 + 2 * 10);
+    }
+
+    #[test]
+    fn debug_format_readable() {
+        let e = AffineExpr::new(vec![1, 0, -3], 5);
+        let s = format!("{e:?}");
+        assert!(s.contains("i0"), "{s}");
+        assert!(s.contains("-3*i2"), "{s}");
+        assert!(s.contains('5'), "{s}");
+    }
+}
+
+#[cfg(test)]
+mod mod_tests {
+    use super::*;
+
+    #[test]
+    fn modular_eval_wraps_non_negatively() {
+        // A[i % 4] — the Figure 6 subscript.
+        let e = AffineExpr::var(0).with_mod(4);
+        assert_eq!(e.eval(&[0]), 0);
+        assert_eq!(e.eval(&[3]), 3);
+        assert_eq!(e.eval(&[4]), 0);
+        assert_eq!(e.eval(&[11]), 3);
+        assert_eq!(e.modulus(), Some(4));
+    }
+
+    #[test]
+    fn modular_eval_of_negative_values() {
+        // (i - 5) mod 4 at i = 0 → (-5).rem_euclid(4) = 3.
+        let e = AffineExpr::var_plus(0, -5).with_mod(4);
+        assert_eq!(e.eval(&[0]), 3);
+    }
+
+    #[test]
+    fn remap_preserves_modulus() {
+        let e = AffineExpr::var(0).with_mod(7);
+        let r = e.remap(&[1, 0]);
+        assert_eq!(r.modulus(), Some(7));
+        assert_eq!(r.eval(&[0, 9]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot scale")]
+    fn scaled_rejects_modular() {
+        AffineExpr::var(0).with_mod(4).scaled(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus must be positive")]
+    fn zero_modulus_rejected() {
+        AffineExpr::var(0).with_mod(0);
+    }
+
+    #[test]
+    fn debug_shows_modulus() {
+        let e = AffineExpr::var(0).with_mod(12);
+        assert!(format!("{e:?}").contains("mod 12"));
+    }
+}

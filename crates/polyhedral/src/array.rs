@@ -1,0 +1,145 @@
+//! Disk-resident array declarations.
+//!
+//! The applications of the paper manipulate large multi-dimensional
+//! arrays that live on disk (`float A[1..N1,1..N2,1..N3]` in Figure 3).
+//! An [`ArrayDecl`] records the shape and element size; elements are
+//! linearized row-major (last dimension fastest), which is how the data
+//! space of Figure 4 orders elements before chunking.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an array within a [`crate::nest::Program`].
+pub type ArrayId = usize;
+
+/// A disk-resident multi-dimensional array.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrayDecl {
+    /// Human-readable name (for reports and debugging).
+    pub name: String,
+    /// Extent of each dimension; indices run `0..extent`.
+    pub dims: Vec<i64>,
+    /// Size of one element in bytes.
+    pub elem_size: u64,
+}
+
+impl ArrayDecl {
+    /// Creates an array declaration.
+    ///
+    /// # Panics
+    /// Panics if any extent is non-positive or the element size is zero.
+    pub fn new(name: impl Into<String>, dims: Vec<i64>, elem_size: u64) -> Self {
+        assert!(!dims.is_empty(), "array must have at least one dimension");
+        for &d in &dims {
+            assert!(d > 0, "array extent must be positive, got {d}");
+        }
+        assert!(elem_size > 0, "element size must be positive");
+        ArrayDecl {
+            name: name.into(),
+            dims,
+            elem_size,
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn num_elements(&self) -> u64 {
+        self.dims.iter().map(|&d| d as u64).product()
+    }
+
+    /// Total size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.num_elements() * self.elem_size
+    }
+
+    /// True if the index is within bounds in every dimension.
+    pub fn in_bounds(&self, index: &[i64]) -> bool {
+        index.len() == self.dims.len()
+            && index.iter().zip(&self.dims).all(|(&i, &d)| i >= 0 && i < d)
+    }
+
+    /// Row-major linearization of a multi-dimensional index.
+    ///
+    /// # Panics
+    /// Panics if the index is out of bounds (a reference evaluated outside
+    /// its array indicates a workload-definition bug, so fail loudly).
+    pub fn linearize(&self, index: &[i64]) -> u64 {
+        assert!(
+            self.in_bounds(index),
+            "index {index:?} out of bounds for array {} with dims {:?}",
+            self.name,
+            self.dims
+        );
+        let mut lin: u64 = 0;
+        for (i, d) in index.iter().zip(&self.dims) {
+            lin = lin * (*d as u64) + *i as u64;
+        }
+        lin
+    }
+
+    /// Inverse of [`linearize`](Self::linearize).
+    pub fn delinearize(&self, mut lin: u64) -> Vec<i64> {
+        assert!(lin < self.num_elements(), "linear index out of range");
+        let mut idx = vec![0i64; self.dims.len()];
+        for k in (0..self.dims.len()).rev() {
+            let d = self.dims[k] as u64;
+            idx[k] = (lin % d) as i64;
+            lin /= d;
+        }
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_counts() {
+        let a = ArrayDecl::new("A", vec![4, 5, 6], 8);
+        assert_eq!(a.rank(), 3);
+        assert_eq!(a.num_elements(), 120);
+        assert_eq!(a.size_bytes(), 960);
+    }
+
+    #[test]
+    fn linearize_row_major() {
+        let a = ArrayDecl::new("A", vec![3, 4], 4);
+        assert_eq!(a.linearize(&[0, 0]), 0);
+        assert_eq!(a.linearize(&[0, 3]), 3);
+        assert_eq!(a.linearize(&[1, 0]), 4);
+        assert_eq!(a.linearize(&[2, 3]), 11);
+    }
+
+    #[test]
+    fn delinearize_roundtrip() {
+        let a = ArrayDecl::new("A", vec![3, 4, 5], 8);
+        for lin in 0..a.num_elements() {
+            assert_eq!(a.linearize(&a.delinearize(lin)), lin);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn linearize_out_of_bounds_panics() {
+        let a = ArrayDecl::new("A", vec![3, 4], 4);
+        a.linearize(&[3, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_extent_rejected() {
+        ArrayDecl::new("A", vec![0], 4);
+    }
+
+    #[test]
+    fn in_bounds_checks_rank() {
+        let a = ArrayDecl::new("A", vec![3, 4], 4);
+        assert!(!a.in_bounds(&[1]));
+        assert!(!a.in_bounds(&[1, -1]));
+        assert!(a.in_bounds(&[2, 3]));
+    }
+}

@@ -1,0 +1,188 @@
+//! The chunked data space of Figure 4.
+//!
+//! The paper divides the combined data space of all disk-resident arrays
+//! into `r` equal-sized chunks `π_0 … π_(r-1)`. Chunks never cross array
+//! boundaries — each array is partitioned separately — but chunk labels
+//! increase contiguously from the last chunk of array `t` to the first
+//! chunk of array `t+1`.
+//!
+//! [`DataSpace`] owns that numbering and maps `(array, element)` pairs to
+//! global [`ChunkId`]s; it is the bridge between the polyhedral view of a
+//! program and both the tagging machinery of `cachemap-core` and the
+//! cache simulator of `cachemap-storage`.
+
+use crate::array::{ArrayDecl, ArrayId};
+use serde::{Deserialize, Serialize};
+
+/// Global index of a data chunk `π_k` in the combined data space.
+pub type ChunkId = usize;
+
+/// The combined, chunked data space of a program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataSpace {
+    chunk_bytes: u64,
+    /// First global chunk id of each array, plus a final sentinel equal to
+    /// the total chunk count.
+    base: Vec<ChunkId>,
+    /// Element size per array (cached from the declarations).
+    elem_sizes: Vec<u64>,
+}
+
+impl DataSpace {
+    /// Builds the chunked data space for a set of arrays.
+    ///
+    /// `chunk_bytes` is the data chunk size (64 KB by default in the
+    /// paper's Table 1, swept in Figure 14). The last chunk of an array
+    /// may be partially filled; per Figure 4 it still occupies its own
+    /// chunk label.
+    ///
+    /// # Panics
+    /// Panics if `chunk_bytes` is zero.
+    pub fn new(arrays: &[ArrayDecl], chunk_bytes: u64) -> Self {
+        assert!(chunk_bytes > 0, "chunk size must be positive");
+        let mut base = Vec::with_capacity(arrays.len() + 1);
+        let mut next = 0usize;
+        for a in arrays {
+            base.push(next);
+            let chunks = a.size_bytes().div_ceil(chunk_bytes);
+            next += chunks as usize;
+        }
+        base.push(next);
+        DataSpace {
+            chunk_bytes,
+            base,
+            elem_sizes: arrays.iter().map(|a| a.elem_size).collect(),
+        }
+    }
+
+    /// The chunk size in bytes.
+    pub fn chunk_bytes(&self) -> u64 {
+        self.chunk_bytes
+    }
+
+    /// Total number of chunks `r` across all arrays.
+    pub fn num_chunks(&self) -> usize {
+        *self.base.last().unwrap_or(&0)
+    }
+
+    /// Number of arrays in the data space.
+    pub fn num_arrays(&self) -> usize {
+        self.elem_sizes.len()
+    }
+
+    /// First global chunk id of `array`.
+    pub fn array_base(&self, array: ArrayId) -> ChunkId {
+        self.base[array]
+    }
+
+    /// Number of chunks occupied by `array`.
+    pub fn array_chunks(&self, array: ArrayId) -> usize {
+        self.base[array + 1] - self.base[array]
+    }
+
+    /// Maps a linear element of an array to its global chunk id.
+    ///
+    /// # Panics
+    /// Panics if the computed chunk falls outside the array's range
+    /// (i.e. the element index was out of bounds).
+    pub fn chunk_of(&self, array: ArrayId, linear_elem: u64) -> ChunkId {
+        let byte = linear_elem * self.elem_sizes[array];
+        let local = (byte / self.chunk_bytes) as usize;
+        let id = self.base[array] + local;
+        assert!(
+            id < self.base[array + 1],
+            "element {linear_elem} of array {array} beyond its chunk range"
+        );
+        id
+    }
+
+    /// Inverse lookup: which array owns a global chunk id.
+    ///
+    /// # Panics
+    /// Panics if `chunk` is out of range.
+    pub fn array_of_chunk(&self, chunk: ChunkId) -> ArrayId {
+        assert!(chunk < self.num_chunks(), "chunk {chunk} out of range");
+        // base is sorted; partition_point finds the owning array.
+        self.base.partition_point(|&b| b <= chunk) - 1
+    }
+
+    /// Number of elements of `array` that fit in one chunk (at least 1).
+    pub fn elems_per_chunk(&self, array: ArrayId) -> u64 {
+        (self.chunk_bytes / self.elem_sizes[array]).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_arrays() -> Vec<ArrayDecl> {
+        vec![
+            ArrayDecl::new("A", vec![100], 8), // 800 bytes → 4 chunks of 256
+            ArrayDecl::new("B", vec![10, 10], 8), // 800 bytes → 4 chunks
+        ]
+    }
+
+    #[test]
+    fn global_numbering_across_arrays() {
+        let ds = DataSpace::new(&two_arrays(), 256);
+        assert_eq!(ds.num_chunks(), 8);
+        assert_eq!(ds.array_base(0), 0);
+        assert_eq!(ds.array_base(1), 4);
+        assert_eq!(ds.array_chunks(0), 4);
+        assert_eq!(ds.array_chunks(1), 4);
+    }
+
+    #[test]
+    fn chunk_of_element() {
+        let ds = DataSpace::new(&two_arrays(), 256);
+        // 256 bytes = 32 elements of 8 bytes.
+        assert_eq!(ds.chunk_of(0, 0), 0);
+        assert_eq!(ds.chunk_of(0, 31), 0);
+        assert_eq!(ds.chunk_of(0, 32), 1);
+        assert_eq!(ds.chunk_of(0, 99), 3);
+        assert_eq!(ds.chunk_of(1, 0), 4);
+        assert_eq!(ds.chunk_of(1, 99), 7);
+    }
+
+    #[test]
+    fn chunks_never_cross_arrays() {
+        // Array of 5 elements * 8B = 40 bytes with 64-byte chunks: one
+        // partially-filled chunk, and the next array starts a new chunk.
+        let arrays = vec![
+            ArrayDecl::new("A", vec![5], 8),
+            ArrayDecl::new("B", vec![5], 8),
+        ];
+        let ds = DataSpace::new(&arrays, 64);
+        assert_eq!(ds.num_chunks(), 2);
+        assert_eq!(ds.chunk_of(0, 4), 0);
+        assert_eq!(ds.chunk_of(1, 0), 1);
+    }
+
+    #[test]
+    fn array_of_chunk_inverse() {
+        let ds = DataSpace::new(&two_arrays(), 256);
+        for c in 0..4 {
+            assert_eq!(ds.array_of_chunk(c), 0);
+        }
+        for c in 4..8 {
+            assert_eq!(ds.array_of_chunk(c), 1);
+        }
+    }
+
+    #[test]
+    fn elems_per_chunk() {
+        let ds = DataSpace::new(&two_arrays(), 256);
+        assert_eq!(ds.elems_per_chunk(0), 32);
+        // Chunk smaller than an element still maps one element per chunk.
+        let small = DataSpace::new(&[ArrayDecl::new("A", vec![4], 16)], 8);
+        assert_eq!(small.elems_per_chunk(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn array_of_chunk_out_of_range() {
+        let ds = DataSpace::new(&two_arrays(), 256);
+        ds.array_of_chunk(8);
+    }
+}

@@ -1,0 +1,505 @@
+//! Data-dependence analysis.
+//!
+//! Section 5.4 of the paper extends the mapping scheme to loops with
+//! cross-iteration dependences: dependences either force iteration chunks
+//! into the same cluster or are treated as data sharing, with explicit
+//! synchronization inserted at scheduling time. Either way the mapper
+//! needs to know *which* iterations depend on each other. This module
+//! provides the three classic layers:
+//!
+//! 1. [`gcd_test`] — fast may-depend filter on subscript coefficients;
+//! 2. [`banerjee_test`] — bounds-based may-depend filter for rectangular
+//!    spaces;
+//! 3. [`exact_dependences`] — precise distance vectors by scanning the
+//!    iteration space once and tracking, per array element, the last
+//!    write and last read (adjacent dependence pairs — enough to derive
+//!    direction vectors and permutation legality).
+
+use crate::access::{AccessKind, ArrayRef};
+use crate::array::ArrayDecl;
+use crate::nest::LoopNest;
+use cachemap_util::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// Kind of a data dependence between two references.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DependenceKind {
+    /// Write then read (true/flow dependence).
+    Flow,
+    /// Read then write (anti dependence).
+    Anti,
+    /// Write then write (output dependence).
+    Output,
+}
+
+/// A dependence distance vector `σ2 - σ1` between two iterations
+/// `σ1 <lex σ2` that touch the same element (with at least one write).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dependence {
+    /// Distance per loop level, outermost first.
+    pub distance: Vec<i64>,
+    /// Flow, anti, or output.
+    pub kind: DependenceKind,
+}
+
+impl Dependence {
+    /// The outermost loop level carrying the dependence (first non-zero
+    /// distance entry), or `None` for a loop-independent dependence
+    /// (all-zero distance).
+    pub fn carried_level(&self) -> Option<usize> {
+        self.distance.iter().position(|&d| d != 0)
+    }
+
+    /// True if the dependence is loop-independent (same iteration).
+    pub fn loop_independent(&self) -> bool {
+        self.distance.iter().all(|&d| d == 0)
+    }
+}
+
+/// Direction of a dependence distance at one loop level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Distance `< 0`.
+    Lt,
+    /// Distance `= 0`.
+    Eq,
+    /// Distance `> 0`.
+    Gt,
+}
+
+/// Converts a distance vector to its direction vector.
+pub fn direction_vector(distance: &[i64]) -> Vec<Direction> {
+    distance
+        .iter()
+        .map(|&d| match d.cmp(&0) {
+            std::cmp::Ordering::Less => Direction::Lt,
+            std::cmp::Ordering::Equal => Direction::Eq,
+            std::cmp::Ordering::Greater => Direction::Gt,
+        })
+        .collect()
+}
+
+/// Greatest common divisor (non-negative; `gcd(0, 0) = 0`).
+pub fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// GCD dependence test between two references to the same array.
+///
+/// Returns `true` if a dependence **may** exist: for every array
+/// dimension, the linear Diophantine equation
+/// `Σ a_k·σ1_k − Σ b_k·σ2_k = c_b − c_a` has an integer solution, i.e.
+/// the gcd of all coefficients divides the constant difference. A `false`
+/// result proves independence; bounds are ignored, so `true` may be
+/// conservative.
+pub fn gcd_test(a: &ArrayRef, b: &ArrayRef, depth: usize) -> bool {
+    if a.array != b.array {
+        return false;
+    }
+    for (ea, eb) in a.subscripts.iter().zip(&b.subscripts) {
+        // Quasi-affine (modular) subscripts wrap around; conservatively
+        // assume the dimension can always coincide.
+        if ea.modulus().is_some() || eb.modulus().is_some() {
+            continue;
+        }
+        let mut g = 0i64;
+        for k in 0..depth {
+            g = gcd(g, ea.coeff(k));
+            g = gcd(g, eb.coeff(k));
+        }
+        let rhs = eb.constant_term() - ea.constant_term();
+        if g == 0 {
+            // No iterator terms: dependence in this dimension requires the
+            // constants to match exactly.
+            if rhs != 0 {
+                return false;
+            }
+        } else if rhs % g != 0 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Banerjee dependence test between two references over a rectangular
+/// space given as inclusive per-level bounds.
+///
+/// For every array dimension, computes the attainable `[min, max]` of
+/// `R_a(σ1) − R_b(σ2)` over independent `σ1, σ2` in bounds, and requires
+/// `0 ∈ [min, max]`. A `false` result proves independence.
+pub fn banerjee_test(a: &ArrayRef, b: &ArrayRef, bounds: &[(i64, i64)]) -> bool {
+    if a.array != b.array {
+        return false;
+    }
+    for (ea, eb) in a.subscripts.iter().zip(&b.subscripts) {
+        // A modular subscript's value ranges over [0, m); compute each
+        // side's attainable interval separately and test the difference.
+        let range_of = |e: &crate::affine::AffineExpr| -> (i64, i64) {
+            let (mut lo_v, mut hi_v) = (e.constant_term(), e.constant_term());
+            for (k, &(lo, hi)) in bounds.iter().enumerate() {
+                let c = e.coeff(k);
+                if c >= 0 {
+                    lo_v += c * lo;
+                    hi_v += c * hi;
+                } else {
+                    lo_v += c * hi;
+                    hi_v += c * lo;
+                }
+            }
+            match e.modulus() {
+                // If the affine range already fits inside [0, m) the
+                // reduction is the identity; otherwise it wraps over the
+                // whole residue range.
+                Some(m) if lo_v < 0 || hi_v >= m => (0, m - 1),
+                _ => (lo_v, hi_v),
+            }
+        };
+        let (a_lo, a_hi) = range_of(ea);
+        let (b_lo, b_hi) = range_of(eb);
+        let min = a_lo - b_hi;
+        let max = a_hi - b_lo;
+        if min > 0 || max < 0 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Exact dependence analysis of one nest by iteration-space scan.
+///
+/// Walks the space in lexicographic (program) order keeping, per array
+/// element, the last writing iteration and the last reading iteration.
+/// Each access then yields the *adjacent* dependence pairs:
+///
+/// * read  after write  → [`Flow`](DependenceKind::Flow)
+/// * write after read   → [`Anti`](DependenceKind::Anti)
+/// * write after write  → [`Output`](DependenceKind::Output)
+///
+/// Distance vectors are deduplicated. Adjacent pairs are sufficient to
+/// derive the direction vectors that govern transformation legality
+/// (longer-range dependences are transitive compositions of adjacent
+/// ones for the single-assignment-free nests we model).
+pub fn exact_dependences(nest: &LoopNest, arrays: &[ArrayDecl]) -> Vec<Dependence> {
+    #[derive(Default, Clone)]
+    struct LastTouch {
+        write: Option<Vec<i64>>,
+        read: Option<Vec<i64>>,
+    }
+
+    let mut last: FxHashMap<(usize, u64), LastTouch> = FxHashMap::default();
+    let mut seen: std::collections::HashSet<Dependence> = std::collections::HashSet::new();
+
+    for point in nest.space.iter() {
+        for r in &nest.refs {
+            let lin = r.eval_linear(&point, &arrays[r.array]);
+            let entry = last.entry((r.array, lin)).or_default();
+            match r.kind {
+                AccessKind::Read => {
+                    if let Some(w) = &entry.write {
+                        let distance: Vec<i64> =
+                            point.iter().zip(w).map(|(c, p)| c - p).collect();
+                        seen.insert(Dependence {
+                            distance,
+                            kind: DependenceKind::Flow,
+                        });
+                    }
+                    entry.read = Some(point.clone());
+                }
+                AccessKind::Write => {
+                    if let Some(rd) = &entry.read {
+                        let distance: Vec<i64> =
+                            point.iter().zip(rd).map(|(c, p)| c - p).collect();
+                        // A read and write at the same iteration is not an
+                        // anti dependence unless the read came textually
+                        // first, which our scan order already guarantees;
+                        // zero-distance anti deps within one iteration do
+                        // not constrain mapping, so keep them only if
+                        // non-zero.
+                        if distance.iter().any(|&d| d != 0) {
+                            seen.insert(Dependence {
+                                distance,
+                                kind: DependenceKind::Anti,
+                            });
+                        }
+                    }
+                    if let Some(w) = &entry.write {
+                        let distance: Vec<i64> =
+                            point.iter().zip(w).map(|(c, p)| c - p).collect();
+                        if distance.iter().any(|&d| d != 0) {
+                            seen.insert(Dependence {
+                                distance,
+                                kind: DependenceKind::Output,
+                            });
+                        }
+                    }
+                    entry.write = Some(point.clone());
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<Dependence> = seen.into_iter().collect();
+    out.sort_by(|a, b| a.distance.cmp(&b.distance).then_with(|| format!("{:?}", a.kind).cmp(&format!("{:?}", b.kind))));
+    out
+}
+
+/// True if the loop at `level` carries no dependence — i.e. it can be
+/// parallelized without synchronization (the default parallelization
+/// strategy of Section 3 parallelizes the outermost such loop).
+pub fn level_is_parallel(deps: &[Dependence], level: usize) -> bool {
+    deps.iter().all(|d| d.carried_level() != Some(level))
+}
+
+/// The outermost loop level that carries no dependence, if any.
+pub fn outermost_parallel_level(deps: &[Dependence], depth: usize) -> Option<usize> {
+    (0..depth).find(|&l| level_is_parallel(deps, l))
+}
+
+/// True if permuting the loops by `perm` (new position `j` holds old loop
+/// `perm[j]`) keeps every dependence direction vector lexicographically
+/// positive — the classical legality condition for loop permutation.
+pub fn permutation_is_legal(deps: &[Dependence], perm: &[usize]) -> bool {
+    deps.iter().all(|d| {
+        for &old in perm {
+            match d.distance[old].cmp(&0) {
+                std::cmp::Ordering::Greater => return true,
+                std::cmp::Ordering::Less => return false,
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        true // all-zero stays legal
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::AffineExpr;
+    use crate::space::IterationSpace;
+
+    fn refs_1d(read_off: i64, write_off: i64) -> (ArrayRef, ArrayRef) {
+        (
+            ArrayRef::read(0, vec![AffineExpr::var_plus(0, read_off)]),
+            ArrayRef::write(0, vec![AffineExpr::var_plus(0, write_off)]),
+        )
+    }
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(gcd(12, 8), 4);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(-6, 4), 2);
+    }
+
+    #[test]
+    fn gcd_test_detects_possible_dependence() {
+        // A[i] and A[i-1]: gcd(1,1)=1 divides 1 → may depend.
+        let (r, w) = refs_1d(0, -1);
+        assert!(gcd_test(&w, &r, 1));
+    }
+
+    #[test]
+    fn gcd_test_proves_independence() {
+        // A[2i] and A[2i+1]: gcd(2,2)=2 does not divide 1 → independent.
+        let a = ArrayRef::write(0, vec![AffineExpr::new(vec![2], 0)]);
+        let b = ArrayRef::read(0, vec![AffineExpr::new(vec![2], 1)]);
+        assert!(!gcd_test(&a, &b, 1));
+    }
+
+    #[test]
+    fn gcd_test_different_arrays_independent() {
+        let a = ArrayRef::write(0, vec![AffineExpr::var(0)]);
+        let b = ArrayRef::read(1, vec![AffineExpr::var(0)]);
+        assert!(!gcd_test(&a, &b, 1));
+    }
+
+    #[test]
+    fn banerjee_respects_bounds() {
+        // A[i] written, A[i+100] read, i in 0..=9: offsets never overlap.
+        let (_, w) = refs_1d(0, 0);
+        let r_far = ArrayRef::read(0, vec![AffineExpr::var_plus(0, 100)]);
+        assert!(!banerjee_test(&w, &r_far, &[(0, 9)]));
+        // But A[i+5] read does overlap.
+        let r_near = ArrayRef::read(0, vec![AffineExpr::var_plus(0, 5)]);
+        assert!(banerjee_test(&w, &r_near, &[(0, 9)]));
+    }
+
+    #[test]
+    fn exact_flow_dependence_distance() {
+        // for i: A[i] = A[i-1]: flow dependence with distance 1.
+        let arrays = vec![ArrayDecl::new("A", vec![16], 8)];
+        let space = IterationSpace::new(vec![crate::space::Loop::constant(1, 15)]);
+        let nest = LoopNest::new(
+            "rec",
+            space,
+            vec![
+                ArrayRef::read(0, vec![AffineExpr::var_plus(0, -1)]),
+                ArrayRef::write(0, vec![AffineExpr::var(0)]),
+            ],
+        );
+        let deps = exact_dependences(&nest, &arrays);
+        assert!(deps
+            .iter()
+            .any(|d| d.kind == DependenceKind::Flow && d.distance == vec![1]));
+        assert!(!level_is_parallel(&deps, 0));
+        assert_eq!(outermost_parallel_level(&deps, 1), None);
+    }
+
+    #[test]
+    fn exact_no_dependence_for_disjoint_accesses() {
+        let arrays = vec![
+            ArrayDecl::new("A", vec![16], 8),
+            ArrayDecl::new("B", vec![16], 8),
+        ];
+        let space = IterationSpace::rectangular(&[16]);
+        let nest = LoopNest::new(
+            "copy",
+            space,
+            vec![
+                ArrayRef::read(0, vec![AffineExpr::var(0)]),
+                ArrayRef::write(1, vec![AffineExpr::var(0)]),
+            ],
+        );
+        let deps = exact_dependences(&nest, &arrays);
+        assert!(deps.is_empty());
+        assert!(level_is_parallel(&deps, 0));
+        assert_eq!(outermost_parallel_level(&deps, 1), Some(0));
+    }
+
+    #[test]
+    fn exact_2d_stencil_dependence() {
+        // A[i][j] = A[i-1][j]: carried by outer loop, distance (1, 0).
+        let arrays = vec![ArrayDecl::new("A", vec![8, 8], 8)];
+        let space = IterationSpace::new(vec![
+            crate::space::Loop::constant(1, 7),
+            crate::space::Loop::constant(0, 7),
+        ]);
+        let nest = LoopNest::new(
+            "stencil",
+            space,
+            vec![
+                ArrayRef::read(
+                    0,
+                    vec![AffineExpr::var_plus(0, -1), AffineExpr::var(1)],
+                ),
+                ArrayRef::write(0, vec![AffineExpr::var(0), AffineExpr::var(1)]),
+            ],
+        );
+        let deps = exact_dependences(&nest, &arrays);
+        assert!(deps
+            .iter()
+            .any(|d| d.kind == DependenceKind::Flow && d.distance == vec![1, 0]));
+        // Outer loop carries it; inner loop is parallel.
+        assert!(!level_is_parallel(&deps, 0));
+        assert!(level_is_parallel(&deps, 1));
+        assert_eq!(outermost_parallel_level(&deps, 2), Some(1));
+    }
+
+    #[test]
+    fn direction_vectors_and_permutation_legality() {
+        let d = Dependence {
+            distance: vec![1, -1],
+            kind: DependenceKind::Flow,
+        };
+        assert_eq!(
+            direction_vector(&d.distance),
+            vec![Direction::Gt, Direction::Lt]
+        );
+        // Identity order: (1,-1) is lex-positive → legal.
+        assert!(permutation_is_legal(std::slice::from_ref(&d), &[0, 1]));
+        // Swapped order: (-1,1) is lex-negative → illegal.
+        assert!(!permutation_is_legal(&[d], &[1, 0]));
+    }
+
+    #[test]
+    fn loop_independent_dependences_allow_any_permutation() {
+        let d = Dependence {
+            distance: vec![0, 0],
+            kind: DependenceKind::Flow,
+        };
+        assert!(d.loop_independent());
+        assert_eq!(d.carried_level(), None);
+        assert!(permutation_is_legal(std::slice::from_ref(&d), &[1, 0]));
+    }
+
+    #[test]
+    fn anti_dependence_detected() {
+        // for i: A[i-1] = A[i] reversed: read A[i+1], write A[i] → anti
+        // dependence distance 1.
+        let arrays = vec![ArrayDecl::new("A", vec![16], 8)];
+        let space = IterationSpace::new(vec![crate::space::Loop::constant(0, 14)]);
+        let nest = LoopNest::new(
+            "anti",
+            space,
+            vec![
+                ArrayRef::read(0, vec![AffineExpr::var_plus(0, 1)]),
+                ArrayRef::write(0, vec![AffineExpr::var(0)]),
+            ],
+        );
+        let deps = exact_dependences(&nest, &arrays);
+        assert!(deps
+            .iter()
+            .any(|d| d.kind == DependenceKind::Anti && d.distance == vec![1]));
+    }
+}
+
+#[cfg(test)]
+mod mod_dep_tests {
+    use super::*;
+    use crate::access::ArrayRef;
+    use crate::affine::AffineExpr;
+
+    #[test]
+    fn gcd_test_is_conservative_for_modular_subscripts() {
+        // A[2i] vs A[(2i+1) % 8]: the wrap makes them potentially
+        // coincide, so the test must not prove independence.
+        let a = ArrayRef::write(0, vec![AffineExpr::new(vec![2], 0)]);
+        let b = ArrayRef::read(0, vec![AffineExpr::new(vec![2], 1).with_mod(8)]);
+        assert!(gcd_test(&a, &b, 1));
+    }
+
+    #[test]
+    fn banerjee_uses_residue_range_for_wrapping_subscripts() {
+        // A[i % 4] ranges over [0, 3]; a write to A[i + 100] over
+        // i in 0..=9 can never touch it.
+        let wrapped = ArrayRef::read(0, vec![AffineExpr::var(0).with_mod(4)]);
+        let far = ArrayRef::write(0, vec![AffineExpr::var_plus(0, 100)]);
+        assert!(!banerjee_test(&far, &wrapped, &[(0, 9)]));
+        // But a write to A[i] does overlap the residue range.
+        let near = ArrayRef::write(0, vec![AffineExpr::var(0)]);
+        assert!(banerjee_test(&near, &wrapped, &[(0, 9)]));
+    }
+
+    #[test]
+    fn banerjee_keeps_identity_when_range_fits_modulus() {
+        // i in 0..=3 under mod 100: no wrap, behaves affinely.
+        let a = ArrayRef::write(0, vec![AffineExpr::var(0).with_mod(100)]);
+        let b = ArrayRef::read(0, vec![AffineExpr::var_plus(0, 50)]);
+        assert!(!banerjee_test(&a, &b, &[(0, 3)]));
+    }
+
+    #[test]
+    fn exact_dependences_see_through_modular_wrap() {
+        // for i in 0..8: A[i % 4] = A[i % 4] + 1 — every element is
+        // rewritten when the subscript wraps (distance 4 output deps).
+        let arrays = vec![crate::array::ArrayDecl::new("A", vec![4], 8)];
+        let space = crate::space::IterationSpace::rectangular(&[8]);
+        let nest = crate::nest::LoopNest::new(
+            "wrap",
+            space,
+            vec![
+                ArrayRef::read(0, vec![AffineExpr::var(0).with_mod(4)]),
+                ArrayRef::write(0, vec![AffineExpr::var(0).with_mod(4)]),
+            ],
+        );
+        let deps = exact_dependences(&nest, &arrays);
+        assert!(deps
+            .iter()
+            .any(|d| d.kind == DependenceKind::Output && d.distance == vec![4]));
+    }
+}

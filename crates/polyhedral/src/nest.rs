@@ -1,0 +1,205 @@
+//! Loop nests and programs.
+//!
+//! A [`LoopNest`] couples an iteration space with the array references in
+//! the loop body; a [`Program`] is a set of nests over a shared array
+//! environment. The mapper of `cachemap-core` consumes these directly —
+//! this is the compiler-IR substitute for the paper's Phoenix front end.
+
+use crate::access::ArrayRef;
+use crate::array::{ArrayDecl, ArrayId};
+use crate::space::{IterationSpace, Point};
+use serde::{Deserialize, Serialize};
+
+/// A loop nest: an iteration space plus the references executed at each
+/// iteration, and a per-iteration compute cost used by the simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoopNest {
+    /// Name for reports and debugging.
+    pub name: String,
+    /// The iteration space `G`.
+    pub space: IterationSpace,
+    /// Array references in the loop body (in program order).
+    pub refs: Vec<ArrayRef>,
+    /// Pure-compute time per iteration in simulated microseconds
+    /// (work done between I/O accesses).
+    pub compute_us: f64,
+}
+
+impl LoopNest {
+    /// Creates a nest with the given space and references.
+    pub fn new(name: impl Into<String>, space: IterationSpace, refs: Vec<ArrayRef>) -> Self {
+        LoopNest {
+            name: name.into(),
+            space,
+            refs,
+            compute_us: 1.0,
+        }
+    }
+
+    /// Sets the per-iteration compute cost (builder style).
+    pub fn with_compute_us(mut self, us: f64) -> Self {
+        assert!(us >= 0.0, "compute cost must be non-negative");
+        self.compute_us = us;
+        self
+    }
+
+    /// Nest depth.
+    pub fn depth(&self) -> usize {
+        self.space.depth()
+    }
+
+    /// Number of iterations.
+    pub fn num_iterations(&self) -> u64 {
+        self.space.size()
+    }
+
+    /// All (array, linear element) pairs touched at one iteration, in
+    /// reference program order.
+    pub fn touched_elements(&self, point: &Point, arrays: &[ArrayDecl]) -> Vec<(ArrayId, u64)> {
+        self.refs
+            .iter()
+            .map(|r| (r.array, r.eval_linear(point, &arrays[r.array])))
+            .collect()
+    }
+
+    /// Validates that every reference stays in bounds over the whole
+    /// space. Used by workload definitions in tests (O(iterations·refs)).
+    pub fn validate_bounds(&self, arrays: &[ArrayDecl]) -> Result<(), String> {
+        for point in self.space.iter() {
+            for (ri, r) in self.refs.iter().enumerate() {
+                let decl = arrays
+                    .get(r.array)
+                    .ok_or_else(|| format!("reference {ri} targets unknown array {}", r.array))?;
+                if !r.in_bounds_at(&point, decl) {
+                    return Err(format!(
+                        "nest {}: reference {ri} out of bounds at iteration {point:?} (index {:?}, array {} dims {:?})",
+                        self.name,
+                        r.eval(&point),
+                        decl.name,
+                        decl.dims
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A program: arrays plus one or more loop nests over them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Name for reports.
+    pub name: String,
+    /// Array environment; [`ArrayId`]s index into this.
+    pub arrays: Vec<ArrayDecl>,
+    /// The loop nests, in program order.
+    pub nests: Vec<LoopNest>,
+}
+
+impl Program {
+    /// Creates a program.
+    pub fn new(name: impl Into<String>, arrays: Vec<ArrayDecl>, nests: Vec<LoopNest>) -> Self {
+        let p = Program {
+            name: name.into(),
+            arrays,
+            nests,
+        };
+        for n in &p.nests {
+            for r in &n.refs {
+                assert!(
+                    r.array < p.arrays.len(),
+                    "nest {} references array id {} but only {} arrays are declared",
+                    n.name,
+                    r.array,
+                    p.arrays.len()
+                );
+            }
+        }
+        p
+    }
+
+    /// Total bytes of all disk-resident arrays.
+    pub fn total_data_bytes(&self) -> u64 {
+        self.arrays.iter().map(ArrayDecl::size_bytes).sum()
+    }
+
+    /// Total iterations across all nests.
+    pub fn total_iterations(&self) -> u64 {
+        self.nests.iter().map(LoopNest::num_iterations).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::AffineExpr;
+    use crate::space::Loop;
+
+    fn small_program() -> Program {
+        let a = ArrayDecl::new("A", vec![8, 8], 8);
+        let space = IterationSpace::rectangular(&[8, 8]);
+        let r = ArrayRef::read(0, vec![AffineExpr::var(0), AffineExpr::var(1)]);
+        let w = ArrayRef::write(0, vec![AffineExpr::var(0), AffineExpr::var(1)]);
+        Program::new(
+            "p",
+            vec![a],
+            vec![LoopNest::new("n0", space, vec![r, w]).with_compute_us(2.0)],
+        )
+    }
+
+    #[test]
+    fn program_counts() {
+        let p = small_program();
+        assert_eq!(p.total_iterations(), 64);
+        assert_eq!(p.total_data_bytes(), 8 * 8 * 8);
+        assert_eq!(p.nests[0].compute_us, 2.0);
+    }
+
+    #[test]
+    fn touched_elements_in_ref_order() {
+        let p = small_program();
+        let t = p.nests[0].touched_elements(&vec![1, 2], &p.arrays);
+        assert_eq!(t, vec![(0, 10), (0, 10)]);
+    }
+
+    #[test]
+    fn validate_bounds_accepts_good_nest() {
+        let p = small_program();
+        assert!(p.nests[0].validate_bounds(&p.arrays).is_ok());
+    }
+
+    #[test]
+    fn validate_bounds_reports_violation() {
+        let a = ArrayDecl::new("A", vec![4], 8);
+        let space = IterationSpace::rectangular(&[4]);
+        // A[i + 1] runs off the end at i = 3.
+        let r = ArrayRef::read(0, vec![AffineExpr::var_plus(0, 1)]);
+        let nest = LoopNest::new("bad", space, vec![r]);
+        let err = nest.validate_bounds(&[a]).unwrap_err();
+        assert!(err.contains("out of bounds"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "references array id")]
+    fn program_rejects_dangling_array_id() {
+        let space = IterationSpace::rectangular(&[2]);
+        let r = ArrayRef::read(3, vec![AffineExpr::var(0)]);
+        let nest = LoopNest::new("n", space, vec![r]);
+        // Panics inside validate via Program::new assertion.
+        let p = Program::new("p", vec![], vec![nest]);
+        let _ = p;
+    }
+
+    #[test]
+    fn triangular_nest_size() {
+        let a = ArrayDecl::new("A", vec![6], 8);
+        let space = IterationSpace::new(vec![
+            Loop::constant(0, 4),
+            Loop::new(AffineExpr::constant(0), AffineExpr::var(0)),
+        ]);
+        let r = ArrayRef::read(0, vec![AffineExpr::var(1)]);
+        let nest = LoopNest::new("tri", space, vec![r]);
+        assert_eq!(nest.num_iterations(), 15);
+        assert!(nest.validate_bounds(&[a]).is_ok());
+    }
+}

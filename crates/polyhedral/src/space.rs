@@ -1,0 +1,384 @@
+//! Iteration spaces and lexicographic point enumeration.
+//!
+//! An iteration space is the polyhedral set
+//! `G = {(i1,…,in) | L_k ≤ i_k ≤ U_k}` of Section 4.1, where every bound
+//! is affine in the *outer* iterators (so triangular and other
+//! non-rectangular spaces are representable). Enumerating its points in
+//! lexicographic order is the stand-in for the Omega Library's
+//! `codegen(.)` utility: anywhere the paper generates code that walks the
+//! iterations of a set, we walk the same sequence with [`PointIter`].
+
+use crate::affine::AffineExpr;
+use serde::{Deserialize, Serialize};
+
+/// One iteration point `σ = (i'1, i'2, …, i'n)ᵀ`.
+pub type Point = Vec<i64>;
+
+/// A single loop with inclusive affine bounds.
+///
+/// The bounds may reference outer iterators only (enforced by
+/// [`IterationSpace::new`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Loop {
+    /// Inclusive lower bound `L_k`.
+    pub lower: AffineExpr,
+    /// Inclusive upper bound `U_k`.
+    pub upper: AffineExpr,
+}
+
+impl Loop {
+    /// A loop with constant inclusive bounds `lo..=hi`.
+    pub fn constant(lo: i64, hi: i64) -> Self {
+        Loop {
+            lower: AffineExpr::constant(lo),
+            upper: AffineExpr::constant(hi),
+        }
+    }
+
+    /// A loop with general affine bounds.
+    pub fn new(lower: AffineExpr, upper: AffineExpr) -> Self {
+        Loop { lower, upper }
+    }
+}
+
+/// An `n`-deep iteration space with affine bounds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IterationSpace {
+    loops: Vec<Loop>,
+}
+
+impl IterationSpace {
+    /// Creates a space from its loops (outermost first).
+    ///
+    /// # Panics
+    /// Panics if any bound references the loop's own iterator or an inner
+    /// iterator (bounds must be affine in strictly outer iterators).
+    pub fn new(loops: Vec<Loop>) -> Self {
+        for (k, l) in loops.iter().enumerate() {
+            for (name, e) in [("lower", &l.lower), ("upper", &l.upper)] {
+                if let Some(mv) = e.max_var() {
+                    assert!(
+                        mv < k,
+                        "{name} bound of loop {k} references iterator i{mv} (must be outer)"
+                    );
+                }
+            }
+        }
+        IterationSpace { loops }
+    }
+
+    /// A rectangular space `0..=n_k-1` per extent (a common case).
+    pub fn rectangular(extents: &[i64]) -> Self {
+        Self::new(
+            extents
+                .iter()
+                .map(|&n| {
+                    assert!(n > 0, "extent must be positive, got {n}");
+                    Loop::constant(0, n - 1)
+                })
+                .collect(),
+        )
+    }
+
+    /// Nest depth `n`.
+    pub fn depth(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// The loops, outermost first.
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// True if every bound is a constant (the space is a box).
+    pub fn is_rectangular(&self) -> bool {
+        self.loops
+            .iter()
+            .all(|l| l.lower.is_constant() && l.upper.is_constant())
+    }
+
+    /// Constant extents `(lo, hi)` per loop for rectangular spaces.
+    ///
+    /// # Panics
+    /// Panics if the space is not rectangular.
+    pub fn rectangular_bounds(&self) -> Vec<(i64, i64)> {
+        assert!(self.is_rectangular(), "space is not rectangular");
+        self.loops
+            .iter()
+            .map(|l| (l.lower.eval(&[]), l.upper.eval(&[])))
+            .collect()
+    }
+
+    /// True if the point satisfies every bound.
+    pub fn contains(&self, point: &[i64]) -> bool {
+        if point.len() != self.loops.len() {
+            return false;
+        }
+        self.loops.iter().enumerate().all(|(k, l)| {
+            let v = point[k];
+            v >= l.lower.eval(point) && v <= l.upper.eval(point)
+        })
+    }
+
+    /// Number of points (iterations) in the space.
+    ///
+    /// Rectangular spaces are computed in closed form; others are
+    /// enumerated level by level.
+    pub fn size(&self) -> u64 {
+        if self.loops.is_empty() {
+            return 0;
+        }
+        if self.is_rectangular() {
+            return self
+                .loops
+                .iter()
+                .map(|l| {
+                    let lo = l.lower.eval(&[]);
+                    let hi = l.upper.eval(&[]);
+                    if hi < lo {
+                        0
+                    } else {
+                        (hi - lo + 1) as u64
+                    }
+                })
+                .product();
+        }
+        self.iter().count() as u64
+    }
+
+    /// Lexicographic iterator over all points.
+    pub fn iter(&self) -> PointIter<'_> {
+        PointIter::new(self)
+    }
+
+    /// The lexicographically first point, if the space is non-empty.
+    pub fn first_point(&self) -> Option<Point> {
+        self.iter().next()
+    }
+}
+
+/// Lexicographic-order iterator over the points of an [`IterationSpace`].
+///
+/// Works like an odometer: the innermost iterator advances fastest; when
+/// it exceeds its (point-dependent) upper bound, the next-outer iterator
+/// advances and all inner iterators reset to their lower bounds. Empty
+/// ranges at any level are skipped correctly.
+pub struct PointIter<'a> {
+    space: &'a IterationSpace,
+    current: Point,
+    done: bool,
+}
+
+impl<'a> PointIter<'a> {
+    fn new(space: &'a IterationSpace) -> Self {
+        let n = space.depth();
+        let mut it = PointIter {
+            space,
+            current: vec![0; n],
+            done: n == 0,
+        };
+        if !it.done && !it.descend(0) {
+            it.done = true;
+        }
+        it
+    }
+
+    /// Sets levels `from..n` to their lower bounds, backtracking outward
+    /// whenever a level's range is empty. Returns false if the whole space
+    /// is exhausted.
+    fn descend(&mut self, from: usize) -> bool {
+        let n = self.space.depth();
+        let mut k = from;
+        loop {
+            if k == n {
+                return true;
+            }
+            let lo = self.space.loops[k].lower.eval(&self.current);
+            let hi = self.space.loops[k].upper.eval(&self.current);
+            if lo <= hi {
+                self.current[k] = lo;
+                k += 1;
+            } else {
+                // Empty range at level k: advance some outer level.
+                if !self.advance_outer(k) {
+                    return false;
+                }
+                // advance_outer already re-descended through k; continue
+                // from the level after the one it fixed.
+                return true;
+            }
+        }
+    }
+
+    /// Advances the deepest level `< k` that can still advance, then
+    /// re-descends to fill all inner levels. Returns false when exhausted.
+    fn advance_outer(&mut self, k: usize) -> bool {
+        let mut level = k;
+        loop {
+            if level == 0 {
+                return false;
+            }
+            level -= 1;
+            self.current[level] += 1;
+            let hi = self.space.loops[level].upper.eval(&self.current);
+            if self.current[level] <= hi {
+                // Reset inner levels.
+                let nxt = level + 1;
+                if self.redescend(nxt) {
+                    return true;
+                }
+                // Inner ranges empty for this value; keep advancing this
+                // same level.
+                level += 1;
+            }
+        }
+    }
+
+    /// Like `descend` but treats empty inner ranges as failure (caller
+    /// keeps advancing outer levels).
+    fn redescend(&mut self, from: usize) -> bool {
+        let n = self.space.depth();
+        for k in from..n {
+            let lo = self.space.loops[k].lower.eval(&self.current);
+            let hi = self.space.loops[k].upper.eval(&self.current);
+            if lo > hi {
+                return false;
+            }
+            self.current[k] = lo;
+        }
+        true
+    }
+}
+
+impl Iterator for PointIter<'_> {
+    type Item = Point;
+
+    fn next(&mut self) -> Option<Point> {
+        if self.done {
+            return None;
+        }
+        let out = self.current.clone();
+        // Advance innermost.
+        let n = self.space.depth();
+        let last = n - 1;
+        self.current[last] += 1;
+        let hi = self.space.loops[last].upper.eval(&self.current);
+        if self.current[last] > hi && !self.advance_outer(last) {
+            self.done = true;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_enumeration_is_lexicographic() {
+        let s = IterationSpace::rectangular(&[2, 3]);
+        let pts: Vec<Point> = s.iter().collect();
+        assert_eq!(
+            pts,
+            vec![
+                vec![0, 0],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 0],
+                vec![1, 1],
+                vec![1, 2]
+            ]
+        );
+        assert_eq!(s.size(), 6);
+    }
+
+    #[test]
+    fn paper_figure3_space() {
+        // for i1 = 2..N1, i2 = 1..N2, i3 = 1..N3-1 with N=(4,2,3)
+        let s = IterationSpace::new(vec![
+            Loop::constant(2, 4),
+            Loop::constant(1, 2),
+            Loop::constant(1, 2),
+        ]);
+        assert_eq!(s.size(), 3 * 2 * 2);
+        assert!(s.contains(&[2, 1, 1]));
+        assert!(!s.contains(&[1, 1, 1]));
+        assert!(!s.contains(&[2, 1, 3]));
+        assert_eq!(s.first_point(), Some(vec![2, 1, 1]));
+    }
+
+    #[test]
+    fn triangular_space() {
+        // i0 in 0..=3, i1 in 0..=i0
+        let s = IterationSpace::new(vec![
+            Loop::constant(0, 3),
+            Loop::new(AffineExpr::constant(0), AffineExpr::var(0)),
+        ]);
+        let pts: Vec<Point> = s.iter().collect();
+        assert_eq!(pts.len(), 4 + 3 + 2 + 1);
+        assert_eq!(pts[0], vec![0, 0]);
+        assert_eq!(pts[1], vec![1, 0]);
+        assert_eq!(*pts.last().unwrap(), vec![3, 3]);
+        assert_eq!(s.size(), 10);
+        assert!(!s.is_rectangular());
+    }
+
+    #[test]
+    fn space_with_empty_inner_ranges() {
+        // i0 in 0..=2, i1 in i0..=1 — empty when i0 == 2.
+        let s = IterationSpace::new(vec![
+            Loop::constant(0, 2),
+            Loop::new(AffineExpr::var(0), AffineExpr::constant(1)),
+        ]);
+        let pts: Vec<Point> = s.iter().collect();
+        assert_eq!(pts, vec![vec![0, 0], vec![0, 1], vec![1, 1]]);
+    }
+
+    #[test]
+    fn empty_space() {
+        let s = IterationSpace::new(vec![Loop::constant(5, 2)]);
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.size(), 0);
+        assert_eq!(s.first_point(), None);
+    }
+
+    #[test]
+    fn leading_empty_then_nonempty() {
+        // i0 in 0..=1, i1 in 1..=i0 : empty for i0=0, single point for i0=1.
+        let s = IterationSpace::new(vec![
+            Loop::constant(0, 1),
+            Loop::new(AffineExpr::constant(1), AffineExpr::var(0)),
+        ]);
+        let pts: Vec<Point> = s.iter().collect();
+        assert_eq!(pts, vec![vec![1, 1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be outer")]
+    fn bound_on_inner_iterator_rejected() {
+        IterationSpace::new(vec![
+            Loop::new(AffineExpr::constant(0), AffineExpr::var(1)),
+            Loop::constant(0, 3),
+        ]);
+    }
+
+    #[test]
+    fn contains_checks_affine_bounds() {
+        let s = IterationSpace::new(vec![
+            Loop::constant(0, 3),
+            Loop::new(AffineExpr::constant(0), AffineExpr::var(0)),
+        ]);
+        assert!(s.contains(&[2, 2]));
+        assert!(!s.contains(&[2, 3]));
+        assert!(!s.contains(&[2]));
+    }
+
+    #[test]
+    fn size_matches_enumeration_for_nonrectangular() {
+        let s = IterationSpace::new(vec![
+            Loop::constant(0, 5),
+            Loop::new(AffineExpr::var(0), AffineExpr::constant(5)),
+        ]);
+        assert_eq!(s.size(), s.iter().count() as u64);
+    }
+}

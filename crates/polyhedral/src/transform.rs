@@ -1,0 +1,312 @@
+//! Loop transformations: permutation and tiling traversals.
+//!
+//! The "intra-processor" baseline of the paper's evaluation (Section 5.1)
+//! applies well-known data-locality transformations — loop permutation
+//! and iteration-space tiling/blocking — before block-distributing
+//! iterations across clients. This module supplies those mechanics as
+//! *traversals*: alternative enumeration orders over the original
+//! iteration space. Points are always yielded in original coordinates,
+//! so array references evaluate unchanged; only the execution order
+//! differs.
+
+use crate::deps::{permutation_is_legal, Dependence};
+use crate::space::{IterationSpace, Point};
+use serde::{Deserialize, Serialize};
+
+/// An execution order over an iteration space.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Traversal {
+    /// Original lexicographic order.
+    Identity,
+    /// Loop permutation: position `j` of the new nest runs old loop
+    /// `perm[j]`. `perm` must be a permutation of `0..depth`.
+    Permuted(Vec<usize>),
+    /// Rectangular tiling with the given tile size per loop (outermost
+    /// first). Tiles are visited lexicographically; points within a tile
+    /// are visited lexicographically.
+    Tiled(Vec<i64>),
+    /// Tiling where the *tile loops* are permuted by `perm` (intra-tile
+    /// order stays lexicographic). This is the classic blocked traversal
+    /// used to improve temporal reuse in outer positions.
+    TiledPermuted {
+        /// Tile size per loop.
+        tiles: Vec<i64>,
+        /// Permutation applied to the inter-tile loops.
+        perm: Vec<usize>,
+    },
+}
+
+impl Traversal {
+    /// True if applying this traversal preserves all dependences.
+    ///
+    /// * `Identity` is always legal.
+    /// * `Permuted` is legal iff every direction vector stays
+    ///   lexicographically positive under the permutation.
+    /// * `Tiled`/`TiledPermuted` follow the classical condition: tiling is
+    ///   legal when the tiled loops are *fully permutable*, i.e. every
+    ///   dependence distance is non-negative in every tiled dimension
+    ///   (and, for `TiledPermuted`, the tile-loop permutation must also be
+    ///   legal).
+    pub fn is_legal(&self, deps: &[Dependence]) -> bool {
+        match self {
+            Traversal::Identity => true,
+            Traversal::Permuted(perm) => permutation_is_legal(deps, perm),
+            Traversal::Tiled(_) => fully_permutable(deps),
+            Traversal::TiledPermuted { perm, .. } => {
+                fully_permutable(deps) && permutation_is_legal(deps, perm)
+            }
+        }
+    }
+
+    /// Enumerates the points of `space` in this traversal's order.
+    ///
+    /// Rectangular spaces are enumerated directly. Non-rectangular spaces
+    /// are supported only for `Identity` and `Permuted` (the latter by
+    /// materialize-and-sort, acceptable at mapping time).
+    ///
+    /// # Panics
+    /// Panics on a malformed permutation/tile vector, or when tiling a
+    /// non-rectangular space.
+    pub fn enumerate(&self, space: &IterationSpace) -> Vec<Point> {
+        match self {
+            Traversal::Identity => space.iter().collect(),
+            Traversal::Permuted(perm) => {
+                check_perm(perm, space.depth());
+                let mut pts: Vec<Point> = space.iter().collect();
+                pts.sort_by(|a, b| {
+                    for &old in perm {
+                        match a[old].cmp(&b[old]) {
+                            std::cmp::Ordering::Equal => {}
+                            o => return o,
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                pts
+            }
+            Traversal::Tiled(tiles) => {
+                tiled_enumeration(space, tiles, &(0..space.depth()).collect::<Vec<_>>())
+            }
+            Traversal::TiledPermuted { tiles, perm } => {
+                check_perm(perm, space.depth());
+                tiled_enumeration(space, tiles, perm)
+            }
+        }
+    }
+}
+
+fn check_perm(perm: &[usize], depth: usize) {
+    assert_eq!(perm.len(), depth, "permutation length must equal nest depth");
+    let mut seen = vec![false; depth];
+    for &p in perm {
+        assert!(p < depth && !seen[p], "invalid permutation {perm:?}");
+        seen[p] = true;
+    }
+}
+
+/// All dependence distances non-negative in every dimension.
+fn fully_permutable(deps: &[Dependence]) -> bool {
+    deps.iter().all(|d| d.distance.iter().all(|&x| x >= 0))
+}
+
+/// Enumerates a rectangular space tile-by-tile. `perm` orders the
+/// inter-tile loops; intra-tile order is lexicographic in original loop
+/// order.
+fn tiled_enumeration(space: &IterationSpace, tiles: &[i64], perm: &[usize]) -> Vec<Point> {
+    assert!(
+        space.is_rectangular(),
+        "tiling requires a rectangular iteration space"
+    );
+    let bounds = space.rectangular_bounds();
+    assert_eq!(tiles.len(), bounds.len(), "one tile size per loop required");
+    for &t in tiles {
+        assert!(t > 0, "tile sizes must be positive, got {t}");
+    }
+
+    // Number of tiles per dimension.
+    let ntiles: Vec<i64> = bounds
+        .iter()
+        .zip(tiles)
+        .map(|(&(lo, hi), &t)| {
+            if hi < lo {
+                0
+            } else {
+                (hi - lo + 1 + t - 1) / t
+            }
+        })
+        .collect();
+    if ntiles.contains(&0) {
+        return Vec::new();
+    }
+
+    let depth = bounds.len();
+    let total: u64 = space.size();
+    let mut out = Vec::with_capacity(total as usize);
+
+    // Odometer over tile coordinates in `perm` order.
+    let mut tc = vec![0i64; depth];
+    loop {
+        // Emit the tile's points in lexicographic original order.
+        let tile_bounds: Vec<(i64, i64)> = (0..depth)
+            .map(|k| {
+                let (lo, hi) = bounds[k];
+                let start = lo + tc[k] * tiles[k];
+                (start, (start + tiles[k] - 1).min(hi))
+            })
+            .collect();
+        let tile_space = IterationSpace::new(
+            tile_bounds
+                .iter()
+                .map(|&(lo, hi)| crate::space::Loop::constant(lo, hi))
+                .collect(),
+        );
+        out.extend(tile_space.iter());
+
+        // Advance tile odometer: innermost position of `perm` fastest.
+        let mut j = depth;
+        loop {
+            if j == 0 {
+                return out;
+            }
+            j -= 1;
+            let dim = perm[j];
+            tc[dim] += 1;
+            if tc[dim] < ntiles[dim] {
+                break;
+            }
+            tc[dim] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deps::DependenceKind;
+
+    fn square(n: i64) -> IterationSpace {
+        IterationSpace::rectangular(&[n, n])
+    }
+
+    #[test]
+    fn identity_matches_space_iter() {
+        let s = square(3);
+        let t = Traversal::Identity.enumerate(&s);
+        let direct: Vec<Point> = s.iter().collect();
+        assert_eq!(t, direct);
+    }
+
+    #[test]
+    fn permuted_is_column_major() {
+        let s = square(2);
+        let t = Traversal::Permuted(vec![1, 0]).enumerate(&s);
+        assert_eq!(
+            t,
+            vec![vec![0, 0], vec![1, 0], vec![0, 1], vec![1, 1]]
+        );
+    }
+
+    #[test]
+    fn permutation_is_a_permutation_of_points() {
+        let s = square(4);
+        let mut t = Traversal::Permuted(vec![1, 0]).enumerate(&s);
+        let mut direct: Vec<Point> = s.iter().collect();
+        t.sort();
+        direct.sort();
+        assert_eq!(t, direct);
+    }
+
+    #[test]
+    fn tiled_visits_tiles_in_order() {
+        let s = square(4);
+        let t = Traversal::Tiled(vec![2, 2]).enumerate(&s);
+        assert_eq!(t.len(), 16);
+        // First tile: (0..2)×(0..2).
+        assert_eq!(
+            &t[..4],
+            &[vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
+        );
+        // Second tile: (0..2)×(2..4).
+        assert_eq!(t[4], vec![0, 2]);
+    }
+
+    #[test]
+    fn tiled_handles_partial_tiles() {
+        let s = IterationSpace::rectangular(&[3, 5]);
+        let t = Traversal::Tiled(vec![2, 2]).enumerate(&s);
+        assert_eq!(t.len(), 15);
+        // Every original point appears exactly once.
+        let mut sorted = t.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 15);
+    }
+
+    #[test]
+    fn tiled_permuted_orders_tiles_by_perm() {
+        let s = square(4);
+        let t = Traversal::TiledPermuted {
+            tiles: vec![2, 2],
+            perm: vec![1, 0],
+        }
+        .enumerate(&s);
+        assert_eq!(t.len(), 16);
+        // Tile order column-major: after tile (0,0) comes tile (1,0),
+        // whose first point is (2,0).
+        assert_eq!(t[4], vec![2, 0]);
+    }
+
+    #[test]
+    fn legality_checks() {
+        let flow_pos = Dependence {
+            distance: vec![1, 0],
+            kind: DependenceKind::Flow,
+        };
+        let flow_mixed = Dependence {
+            distance: vec![1, -1],
+            kind: DependenceKind::Flow,
+        };
+        assert!(Traversal::Identity.is_legal(std::slice::from_ref(&flow_mixed)));
+        assert!(Traversal::Permuted(vec![0, 1]).is_legal(std::slice::from_ref(&flow_mixed)));
+        assert!(!Traversal::Permuted(vec![1, 0]).is_legal(std::slice::from_ref(&flow_mixed)));
+        assert!(Traversal::Tiled(vec![2, 2]).is_legal(std::slice::from_ref(&flow_pos)));
+        assert!(!Traversal::Tiled(vec![2, 2]).is_legal(&[flow_mixed]));
+        assert!(Traversal::TiledPermuted {
+            tiles: vec![2, 2],
+            perm: vec![1, 0]
+        }
+        .is_legal(&[flow_pos]));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid permutation")]
+    fn malformed_permutation_rejected() {
+        Traversal::Permuted(vec![0, 0]).enumerate(&square(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "rectangular")]
+    fn tiling_nonrectangular_rejected() {
+        use crate::affine::AffineExpr;
+        let s = IterationSpace::new(vec![
+            crate::space::Loop::constant(0, 3),
+            crate::space::Loop::new(AffineExpr::constant(0), AffineExpr::var(0)),
+        ]);
+        Traversal::Tiled(vec![2, 2]).enumerate(&s);
+    }
+
+    #[test]
+    fn permuted_nonrectangular_supported() {
+        use crate::affine::AffineExpr;
+        let s = IterationSpace::new(vec![
+            crate::space::Loop::constant(0, 2),
+            crate::space::Loop::new(AffineExpr::constant(0), AffineExpr::var(0)),
+        ]);
+        let t = Traversal::Permuted(vec![1, 0]).enumerate(&s);
+        assert_eq!(t.len(), s.size() as usize);
+        // Sorted by (i1, i0): first point has smallest i1.
+        assert_eq!(t[0], vec![0, 0]);
+        assert_eq!(t[1], vec![1, 0]);
+        assert_eq!(t[2], vec![2, 0]);
+    }
+}

@@ -1,0 +1,576 @@
+//! Chunk-granularity storage caches with pluggable replacement.
+//!
+//! "These storage caches are managed using the LRU policy" (Section 5.1).
+//! The unit of management is one data chunk (= stripe size). Caches are
+//! write-allocate / write-back: a write to a cached chunk marks it dirty,
+//! and evicting a dirty chunk surfaces it to the caller so the simulator
+//! can charge the write-back to the next level.
+//!
+//! The paper also notes its approach "can work with any storage caching
+//! policy"; FIFO and LFU variants are provided for that ablation.
+
+use crate::config::PolicyKind;
+use cachemap_util::FxHashMap;
+use cachemap_util::stats::HitMiss;
+
+/// A chunk identifier (global data-space numbering).
+pub type Chunk = usize;
+
+/// Result of inserting a chunk into a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// There was room (or the chunk was already resident).
+    Inserted,
+    /// A clean chunk was evicted to make room.
+    EvictedClean(Chunk),
+    /// A dirty chunk was evicted; the caller must write it back.
+    EvictedDirty(Chunk),
+}
+
+/// A chunk cache with some replacement policy.
+pub trait ChunkCache {
+    /// Looks up a chunk, updating recency/frequency metadata.
+    /// Returns `true` on hit. On a write hit the chunk is marked dirty.
+    fn access(&mut self, chunk: Chunk, write: bool) -> bool;
+
+    /// Inserts a chunk (after a miss was serviced), possibly evicting.
+    /// `dirty` marks the newly inserted chunk (write-allocate of a write
+    /// miss).
+    fn insert(&mut self, chunk: Chunk, dirty: bool) -> InsertOutcome;
+
+    /// True if the chunk is resident (no metadata update).
+    fn contains(&self, chunk: Chunk) -> bool;
+
+    /// Number of resident chunks.
+    fn len(&self) -> usize;
+
+    /// True if nothing is resident.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Capacity in chunks.
+    fn capacity(&self) -> usize;
+
+    /// Hit/miss statistics accumulated by `access`.
+    fn stats(&self) -> HitMiss;
+
+    /// Drops all residents and statistics.
+    fn reset(&mut self);
+}
+
+/// Builds a cache of the configured policy kind.
+pub fn build_cache(policy: PolicyKind, capacity: usize) -> Box<dyn ChunkCache + Send> {
+    match policy {
+        PolicyKind::Lru => Box::new(LruCache::new(capacity)),
+        PolicyKind::Fifo => Box::new(FifoCache::new(capacity)),
+        PolicyKind::Lfu => Box::new(LfuCache::new(capacity)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LRU
+// ---------------------------------------------------------------------------
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct LruEntry {
+    chunk: Chunk,
+    dirty: bool,
+    prev: usize,
+    next: usize,
+}
+
+/// Least-recently-used cache: a slab of entries threaded on an intrusive
+/// doubly-linked list (head = most recent, tail = LRU victim), with an
+/// `FxHashMap` chunk → slot index. All operations are O(1).
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    capacity: usize,
+    slots: Vec<LruEntry>,
+    free: Vec<usize>,
+    index: FxHashMap<Chunk, usize>,
+    head: usize,
+    tail: usize,
+    stats: HitMiss,
+}
+
+impl LruCache {
+    /// Creates an empty cache with the given capacity in chunks.
+    ///
+    /// # Panics
+    /// Panics if capacity is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruCache {
+            capacity,
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            index: FxHashMap::default(),
+            head: NIL,
+            tail: NIL,
+            stats: HitMiss::default(),
+        }
+    }
+
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn attach_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn evict_lru(&mut self) -> (Chunk, bool) {
+        let victim = self.tail;
+        debug_assert_ne!(victim, NIL, "evict called on empty cache");
+        self.detach(victim);
+        let chunk = self.slots[victim].chunk;
+        let dirty = self.slots[victim].dirty;
+        self.index.remove(&chunk);
+        self.free.push(victim);
+        (chunk, dirty)
+    }
+}
+
+impl ChunkCache for LruCache {
+    fn access(&mut self, chunk: Chunk, write: bool) -> bool {
+        if let Some(&slot) = self.index.get(&chunk) {
+            self.detach(slot);
+            self.attach_front(slot);
+            if write {
+                self.slots[slot].dirty = true;
+            }
+            self.stats.hit();
+            true
+        } else {
+            self.stats.miss();
+            false
+        }
+    }
+
+    fn insert(&mut self, chunk: Chunk, dirty: bool) -> InsertOutcome {
+        if let Some(&slot) = self.index.get(&chunk) {
+            // Already resident: refresh recency, merge dirty bit.
+            self.detach(slot);
+            self.attach_front(slot);
+            self.slots[slot].dirty |= dirty;
+            return InsertOutcome::Inserted;
+        }
+        let mut outcome = InsertOutcome::Inserted;
+        if self.index.len() == self.capacity {
+            let (victim, was_dirty) = self.evict_lru();
+            outcome = if was_dirty {
+                InsertOutcome::EvictedDirty(victim)
+            } else {
+                InsertOutcome::EvictedClean(victim)
+            };
+        }
+        let slot = if let Some(s) = self.free.pop() {
+            self.slots[s] = LruEntry {
+                chunk,
+                dirty,
+                prev: NIL,
+                next: NIL,
+            };
+            s
+        } else {
+            self.slots.push(LruEntry {
+                chunk,
+                dirty,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slots.len() - 1
+        };
+        self.index.insert(chunk, slot);
+        self.attach_front(slot);
+        outcome
+    }
+
+    fn contains(&self, chunk: Chunk) -> bool {
+        self.index.contains_key(&chunk)
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn stats(&self) -> HitMiss {
+        self.stats
+    }
+
+    fn reset(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.index.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.stats = HitMiss::default();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FIFO
+// ---------------------------------------------------------------------------
+
+/// First-in-first-out cache (ablation): eviction order is insertion
+/// order; `access` does not change the order.
+#[derive(Debug, Clone)]
+pub struct FifoCache {
+    capacity: usize,
+    queue: std::collections::VecDeque<Chunk>,
+    dirty: FxHashMap<Chunk, bool>,
+    stats: HitMiss,
+}
+
+impl FifoCache {
+    /// Creates an empty FIFO cache.
+    ///
+    /// # Panics
+    /// Panics if capacity is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        FifoCache {
+            capacity,
+            queue: std::collections::VecDeque::with_capacity(capacity),
+            dirty: FxHashMap::default(),
+            stats: HitMiss::default(),
+        }
+    }
+}
+
+impl ChunkCache for FifoCache {
+    fn access(&mut self, chunk: Chunk, write: bool) -> bool {
+        if let Some(d) = self.dirty.get_mut(&chunk) {
+            *d |= write;
+            self.stats.hit();
+            true
+        } else {
+            self.stats.miss();
+            false
+        }
+    }
+
+    fn insert(&mut self, chunk: Chunk, dirty: bool) -> InsertOutcome {
+        if let Some(d) = self.dirty.get_mut(&chunk) {
+            *d |= dirty;
+            return InsertOutcome::Inserted;
+        }
+        let mut outcome = InsertOutcome::Inserted;
+        if self.dirty.len() == self.capacity {
+            let victim = self.queue.pop_front().expect("non-empty at capacity");
+            let was_dirty = self.dirty.remove(&victim).unwrap_or(false);
+            outcome = if was_dirty {
+                InsertOutcome::EvictedDirty(victim)
+            } else {
+                InsertOutcome::EvictedClean(victim)
+            };
+        }
+        self.queue.push_back(chunk);
+        self.dirty.insert(chunk, dirty);
+        outcome
+    }
+
+    fn contains(&self, chunk: Chunk) -> bool {
+        self.dirty.contains_key(&chunk)
+    }
+
+    fn len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn stats(&self) -> HitMiss {
+        self.stats
+    }
+
+    fn reset(&mut self) {
+        self.queue.clear();
+        self.dirty.clear();
+        self.stats = HitMiss::default();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LFU
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct LfuEntry {
+    freq: u64,
+    seq: u64, // tie-break: lower sequence = older = evicted first
+    dirty: bool,
+}
+
+/// Least-frequently-used cache (ablation) with FIFO tie-breaking.
+/// Eviction is O(n) in capacity, which is fine for the simulator's cache
+/// sizes.
+#[derive(Debug, Clone)]
+pub struct LfuCache {
+    capacity: usize,
+    entries: FxHashMap<Chunk, LfuEntry>,
+    next_seq: u64,
+    stats: HitMiss,
+}
+
+impl LfuCache {
+    /// Creates an empty LFU cache.
+    ///
+    /// # Panics
+    /// Panics if capacity is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LfuCache {
+            capacity,
+            entries: FxHashMap::default(),
+            next_seq: 0,
+            stats: HitMiss::default(),
+        }
+    }
+
+    fn evict_lfu(&mut self) -> (Chunk, bool) {
+        let victim = *self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| (e.freq, e.seq))
+            .map(|(c, _)| c)
+            .expect("evict called on empty cache");
+        let e = self.entries.remove(&victim).unwrap();
+        (victim, e.dirty)
+    }
+}
+
+impl ChunkCache for LfuCache {
+    fn access(&mut self, chunk: Chunk, write: bool) -> bool {
+        if let Some(e) = self.entries.get_mut(&chunk) {
+            e.freq += 1;
+            e.dirty |= write;
+            self.stats.hit();
+            true
+        } else {
+            self.stats.miss();
+            false
+        }
+    }
+
+    fn insert(&mut self, chunk: Chunk, dirty: bool) -> InsertOutcome {
+        if let Some(e) = self.entries.get_mut(&chunk) {
+            e.dirty |= dirty;
+            return InsertOutcome::Inserted;
+        }
+        let mut outcome = InsertOutcome::Inserted;
+        if self.entries.len() == self.capacity {
+            let (victim, was_dirty) = self.evict_lfu();
+            outcome = if was_dirty {
+                InsertOutcome::EvictedDirty(victim)
+            } else {
+                InsertOutcome::EvictedClean(victim)
+            };
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.insert(
+            chunk,
+            LfuEntry {
+                freq: 1,
+                seq,
+                dirty,
+            },
+        );
+        outcome
+    }
+
+    fn contains(&self, chunk: Chunk) -> bool {
+        self.entries.contains_key(&chunk)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn stats(&self) -> HitMiss {
+        self.stats
+    }
+
+    fn reset(&mut self) {
+        self.entries.clear();
+        self.next_seq = 0;
+        self.stats = HitMiss::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_hits_and_misses() {
+        let mut c = LruCache::new(2);
+        assert!(!c.access(1, false));
+        c.insert(1, false);
+        assert!(c.access(1, false));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = LruCache::new(2);
+        c.insert(1, false);
+        c.insert(2, false);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.access(1, false));
+        let out = c.insert(3, false);
+        assert_eq!(out, InsertOutcome::EvictedClean(2));
+        assert!(c.contains(1) && c.contains(3) && !c.contains(2));
+    }
+
+    #[test]
+    fn lru_dirty_eviction_surfaces_writeback() {
+        let mut c = LruCache::new(1);
+        c.insert(7, false);
+        assert!(c.access(7, true)); // write hit marks dirty
+        let out = c.insert(8, false);
+        assert_eq!(out, InsertOutcome::EvictedDirty(7));
+    }
+
+    #[test]
+    fn lru_insert_existing_merges_dirty() {
+        let mut c = LruCache::new(2);
+        c.insert(1, false);
+        c.insert(1, true);
+        c.insert(2, false);
+        let out = c.insert(3, false); // victim should be 1 (older), dirty
+        assert_eq!(out, InsertOutcome::EvictedDirty(1));
+    }
+
+    #[test]
+    fn lru_never_exceeds_capacity() {
+        let mut c = LruCache::new(4);
+        for i in 0..100 {
+            c.insert(i, i % 3 == 0);
+            assert!(c.len() <= 4);
+        }
+        assert_eq!(c.len(), 4);
+        // The last four inserted remain.
+        for i in 96..100 {
+            assert!(c.contains(i));
+        }
+    }
+
+    #[test]
+    fn lru_reset_clears_everything() {
+        let mut c = LruCache::new(2);
+        c.insert(1, true);
+        c.access(1, false);
+        c.reset();
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.stats().accesses(), 0);
+        assert!(!c.contains(1));
+        // Reusable after reset.
+        c.insert(5, false);
+        assert!(c.contains(5));
+    }
+
+    #[test]
+    fn fifo_evicts_insertion_order_despite_access() {
+        let mut c = FifoCache::new(2);
+        c.insert(1, false);
+        c.insert(2, false);
+        assert!(c.access(1, false)); // does NOT protect 1 under FIFO
+        let out = c.insert(3, false);
+        assert_eq!(out, InsertOutcome::EvictedClean(1));
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequent() {
+        let mut c = LfuCache::new(2);
+        c.insert(1, false);
+        c.insert(2, false);
+        c.access(1, false);
+        c.access(1, false);
+        c.access(2, false);
+        let out = c.insert(3, false);
+        // 2 has freq 2 (1 insert + 1 access), 1 has freq 3 → evict 2.
+        assert_eq!(out, InsertOutcome::EvictedClean(2));
+    }
+
+    #[test]
+    fn lfu_tie_breaks_by_age() {
+        let mut c = LfuCache::new(2);
+        c.insert(1, false);
+        c.insert(2, false);
+        let out = c.insert(3, false); // both freq 1 → evict older (1)
+        assert_eq!(out, InsertOutcome::EvictedClean(1));
+    }
+
+    #[test]
+    fn policy_factory_builds_each_kind() {
+        for (kind, cap) in [
+            (PolicyKind::Lru, 3),
+            (PolicyKind::Fifo, 3),
+            (PolicyKind::Lfu, 3),
+        ] {
+            let mut c = build_cache(kind, cap);
+            assert_eq!(c.capacity(), cap);
+            c.insert(1, false);
+            assert!(c.access(1, false));
+            assert!(c.stats().hits >= 1);
+        }
+    }
+
+    #[test]
+    fn lru_interleaved_stress_is_consistent() {
+        // Cross-check the intrusive list against a reference model.
+        let mut c = LruCache::new(8);
+        let mut model: Vec<Chunk> = Vec::new(); // front = most recent
+        for step in 0..2000usize {
+            let chunk = (step * 7 + step / 3) % 23;
+            let hit = c.access(chunk, false);
+            let model_hit = model.contains(&chunk);
+            assert_eq!(hit, model_hit, "step {step} chunk {chunk}");
+            if hit {
+                model.retain(|&x| x != chunk);
+                model.insert(0, chunk);
+            } else {
+                c.insert(chunk, false);
+                if model.len() == 8 {
+                    model.pop();
+                }
+                model.insert(0, chunk);
+            }
+            assert_eq!(c.len(), model.len());
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Disk and striping model.
+//!
+//! Each storage node owns one disk. File data is striped across all
+//! storage nodes at stripe-size (= chunk-size) granularity, PVFS-style
+//! (Table 1: "Data Striping uses all 16 storage nodes"). A chunk read
+//! costs average seek + average rotational delay + transfer, unless the
+//! request is sequential on that disk (the immediately following chunk),
+//! in which case positioning is skipped — this is what makes the
+//! lexicographic "original" mapping stream reasonably well and gives the
+//! locality schemes something real to beat.
+
+use crate::cache::Chunk;
+use crate::config::PlatformConfig;
+use serde::{Deserialize, Serialize};
+
+/// State of one storage-node disk.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Disk {
+    /// Chunk that the head is positioned right after, if any.
+    last_chunk: Option<Chunk>,
+    /// Total reads serviced.
+    pub reads: u64,
+    /// Total writes serviced.
+    pub writes: u64,
+    /// Reads that were sequential (no positioning cost).
+    pub sequential_reads: u64,
+}
+
+impl Disk {
+    /// A disk with an unpositioned head.
+    pub fn new() -> Self {
+        Disk {
+            last_chunk: None,
+            reads: 0,
+            writes: 0,
+            sequential_reads: 0,
+        }
+    }
+
+    /// Services a read of `chunk`; returns the service time in ns.
+    pub fn read(&mut self, chunk: Chunk, cfg: &PlatformConfig) -> u64 {
+        self.reads += 1;
+        let sequential = self.last_chunk == Some(chunk.wrapping_sub(striping_stride(cfg)));
+        self.last_chunk = Some(chunk);
+        if sequential {
+            self.sequential_reads += 1;
+            cfg.disk_transfer_ns()
+        } else {
+            cfg.seek_ns + cfg.rotational_ns() + cfg.disk_transfer_ns()
+        }
+    }
+
+    /// Services a write-back of `chunk`; returns the service time in ns.
+    /// Writes always pay positioning (they interrupt a read stream).
+    pub fn write(&mut self, chunk: Chunk, cfg: &PlatformConfig) -> u64 {
+        self.writes += 1;
+        self.last_chunk = Some(chunk);
+        cfg.seek_ns + cfg.rotational_ns() + cfg.disk_transfer_ns()
+    }
+}
+
+impl Default for Disk {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The storage node that owns a chunk under round-robin striping across
+/// all storage nodes.
+pub fn owner_of_chunk(chunk: Chunk, cfg: &PlatformConfig) -> usize {
+    chunk % cfg.num_storage_nodes
+}
+
+/// The spindle within the owning storage node that holds a chunk:
+/// node-local data is striped round-robin over the node's disks.
+pub fn spindle_of_chunk(chunk: Chunk, cfg: &PlatformConfig) -> usize {
+    (chunk / cfg.num_storage_nodes) % cfg.disks_per_node
+}
+
+/// Flat disk index (node-major) for the engine's disk table.
+pub fn disk_index(chunk: Chunk, cfg: &PlatformConfig) -> usize {
+    owner_of_chunk(chunk, cfg) * cfg.disks_per_node + spindle_of_chunk(chunk, cfg)
+}
+
+/// Total spindles in the system.
+pub fn total_disks(cfg: &PlatformConfig) -> usize {
+    cfg.num_storage_nodes * cfg.disks_per_node
+}
+
+/// The global-chunk-id stride between consecutive chunks on the same
+/// spindle: with two-level round-robin striping, chunk `c` and
+/// `c + num_storage_nodes · disks_per_node` are adjacent on disk.
+pub fn striping_stride(cfg: &PlatformConfig) -> usize {
+    cfg.num_storage_nodes * cfg.disks_per_node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PlatformConfig {
+        PlatformConfig::paper_default()
+    }
+
+    #[test]
+    fn striping_round_robin() {
+        let c = cfg();
+        assert_eq!(owner_of_chunk(0, &c), 0);
+        assert_eq!(owner_of_chunk(15, &c), 15);
+        assert_eq!(owner_of_chunk(16, &c), 0);
+        assert_eq!(owner_of_chunk(17, &c), 1);
+        // Node-local spindle striping: chunks 0, 16, 32, 48 live on node
+        // 0's spindles 0, 1, 2, 3; chunk 64 wraps back to spindle 0.
+        assert_eq!(spindle_of_chunk(0, &c), 0);
+        assert_eq!(spindle_of_chunk(16, &c), 1);
+        assert_eq!(spindle_of_chunk(48, &c), 3);
+        assert_eq!(spindle_of_chunk(64, &c), 0);
+        assert_eq!(disk_index(17, &c), c.disks_per_node + 1);
+        assert_eq!(total_disks(&c), 64);
+    }
+
+    #[test]
+    fn random_read_pays_positioning() {
+        let c = cfg();
+        let mut d = Disk::new();
+        let t = d.read(5, &c);
+        assert_eq!(t, c.seek_ns + c.rotational_ns() + c.disk_transfer_ns());
+        assert_eq!(d.reads, 1);
+        assert_eq!(d.sequential_reads, 0);
+    }
+
+    #[test]
+    fn sequential_read_skips_positioning() {
+        let c = cfg();
+        let mut d = Disk::new();
+        // Spindle (0,0) holds chunks 0, 64, 128, … — reading them in
+        // order is sequential after the first.
+        d.read(0, &c);
+        let t = d.read(64, &c);
+        assert_eq!(t, c.disk_transfer_ns());
+        assert_eq!(d.sequential_reads, 1);
+        let t2 = d.read(192, &c); // skipped 128 → not sequential
+        assert!(t2 > c.disk_transfer_ns());
+    }
+
+    #[test]
+    fn write_pays_positioning_and_disturbs_stream() {
+        let c = cfg();
+        let mut d = Disk::new();
+        d.read(0, &c);
+        let tw = d.write(100, &c);
+        assert_eq!(tw, c.seek_ns + c.rotational_ns() + c.disk_transfer_ns());
+        assert_eq!(d.writes, 1);
+        // Next read of 64 is no longer sequential (head moved).
+        let t = d.read(64, &c);
+        assert!(t > c.disk_transfer_ns());
+    }
+}

@@ -1,0 +1,49 @@
+//! Multi-level storage cache hierarchy simulator.
+//!
+//! The HPDC'10 paper evaluates its mapping scheme on a real cluster
+//! (64 client nodes, 32 I/O nodes, 16 storage nodes, MPI-IO over PVFS,
+//! LRU storage caches at every layer — Table 1). This crate is the
+//! simulated substitute for that platform:
+//!
+//! * [`config`] — the Table 1 platform parameters, with a scaling knob so
+//!   a several-hundred-GB experiment shrinks to seconds while preserving
+//!   cache:data ratios;
+//! * [`topology`] — the storage cache hierarchy tree of Figure 1/Section 4.3
+//!   (client L1 → I/O node L2 → storage node L3, dummy root when there are
+//!   multiple storage nodes), with the affinity queries the mapper needs;
+//! * [`cache`] — chunk-granularity caches with pluggable replacement
+//!   (LRU as in the paper, FIFO/LFU for ablations), write-allocate and
+//!   write-back dirty eviction;
+//! * [`disk`] — seek + rotational-delay + transfer disk model with
+//!   sequential-access detection, PVFS-style striping across storage
+//!   nodes;
+//! * [`net`] — per-hop link latency/bandwidth between layers;
+//! * [`engine`] — a deterministic discrete-event engine that interleaves
+//!   the per-client operation streams in global time order, modelling
+//!   contention at shared caches and disks;
+//! * [`trace`] — optional access-trace capture and Mattson
+//!   reuse-distance analysis (drives the calibration discussion in
+//!   EXPERIMENTS.md);
+//! * [`sim`] — the top-level [`sim::Simulator`] producing a
+//!   [`sim::SimReport`] with per-level hit/miss statistics, I/O latency,
+//!   and execution time — exactly the three result types Section 5.1
+//!   reports.
+//!
+//! Simulated time is integer **nanoseconds** (`u64`) for reproducibility.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod config;
+pub mod disk;
+pub mod engine;
+pub mod net;
+pub mod sim;
+pub mod topology;
+pub mod trace;
+
+pub use config::PlatformConfig;
+pub use engine::{ClientOp, MappedProgram};
+pub use sim::{SimReport, Simulator};
+pub use topology::{CacheLevel, HierarchyTree, NodeId};

@@ -1,0 +1,56 @@
+//! Network link model.
+//!
+//! The platform has two link layers: client ↔ I/O node and I/O node ↔
+//! storage node (the latter is the 10 GigE link of the Blue Gene/P
+//! description in Section 3). A chunk transfer costs a fixed per-hop
+//! latency plus serialization at the link bandwidth; the simulator
+//! serializes concurrent transfers on the same endpoint through the
+//! engine's resource clocks.
+
+use crate::config::PlatformConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which hop a transfer crosses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Hop {
+    /// Client node ↔ I/O node.
+    ClientIo,
+    /// I/O node ↔ storage node.
+    IoStorage,
+    /// Storage node ↔ storage node (peer forwarding when the tree-route
+    /// storage node is not the striping owner of a chunk).
+    StoragePeer,
+}
+
+/// Time in ns to move one control message (no payload) across a hop.
+pub fn control_ns(_hop: Hop, cfg: &PlatformConfig) -> u64 {
+    cfg.net_hop_ns
+}
+
+/// Time in ns to move one data chunk across a hop.
+pub fn chunk_transfer_ns(hop: Hop, cfg: &PlatformConfig) -> u64 {
+    match hop {
+        Hop::ClientIo | Hop::IoStorage => cfg.net_chunk_ns(),
+        // Peer forwarding shares the storage fabric; same cost model.
+        Hop::StoragePeer => cfg.net_chunk_ns(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_transfer_includes_serialization() {
+        let cfg = PlatformConfig::paper_default();
+        let t = chunk_transfer_ns(Hop::ClientIo, &cfg);
+        assert!(t > cfg.net_hop_ns);
+        assert_eq!(t, cfg.net_chunk_ns());
+    }
+
+    #[test]
+    fn control_message_is_latency_only() {
+        let cfg = PlatformConfig::paper_default();
+        assert_eq!(control_ns(Hop::IoStorage, &cfg), cfg.net_hop_ns);
+    }
+}

@@ -1,0 +1,174 @@
+//! Top-level simulation facade and reporting.
+//!
+//! [`Simulator`] wires a [`PlatformConfig`] to its [`HierarchyTree`],
+//! runs a [`MappedProgram`] through the event engine, and condenses the
+//! raw statistics into a [`SimReport`] carrying exactly the three result
+//! families Section 5.1 reports: per-level storage-cache miss rates, I/O
+//! latency, and overall execution time.
+
+use crate::config::PlatformConfig;
+use crate::engine::{Engine, MappedProgram, RunStats};
+use crate::topology::HierarchyTree;
+use cachemap_util::stats::HitMiss;
+use serde::{Deserialize, Serialize};
+
+/// Condensed results of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Cumulative L1 (client cache) statistics.
+    pub l1: HitMiss,
+    /// Cumulative L2 (I/O-node cache) statistics.
+    pub l2: HitMiss,
+    /// Cumulative L3 (storage-node cache) statistics.
+    pub l3: HitMiss,
+    /// Application I/O latency: total time all clients spent performing
+    /// I/O (includes storage-cache access cycles, per Section 5.1), ns.
+    pub io_latency_ns: u64,
+    /// Overall execution time: the latest client completion, ns.
+    pub exec_time_ns: u64,
+    /// Per-client completion times, ns.
+    pub per_client_finish_ns: Vec<u64>,
+    /// Per-client I/O time, ns.
+    pub per_client_io_ns: Vec<u64>,
+    /// Disk reads serviced.
+    pub disk_reads: u64,
+    /// Fraction of disk reads that were sequential.
+    pub disk_sequential_fraction: f64,
+    /// Disk write-backs serviced.
+    pub disk_writes: u64,
+}
+
+impl SimReport {
+    fn from_run(stats: RunStats) -> Self {
+        let io_latency_ns = stats.per_client_io_ns.iter().sum();
+        let exec_time_ns = stats.per_client_finish_ns.iter().copied().max().unwrap_or(0);
+        let seq_frac = if stats.disk_reads == 0 {
+            0.0
+        } else {
+            stats.disk_sequential_reads as f64 / stats.disk_reads as f64
+        };
+        SimReport {
+            l1: stats.l1,
+            l2: stats.l2,
+            l3: stats.l3,
+            io_latency_ns,
+            exec_time_ns,
+            per_client_finish_ns: stats.per_client_finish_ns,
+            per_client_io_ns: stats.per_client_io_ns,
+            disk_reads: stats.disk_reads,
+            disk_sequential_fraction: seq_frac,
+            disk_writes: stats.disk_writes,
+        }
+    }
+
+    /// L1 miss rate in `[0, 1]`.
+    pub fn l1_miss_rate(&self) -> f64 {
+        self.l1.miss_rate()
+    }
+
+    /// L2 miss rate in `[0, 1]` (relative to L2 accesses, i.e. L1 misses).
+    pub fn l2_miss_rate(&self) -> f64 {
+        self.l2.miss_rate()
+    }
+
+    /// L3 miss rate in `[0, 1]` (relative to L3 accesses, i.e. L2 misses).
+    pub fn l3_miss_rate(&self) -> f64 {
+        self.l3.miss_rate()
+    }
+
+    /// I/O latency in milliseconds.
+    pub fn io_latency_ms(&self) -> f64 {
+        self.io_latency_ns as f64 / 1e6
+    }
+
+    /// Execution time in milliseconds.
+    pub fn exec_time_ms(&self) -> f64 {
+        self.exec_time_ns as f64 / 1e6
+    }
+}
+
+/// One-platform simulator: owns the config and its hierarchy tree.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    cfg: PlatformConfig,
+    tree: HierarchyTree,
+}
+
+impl Simulator {
+    /// Builds a simulator for a platform configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: PlatformConfig) -> Self {
+        let tree = HierarchyTree::from_config(&cfg);
+        Simulator { cfg, tree }
+    }
+
+    /// The platform configuration.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.cfg
+    }
+
+    /// The storage cache hierarchy tree (shared with the mapper).
+    pub fn tree(&self) -> &HierarchyTree {
+        &self.tree
+    }
+
+    /// Runs a mapped program on a fresh platform state (cold caches).
+    pub fn run(&self, program: &MappedProgram) -> SimReport {
+        let stats = Engine::new(&self.cfg, &self.tree).run(program);
+        SimReport::from_run(stats)
+    }
+
+    /// Runs a mapped program and also captures the full access trace
+    /// (for reuse-distance analysis and debugging).
+    pub fn run_traced(&self, program: &MappedProgram) -> (SimReport, crate::trace::Trace) {
+        let (stats, trace) = Engine::new(&self.cfg, &self.tree).run_traced(program);
+        (SimReport::from_run(stats), trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ClientOp;
+
+    #[test]
+    fn report_rates_and_times() {
+        let sim = Simulator::new(PlatformConfig::tiny());
+        let mut prog = MappedProgram::new(4);
+        prog.per_client[0] = vec![
+            ClientOp::Access { chunk: 0, write: false },
+            ClientOp::Access { chunk: 0, write: false },
+            ClientOp::Compute { ns: 1000 },
+        ];
+        let rep = sim.run(&prog);
+        assert_eq!(rep.l1.accesses(), 2);
+        assert!((rep.l1_miss_rate() - 0.5).abs() < 1e-12);
+        assert!(rep.io_latency_ns > 0);
+        assert!(rep.exec_time_ns >= rep.per_client_finish_ns[0]);
+        assert_eq!(rep.disk_reads, 1);
+        assert!(rep.exec_time_ms() > 0.0);
+    }
+
+    #[test]
+    fn cold_caches_between_runs() {
+        let sim = Simulator::new(PlatformConfig::tiny());
+        let mut prog = MappedProgram::new(4);
+        prog.per_client[0] = vec![ClientOp::Access { chunk: 5, write: false }];
+        let a = sim.run(&prog);
+        let b = sim.run(&prog);
+        assert_eq!(a.l1.misses, b.l1.misses, "runs must not share cache state");
+        assert_eq!(a.io_latency_ns, b.io_latency_ns);
+    }
+
+    #[test]
+    fn exec_time_is_max_over_clients() {
+        let sim = Simulator::new(PlatformConfig::tiny());
+        let mut prog = MappedProgram::new(4);
+        prog.per_client[0] = vec![ClientOp::Compute { ns: 10 }];
+        prog.per_client[3] = vec![ClientOp::Compute { ns: 99 }];
+        let rep = sim.run(&prog);
+        assert_eq!(rep.exec_time_ns, 99);
+    }
+}

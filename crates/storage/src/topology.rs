@@ -1,0 +1,328 @@
+//! The storage cache hierarchy tree (Figure 1 / Section 4.3).
+//!
+//! The mapper's clustering algorithm descends this tree level by level:
+//! the root is the (possibly dummy) top of the storage layer, its
+//! children are storage-node caches, then I/O-node caches, and the leaves
+//! are the client-node (L1) caches. Two clients *have affinity at cache
+//! level ℓ* when the same level-ℓ cache sits on both of their paths to
+//! the root — the central definition of Section 3.
+
+use crate::config::PlatformConfig;
+use serde::{Deserialize, Serialize};
+
+/// Index of a node in the hierarchy tree.
+pub type NodeId = usize;
+
+/// Which layer of the storage hierarchy a cache belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CacheLevel {
+    /// Client-node cache (the paper's L1).
+    Client,
+    /// I/O-node cache (L2).
+    Io,
+    /// Storage-node cache (L3).
+    Storage,
+    /// Hypothetical unified root inserted when there are multiple storage
+    /// nodes (Section 4.3: "we create a dummy node as the root node").
+    DummyRoot,
+}
+
+/// One node of the hierarchy tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeNode {
+    /// Node id (index into the tree's node table).
+    pub id: NodeId,
+    /// Which hierarchy layer this cache lives in.
+    pub level: CacheLevel,
+    /// Parent node, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Children in the tree (empty for leaves).
+    pub children: Vec<NodeId>,
+    /// For `Client` leaves: the client index `0..w`.
+    /// For `Io`/`Storage` nodes: the node index within its layer.
+    pub layer_index: usize,
+}
+
+/// The storage cache hierarchy tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyTree {
+    nodes: Vec<TreeNode>,
+    root: NodeId,
+    clients: Vec<NodeId>,       // leaf node id per client index
+    io_nodes: Vec<NodeId>,      // node id per I/O-node index
+    storage_nodes: Vec<NodeId>, // node id per storage-node index
+}
+
+impl HierarchyTree {
+    /// Builds the three-level tree of a [`PlatformConfig`]: clients are
+    /// divided contiguously over I/O nodes, and I/O nodes contiguously
+    /// over storage nodes (the Blue Gene/P-style partitioning Section 3
+    /// describes). A dummy root is added when there are multiple storage
+    /// nodes.
+    ///
+    /// # Panics
+    /// Panics if the config fails [`PlatformConfig::validate`].
+    pub fn from_config(cfg: &PlatformConfig) -> Self {
+        cfg.validate().expect("invalid platform config");
+        let mut nodes: Vec<TreeNode> = Vec::new();
+        let mut alloc = |level, parent, layer_index| {
+            let id = nodes.len();
+            nodes.push(TreeNode {
+                id,
+                level,
+                parent,
+                children: Vec::new(),
+                layer_index,
+            });
+            id
+        };
+
+        let root = if cfg.num_storage_nodes > 1 {
+            Some(alloc(CacheLevel::DummyRoot, None, 0))
+        } else {
+            None
+        };
+
+        let mut storage_nodes = Vec::with_capacity(cfg.num_storage_nodes);
+        for s in 0..cfg.num_storage_nodes {
+            let id = alloc(CacheLevel::Storage, root, s);
+            storage_nodes.push(id);
+        }
+        let mut io_nodes = Vec::with_capacity(cfg.num_io_nodes);
+        for i in 0..cfg.num_io_nodes {
+            let parent = storage_nodes[i / cfg.ios_per_storage()];
+            let id = alloc(CacheLevel::Io, Some(parent), i);
+            io_nodes.push(id);
+        }
+        let mut clients = Vec::with_capacity(cfg.num_clients);
+        for c in 0..cfg.num_clients {
+            let parent = io_nodes[c / cfg.clients_per_io()];
+            let id = alloc(CacheLevel::Client, Some(parent), c);
+            clients.push(id);
+        }
+
+        // Wire children.
+        for id in 0..nodes.len() {
+            if let Some(p) = nodes[id].parent {
+                nodes[p].children.push(id);
+            }
+        }
+
+        let root = root.unwrap_or(storage_nodes[0]);
+        HierarchyTree {
+            nodes,
+            root,
+            clients,
+            io_nodes,
+            storage_nodes,
+        }
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[TreeNode] {
+        &self.nodes
+    }
+
+    /// A node by id.
+    pub fn node(&self, id: NodeId) -> &TreeNode {
+        &self.nodes[id]
+    }
+
+    /// Number of clients (leaves).
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Leaf node id of a client index.
+    pub fn client_leaf(&self, client: usize) -> NodeId {
+        self.clients[client]
+    }
+
+    /// Node id of an I/O node index.
+    pub fn io_node(&self, io: usize) -> NodeId {
+        self.io_nodes[io]
+    }
+
+    /// Node id of a storage node index.
+    pub fn storage_node(&self, s: usize) -> NodeId {
+        self.storage_nodes[s]
+    }
+
+    /// Index of the I/O node serving a client.
+    pub fn io_of_client(&self, client: usize) -> usize {
+        let leaf = self.clients[client];
+        let io = self.nodes[leaf].parent.expect("client has I/O parent");
+        self.nodes[io].layer_index
+    }
+
+    /// Index of the storage node serving a client (via its I/O node).
+    pub fn storage_of_client(&self, client: usize) -> usize {
+        let io = self.io_node(self.io_of_client(client));
+        let s = self.nodes[io].parent.expect("I/O node has storage parent");
+        self.nodes[s].layer_index
+    }
+
+    /// Client indices under an arbitrary tree node (in increasing order).
+    pub fn clients_under(&self, id: NodeId) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n];
+            if node.level == CacheLevel::Client {
+                out.push(node.layer_index);
+            } else {
+                stack.extend(node.children.iter().copied());
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Path of node ids from a client leaf up to (and including) the root.
+    pub fn path_to_root(&self, client: usize) -> Vec<NodeId> {
+        let mut path = vec![self.clients[client]];
+        while let Some(p) = self.nodes[*path.last().unwrap()].parent {
+            path.push(p);
+        }
+        path
+    }
+
+    /// True if the two clients have affinity at a cache of the given
+    /// level: some level-`level` cache lies on both root paths
+    /// (Section 3's affinity definition).
+    pub fn have_affinity_at(&self, c1: usize, c2: usize, level: CacheLevel) -> bool {
+        let p1 = self.path_to_root(c1);
+        let p2 = self.path_to_root(c2);
+        p1.iter()
+            .any(|&n| self.nodes[n].level == level && p2.contains(&n))
+    }
+
+    /// The deepest shared cache level of two clients, or `None` if they
+    /// share nothing but a dummy root.
+    pub fn deepest_shared_level(&self, c1: usize, c2: usize) -> Option<CacheLevel> {
+        let p2: Vec<NodeId> = self.path_to_root(c2);
+        for &n in &self.path_to_root(c1) {
+            if p2.contains(&n) && self.nodes[n].level != CacheLevel::DummyRoot {
+                return Some(self.nodes[n].level);
+            }
+        }
+        None
+    }
+
+    /// The levels of the clustering descent, root-first, each with the
+    /// list of nodes at that level. The mapper's hierarchical algorithm
+    /// iterates these from just below the root down to the client leaves.
+    pub fn levels(&self) -> Vec<(CacheLevel, Vec<NodeId>)> {
+        let mut out: Vec<(CacheLevel, Vec<NodeId>)> = Vec::new();
+        let mut frontier = vec![self.root];
+        loop {
+            let level = self.nodes[frontier[0]].level;
+            out.push((level, frontier.clone()));
+            let next: Vec<NodeId> = frontier
+                .iter()
+                .flat_map(|&n| self.nodes[n].children.iter().copied())
+                .collect();
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure7_tree() -> HierarchyTree {
+        // 4 clients, 2 I/O nodes, 1 storage node — Figure 7.
+        HierarchyTree::from_config(&PlatformConfig::tiny())
+    }
+
+    #[test]
+    fn figure7_structure() {
+        let t = figure7_tree();
+        assert_eq!(t.num_clients(), 4);
+        // Single storage node is the root (no dummy).
+        assert_eq!(t.node(t.root()).level, CacheLevel::Storage);
+        assert_eq!(t.io_of_client(0), 0);
+        assert_eq!(t.io_of_client(1), 0);
+        assert_eq!(t.io_of_client(2), 1);
+        assert_eq!(t.io_of_client(3), 1);
+        assert_eq!(t.storage_of_client(3), 0);
+    }
+
+    #[test]
+    fn figure1_affinity() {
+        // Paper default: each L2 shared by 2 clients, each L3 by 4.
+        let t = HierarchyTree::from_config(&PlatformConfig::paper_default());
+        assert!(t.have_affinity_at(0, 1, CacheLevel::Io));
+        assert!(!t.have_affinity_at(0, 2, CacheLevel::Io));
+        assert!(t.have_affinity_at(0, 3, CacheLevel::Storage));
+        assert!(!t.have_affinity_at(0, 4, CacheLevel::Storage));
+        assert_eq!(t.deepest_shared_level(0, 1), Some(CacheLevel::Io));
+        assert_eq!(t.deepest_shared_level(0, 2), Some(CacheLevel::Storage));
+        assert_eq!(t.deepest_shared_level(0, 63), None);
+        assert_eq!(t.deepest_shared_level(5, 5), Some(CacheLevel::Client));
+    }
+
+    #[test]
+    fn dummy_root_added_for_multiple_storage_nodes() {
+        let t = HierarchyTree::from_config(&PlatformConfig::paper_default());
+        assert_eq!(t.node(t.root()).level, CacheLevel::DummyRoot);
+        assert_eq!(t.node(t.root()).children.len(), 16);
+    }
+
+    #[test]
+    fn clients_under_nodes() {
+        let t = figure7_tree();
+        assert_eq!(t.clients_under(t.io_node(0)), vec![0, 1]);
+        assert_eq!(t.clients_under(t.io_node(1)), vec![2, 3]);
+        assert_eq!(t.clients_under(t.root()), vec![0, 1, 2, 3]);
+        assert_eq!(t.clients_under(t.client_leaf(2)), vec![2]);
+    }
+
+    #[test]
+    fn levels_descend_root_to_clients() {
+        let t = figure7_tree();
+        let levels = t.levels();
+        assert_eq!(levels.len(), 3);
+        assert_eq!(levels[0].0, CacheLevel::Storage);
+        assert_eq!(levels[1].0, CacheLevel::Io);
+        assert_eq!(levels[1].1.len(), 2);
+        assert_eq!(levels[2].0, CacheLevel::Client);
+        assert_eq!(levels[2].1.len(), 4);
+    }
+
+    #[test]
+    fn levels_with_dummy_root() {
+        let t = HierarchyTree::from_config(&PlatformConfig::paper_default());
+        let levels = t.levels();
+        assert_eq!(levels.len(), 4);
+        assert_eq!(levels[0].0, CacheLevel::DummyRoot);
+        assert_eq!(levels[3].1.len(), 64);
+    }
+
+    #[test]
+    fn path_to_root_lengths() {
+        let t = HierarchyTree::from_config(&PlatformConfig::paper_default());
+        assert_eq!(t.path_to_root(17).len(), 4); // client, io, storage, dummy
+        let t2 = figure7_tree();
+        assert_eq!(t2.path_to_root(0).len(), 3);
+    }
+
+    #[test]
+    fn contiguous_partitioning() {
+        let t = HierarchyTree::from_config(&PlatformConfig::paper_default());
+        // Client 10 → I/O node 5 → storage node 2.
+        assert_eq!(t.io_of_client(10), 5);
+        assert_eq!(t.storage_of_client(10), 2);
+        assert_eq!(t.clients_under(t.storage_node(2)), vec![8, 9, 10, 11]);
+    }
+}

@@ -1,0 +1,245 @@
+//! Access-trace capture and reuse-distance analysis.
+//!
+//! The engine can record every chunk access with the level that served
+//! it. Traces feed two consumers:
+//!
+//! * **calibration** — LRU stack-distance (reuse-distance) profiles
+//!   explain *why* a level's miss rate is what it is: an access hits in
+//!   a cache of capacity `C` iff its reuse distance is `< C`, so the
+//!   profile directly predicts miss rates across capacities (the
+//!   Figure 13 axis) without re-simulation;
+//! * **debugging** — per-client traces make mapping pathologies (lost
+//!   streaming, scattered families) visible.
+
+use crate::cache::Chunk;
+use cachemap_util::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// Which level of the hierarchy served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServedBy {
+    /// Client-local cache hit.
+    L1,
+    /// I/O-node cache hit.
+    L2,
+    /// Storage-node cache hit.
+    L3,
+    /// Fetched from disk.
+    Disk,
+}
+
+/// One recorded chunk access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulated start time of the access, ns.
+    pub time_ns: u64,
+    /// Issuing client.
+    pub client: usize,
+    /// Global chunk id.
+    pub chunk: Chunk,
+    /// Write access?
+    pub write: bool,
+    /// Level that supplied the data.
+    pub served_by: ServedBy,
+}
+
+/// A full run trace (in global simulated-time order).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Events ordered by issue time.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of one client, in order.
+    pub fn client(&self, client: usize) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.client == client)
+    }
+
+    /// How many accesses each level served.
+    pub fn served_histogram(&self) -> FxHashMap<ServedBy, u64> {
+        let mut h = FxHashMap::default();
+        for e in &self.events {
+            *h.entry(e.served_by).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Reuse-distance profile of the interleaved global chunk stream
+    /// (what a single shared cache of any capacity would see).
+    pub fn global_reuse_profile(&self) -> ReuseProfile {
+        ReuseProfile::from_chunks(self.events.iter().map(|e| e.chunk))
+    }
+
+    /// Reuse-distance profile of one client's private stream (what its
+    /// L1 sees).
+    pub fn client_reuse_profile(&self, client: usize) -> ReuseProfile {
+        ReuseProfile::from_chunks(self.client(client).map(|e| e.chunk))
+    }
+}
+
+/// An LRU stack-distance histogram.
+///
+/// `histogram[d]` counts accesses whose reuse distance (number of
+/// distinct chunks touched since the previous access to the same chunk)
+/// is `d`; cold first-touches are counted separately. For an LRU cache
+/// of capacity `C`, the hit count is exactly
+/// `Σ_{d < C} histogram[d]` — the classical Mattson stack analysis.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReuseProfile {
+    /// Count per exact reuse distance.
+    pub histogram: Vec<u64>,
+    /// First-touch (compulsory) accesses.
+    pub cold: u64,
+    /// Total accesses analyzed.
+    pub total: u64,
+}
+
+impl ReuseProfile {
+    /// Computes the profile of a chunk-id stream with a Mattson LRU
+    /// stack (`O(n·u)` with `u` distinct chunks — fine at harness scale).
+    pub fn from_chunks<I: IntoIterator<Item = Chunk>>(stream: I) -> Self {
+        let mut stack: Vec<Chunk> = Vec::new();
+        let mut histogram: Vec<u64> = Vec::new();
+        let mut cold = 0u64;
+        let mut total = 0u64;
+        for chunk in stream {
+            total += 1;
+            match stack.iter().rposition(|&c| c == chunk) {
+                Some(pos) => {
+                    let depth = stack.len() - 1 - pos;
+                    if histogram.len() <= depth {
+                        histogram.resize(depth + 1, 0);
+                    }
+                    histogram[depth] += 1;
+                    stack.remove(pos);
+                }
+                None => cold += 1,
+            }
+            stack.push(chunk);
+        }
+        ReuseProfile {
+            histogram,
+            cold,
+            total,
+        }
+    }
+
+    /// Predicted hit count for an LRU cache of `capacity` chunks.
+    pub fn hits_at_capacity(&self, capacity: usize) -> u64 {
+        self.histogram.iter().take(capacity).sum()
+    }
+
+    /// Predicted miss rate for an LRU cache of `capacity` chunks.
+    pub fn miss_rate_at_capacity(&self, capacity: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        1.0 - self.hits_at_capacity(capacity) as f64 / self.total as f64
+    }
+
+    /// Mean finite reuse distance (ignoring cold misses), or `None` if
+    /// nothing was reused.
+    pub fn mean_distance(&self) -> Option<f64> {
+        let reused: u64 = self.histogram.iter().sum();
+        if reused == 0 {
+            return None;
+        }
+        let weighted: u64 = self
+            .histogram
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| d as u64 * c)
+            .sum();
+        Some(weighted as f64 / reused as f64)
+    }
+
+    /// Merges another profile (histograms summed).
+    pub fn merge(&mut self, other: &ReuseProfile) {
+        if self.histogram.len() < other.histogram.len() {
+            self.histogram.resize(other.histogram.len(), 0);
+        }
+        for (a, b) in self.histogram.iter_mut().zip(&other.histogram) {
+            *a += b;
+        }
+        self.cold += other.cold;
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_profile_of_simple_stream() {
+        // Stream: a b a b c a — distances: a:1 (b between), b:1, a:2 (b,c).
+        let p = ReuseProfile::from_chunks([0usize, 1, 0, 1, 2, 0]);
+        assert_eq!(p.total, 6);
+        assert_eq!(p.cold, 3);
+        assert_eq!(p.histogram, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn hits_predict_lru_exactly() {
+        // Verify Mattson's identity against a real LRU for a pseudo
+        // stream and several capacities.
+        let stream: Vec<usize> = (0..500).map(|i| (i * 7 + i / 13) % 40).collect();
+        let profile = ReuseProfile::from_chunks(stream.iter().copied());
+        for cap in [1usize, 2, 4, 8, 16, 64] {
+            let mut lru = crate::cache::LruCache::new(cap);
+            use crate::cache::ChunkCache;
+            for &c in &stream {
+                if !lru.access(c, false) {
+                    lru.insert(c, false);
+                }
+            }
+            assert_eq!(
+                profile.hits_at_capacity(cap),
+                lru.stats().hits,
+                "capacity {cap}"
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_stream_never_reuses() {
+        let p = ReuseProfile::from_chunks(0usize..100);
+        assert_eq!(p.cold, 100);
+        assert!(p.histogram.is_empty());
+        assert_eq!(p.mean_distance(), None);
+        assert!((p.miss_rate_at_capacity(10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tight_loop_has_distance_footprint_minus_one() {
+        // Cycling over 4 chunks: after warmup every access has distance 3.
+        let stream: Vec<usize> = (0..40).map(|i| i % 4).collect();
+        let p = ReuseProfile::from_chunks(stream);
+        assert_eq!(p.cold, 4);
+        assert_eq!(p.histogram[3], 36);
+        assert_eq!(p.hits_at_capacity(4), 36);
+        assert_eq!(p.hits_at_capacity(3), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ReuseProfile::from_chunks([0usize, 0]);
+        let b = ReuseProfile::from_chunks([1usize, 2, 1]);
+        a.merge(&b);
+        assert_eq!(a.total, 5);
+        assert_eq!(a.cold, 3);
+        assert_eq!(a.histogram[0], 1);
+        assert_eq!(a.histogram[1], 1);
+    }
+}

@@ -1,0 +1,433 @@
+//! Dense bitsets and count vectors.
+//!
+//! In the paper, every loop iteration carries an *r*-bit **tag**
+//! `Λ = λ0 λ1 … λ(r-1)` where bit *k* is set iff the iteration accesses
+//! data chunk `π_k` (Section 4.2). Iteration chunks are tag-equivalence
+//! classes, and both the clustering algorithm (Figure 5) and the local
+//! scheduling algorithm (Figure 15) operate on:
+//!
+//! * the number of common "1" bits of two tags (`Λi ∧ Λj` popcount) —
+//!   similarity-graph edge weights;
+//! * the **bitwise sum** of the tags of all members of a cluster — the
+//!   "cluster tag", a vector of per-chunk access counts; and
+//! * the **dot product** `α_p • α_q` of such count vectors — the affinity
+//!   measure maximized when merging clusters or picking the next chunk to
+//!   schedule.
+//!
+//! [`BitSet`] implements the plain tag; [`CountVec`] implements the
+//! bitwise-sum cluster tag.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-capacity dense bitset backed by `u64` words.
+///
+/// Used as the r-bit iteration tag of the paper. The length (`len`) is the
+/// number of addressable bits `r`; all bits at positions `>= len` are kept
+/// zero as an internal invariant so popcounts never over-report.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitSet {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty bitset able to hold `len` bits, all zero.
+    pub fn new(len: usize) -> Self {
+        let nwords = len.div_ceil(WORD_BITS);
+        BitSet {
+            len,
+            words: vec![0; nwords],
+        }
+    }
+
+    /// Creates a bitset from an iterator of set-bit positions.
+    ///
+    /// # Panics
+    /// Panics if any position is out of range.
+    pub fn from_bits<I: IntoIterator<Item = usize>>(len: usize, bits: I) -> Self {
+        let mut s = Self::new(len);
+        for b in bits {
+            s.set(b);
+        }
+        s
+    }
+
+    /// Parses a bitset from a string of `0`/`1` characters, e.g. `"101010"`.
+    ///
+    /// Bit 0 is the leftmost character, matching the paper's tag notation
+    /// `λ0 λ1 … λ(r-1)`.
+    ///
+    /// # Panics
+    /// Panics on characters other than `0` or `1`.
+    pub fn from_tag_str(s: &str) -> Self {
+        let mut set = Self::new(s.len());
+        for (i, c) in s.chars().enumerate() {
+            match c {
+                '1' => set.set(i),
+                '0' => {}
+                other => panic!("invalid tag character {other:?}"),
+            }
+        }
+        set
+    }
+
+    /// Number of addressable bits `r`.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitset holds zero addressable bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range for BitSet of len {}", self.len);
+        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Clears bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range for BitSet of len {}", self.len);
+        self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range for BitSet of len {}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Number of set bits (the tag's "number of 1s").
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// True if no bit is set.
+    pub fn none(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Popcount of `self ∧ other`: the similarity-graph edge weight
+    /// `ω(γΛi, γΛj)` of Figure 5.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn and_count(&self, other: &BitSet) -> u32 {
+        assert_eq!(self.len, other.len, "BitSet length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones())
+            .sum()
+    }
+
+    /// Hamming distance between two tags (bits that differ).
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn hamming(&self, other: &BitSet) -> u32 {
+        assert_eq!(self.len, other.len, "BitSet length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// In-place union (`self |= other`).
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "BitSet length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// True if the two bitsets share at least one set bit.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "BitSet length mismatch");
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterator over set-bit positions in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut word = w;
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    None
+                } else {
+                    let tz = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    Some(wi * WORD_BITS + tz)
+                }
+            })
+        })
+    }
+
+    /// Renders the tag in the paper's `λ0 λ1 …` string notation.
+    pub fn to_tag_string(&self) -> String {
+        (0..self.len).map(|i| if self.get(i) { '1' } else { '0' }).collect()
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitSet({})", self.to_tag_string())
+    }
+}
+
+/// A per-chunk access-count vector: the "bitwise sum" cluster tag of
+/// Figure 5 (`α_p = BitwiseSum(Λa, Λb, …)`).
+///
+/// Merging two clusters adds their count vectors; the affinity between two
+/// clusters (or between a chunk tag and a cluster) is the dot product of
+/// the vectors. A plain [`BitSet`] tag converts losslessly into a 0/1
+/// count vector.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CountVec {
+    counts: Vec<u32>,
+}
+
+impl CountVec {
+    /// Creates a zero vector over `len` chunks.
+    pub fn new(len: usize) -> Self {
+        CountVec { counts: vec![0; len] }
+    }
+
+    /// Builds the 0/1 count vector of a single tag.
+    pub fn from_bitset(tag: &BitSet) -> Self {
+        let mut v = Self::new(tag.len());
+        for b in tag.iter_ones() {
+            v.counts[b] = 1;
+        }
+        v
+    }
+
+    /// Number of chunk positions.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True if the vector has zero positions.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// The count at chunk position `i`.
+    pub fn get(&self, i: usize) -> u32 {
+        self.counts[i]
+    }
+
+    /// Adds another count vector element-wise (cluster merge).
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn add(&mut self, other: &CountVec) {
+        assert_eq!(self.counts.len(), other.counts.len(), "CountVec length mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Adds a plain tag (0/1 vector) element-wise.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn add_bitset(&mut self, tag: &BitSet) {
+        assert_eq!(self.counts.len(), tag.len(), "CountVec/BitSet length mismatch");
+        for b in tag.iter_ones() {
+            self.counts[b] += 1;
+        }
+    }
+
+    /// Subtracts a plain tag (used when an iteration chunk is evicted from
+    /// a cluster during load balancing).
+    ///
+    /// # Panics
+    /// Panics if lengths differ or a count would underflow.
+    pub fn sub_bitset(&mut self, tag: &BitSet) {
+        assert_eq!(self.counts.len(), tag.len(), "CountVec/BitSet length mismatch");
+        for b in tag.iter_ones() {
+            assert!(self.counts[b] > 0, "CountVec underflow at chunk {b}");
+            self.counts[b] -= 1;
+        }
+    }
+
+    /// Dot product `α_p • α_q` of two count vectors (Figure 5's cluster
+    /// affinity measure).
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn dot(&self, other: &CountVec) -> u64 {
+        assert_eq!(self.counts.len(), other.counts.len(), "CountVec length mismatch");
+        self.counts
+            .iter()
+            .zip(&other.counts)
+            .map(|(&a, &b)| a as u64 * b as u64)
+            .sum()
+    }
+
+    /// Dot product against a plain tag: `Λ • α` (used by load balancing and
+    /// scheduling, where one operand is a single iteration chunk's tag).
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn dot_bitset(&self, tag: &BitSet) -> u64 {
+        assert_eq!(self.counts.len(), tag.len(), "CountVec/BitSet length mismatch");
+        tag.iter_ones().map(|b| self.counts[b] as u64).sum()
+    }
+
+    /// Sum of all counts.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|&c| c as u64).sum()
+    }
+
+    /// True if every count is zero.
+    pub fn is_zero(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+}
+
+impl fmt::Debug for CountVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CountVec({:?})", self.counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_bitset_is_all_zero() {
+        let s = BitSet::new(130);
+        assert_eq!(s.len(), 130);
+        assert_eq!(s.count_ones(), 0);
+        assert!(s.none());
+        for i in 0..130 {
+            assert!(!s.get(i));
+        }
+    }
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut s = BitSet::new(100);
+        s.set(0);
+        s.set(63);
+        s.set(64);
+        s.set(99);
+        assert!(s.get(0) && s.get(63) && s.get(64) && s.get(99));
+        assert_eq!(s.count_ones(), 4);
+        s.clear(63);
+        assert!(!s.get(63));
+        assert_eq!(s.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        let mut s = BitSet::new(10);
+        s.set(10);
+    }
+
+    #[test]
+    fn tag_string_roundtrip_matches_paper_notation() {
+        // Paper example: tag 0011 means the iteration accesses the last two
+        // of four chunks.
+        let s = BitSet::from_tag_str("0011");
+        assert!(!s.get(0) && !s.get(1) && s.get(2) && s.get(3));
+        assert_eq!(s.to_tag_string(), "0011");
+    }
+
+    #[test]
+    fn and_count_is_common_ones() {
+        let a = BitSet::from_tag_str("101010000000");
+        let b = BitSet::from_tag_str("101010100000");
+        assert_eq!(a.and_count(&b), 3);
+        let c = BitSet::from_tag_str("010101000000");
+        assert_eq!(a.and_count(&c), 0);
+    }
+
+    #[test]
+    fn hamming_distance() {
+        let a = BitSet::from_tag_str("1100");
+        let b = BitSet::from_tag_str("1010");
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    fn iter_ones_in_order() {
+        let s = BitSet::from_bits(200, [3, 64, 65, 199]);
+        let ones: Vec<usize> = s.iter_ones().collect();
+        assert_eq!(ones, vec![3, 64, 65, 199]);
+    }
+
+    #[test]
+    fn union_and_intersects() {
+        let mut a = BitSet::from_tag_str("1000");
+        let b = BitSet::from_tag_str("0001");
+        assert!(!a.intersects(&b));
+        a.union_with(&b);
+        assert_eq!(a.to_tag_string(), "1001");
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn countvec_add_sub_dot() {
+        let t1 = BitSet::from_tag_str("1100");
+        let t2 = BitSet::from_tag_str("0110");
+        let mut cv = CountVec::new(4);
+        cv.add_bitset(&t1);
+        cv.add_bitset(&t2);
+        assert_eq!((cv.get(0), cv.get(1), cv.get(2), cv.get(3)), (1, 2, 1, 0));
+        assert_eq!(cv.total(), 4);
+        // dot with t1: chunk0*1 + chunk1*2 = 3
+        assert_eq!(cv.dot_bitset(&t1), 3);
+        cv.sub_bitset(&t2);
+        assert_eq!((cv.get(0), cv.get(1), cv.get(2), cv.get(3)), (1, 1, 0, 0));
+    }
+
+    #[test]
+    fn countvec_dot_symmetry() {
+        let mut a = CountVec::new(3);
+        let mut b = CountVec::new(3);
+        a.add_bitset(&BitSet::from_tag_str("110"));
+        a.add_bitset(&BitSet::from_tag_str("100"));
+        b.add_bitset(&BitSet::from_tag_str("011"));
+        assert_eq!(a.dot(&b), b.dot(&a));
+        assert_eq!(a.dot(&b), 1); // a = (2,1,0), b = (0,1,1) → 1
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn countvec_sub_underflow_panics() {
+        let mut cv = CountVec::new(2);
+        cv.sub_bitset(&BitSet::from_tag_str("10"));
+    }
+
+    #[test]
+    fn countvec_from_bitset_is_01() {
+        let t = BitSet::from_tag_str("1010");
+        let cv = CountVec::from_bitset(&t);
+        assert_eq!(cv.dot_bitset(&t), 2);
+        assert_eq!(cv.total(), 2);
+    }
+}

@@ -1,0 +1,27 @@
+//! Shared utilities for the `cachemap` workspace.
+//!
+//! This crate holds the small, dependency-free building blocks used across
+//! the reproduction of *"Computation Mapping for Multi-Level Storage Cache
+//! Hierarchies"* (HPDC 2010):
+//!
+//! * [`bitset`] — dense bitsets used for the r-bit **iteration tags** of
+//!   Section 4.2 of the paper, plus the count-vector "cluster tags"
+//!   (bitwise sums) and their dot products used by the clustering and
+//!   scheduling algorithms (Figures 5 and 15).
+//! * [`hash`] — an Fx-style fast hasher for integer-keyed maps, following
+//!   the Rust Performance Book guidance for hot hash tables.
+//! * [`stats`] — summary statistics (mean, geometric mean, normalization)
+//!   used when reporting experiment results.
+//! * [`table`] — a fixed-width plain-text table printer shared by the
+//!   experiment harness so every figure/table prints in a uniform format.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bitset;
+pub mod hash;
+pub mod stats;
+pub mod table;
+
+pub use bitset::{BitSet, CountVec};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};

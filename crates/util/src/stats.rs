@@ -1,0 +1,164 @@
+//! Summary statistics and normalization helpers for experiment reporting.
+//!
+//! The paper reports results as values **normalized to the original
+//! version** (Figures 10-14, 18), plus arithmetic averages over the
+//! application suite ("26.3% on average"). These helpers centralize that
+//! arithmetic so every harness subcommand computes it identically.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean; returns 0.0 on an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean; returns 0.0 on an empty slice.
+///
+/// # Panics
+/// Panics if any element is non-positive (a normalized ratio must be > 0).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geomean requires positive values, got {x}");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// `value / baseline`, the "normalized with respect to the original
+/// version" measure of Section 5.
+///
+/// # Panics
+/// Panics if `baseline` is zero.
+pub fn normalized(value: f64, baseline: f64) -> f64 {
+    assert!(baseline != 0.0, "cannot normalize against a zero baseline");
+    value / baseline
+}
+
+/// Average percentage improvement over a baseline: mean of
+/// `1 - value/baseline` expressed in percent.
+pub fn avg_improvement_pct(pairs: &[(f64, f64)]) -> f64 {
+    let improvements: Vec<f64> = pairs
+        .iter()
+        .map(|&(value, baseline)| (1.0 - normalized(value, baseline)) * 100.0)
+        .collect();
+    mean(&improvements)
+}
+
+/// Population standard deviation; returns 0.0 for fewer than two samples.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    var.sqrt()
+}
+
+/// A running tally of hits and misses for one cache level or resource.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HitMiss {
+    /// Accesses that were served by this level.
+    pub hits: u64,
+    /// Accesses that had to go to the next level.
+    pub misses: u64,
+}
+
+impl HitMiss {
+    /// Records a hit.
+    pub fn hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Records a miss.
+    pub fn miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Total accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss rate in `[0, 1]`; 0.0 when no accesses were observed.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &HitMiss) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_basic() {
+        let g = geomean(&[1.0, 4.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn normalized_and_improvement() {
+        assert_eq!(normalized(0.75, 1.0), 0.75);
+        let pct = avg_improvement_pct(&[(0.75, 1.0), (0.5, 1.0)]);
+        assert!((pct - 37.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stddev_basic() {
+        assert_eq!(stddev(&[5.0]), 0.0);
+        let s = stddev(&[1.0, 1.0, 1.0]);
+        assert_eq!(s, 0.0);
+        let s = stddev(&[0.0, 2.0]);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hitmiss_rates() {
+        let mut hm = HitMiss::default();
+        assert_eq!(hm.miss_rate(), 0.0);
+        hm.hit();
+        hm.hit();
+        hm.hit();
+        hm.miss();
+        assert_eq!(hm.accesses(), 4);
+        assert!((hm.miss_rate() - 0.25).abs() < 1e-12);
+        let mut other = HitMiss::default();
+        other.miss();
+        hm.merge(&other);
+        assert_eq!(hm.misses, 2);
+        assert_eq!(hm.accesses(), 5);
+    }
+}

@@ -1,0 +1,128 @@
+//! Fixed-width plain-text table rendering for the experiment harness.
+//!
+//! Every `repro` subcommand prints its table/figure in the same format:
+//! a header row, a separator, and right-aligned numeric columns, so the
+//! output can be diffed between runs and against EXPERIMENTS.md.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with empty
+    /// cells; longer rows are allowed and widen the table.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table to a `String` (ends with a newline).
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        let measure = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        };
+        measure(&mut widths, &self.header);
+        for r in &self.rows {
+            measure(&mut widths, r);
+        }
+
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String], widths: &[usize]| {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    // First column (labels) left-aligned.
+                    out.push_str(&format!("{cell:<w$}"));
+                } else {
+                    out.push_str(&format!("  {cell:>w$}"));
+                }
+            }
+            // Trim trailing spaces introduced by padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.header, &widths);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            render_row(&mut out, r, &widths);
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal, e.g. `0.263` →
+/// `"26.3"`.
+pub fn pct(frac: f64) -> String {
+    format!("{:.1}", frac * 100.0)
+}
+
+/// Formats a normalized ratio with three decimals, e.g. `0.7372` →
+/// `"0.737"`.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["app", "L1", "L2"]);
+        t.row(["hf", "21.3", "40.4"]);
+        t.row(["madbench2", "20.6", "34.7"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("app"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right-aligned numeric columns line up: both rows end at same width.
+        assert!(lines[2].ends_with("40.4"));
+        assert!(lines[3].ends_with("34.7"));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["x"]);
+        let s = t.render();
+        assert!(s.contains('x'));
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    fn pct_and_ratio_format() {
+        assert_eq!(pct(0.263), "26.3");
+        assert_eq!(ratio(0.7372), "0.737");
+    }
+}

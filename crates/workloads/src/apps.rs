@@ -1,0 +1,440 @@
+//! The eight application builders.
+//!
+//! Conventions shared by all builders:
+//!
+//! * arrays are 1-D element spaces; a logical "block" is [`CHUNK_ELEMS`]
+//!   consecutive elements, i.e. exactly one 64 KB data chunk at the
+//!   paper's default chunk size;
+//! * every nest has an innermost `k` loop of a few iterations re-touching
+//!   the same blocks at different element offsets — the within-block work
+//!   of the real application, which is what gives each app its L1
+//!   hit-rate character;
+//! * per-iteration `compute_us` reflects the app's compute:I/O balance
+//!   (Hartree-Fock and MADbench2 are compute-heavy per block; contour
+//!   displaying is nearly pure streaming).
+
+use crate::{Application, Scale, CHUNK_ELEMS};
+use cachemap_polyhedral::{
+    AffineExpr, ArrayDecl, ArrayRef, IterationSpace, Loop, LoopNest, Program,
+};
+
+const E: i64 = CHUNK_ELEMS;
+
+/// Shorthand: an affine subscript `Σ coeffs[j]·i_j + c`.
+fn sub(coeffs: Vec<i64>, c: i64) -> Vec<AffineExpr> {
+    vec![AffineExpr::new(coeffs, c)]
+}
+
+/// `hf` — Hartree-Fock method.
+///
+/// Sweeps all (i, j) block pairs, streaming the quadratic two-electron
+/// integral file. The Fock-build symmetry means iteration `(i, j)` needs
+/// *both* row blocks: it reads `I[i·B+j]`, `D[i]`, `D[j]`, `F[j]` and
+/// read-modify-writes `F[i]`. The `j`-indexed blocks recur across every
+/// `i` row — sharing at stride `B` in iteration order, which a
+/// contiguous block distribution scatters across clients but tag
+/// clustering co-locates (and `(i,j)`/`(j,i)` tags overlap in 4 of 5
+/// chunks, the classic integral-symmetry affinity).
+pub fn hf(scale: Scale) -> Application {
+    let b = scale.dim(40);
+    let k = scale.reps(2);
+    let f = ArrayDecl::new("F", vec![b * E], 8);
+    let d = ArrayDecl::new("D", vec![b * E], 8);
+    let i_arr = ArrayDecl::new("I", vec![b * b * E], 8);
+    let space = IterationSpace::new(vec![
+        Loop::constant(0, b - 1),
+        Loop::constant(0, b - 1),
+        Loop::constant(0, k - 1),
+    ]);
+    let refs = vec![
+        ArrayRef::read(2, sub(vec![b * E, E, 1], 0)), // I[(i·B+j)·E + k]
+        ArrayRef::read(1, sub(vec![0, E, 1], 0)),     // D[j·E + k]
+        ArrayRef::read(1, sub(vec![E, 0, 1], 0)),     // D[i·E + k]
+        ArrayRef::read(0, sub(vec![0, E, 1], 0)),     // F[j·E + k]
+        ArrayRef::write(0, sub(vec![E, 0, 1], 0)),    // F[i·E + k] =
+    ];
+    let nest = LoopNest::new("pair_sweep", space, refs).with_compute_us(1500.0);
+    Application {
+        name: "hf",
+        description: "Hartree-Fock Method",
+        program: Program::new("hf", vec![f, d, i_arr], vec![nest]),
+        paper_miss_rates: (0.213, 0.404, 0.479),
+    }
+}
+
+/// `sar` — Synthetic Aperture Radar kernel.
+///
+/// Two passes over the image: a row-major *range* pass (raw → image) and
+/// a *subaperture-combining azimuth* pass that fuses each row block with
+/// taps a quarter- and half-aperture away (`IMG[r]`, `IMG[r+R/4]`,
+/// `IMG[r+R/2]`). The long-stride taps mean row blocks far apart in
+/// iteration order share data — contiguous block mapping splits those
+/// sharers across distant clients, tag clustering reunites them.
+pub fn sar(scale: Scale) -> Application {
+    let r = scale.dim(32);
+    let c = scale.dim(32);
+    let k = scale.reps(2);
+    let raw = ArrayDecl::new("RAW", vec![r * c * E], 8);
+    let img = ArrayDecl::new("IMG", vec![r * c * E], 8);
+    let out = ArrayDecl::new("OUT", vec![r * c * E], 8);
+    let quarter = (r / 4).max(1);
+    let half = (r / 2).max(1);
+
+    // Range pass: (row, col, k).
+    let range_space = IterationSpace::new(vec![
+        Loop::constant(0, r - 1),
+        Loop::constant(0, c - 1),
+        Loop::constant(0, k - 1),
+    ]);
+    let range_refs = vec![
+        ArrayRef::read(0, sub(vec![c * E, E, 1], 0)),
+        ArrayRef::write(1, sub(vec![c * E, E, 1], 0)),
+    ];
+    let range = LoopNest::new("range_pass", range_space, range_refs).with_compute_us(400.0);
+
+    // Azimuth pass: (row, col, k) with subaperture taps.
+    let azimuth_space = IterationSpace::new(vec![
+        Loop::constant(0, r - half - 1),
+        Loop::constant(0, c - 1),
+        Loop::constant(0, k - 1),
+    ]);
+    let azimuth_refs = vec![
+        ArrayRef::read(1, sub(vec![c * E, E, 1], 0)), // IMG[r][col]
+        ArrayRef::read(1, sub(vec![c * E, E, 1], quarter * c * E)), // IMG[r+R/4][col]
+        ArrayRef::read(1, sub(vec![c * E, E, 1], half * c * E)), // IMG[r+R/2][col]
+        ArrayRef::write(2, sub(vec![c * E, E, 1], 0)), // OUT[r][col]
+    ];
+    let azimuth =
+        LoopNest::new("azimuth_pass", azimuth_space, azimuth_refs).with_compute_us(400.0);
+
+    Application {
+        name: "sar",
+        description: "Synthetic Aperture Radar Kernel",
+        program: Program::new("sar", vec![raw, img, out], vec![range, azimuth]),
+        paper_miss_rates: (0.160, 0.233, 0.444),
+    }
+}
+
+/// `contour` — contour displaying.
+///
+/// A single streaming scan of a large grid with a right/down neighbour
+/// stencil; almost no temporal reuse, so deep cache levels see cold
+/// streams (matching its very high L3 miss rate in Table 2).
+pub fn contour(scale: Scale) -> Application {
+    let r = scale.dim(48);
+    let c = scale.dim(32);
+    let k = scale.reps(2);
+    let g = ArrayDecl::new("G", vec![r * c * E], 8);
+    let ct = ArrayDecl::new("CT", vec![r * c * E], 8);
+    // Per-column isoline level table, reused by every row of the scan —
+    // column-strided sharing on top of the streaming stencil.
+    let lvl = ArrayDecl::new("LVL", vec![c * E], 8);
+    let space = IterationSpace::new(vec![
+        Loop::constant(0, r - 2),
+        Loop::constant(0, c - 2),
+        Loop::constant(0, k - 1),
+    ]);
+    let refs = vec![
+        ArrayRef::read(0, sub(vec![c * E, E, 1], 0)),     // G[i][j]
+        ArrayRef::read(0, sub(vec![c * E, E, 1], c * E)), // G[i+1][j]
+        ArrayRef::read(0, sub(vec![c * E, E, 1], E)),     // G[i][j+1]
+        ArrayRef::read(2, sub(vec![0, E, 1], 0)),         // LVL[j]
+        ArrayRef::write(1, sub(vec![c * E, E, 1], 0)),    // CT[i][j]
+    ];
+    let nest = LoopNest::new("scan", space, refs).with_compute_us(200.0);
+    Application {
+        name: "contour",
+        description: "Contour Displaying",
+        program: Program::new("contour", vec![g, ct, lvl], vec![nest]),
+        paper_miss_rates: (0.153, 0.393, 0.671),
+    }
+}
+
+/// `astro` — analysis of astronomical data.
+///
+/// Streams a time series of volumes once, matching every block against
+/// the `t = 0` reference epoch (template matching) and folding the
+/// result into small per-timestep statistics. The stream itself runs
+/// cold at every cache level (the suite's worst miss rates in Table 2),
+/// while the reference-epoch blocks recur at stride `V` — cross-client
+/// sharing a block distribution misses entirely.
+pub fn astro(scale: Scale) -> Application {
+    let t = scale.dim(6);
+    let v = scale.dim(256);
+    let k = scale.reps(2);
+    let vol = ArrayDecl::new("VOL", vec![t * v * E], 8);
+    let stats = ArrayDecl::new("STATS", vec![t * E], 8);
+    // Per-block noise/mask map consulted alongside the reference epoch.
+    let noise = ArrayDecl::new("NOISE", vec![v * E], 8);
+    let space = IterationSpace::new(vec![
+        Loop::constant(0, t - 1),
+        Loop::constant(0, v - 1),
+        Loop::constant(0, k - 1),
+    ]);
+    let refs = vec![
+        ArrayRef::read(0, sub(vec![v * E, E, 1], 0)), // VOL[(t·V+b)·E+k]
+        ArrayRef::read(0, sub(vec![0, E, 1], 0)),     // VOL[b] — the t=0 reference epoch
+        ArrayRef::read(2, sub(vec![0, E, 1], 0)),     // NOISE[b]
+        ArrayRef::read(1, sub(vec![E, 0, 1], 0)),     // STATS[t·E+k]
+        ArrayRef::write(1, sub(vec![E, 0, 1], 0)),
+    ];
+    let nest = LoopNest::new("reduce", space, refs).with_compute_us(300.0);
+    Application {
+        name: "astro",
+        description: "Analysis of Astronomical Data",
+        program: Program::new("astro", vec![vol, stats, noise], vec![nest]),
+        paper_miss_rates: (0.284, 0.544, 0.764),
+    }
+}
+
+/// `e_elem` — finite element electromagnetic modelling.
+///
+/// Element sweeps gathering from a banded node neighbourhood
+/// (consecutive node blocks plus a +16 band); consecutive elements share
+/// most of their gather footprint, giving the suite's *lowest* L1 miss
+/// rate.
+pub fn e_elem(scale: Scale) -> Application {
+    let nb = scale.dim(512);
+    let k = scale.reps(6);
+    let band = 16.min(nb - 1);
+    let half = nb / 2;
+    let node = ArrayDecl::new("NODE", vec![(nb + half + band + 2) * E], 8);
+    let elem = ArrayDecl::new("ELEM", vec![2 * nb * E], 8);
+    let space = IterationSpace::new(vec![
+        Loop::constant(0, nb - 1),
+        Loop::constant(0, 1),
+        Loop::constant(0, k - 1),
+    ]);
+    let refs = vec![
+        ArrayRef::read(0, sub(vec![E, 0, 1], 0)),        // NODE[nb]
+        ArrayRef::read(0, sub(vec![E, 0, 1], E)),        // NODE[nb+1]
+        ArrayRef::read(0, sub(vec![E, 0, 1], band * E)), // NODE[nb+band]
+        ArrayRef::read(0, sub(vec![E, 0, 1], half * E)), // NODE[nb+NB/2] — symmetric coupling
+        ArrayRef::write(1, sub(vec![2 * E, E, 1], 0)),   // ELEM[2·nb+j]
+    ];
+    let nest = LoopNest::new("gather", space, refs).with_compute_us(600.0);
+    Application {
+        name: "e_elem",
+        description: "Finite Element Electromagnetic Modeling",
+        program: Program::new("e_elem", vec![node, elem], vec![nest]),
+        paper_miss_rates: (0.083, 0.336, 0.499),
+    }
+}
+
+/// `apsi` — pollutant distribution modelling.
+///
+/// Repeated 2-D plane stencil sweeps (three sweeps as separate nests):
+/// each sweep reads the concentration plane with a 3-point neighbourhood
+/// plus the wind field and rewrites the plane. Inter-sweep reuse gives
+/// it the suite's best deep-cache behaviour.
+pub fn apsi(scale: Scale) -> Application {
+    let n = scale.dim(32);
+    let k = scale.reps(2);
+    let g = n + 1; // padded grid pitch so i+1 / j+1 stay in bounds
+    let conc = ArrayDecl::new("CONC", vec![(g * g + 1) * E], 8);
+    // One wind-profile block per column, shared by every row of a sweep.
+    let wind = ArrayDecl::new("WIND", vec![g * E], 8);
+    let sweep = |name: &str| {
+        let space = IterationSpace::new(vec![
+            Loop::constant(0, n - 1),
+            Loop::constant(0, n - 1),
+            Loop::constant(0, k - 1),
+        ]);
+        let refs = vec![
+            ArrayRef::read(0, sub(vec![g * E, E, 1], 0)),     // C[i][j]
+            ArrayRef::read(0, sub(vec![g * E, E, 1], g * E)), // C[i+1][j]
+            ArrayRef::read(0, sub(vec![g * E, E, 1], E)),     // C[i][j+1]
+            ArrayRef::read(1, sub(vec![0, E, 1], 0)),         // W[j] — vertical wind profile
+            ArrayRef::write(0, sub(vec![g * E, E, 1], 0)),    // C[i][j] =
+        ];
+        LoopNest::new(name, space, refs).with_compute_us(400.0)
+    };
+    Application {
+        name: "apsi",
+        description: "Pollutant Distribution Modeling",
+        program: Program::new(
+            "apsi",
+            vec![conc, wind],
+            vec![sweep("sweep0"), sweep("sweep1"), sweep("sweep2")],
+        ),
+        paper_miss_rates: (0.177, 0.254, 0.360),
+    }
+}
+
+/// `madbench2` — cosmic microwave background radiation calculation.
+///
+/// Out-of-core blocked matrix-matrix products (the dominant phase of
+/// MADbench2): iteration `(i, j, kk)` multiplies 2-chunk blocks
+/// `A[i][kk]·B[kk][j]` into `C[i][j]`.
+pub fn madbench2(scale: Scale) -> Application {
+    let bm = scale.dim(14);
+    let k = scale.reps(2);
+    let a = ArrayDecl::new("A", vec![bm * bm * 2 * E], 8);
+    let b = ArrayDecl::new("B", vec![bm * bm * 2 * E], 8);
+    let c = ArrayDecl::new("C", vec![bm * bm * E], 8);
+    let space = IterationSpace::new(vec![
+        Loop::constant(0, bm - 1),
+        Loop::constant(0, bm - 1),
+        Loop::constant(0, bm - 1),
+        Loop::constant(0, k - 1),
+    ]);
+    let refs = vec![
+        ArrayRef::read(0, sub(vec![2 * bm * E, 0, 2 * E, 1], 0)), // A[i][kk] chunk 0
+        ArrayRef::read(0, sub(vec![2 * bm * E, 0, 2 * E, 1], E)), // A[i][kk] chunk 1
+        ArrayRef::read(1, sub(vec![0, 2 * E, 2 * bm * E, 1], 0)), // B[kk][j] chunk 0
+        ArrayRef::read(1, sub(vec![0, 2 * E, 2 * bm * E, 1], E)), // B[kk][j] chunk 1
+        ArrayRef::read(2, sub(vec![bm * E, E, 0, 1], 0)),         // C[i][j]
+        ArrayRef::write(2, sub(vec![bm * E, E, 0, 1], 0)),
+    ];
+    let nest = LoopNest::new("dgemm_blocks", space, refs).with_compute_us(1200.0);
+    Application {
+        name: "madbench2",
+        description: "Cosmic Microwave Background Radiation Calculation",
+        program: Program::new("madbench2", vec![a, b, c], vec![nest]),
+        paper_miss_rates: (0.206, 0.347, 0.565),
+    }
+}
+
+/// `wupwise` — physics / quantum chromodynamics.
+///
+/// A (collapsed) 4-D lattice sweep: nearest-neighbour spinor couplings,
+/// the gauge link, and the even-odd preconditioning partner half a
+/// lattice away — long-stride sharing that block distribution splits.
+pub fn wupwise(scale: Scale) -> Application {
+    let l = scale.dim(40);
+    let k = scale.reps(3);
+    let g = l + 2; // column pitch with room for the +1 neighbours
+    let half = l / 2;
+    let psi = ArrayDecl::new("PSI", vec![((l + half + 1) * g + 1) * E], 8);
+    let u = ArrayDecl::new("U", vec![(g * g + 1) * E], 8);
+    let space = IterationSpace::new(vec![
+        Loop::constant(0, l - 1),
+        Loop::constant(0, l - 1),
+        Loop::constant(0, k - 1),
+    ]);
+    let refs = vec![
+        ArrayRef::read(0, sub(vec![g * E, E, 1], 0)),            // PSI[x][y]
+        ArrayRef::read(0, sub(vec![g * E, E, 1], g * E)),        // PSI[x+1][y]
+        ArrayRef::read(0, sub(vec![g * E, E, 1], E)),            // PSI[x][y+1]
+        ArrayRef::read(0, sub(vec![g * E, E, 1], half * g * E)), // PSI[x+L/2][y] — even-odd partner
+        ArrayRef::read(1, sub(vec![g * E, E, 1], 0)),            // U[x][y]
+        ArrayRef::write(0, sub(vec![g * E, E, 1], 0)),           // PSI[x][y] =
+    ];
+    let nest = LoopNest::new("lattice_sweep", space, refs).with_compute_us(800.0);
+    Application {
+        name: "wupwise",
+        description: "Physics / Quantum Chromodynamics",
+        program: Program::new("wupwise", vec![psi, u], vec![nest]),
+        paper_miss_rates: (0.208, 0.363, 0.528),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachemap_polyhedral::DataSpace;
+
+    #[test]
+    fn hf_streams_integrals_once() {
+        let app = hf(Scale::Test);
+        let data = DataSpace::new(&app.program.arrays, 64 * 1024);
+        // The integral file dominates the dataset.
+        let i_chunks = data.array_chunks(2);
+        assert!(i_chunks as f64 > 0.8 * (data.num_chunks() as f64 - i_chunks as f64));
+    }
+
+    #[test]
+    fn sar_passes_touch_same_image() {
+        let app = sar(Scale::Test);
+        assert_eq!(app.program.nests.len(), 2);
+        // Azimuth reads what range wrote (array id 1 = IMG).
+        let range_writes: Vec<usize> = app.program.nests[0]
+            .refs
+            .iter()
+            .filter(|r| r.kind == cachemap_polyhedral::AccessKind::Write)
+            .map(|r| r.array)
+            .collect();
+        let azimuth_reads: Vec<usize> = app.program.nests[1]
+            .refs
+            .iter()
+            .filter(|r| r.kind == cachemap_polyhedral::AccessKind::Read)
+            .map(|r| r.array)
+            .collect();
+        assert_eq!(range_writes, vec![1]);
+        assert_eq!(azimuth_reads, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn azimuth_taps_are_subapertures_apart() {
+        // The three azimuth taps of one iteration sit 0, R/4 and R/2 rows
+        // apart — long-stride sharing between distant row blocks.
+        let app = sar(Scale::Test);
+        let nest = &app.program.nests[1];
+        let t0 = nest.refs[0].eval(&[0, 0, 0])[0];
+        let t1 = nest.refs[1].eval(&[0, 0, 0])[0];
+        let t2 = nest.refs[2].eval(&[0, 0, 0])[0];
+        assert!(t1 > t0 && t2 > t1);
+        assert_eq!(t2 - t0, 2 * (t1 - t0), "taps evenly spaced");
+        assert!(t1 - t0 >= CHUNK_ELEMS, "taps must cross chunk boundaries");
+        // The quarter-aperture tap of iteration (0,·) aliases the base
+        // block of iteration (R/4,·) — the cross-iteration sharing that
+        // block distribution scatters. Test scale: R = 8, R/4 = 2.
+        assert_eq!(t1, nest.refs[0].eval(&[2, 0, 0])[0]);
+    }
+
+    #[test]
+    fn astro_is_streaming() {
+        // Nearly every (t, b) iteration has a distinct volume chunk.
+        let app = astro(Scale::Test);
+        let data = DataSpace::new(&app.program.arrays, 64 * 1024);
+        let nest = &app.program.nests[0];
+        let mut seen = std::collections::HashSet::new();
+        for p in nest.space.iter() {
+            let lin = nest.refs[0].eval_linear(&p, &app.program.arrays[0]);
+            seen.insert(data.chunk_of(0, lin));
+        }
+        let iters_per_chunk =
+            nest.num_iterations() as f64 / seen.len() as f64;
+        // Only the k-loop revisits a chunk.
+        assert!(iters_per_chunk <= 2.01, "{iters_per_chunk}");
+    }
+
+    #[test]
+    fn e_elem_band_is_shared_between_neighbours() {
+        let app = e_elem(Scale::Test);
+        let nest = &app.program.nests[0];
+        // NODE[nb+1] at element nb equals NODE[nb] at element nb+1.
+        let a = nest.refs[1].eval(&[3, 0, 0]);
+        let b = nest.refs[0].eval(&[4, 0, 0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn apsi_sweeps_are_identical_nests() {
+        let app = apsi(Scale::Test);
+        assert_eq!(app.program.nests.len(), 3);
+        assert_eq!(app.program.nests[0].refs, app.program.nests[1].refs);
+        assert_eq!(app.program.nests[0].space, app.program.nests[2].space);
+    }
+
+    #[test]
+    fn madbench_blocks_are_two_chunks_wide() {
+        let app = madbench2(Scale::Test);
+        let nest = &app.program.nests[0];
+        let a0 = nest.refs[0].eval(&[1, 0, 2, 0])[0];
+        let a1 = nest.refs[1].eval(&[1, 0, 2, 0])[0];
+        assert_eq!(a1 - a0, CHUNK_ELEMS);
+    }
+
+    #[test]
+    fn wupwise_even_odd_partner_is_half_a_lattice_away() {
+        let app = wupwise(Scale::Test);
+        let nest = &app.program.nests[0];
+        let base = nest.refs[0].eval(&[0, 0, 0])[0];
+        let partner = nest.refs[3].eval(&[0, 0, 0])[0];
+        // Test scale: L = 10, pitch g = 12 → L/2 · g rows of elements.
+        assert_eq!(partner - base, 5 * 12 * CHUNK_ELEMS);
+        // And it aliases the base block of iteration (L/2, ·).
+        assert_eq!(partner, nest.refs[0].eval(&[5, 0, 0])[0]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Extension workloads beyond the paper's Table 2 suite.
+//!
+//! These exercise the features the paper lists as extensions/future
+//! work: quasi-affine (modular) subscripts — "irregular data access
+//! patterns" — and write-heavy checkpointing phases. They are not part
+//! of the eight-app evaluation tables; examples and tests use them.
+
+use crate::{Application, Scale, CHUNK_ELEMS};
+use cachemap_polyhedral::{
+    AffineExpr, ArrayDecl, ArrayRef, IterationSpace, Loop, LoopNest, Program,
+};
+
+const E: i64 = CHUNK_ELEMS;
+
+fn sub(coeffs: Vec<i64>, c: i64) -> Vec<AffineExpr> {
+    vec![AffineExpr::new(coeffs, c)]
+}
+
+/// `wupwise_periodic` — the lattice sweep with true periodic boundary
+/// conditions expressed through modular subscripts
+/// (`PSI[(x+1) mod L][y]`): iterations at the lattice edge wrap around
+/// and share data with the opposite edge — irregular sharing that only
+/// the quasi-affine extension can express.
+pub fn wupwise_periodic(scale: Scale) -> Application {
+    let l = scale.dim(40);
+    let k = scale.reps(3);
+    let g = l; // exact pitch: periodic wrap never leaves the lattice
+    let psi = ArrayDecl::new("PSI", vec![(g * g + 1) * E], 8);
+    let u = ArrayDecl::new("U", vec![(g * g + 1) * E], 8);
+    let space = IterationSpace::new(vec![
+        Loop::constant(0, l - 1),
+        Loop::constant(0, l - 1),
+        Loop::constant(0, k - 1),
+    ]);
+    // The whole element index ((x+dx)·g + y)·E + k is reduced modulo
+    // L·g·E: because y·E + k < g·E, the reduction fires exactly when the
+    // row index (x+dx) crosses the lattice edge, wrapping it to row 0
+    // with the column preserved — true periodic boundary semantics.
+    let refs = vec![
+        // PSI[x][·] — own row block (one chunk per row at 64 KB).
+        ArrayRef::read(0, sub(vec![g * E, E, 1], 0)),
+        // PSI[(x+1) mod L][·] — wrapping neighbour row.
+        ArrayRef::read(
+            0,
+            vec![AffineExpr::new(vec![g * E, E, 1], g * E).with_mod(l * g * E)],
+        ),
+        // PSI[(x+L/2) mod L][·] — even-odd partner, also wrapping.
+        ArrayRef::read(
+            0,
+            vec![AffineExpr::new(vec![g * E, E, 1], (l / 2) * g * E).with_mod(l * g * E)],
+        ),
+        // U[x][y] gauge link.
+        ArrayRef::read(1, sub(vec![g * E, E, 1], 0)),
+        // PSI[x][·] write-back.
+        ArrayRef::write(0, sub(vec![g * E, E, 1], 0)),
+    ];
+    let nest = LoopNest::new("periodic_sweep", space, refs).with_compute_us(800.0);
+    Application {
+        name: "wupwise_periodic",
+        description: "Lattice QCD sweep with periodic boundaries (quasi-affine extension)",
+        program: Program::new("wupwise_periodic", vec![psi, u], vec![nest]),
+        paper_miss_rates: (0.208, 0.363, 0.528), // reference: same as wupwise
+    }
+}
+
+/// `checkpoint` — a write-dominant phase: every client's state is dumped
+/// to a disk-resident snapshot, then a small catalog is updated. Models
+/// the checkpointing traffic the paper's introduction motivates ("writes
+/// for checkpointing"); exercises dirty write-back paths end to end.
+pub fn checkpoint(scale: Scale) -> Application {
+    let blocks = scale.dim(512);
+    let k = scale.reps(4);
+    let state = ArrayDecl::new("STATE", vec![blocks * E], 8);
+    let snap = ArrayDecl::new("SNAP", vec![blocks * E], 8);
+    let catalog = ArrayDecl::new("CATALOG", vec![E], 8);
+    let space = IterationSpace::new(vec![
+        Loop::constant(0, blocks - 1),
+        Loop::constant(0, k - 1),
+    ]);
+    let refs = vec![
+        ArrayRef::read(0, sub(vec![E, 1], 0)),  // STATE[b]
+        ArrayRef::write(1, sub(vec![E, 1], 0)), // SNAP[b] =
+        ArrayRef::write(2, sub(vec![0, 1], 0)), // CATALOG entry
+    ];
+    let nest = LoopNest::new("dump", space, refs).with_compute_us(100.0);
+    Application {
+        name: "checkpoint",
+        description: "Write-dominant checkpoint dump with shared catalog",
+        program: Program::new("checkpoint", vec![state, snap, catalog], vec![nest]),
+        paper_miss_rates: (0.0, 0.0, 0.0), // not a Table 2 application
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachemap_polyhedral::DataSpace;
+
+    #[test]
+    fn periodic_boundary_wraps_to_row_zero() {
+        let app = wupwise_periodic(Scale::Test);
+        let nest = &app.program.nests[0];
+        let l = 10i64; // Test scale
+        // At the last row, the +1 neighbour wraps to row 0.
+        let last = nest.refs[1].eval(&[l - 1, 0, 0])[0];
+        let first_row = nest.refs[0].eval(&[0, 0, 0])[0];
+        assert_eq!(last, first_row);
+        // Mid-lattice it does not wrap.
+        let mid = nest.refs[1].eval(&[3, 0, 0])[0];
+        assert_eq!(mid, nest.refs[0].eval(&[4, 0, 0])[0]);
+    }
+
+    #[test]
+    fn periodic_refs_stay_in_bounds() {
+        let app = wupwise_periodic(Scale::Test);
+        app.program.nests[0]
+            .validate_bounds(&app.program.arrays)
+            .unwrap();
+    }
+
+    #[test]
+    fn periodic_tags_connect_the_edges() {
+        // The wrap means an edge-row iteration shares a chunk with the
+        // matching column of row 0 — sharing a contiguous block split
+        // would sever.
+        let app = wupwise_periodic(Scale::Test);
+        let data = DataSpace::new(&app.program.arrays, 64 * 1024);
+        let l = 10i64; // Test scale
+        let tag_of = |p: &[i64]| {
+            let nest = &app.program.nests[0];
+            let mut tag = cachemap_util::BitSet::new(data.num_chunks());
+            for r in &nest.refs {
+                let lin = r.eval_linear(p, &app.program.arrays[r.array]);
+                tag.set(data.chunk_of(r.array, lin));
+            }
+            tag
+        };
+        let edge = tag_of(&[l - 1, 0, 0]);
+        let origin = tag_of(&[0, 0, 0]);
+        assert!(
+            edge.intersects(&origin),
+            "periodic wrap must connect the lattice edges:\n  edge   {}\n  origin {}",
+            edge.to_tag_string(),
+            origin.to_tag_string()
+        );
+        // An interior row does not touch row 0.
+        let interior = tag_of(&[3, 0, 0]);
+        assert!(!interior.intersects(&origin) || 3 + l / 2 == l || 4 == l);
+    }
+
+    #[test]
+    fn checkpoint_is_write_dominant() {
+        let app = checkpoint(Scale::Test);
+        let writes = app.program.nests[0]
+            .refs
+            .iter()
+            .filter(|r| r.kind == cachemap_polyhedral::AccessKind::Write)
+            .count();
+        assert_eq!(writes, 2);
+        app.program.nests[0]
+            .validate_bounds(&app.program.arrays)
+            .unwrap();
+    }
+}

@@ -1,0 +1,71 @@
+//! Trace capture and reuse-distance analysis.
+//!
+//! Runs one suite application under the original and inter-processor
+//! mappings with trace capture on, then prints Mattson reuse-distance
+//! profiles — the analytical lens that explains *why* the mapping
+//! changes miss rates: an access hits an LRU cache of capacity C iff
+//! its reuse distance is < C, so the profile predicts the miss rate at
+//! every capacity at once.
+//!
+//! ```text
+//! cargo run --release --example reuse_profile [app]
+//! ```
+
+use cachemap::prelude::*;
+use cachemap::storage::trace::ReuseProfile;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "astro".to_string());
+    let app = cachemap::workloads::by_name(&name, Scale::Paper).unwrap_or_else(|| {
+        eprintln!("unknown app {name:?}");
+        std::process::exit(2);
+    });
+
+    let platform = PlatformConfig::paper_default();
+    let data = DataSpace::new(&app.program.arrays, platform.chunk_bytes);
+    let tree = HierarchyTree::from_config(&platform);
+    let sim = Simulator::new(platform.clone());
+    let mapper = Mapper::paper_defaults();
+
+    println!("{name}: reuse-distance view of the mapping effect\n");
+    for version in [Version::Original, Version::InterProcessor] {
+        let mapped = mapper.map(&app.program, &data, &platform, &tree, version);
+        let (report, trace) = sim.run_traced(&mapped);
+
+        // Aggregate private (per-client) profile: what L1 caches see.
+        let mut private = ReuseProfile::default();
+        for c in 0..platform.num_clients {
+            private.merge(&trace.client_reuse_profile(c));
+        }
+
+        println!("== {} ==", version.label());
+        println!(
+            "  simulated:  L1 miss {:5.1}%   I/O {:8.1} ms   disk reads {}",
+            report.l1_miss_rate() * 100.0,
+            report.io_latency_ms() / platform.num_clients as f64,
+            report.disk_reads
+        );
+        println!(
+            "  predicted L1 miss from the trace's reuse distances: {:5.1}%",
+            private.miss_rate_at_capacity(platform.client_cache_chunks) * 100.0
+        );
+        print!("  L1 miss rate if the client caches held N chunks:  ");
+        for cap in [8usize, 16, 32, 64, 128] {
+            print!("N={cap}:{:4.1}%  ", private.miss_rate_at_capacity(cap) * 100.0);
+        }
+        println!();
+        match private.mean_distance() {
+            Some(d) => println!("  mean finite reuse distance: {d:.1} chunks"),
+            None => println!("  no temporal reuse at all (pure streaming)"),
+        }
+        println!(
+            "  cold (first-touch) fraction: {:4.1}%\n",
+            private.cold as f64 / private.total.max(1) as f64 * 100.0
+        );
+    }
+    println!(
+        "A mapping only helps where reuse distances are reducible: the\n\
+         inter-processor version compacts each client's footprint so more\n\
+         of its reuse lands inside the 32-chunk L1 window."
+    );
+}

@@ -1,0 +1,65 @@
+//! Run one evaluation-suite application end to end and print the
+//! paper-style per-version comparison (miss rates per level, I/O latency,
+//! execution time) — the single-app view behind Figures 10, 11 and 18.
+//!
+//! ```text
+//! cargo run --release --example suite_study [app]
+//! ```
+//!
+//! where `app` is one of `hf sar contour astro e_elem apsi madbench2
+//! wupwise` (default: `hf`).
+
+use cachemap::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "hf".to_string());
+    let app = cachemap::workloads::by_name(&name, Scale::Paper).unwrap_or_else(|| {
+        eprintln!(
+            "unknown app {name:?}; pick one of {:?}",
+            cachemap::workloads::NAMES
+        );
+        std::process::exit(2);
+    });
+
+    let platform = PlatformConfig::paper_default();
+    let data = DataSpace::new(&app.program.arrays, platform.chunk_bytes);
+    let tree = HierarchyTree::from_config(&platform);
+    let sim = Simulator::new(platform.clone());
+    let mapper = Mapper::paper_defaults();
+
+    println!("{} — {}", app.name, app.description);
+    println!(
+        "dataset: {} chunks ({} MB at 64 KB); {} iterations across {} nest(s)",
+        data.num_chunks(),
+        data.num_chunks() as u64 * platform.chunk_bytes / (1 << 20),
+        app.program.total_iterations(),
+        app.program.nests.len(),
+    );
+    let (p1, p2, p3) = app.paper_miss_rates;
+    println!(
+        "paper Table 2 original miss rates: L1 {:.1}%  L2 {:.1}%  L3 {:.1}%\n",
+        p1 * 100.0,
+        p2 * 100.0,
+        p3 * 100.0
+    );
+
+    println!(
+        "{:<24} {:>8} {:>8} {:>8} {:>11} {:>11}",
+        "version", "L1 miss", "L2 miss", "L3 miss", "I/O (norm)", "exec (norm)"
+    );
+    let mut base: Option<SimReport> = None;
+    for version in Version::ALL {
+        let mapped = mapper.map(&app.program, &data, &platform, &tree, version);
+        let rep = sim.run(&mapped);
+        let b = base.get_or_insert_with(|| rep.clone());
+        println!(
+            "{:<24} {:>7.1}% {:>7.1}% {:>7.1}% {:>11.3} {:>11.3}",
+            version.label(),
+            rep.l1_miss_rate() * 100.0,
+            rep.l2_miss_rate() * 100.0,
+            rep.l3_miss_rate() * 100.0,
+            rep.io_latency_ns as f64 / b.io_latency_ns as f64,
+            rep.exec_time_ns as f64 / b.exec_time_ns as f64,
+        );
+    }
+}

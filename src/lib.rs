@@ -1,0 +1,73 @@
+//! # cachemap — computation mapping for multi-level storage cache hierarchies
+//!
+//! A Rust reproduction of *"Computation Mapping for Multi-Level Storage
+//! Cache Hierarchies"* (Kandemir, Muralidhara, Karakoy, Son — HPDC 2010):
+//! a compiler-directed scheme that assigns the parallel iterations of
+//! I/O-intensive loop nests to the client nodes of a parallel storage
+//! system so that its multi-level cache hierarchy (client L1 → I/O-node
+//! L2 → storage-node L3) is shared *constructively*.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`polyhedral`] — loop nests, affine references, iteration spaces,
+//!   dependences, transformations (the compiler substrate);
+//! * [`storage`] — the deterministic storage-platform simulator
+//!   (cache tree, LRU caches, striped disks, discrete-event engine);
+//! * [`core`] — the paper's contribution: iteration tags, similarity
+//!   graph, hierarchical clustering, load balancing, local scheduling,
+//!   dependence handling, and the comparison baselines;
+//! * [`workloads`] — the eight-application evaluation suite;
+//! * [`util`] — bitsets, hashing, statistics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cachemap::prelude::*;
+//!
+//! // A toy out-of-core loop nest: for i { A[i] += B[i] } over a
+//! // disk-resident pair of arrays.
+//! let a = ArrayDecl::new("A", vec![1 << 14], 8);
+//! let b = ArrayDecl::new("B", vec![1 << 14], 8);
+//! let space = IterationSpace::rectangular(&[1 << 14]);
+//! let nest = LoopNest::new(
+//!     "axpy",
+//!     space,
+//!     vec![
+//!         ArrayRef::read(1, vec![AffineExpr::var(0)]),
+//!         ArrayRef::read(0, vec![AffineExpr::var(0)]),
+//!         ArrayRef::write(0, vec![AffineExpr::var(0)]),
+//!     ],
+//! );
+//! let program = Program::new("axpy", vec![a, b], vec![nest]);
+//!
+//! // Map it onto the Figure 7 platform and simulate.
+//! let platform = PlatformConfig::tiny();
+//! let data = DataSpace::new(&program.arrays, platform.chunk_bytes);
+//! let tree = HierarchyTree::from_config(&platform);
+//! let mapper = Mapper::paper_defaults();
+//! let mapped = mapper.map(&program, &data, &platform, &tree, Version::InterProcessor);
+//! let report = Simulator::new(platform).run(&mapped);
+//! assert!(report.l1.accesses() > 0);
+//! ```
+
+pub use cachemap_core as core;
+pub use cachemap_polyhedral as polyhedral;
+pub use cachemap_storage as storage;
+pub use cachemap_util as util;
+pub use cachemap_workloads as workloads;
+
+/// Convenient single-import surface for examples and downstream users.
+pub mod prelude {
+    pub use cachemap_core::cluster::{ClusterParams, Linkage};
+    pub use cachemap_core::deps::DepStrategy;
+    pub use cachemap_core::schedule::ScheduleParams;
+    pub use cachemap_core::{Mapper, MapperConfig, Version};
+    pub use cachemap_polyhedral::{
+        AccessKind, AffineExpr, ArrayDecl, ArrayRef, DataSpace, IterationSpace, Loop, LoopNest,
+        Program,
+    };
+    pub use cachemap_storage::{
+        ClientOp, HierarchyTree, MappedProgram, PlatformConfig, SimReport, Simulator,
+    };
+    pub use cachemap_workloads::{Application, Scale};
+}

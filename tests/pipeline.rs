@@ -1,0 +1,145 @@
+//! Full-pipeline integration tests over the evaluation suite (test
+//! scale): every application × every version maps, lowers, and simulates;
+//! all versions execute the same accesses; results are deterministic.
+
+use cachemap::prelude::*;
+
+fn platform() -> PlatformConfig {
+    // Smaller caches so the test-scale datasets still exercise capacity
+    // misses at every level.
+    PlatformConfig::paper_default().with_cache_chunks(8, 16, 32)
+}
+
+#[test]
+fn every_app_and_version_runs_end_to_end() {
+    let platform = platform();
+    let tree = HierarchyTree::from_config(&platform);
+    let sim = Simulator::new(platform.clone());
+    let mapper = Mapper::paper_defaults();
+
+    for app in cachemap::workloads::suite(Scale::Test) {
+        let data = DataSpace::new(&app.program.arrays, platform.chunk_bytes);
+        let mut access_counts = Vec::new();
+        for version in Version::ALL {
+            let mapped = mapper.map(&app.program, &data, &platform, &tree, version);
+            access_counts.push(mapped.total_accesses());
+            let rep = sim.run(&mapped);
+            assert!(rep.l1.accesses() > 0, "{} {:?}", app.name, version);
+            assert!(rep.exec_time_ns > 0, "{} {:?}", app.name, version);
+            // L2 sees exactly the L1 misses; L3 exactly the L2 misses.
+            assert_eq!(rep.l2.accesses(), rep.l1.misses, "{}", app.name);
+            assert_eq!(rep.l3.accesses(), rep.l2.misses, "{}", app.name);
+        }
+        assert!(
+            access_counts.windows(2).all(|w| w[0] == w[1]),
+            "{}: versions must issue identical access counts: {access_counts:?}",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn mapping_and_simulation_are_deterministic() {
+    let platform = platform();
+    let tree = HierarchyTree::from_config(&platform);
+    let sim = Simulator::new(platform.clone());
+    let mapper = Mapper::paper_defaults();
+    let app = cachemap::workloads::by_name("madbench2", Scale::Test).unwrap();
+    let data = DataSpace::new(&app.program.arrays, platform.chunk_bytes);
+
+    let m1 = mapper.map(&app.program, &data, &platform, &tree, Version::InterProcessorScheduled);
+    let m2 = mapper.map(&app.program, &data, &platform, &tree, Version::InterProcessorScheduled);
+    assert_eq!(m1, m2, "mapping must be deterministic");
+
+    let r1 = sim.run(&m1);
+    let r2 = sim.run(&m1);
+    assert_eq!(r1.per_client_finish_ns, r2.per_client_finish_ns);
+    assert_eq!(r1.io_latency_ns, r2.io_latency_ns);
+}
+
+#[test]
+fn inter_processor_balances_iterations_within_threshold() {
+    let platform = platform();
+    let tree = HierarchyTree::from_config(&platform);
+    let mapper = Mapper::paper_defaults();
+    for app in cachemap::workloads::suite(Scale::Test) {
+        let data = DataSpace::new(&app.program.arrays, platform.chunk_bytes);
+        let mapped = mapper.map(&app.program, &data, &platform, &tree, Version::InterProcessor);
+        let per = mapped.accesses_per_client();
+        let total: u64 = per.iter().sum();
+        let mean = total as f64 / per.len() as f64;
+        let max = *per.iter().max().unwrap() as f64;
+        // 10% per level can compound down the three-level descent, plus
+        // chunk granularity; anything beyond ~60% of the mean indicates
+        // a balancing regression (the bug class we fixed during
+        // calibration produced 200-300%).
+        assert!(
+            max <= mean * 1.6 + 8.0,
+            "{}: per-client access imbalance: max {max} vs mean {mean:.1}",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn multi_nest_apps_execute_nests_in_program_order() {
+    // sar has two nests; per client, all range-pass accesses must come
+    // before any azimuth-pass access (the mapper appends nest programs).
+    let platform = platform();
+    let tree = HierarchyTree::from_config(&platform);
+    let mapper = Mapper::paper_defaults();
+    let app = cachemap::workloads::by_name("sar", Scale::Test).unwrap();
+    let data = DataSpace::new(&app.program.arrays, platform.chunk_bytes);
+    let mapped = mapper.map(&app.program, &data, &platform, &tree, Version::InterProcessor);
+
+    // RAW (array 0) is only touched by the range pass; OUT (array 2)
+    // only by azimuth. Track chunk id ranges.
+    let raw_hi = data.array_base(0) + data.array_chunks(0);
+    let out_lo = data.array_base(2);
+    for (c, ops) in mapped.per_client.iter().enumerate() {
+        let mut seen_azimuth = false;
+        for op in ops {
+            if let ClientOp::Access { chunk, .. } = op {
+                if *chunk >= out_lo {
+                    seen_azimuth = true;
+                }
+                if *chunk < raw_hi {
+                    assert!(!seen_azimuth, "client {c}: range access after azimuth began");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn scheduled_version_keeps_the_distribution() {
+    let platform = platform();
+    let tree = HierarchyTree::from_config(&platform);
+    let mapper = Mapper::paper_defaults();
+    let app = cachemap::workloads::by_name("hf", Scale::Test).unwrap();
+    let data = DataSpace::new(&app.program.arrays, platform.chunk_bytes);
+
+    let inter = mapper.map(&app.program, &data, &platform, &tree, Version::InterProcessor);
+    let sched = mapper.map(
+        &app.program,
+        &data,
+        &platform,
+        &tree,
+        Version::InterProcessorScheduled,
+    );
+    // Same per-client access *multisets* (order may differ).
+    for c in 0..platform.num_clients {
+        let collect = |mp: &MappedProgram| {
+            let mut v: Vec<(usize, bool)> = mp.per_client[c]
+                .iter()
+                .filter_map(|op| match op {
+                    ClientOp::Access { chunk, write } => Some((*chunk, *write)),
+                    _ => None,
+                })
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(collect(&inter), collect(&sched), "client {c}");
+    }
+}

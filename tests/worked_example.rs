@@ -1,0 +1,133 @@
+//! End-to-end check of the paper's Section 4.4 worked example through the
+//! public API: Figure 8's tags and graph, Figure 9's clustering, and
+//! Figure 17's final schedule.
+
+use cachemap::core::cluster::{distribute, ClusterParams};
+use cachemap::core::graph::SimilarityGraph;
+use cachemap::core::schedule::{schedule, ScheduleParams};
+use cachemap::core::tags::tag_nest;
+use cachemap::prelude::*;
+
+fn figure6() -> (Program, DataSpace) {
+    let d: i64 = 4;
+    let m = 12 * d;
+    let a = ArrayDecl::new("A", vec![m], 8);
+    let space = IterationSpace::new(vec![Loop::constant(0, m - 4 * d - 1)]);
+    let refs = vec![
+        ArrayRef::write(0, vec![AffineExpr::var(0)]),
+        ArrayRef::read(0, vec![AffineExpr::var(0).with_mod(d)]),
+        ArrayRef::read(0, vec![AffineExpr::var_plus(0, 4 * d)]),
+        ArrayRef::read(0, vec![AffineExpr::var_plus(0, 2 * d)]),
+    ];
+    let program = Program::new(
+        "figure6",
+        vec![a],
+        vec![LoopNest::new("figure6", space, refs)],
+    );
+    let data = DataSpace::new(&program.arrays, 8 * d as u64);
+    (program, data)
+}
+
+#[test]
+fn figure8_tags() {
+    let (program, data) = figure6();
+    let tagged = tag_nest(&program, 0, &data);
+    let expected = [
+        "101010000000",
+        "110101000000",
+        "101010100000",
+        "100101010000",
+        "100010101000",
+        "100001010100",
+        "100000101010",
+        "100000010101",
+    ];
+    assert_eq!(tagged.chunks.len(), 8);
+    for (chunk, want) in tagged.chunks.iter().zip(expected) {
+        assert_eq!(chunk.tag.to_tag_string(), want);
+        assert_eq!(chunk.len(), 4);
+    }
+}
+
+#[test]
+fn figure8_graph_weights() {
+    let (program, data) = figure6();
+    let tagged = tag_nest(&program, 0, &data);
+    let g = SimilarityGraph::build(&tagged.chunks);
+    // The ten highlighted edges: weight-3 chains and weight-2 skips in
+    // each parity family.
+    let expect3 = [(0, 2), (2, 4), (4, 6), (1, 3), (3, 5), (5, 7)];
+    let expect2 = [(0, 4), (2, 6), (1, 5), (3, 7)];
+    for (i, j) in expect3 {
+        assert_eq!(g.weight(i, j), 3, "ω(γ{},γ{})", i + 1, j + 1);
+    }
+    for (i, j) in expect2 {
+        assert_eq!(g.weight(i, j), 2, "ω(γ{},γ{})", i + 1, j + 1);
+    }
+    // Every cross-parity pair shares only chunk 0.
+    for i in (0..8).step_by(2) {
+        for j in (1..8).step_by(2) {
+            assert_eq!(g.weight(i, j), 1, "cross-family ω(γ{},γ{})", i + 1, j + 1);
+        }
+    }
+}
+
+#[test]
+fn figure9_clusters_and_figure17_schedule() {
+    let (program, data) = figure6();
+    let tagged = tag_nest(&program, 0, &data);
+    let tree = HierarchyTree::from_config(&PlatformConfig::tiny());
+    let dist = distribute(&tagged.chunks, &tree, &ClusterParams::default());
+
+    // Figure 9's clusters, as sets (client↔cluster pairing is symmetric).
+    let sets: Vec<std::collections::BTreeSet<usize>> = dist
+        .per_client
+        .iter()
+        .map(|items| items.iter().map(|i| i.chunk).collect())
+        .collect();
+    for want in [[0usize, 2], [4, 6], [1, 3], [5, 7]] {
+        let want: std::collections::BTreeSet<usize> = want.into_iter().collect();
+        assert!(sets.contains(&want), "missing cluster {want:?} in {sets:?}");
+    }
+    // One parity family per I/O node.
+    let io0: std::collections::BTreeSet<usize> = sets[0].union(&sets[1]).copied().collect();
+    assert!(io0.iter().all(|c| c % 2 == 0) || io0.iter().all(|c| c % 2 == 1));
+
+    // Figure 17's orders (ascending within each family pair).
+    let sched = schedule(&dist, &tagged.chunks, &tree, &ScheduleParams::default());
+    let orders: Vec<Vec<usize>> = sched
+        .per_client
+        .iter()
+        .map(|items| items.iter().map(|i| i.chunk).collect())
+        .collect();
+    for want in [vec![1, 3], vec![5, 7], vec![0, 2], vec![4, 6]] {
+        assert!(orders.contains(&want), "missing order {want:?} in {orders:?}");
+    }
+}
+
+#[test]
+fn mapped_example_simulates_with_better_locality_than_original() {
+    let (program, data) = figure6();
+    let platform = PlatformConfig::tiny();
+    let tree = HierarchyTree::from_config(&platform);
+    let sim = Simulator::new(platform.clone());
+    let mapper = Mapper::paper_defaults();
+
+    let orig = sim.run(&mapper.map(&program, &data, &platform, &tree, Version::Original));
+    let inter = sim.run(&mapper.map(
+        &program,
+        &data,
+        &platform,
+        &tree,
+        Version::InterProcessorScheduled,
+    ));
+    assert_eq!(orig.l1.accesses(), inter.l1.accesses());
+    // The whole point of the example: hierarchy-aware mapping converts
+    // shared-cache interference into reuse.
+    assert!(
+        inter.io_latency_ns <= orig.io_latency_ns,
+        "inter {} vs orig {}",
+        inter.io_latency_ns,
+        orig.io_latency_ns
+    );
+}
