@@ -1,83 +1,57 @@
-//! One criterion benchmark per table/figure of the paper's evaluation,
-//! each executing the same experiment pipeline the `repro` binary uses
-//! (at test scale, so `cargo bench` finishes in minutes). The actual
+//! One benchmark per table/figure of the paper's evaluation, each
+//! executing the same experiment pipeline the `repro` binary uses (at
+//! test scale, so the full run finishes in minutes). The actual
 //! paper-style rows are produced by `cargo run --release -p
 //! cachemap-bench --bin repro -- all`; these benches keep every
 //! experiment's machinery exercised and its cost tracked.
 
 use cachemap_bench::experiments;
+use cachemap_bench::timing::bench;
 use cachemap_core::{MapperConfig, Version};
 use cachemap_storage::PlatformConfig;
 use cachemap_workloads::Scale;
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
 fn platform() -> PlatformConfig {
     PlatformConfig::paper_default().with_cache_chunks(8, 16, 32)
 }
 
-fn bench_default_figures(c: &mut Criterion) {
+fn main() {
     let platform = platform();
     // Shared runs feed table2 / fig10 / fig11 / fig18.
     let runs = experiments::default_runs(Scale::Test, &platform);
 
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
-    group.bench_function("table2", |b| {
-        b.iter(|| experiments::table2(black_box(&runs), Scale::Test))
+    bench("figures/table2", 1, 10, || {
+        experiments::table2(&runs, Scale::Test)
     });
-    group.bench_function("fig10", |b| b.iter(|| experiments::fig10(black_box(&runs))));
-    group.bench_function("fig11", |b| b.iter(|| experiments::fig11(black_box(&runs))));
-    group.bench_function("fig18", |b| b.iter(|| experiments::fig18(black_box(&runs))));
-    group.finish();
-}
+    bench("figures/fig10", 1, 10, || experiments::fig10(&runs));
+    bench("figures/fig11", 1, 10, || experiments::fig11(&runs));
+    bench("figures/fig18", 1, 10, || experiments::fig18(&runs));
 
-fn bench_sweep_figures(c: &mut Criterion) {
-    let platform = platform();
-    let mut group = c.benchmark_group("sweeps");
-    group.sample_size(10);
-    group.bench_function("suite-run(default-platform)", |b| {
-        b.iter(|| {
-            cachemap_bench::run_suite(
-                Scale::Test,
-                black_box(&platform),
-                &MapperConfig::default(),
-                &[Version::Original, Version::InterProcessor],
-            )
-        })
+    bench("sweeps/suite-run(default-platform)", 1, 10, || {
+        cachemap_bench::run_suite(
+            Scale::Test,
+            &platform,
+            &MapperConfig::default(),
+            &[Version::Original, Version::InterProcessor],
+        )
     });
-    group.bench_function("fig12-topologies", |b| {
-        b.iter(|| experiments::fig12(Scale::Test, black_box(&platform)))
+    bench("sweeps/fig12-topologies", 1, 10, || {
+        experiments::fig12(Scale::Test, &platform)
     });
-    group.bench_function("fig13-capacities", |b| {
-        b.iter(|| experiments::fig13(Scale::Test, black_box(&platform)))
+    bench("sweeps/fig13-capacities", 1, 10, || {
+        experiments::fig13(Scale::Test, &platform)
     });
-    group.bench_function("fig14-chunk-sizes", |b| {
-        b.iter(|| experiments::fig14(Scale::Test, black_box(&platform)))
+    bench("sweeps/fig14-chunk-sizes", 1, 10, || {
+        experiments::fig14(Scale::Test, &platform)
     });
-    group.finish();
-}
 
-fn bench_ablation_figures(c: &mut Criterion) {
-    let platform = platform();
-    let mut group = c.benchmark_group("ablations");
-    group.sample_size(10);
-    group.bench_function("alphabeta", |b| {
-        b.iter(|| experiments::alphabeta(Scale::Test, black_box(&platform)))
+    bench("ablations/alphabeta", 1, 10, || {
+        experiments::alphabeta(Scale::Test, &platform)
     });
-    group.bench_function("deps", |b| {
-        b.iter(|| experiments::deps_exp(Scale::Test, black_box(&platform)))
+    bench("ablations/deps", 1, 10, || {
+        experiments::deps_exp(Scale::Test, &platform)
     });
-    group.bench_function("multinest", |b| {
-        b.iter(|| experiments::multinest(Scale::Test, black_box(&platform)))
+    bench("ablations/multinest", 1, 10, || {
+        experiments::multinest(Scale::Test, &platform)
     });
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_default_figures,
-    bench_sweep_figures,
-    bench_ablation_figures
-);
-criterion_main!(benches);

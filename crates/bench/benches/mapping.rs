@@ -1,11 +1,12 @@
-//! Criterion benchmarks of the mapping pipeline itself — the
-//! "compile-time overhead" dimension the paper reports as a 46-87%
-//! compilation-time increase (Section 5.1).
+//! Benchmarks of the mapping pipeline itself — the "compile-time
+//! overhead" dimension the paper reports as a 46-87% compilation-time
+//! increase (Section 5.1).
 //!
 //! Benchmarked stages: iteration tagging (§4.2), similarity-graph
 //! construction, hierarchical clustering + load balancing (Figure 5),
 //! local scheduling (Figure 15), and the end-to-end `Mapper::map`.
 
+use cachemap_bench::timing::bench;
 use cachemap_core::cluster::{distribute, ClusterParams};
 use cachemap_core::graph::SimilarityGraph;
 use cachemap_core::schedule::{schedule, ScheduleParams};
@@ -14,66 +15,42 @@ use cachemap_core::{Mapper, Version};
 use cachemap_polyhedral::DataSpace;
 use cachemap_storage::{HierarchyTree, PlatformConfig};
 use cachemap_workloads::Scale;
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
-fn bench_stages(c: &mut Criterion) {
+fn main() {
     let platform = PlatformConfig::paper_default();
-    let tree = HierarchyTree::from_config(&platform);
+    let tree = HierarchyTree::from_config(&platform).expect("paper default is valid");
     let app = cachemap_workloads::by_name("hf", Scale::Test).unwrap();
     let data = DataSpace::new(&app.program.arrays, platform.chunk_bytes);
 
-    c.bench_function("tagging/hf-test", |b| {
-        b.iter(|| tag_nest(black_box(&app.program), 0, &data))
+    bench("tagging/hf-test", 2, 20, || {
+        tag_nest(&app.program, 0, &data)
     });
 
     let tagged = tag_nest(&app.program, 0, &data);
-    c.bench_function("graph/hf-test", |b| {
-        b.iter(|| SimilarityGraph::build(black_box(&tagged.chunks)))
+    bench("graph/hf-test", 2, 20, || {
+        SimilarityGraph::build(&tagged.chunks)
     });
 
-    c.bench_function("cluster/hf-test", |b| {
-        b.iter(|| distribute(black_box(&tagged.chunks), &tree, &ClusterParams::default()))
+    bench("cluster/hf-test", 2, 20, || {
+        distribute(&tagged.chunks, &tree, &ClusterParams::default())
     });
 
     let dist = distribute(&tagged.chunks, &tree, &ClusterParams::default());
-    c.bench_function("schedule/hf-test", |b| {
-        b.iter(|| {
-            schedule(
-                black_box(&dist),
-                &tagged.chunks,
-                &tree,
-                &ScheduleParams::default(),
-            )
-        })
+    bench("schedule/hf-test", 2, 20, || {
+        schedule(&dist, &tagged.chunks, &tree, &ScheduleParams::default())
     });
-}
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let platform = PlatformConfig::paper_default();
-    let tree = HierarchyTree::from_config(&platform);
     let mapper = Mapper::paper_defaults();
-    let mut group = c.benchmark_group("map-end-to-end");
-    group.sample_size(10);
     for name in ["hf", "contour", "madbench2"] {
         let app = cachemap_workloads::by_name(name, Scale::Test).unwrap();
         let data = DataSpace::new(&app.program.arrays, platform.chunk_bytes);
         for version in [Version::Original, Version::InterProcessorScheduled] {
-            group.bench_function(format!("{name}/{}", version.label()), |b| {
-                b.iter(|| {
-                    mapper.map(
-                        black_box(&app.program),
-                        &data,
-                        &platform,
-                        &tree,
-                        version,
-                    )
-                })
-            });
+            bench(
+                &format!("map-end-to-end/{name}/{}", version.label()),
+                1,
+                10,
+                || mapper.map(&app.program, &data, &platform, &tree, version),
+            );
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_stages, bench_end_to_end);
-criterion_main!(benches);

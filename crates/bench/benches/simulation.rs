@@ -1,11 +1,10 @@
-//! Criterion benchmarks of the storage-platform simulator substrate:
-//! cache replacement policies, the discrete-event engine's access path,
-//! and whole-program simulation throughput.
+//! Benchmarks of the storage-platform simulator substrate: cache
+//! replacement policies, the discrete-event engine's access path, and
+//! whole-program simulation throughput.
 
+use cachemap_bench::timing::bench;
 use cachemap_storage::cache::{ChunkCache, FifoCache, LfuCache, LruCache};
 use cachemap_storage::{ClientOp, MappedProgram, PlatformConfig, Simulator};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
 /// A deterministic pseudo-random chunk stream (LCG; no rand dependency
 /// needed here).
@@ -13,54 +12,37 @@ fn stream(len: usize, span: usize) -> Vec<usize> {
     let mut x = 0x2545_f491_4f6c_dd1du64;
     (0..len)
         .map(|_| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (x >> 33) as usize % span
         })
         .collect()
 }
 
-fn bench_policies(c: &mut Criterion) {
-    let accesses = stream(10_000, 512);
-    let mut group = c.benchmark_group("cache-policy");
-    group.bench_function("lru", |b| {
-        b.iter(|| {
-            let mut cache = LruCache::new(128);
-            for &a in &accesses {
-                if !cache.access(black_box(a), false) {
-                    cache.insert(a, false);
-                }
-            }
-            cache.stats().misses
-        })
-    });
-    group.bench_function("fifo", |b| {
-        b.iter(|| {
-            let mut cache = FifoCache::new(128);
-            for &a in &accesses {
-                if !cache.access(black_box(a), false) {
-                    cache.insert(a, false);
-                }
-            }
-            cache.stats().misses
-        })
-    });
-    group.bench_function("lfu", |b| {
-        b.iter(|| {
-            let mut cache = LfuCache::new(128);
-            for &a in &accesses {
-                if !cache.access(black_box(a), false) {
-                    cache.insert(a, false);
-                }
-            }
-            cache.stats().misses
-        })
-    });
-    group.finish();
+fn drive(cache: &mut dyn ChunkCache, accesses: &[usize]) -> u64 {
+    for &a in accesses {
+        if !cache.access(a, false) {
+            cache.insert(a, false);
+        }
+    }
+    cache.stats().misses
 }
 
-fn bench_engine(c: &mut Criterion) {
+fn main() {
+    let accesses = stream(10_000, 512);
+    bench("cache-policy/lru", 2, 20, || {
+        drive(&mut LruCache::new(128), &accesses)
+    });
+    bench("cache-policy/fifo", 2, 20, || {
+        drive(&mut FifoCache::new(128), &accesses)
+    });
+    bench("cache-policy/lfu", 2, 20, || {
+        drive(&mut LfuCache::new(128), &accesses)
+    });
+
     let platform = PlatformConfig::paper_default();
-    let sim = Simulator::new(platform.clone());
+    let sim = Simulator::new(platform.clone()).expect("paper default is valid");
 
     // 64 clients × 2000 accesses of mixed locality.
     let mut program = MappedProgram::new(platform.num_clients);
@@ -73,15 +55,9 @@ fn bench_engine(c: &mut Criterion) {
         }
     }
     let total = program.total_accesses();
+    println!("engine program: {total} accesses");
 
-    let mut group = c.benchmark_group("engine");
-    group.sample_size(10);
-    group.throughput(criterion::Throughput::Elements(total));
-    group.bench_function("mixed-128k-accesses", |b| {
-        b.iter(|| sim.run(black_box(&program)))
+    bench("engine/mixed-128k-accesses", 1, 10, || {
+        sim.run(&program).expect("benchmark program simulates")
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_policies, bench_engine);
-criterion_main!(benches);

@@ -7,7 +7,7 @@
 //!
 //! Experiments: `table1 table2 example fig10 fig11 fig12 fig13 fig14
 //! fig18 alphabeta prefetch refine linkage policies schedmetric deps multinest
-//! mapping-cost`, plus the diagnostics `detail:<app>` and
+//! mapping-cost resilience`, plus the diagnostics `detail:<app>` and
 //! `clients:<app>`.
 //!
 //! Each experiment prints a paper-style table and archives the raw
@@ -50,11 +50,7 @@ fn worked_example() -> String {
         ArrayRef::read(0, vec![AffineExpr::var_plus(0, 4 * d)]),
         ArrayRef::read(0, vec![AffineExpr::var_plus(0, 2 * d)]),
     ];
-    let program = Program::new(
-        "fig6",
-        vec![a],
-        vec![LoopNest::new("fig6", space, refs)],
-    );
+    let program = Program::new("fig6", vec![a], vec![LoopNest::new("fig6", space, refs)]);
     let data = DataSpace::new(&program.arrays, 8 * d as u64);
 
     let mut out = String::from("== example — §4.4 worked example (Figures 6-9, 17) ==\n");
@@ -77,7 +73,7 @@ fn worked_example() -> String {
     }
 
     let cfg = cachemap_storage::PlatformConfig::tiny();
-    let tree = HierarchyTree::from_config(&cfg);
+    let tree = HierarchyTree::from_config(&cfg).expect("tiny config is valid");
     let dist = distribute(&tagged.chunks, &tree, &ClusterParams::default());
     out.push_str("Clustering (Figure 9):\n");
     for (c, items) in dist.per_client.iter().enumerate() {
@@ -97,15 +93,13 @@ fn worked_example() -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let test_scale = args.iter().any(|a| a == "--test-scale");
-    let mut wanted: Vec<String> = args
-        .into_iter()
-        .filter(|a| !a.starts_with("--"))
-        .collect();
+    let mut wanted: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
     if wanted.is_empty() {
         eprintln!(
             "usage: repro [--test-scale] <experiment...>\n\
              experiments: all table1 table2 example fig10 fig11 fig12 fig13 fig14 \
-             fig18 alphabeta prefetch refine linkage policies schedmetric deps multinest mapping-cost"
+             fig18 alphabeta prefetch refine linkage policies schedmetric deps multinest \
+             mapping-cost resilience"
         );
         std::process::exit(2);
     }
@@ -129,13 +123,18 @@ fn main() {
             "deps",
             "multinest",
             "mapping-cost",
+            "resilience",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect();
     }
 
-    let scale = if test_scale { Scale::Test } else { Scale::Paper };
+    let scale = if test_scale {
+        Scale::Test
+    } else {
+        Scale::Paper
+    };
     let platform = PlatformConfig::paper_default();
 
     // The default-platform runs are shared by table2 / fig10 / fig11 /
@@ -208,6 +207,10 @@ fn main() {
                 emit(&[experiments::schedule_metric_ablation(scale, &platform)]);
             }
             "deps" => emit(&[experiments::deps_exp(scale, &platform)]),
+            "resilience" => {
+                eprintln!("[resilience: mid-run I/O-node crash, remap vs failover ...]");
+                emit(&[experiments::resilience(scale, &platform)]);
+            }
             s if s.starts_with("detail:") => {
                 let name = &s["detail:".len()..];
                 let app = cachemap_workloads::by_name(name, scale)
@@ -248,11 +251,10 @@ fn main() {
                 let name = &s["analyze:".len()..];
                 let app = cachemap_workloads::by_name(name, scale)
                     .unwrap_or_else(|| panic!("unknown app {name}"));
-                let data = cachemap_polyhedral::DataSpace::new(
-                    &app.program.arrays,
-                    platform.chunk_bytes,
-                );
-                let tree = cachemap_storage::HierarchyTree::from_config(&platform);
+                let data =
+                    cachemap_polyhedral::DataSpace::new(&app.program.arrays, platform.chunk_bytes);
+                let tree = cachemap_storage::HierarchyTree::from_config(&platform)
+                    .expect("valid platform config");
                 println!("== analyze — {name}: replication / affinity capture per level ==");
                 let (chunks, _) = cachemap_core::tags::tag_nests(
                     &app.program,
@@ -276,9 +278,10 @@ fn main() {
                     &tree,
                     &cachemap_core::cluster::ClusterParams::default(),
                 );
-                for (label, dist) in
-                    [("block (approximates original)", &block), ("inter-processor", &clustered)]
-                {
+                for (label, dist) in [
+                    ("block (approximates original)", &block),
+                    ("inter-processor", &clustered),
+                ] {
                     let a = cachemap_core::analysis::analyze(dist, &chunks, &tree);
                     println!("{label}: {} chunks used", a.total_chunks_used);
                     for lvl in &a.levels {
@@ -298,17 +301,17 @@ fn main() {
                 let name = &s["trace:".len()..];
                 let app = cachemap_workloads::by_name(name, scale)
                     .unwrap_or_else(|| panic!("unknown app {name}"));
-                let data = cachemap_polyhedral::DataSpace::new(
-                    &app.program.arrays,
-                    platform.chunk_bytes,
-                );
-                let tree = cachemap_storage::HierarchyTree::from_config(&platform);
-                let sim = cachemap_storage::Simulator::new(platform.clone());
+                let data =
+                    cachemap_polyhedral::DataSpace::new(&app.program.arrays, platform.chunk_bytes);
+                let tree = cachemap_storage::HierarchyTree::from_config(&platform)
+                    .expect("valid platform config");
+                let sim = cachemap_storage::Simulator::new(platform.clone())
+                    .expect("valid platform config");
                 let mapper = cachemap_core::Mapper::paper_defaults();
                 println!("== trace — {name}: reuse-distance profiles ==");
                 for v in cachemap_core::Version::ALL {
                     let mapped = mapper.map(&app.program, &data, &platform, &tree, v);
-                    let (rep, trace) = sim.run_traced(&mapped);
+                    let (rep, trace) = sim.run_traced(&mapped).expect("well-formed mapped program");
                     let mut private = cachemap_storage::trace::ReuseProfile::default();
                     for c in 0..platform.num_clients {
                         private.merge(&trace.client_reuse_profile(c));
@@ -333,11 +336,10 @@ fn main() {
                 let name = &s["clients:".len()..];
                 let app = cachemap_workloads::by_name(name, scale)
                     .unwrap_or_else(|| panic!("unknown app {name}"));
-                let data = cachemap_polyhedral::DataSpace::new(
-                    &app.program.arrays,
-                    platform.chunk_bytes,
-                );
-                let tree = cachemap_storage::HierarchyTree::from_config(&platform);
+                let data =
+                    cachemap_polyhedral::DataSpace::new(&app.program.arrays, platform.chunk_bytes);
+                let tree = cachemap_storage::HierarchyTree::from_config(&platform)
+                    .expect("valid platform config");
                 let mapper = cachemap_core::Mapper::paper_defaults();
                 let mapped = mapper.map(
                     &app.program,
@@ -346,7 +348,10 @@ fn main() {
                     &tree,
                     cachemap_core::Version::InterProcessor,
                 );
-                let rep = cachemap_storage::Simulator::new(platform.clone()).run(&mapped);
+                let rep = cachemap_storage::Simulator::new(platform.clone())
+                    .expect("valid platform config")
+                    .run(&mapped)
+                    .expect("well-formed mapped program");
                 println!("== clients — {name} inter-processor per-client composition ==");
                 let mut rows: Vec<(usize, u64, usize, f64)> = (0..platform.num_clients)
                     .map(|c| {
@@ -358,7 +363,12 @@ fn main() {
                                 accs += 1;
                             }
                         }
-                        (c, accs, uniq.len(), rep.per_client_finish_ns[c] as f64 / 1e6)
+                        (
+                            c,
+                            accs,
+                            uniq.len(),
+                            rep.per_client_finish_ns[c] as f64 / 1e6,
+                        )
                     })
                     .collect();
                 rows.sort_by(|a, b| b.3.total_cmp(&a.3));

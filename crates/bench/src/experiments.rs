@@ -28,7 +28,10 @@ pub fn default_runs(scale: Scale, platform: &PlatformConfig) -> Vec<AppResults> 
 pub fn table1(platform: &PlatformConfig) -> String {
     let mut out = String::from("== table1 — System parameters (scaled reproduction) ==\n");
     let rows = [
-        ("Number of Client Nodes", format!("{}", platform.num_clients)),
+        (
+            "Number of Client Nodes",
+            format!("{}", platform.num_clients),
+        ),
         ("Number of I/O Nodes", format!("{}", platform.num_io_nodes)),
         (
             "Number of Storage Nodes",
@@ -47,7 +50,9 @@ pub fn table1(platform: &PlatformConfig) -> String {
             "Cache Capacity/Node (chunks, client/IO/storage)",
             format!(
                 "({},{},{})",
-                platform.client_cache_chunks, platform.io_cache_chunks, platform.storage_cache_chunks
+                platform.client_cache_chunks,
+                platform.io_cache_chunks,
+                platform.storage_cache_chunks
             ),
         ),
         (
@@ -109,14 +114,21 @@ fn norm(x: f64, base: f64) -> f64 {
 pub fn fig10(runs: &[AppResults]) -> Vec<Matrix> {
     let mut out = Vec::new();
     for (level, get) in [
-        ("L1", (|r: &SimReport| r.l1_miss_rate()) as fn(&SimReport) -> f64),
+        (
+            "L1",
+            (|r: &SimReport| r.l1_miss_rate()) as fn(&SimReport) -> f64,
+        ),
         ("L2", |r: &SimReport| r.l2_miss_rate()),
         ("L3", |r: &SimReport| r.l3_miss_rate()),
     ] {
         let mut m = Matrix::new(
             format!("fig10-{level}"),
             format!("Normalized {level} miss rate (original = 1.0)"),
-            vec!["app".into(), "intra-processor".into(), "inter-processor".into()],
+            vec![
+                "app".into(),
+                "intra-processor".into(),
+                "inter-processor".into(),
+            ],
             CellFormat::Ratio,
         );
         for r in runs {
@@ -162,7 +174,11 @@ pub fn fig11(runs: &[AppResults]) -> Vec<Matrix> {
                 "fig11-exec"
             },
             format!("Normalized {metric} (original = 1.0)"),
-            vec!["app".into(), "intra-processor".into(), "inter-processor".into()],
+            vec![
+                "app".into(),
+                "intra-processor".into(),
+                "inter-processor".into(),
+            ],
             CellFormat::Ratio,
         );
         for r in runs {
@@ -398,7 +414,13 @@ pub fn alphabeta(scale: Scale, platform: &PlatformConfig) -> Matrix {
         ],
         CellFormat::Ratio,
     );
-    for (alpha, beta) in [(1.0, 0.0), (0.75, 0.25), (0.5, 0.5), (0.25, 0.75), (0.0, 1.0)] {
+    for (alpha, beta) in [
+        (1.0, 0.0),
+        (0.75, 0.25),
+        (0.5, 0.5),
+        (0.25, 0.75),
+        (0.0, 1.0),
+    ] {
         let cfg = MapperConfig {
             schedule: cachemap_core::schedule::ScheduleParams {
                 alpha,
@@ -422,7 +444,10 @@ pub fn alphabeta(scale: Scale, platform: &PlatformConfig) -> Matrix {
             ex += norm(s.exec_time_ns as f64, o.exec_time_ns as f64);
         }
         let n = runs.len() as f64;
-        m.row(format!("α={alpha:.2} β={beta:.2}"), vec![l1 / n, io / n, ex / n]);
+        m.row(
+            format!("α={alpha:.2} β={beta:.2}"),
+            vec![l1 / n, io / n, ex / n],
+        );
     }
     m.note("paper: giving α and β equal values generated the best results");
     m
@@ -439,13 +464,15 @@ pub fn deps_exp(scale: Scale, platform: &PlatformConfig) -> Matrix {
         Scale::Test => 8,
     };
     let e = cachemap_workloads::CHUNK_ELEMS;
-    app.program.nests[0].refs.push(cachemap_polyhedral::ArrayRef::read(
-        1,
-        vec![cachemap_polyhedral::AffineExpr::new(
-            vec![c * e, e, 1],
-            -(c * e),
-        )],
-    ));
+    app.program.nests[0]
+        .refs
+        .push(cachemap_polyhedral::ArrayRef::read(
+            1,
+            vec![cachemap_polyhedral::AffineExpr::new(
+                vec![c * e, e, 1],
+                -(c * e),
+            )],
+        ));
     // Keep the read in bounds: start the row loop at 1.
     let old = app.program.nests[0].space.clone();
     let bounds = old.rectangular_bounds();
@@ -507,7 +534,12 @@ pub fn multinest(scale: Scale, platform: &PlatformConfig) -> Matrix {
     );
     for name in ["sar", "apsi"] {
         let app = cachemap_workloads::by_name(name, scale).expect("app exists");
-        let separate = run_cell(&app, platform, &MapperConfig::default(), Version::InterProcessor);
+        let separate = run_cell(
+            &app,
+            platform,
+            &MapperConfig::default(),
+            Version::InterProcessor,
+        );
         let joint_cfg = MapperConfig {
             joint_nests: true,
             ..MapperConfig::default()
@@ -661,7 +693,10 @@ pub fn prefetch_ablation(scale: Scale, platform: &PlatformConfig) -> Matrix {
             &MapperConfig::default(),
             &[Version::Original, Version::InterProcessor],
         );
-        m.row(format!("{chunks} chunks"), summarize_vs_original(&runs, "inter-processor"));
+        m.row(
+            format!("{chunks} chunks"),
+            summarize_vs_original(&runs, "inter-processor"),
+        );
     }
     m.note("read-ahead helps both versions; the relative mapping win should persist");
     m
@@ -692,7 +727,10 @@ pub fn refine_ablation(scale: Scale, platform: &PlatformConfig) -> Matrix {
             &cfg,
             &[Version::Original, Version::InterProcessor],
         );
-        m.row(format!("{passes}"), summarize_vs_original(&runs, "inter-processor"));
+        m.row(
+            format!("{passes}"),
+            summarize_vs_original(&runs, "inter-processor"),
+        );
     }
     m.note("extension beyond the paper: KL-style sibling-boundary swaps");
     m
@@ -729,13 +767,19 @@ pub fn mapping_cost(scale: Scale, platform: &PlatformConfig) -> Matrix {
         ],
         CellFormat::Plain,
     );
-    let tree = cachemap_storage::HierarchyTree::from_config(platform);
+    let tree =
+        cachemap_storage::HierarchyTree::from_config(platform).expect("valid platform config");
     for app in cachemap_workloads::suite(scale) {
-        let data =
-            cachemap_polyhedral::DataSpace::new(&app.program.arrays, platform.chunk_bytes);
+        let data = cachemap_polyhedral::DataSpace::new(&app.program.arrays, platform.chunk_bytes);
         let mapper = cachemap_core::Mapper::paper_defaults();
         let t0 = Instant::now();
-        let a = mapper.map(&app.program, &data, platform, &tree, Version::InterProcessor);
+        let a = mapper.map(
+            &app.program,
+            &data,
+            platform,
+            &tree,
+            Version::InterProcessor,
+        );
         let t_inter = t0.elapsed().as_secs_f64() * 1e3;
         let t1 = Instant::now();
         let _b = mapper.map(
@@ -746,11 +790,97 @@ pub fn mapping_cost(scale: Scale, platform: &PlatformConfig) -> Matrix {
             Version::InterProcessorScheduled,
         );
         let t_sched = t1.elapsed().as_secs_f64() * 1e3;
+        m.row(app.name, vec![t_inter, t_sched, a.total_accesses() as f64]);
+    }
+    m
+}
+
+/// Resilience experiment (beyond the paper): every I/O node of storage
+/// group 0 crashes a third of the way into the run — a correlated
+/// failure (shared rack, PSU, or switch) that leaves the affected
+/// clients with no surviving sibling I/O node, so their accesses go
+/// direct-to-storage with no L2 at all. Three conditions per app, all
+/// under the same fault plan: the original mapping and the
+/// inter-processor mapping run unmodified (degraded clients limp along
+/// on the direct path), and a failure-aware inter-processor mapping
+/// redistributes the affected clients' iterations over the survivors
+/// before the run via [`cachemap_core::Mapper::map_with_failures`].
+pub fn resilience(scale: Scale, platform: &PlatformConfig) -> Matrix {
+    use cachemap_storage::{FaultEvent, FaultPlan, HierarchyTree, Simulator};
+
+    let mut m = Matrix::new(
+        "resilience",
+        "Mid-run crash of storage group 0's I/O nodes: exec time (ms) + degraded-mode counters",
+        vec![
+            "app".into(),
+            "orig+crash (ms)".into(),
+            "inter+crash (ms)".into(),
+            "inter+remap (ms)".into(),
+            "failovers".into(),
+            "lost dirty".into(),
+        ],
+        CellFormat::Plain,
+    );
+    let tree = HierarchyTree::from_config(platform).expect("valid platform config");
+    let mapper = cachemap_core::Mapper::new(MapperConfig::default());
+    let crashed_ios: Vec<usize> = (0..platform.num_io_nodes)
+        .filter(|&io| tree.storage_of_io(io) == 0)
+        .collect();
+    let failed: Vec<usize> = (0..platform.num_clients)
+        .filter(|&c| crashed_ios.contains(&tree.io_of_client(c)))
+        .collect();
+    for app in cachemap_workloads::suite(scale) {
+        let data = cachemap_polyhedral::DataSpace::new(&app.program.arrays, platform.chunk_bytes);
+        let orig = mapper.map(&app.program, &data, platform, &tree, Version::Original);
+        let inter = mapper.map(
+            &app.program,
+            &data,
+            platform,
+            &tree,
+            Version::InterProcessor,
+        );
+        let remapped = mapper
+            .map_with_failures(
+                &app.program,
+                &data,
+                platform,
+                &tree,
+                Version::InterProcessor,
+                &failed,
+            )
+            .expect("valid failed-client set");
+
+        // Crash a third of the way into the fault-free inter run.
+        let clean = Simulator::new(platform.clone())
+            .expect("valid platform config")
+            .run(&inter)
+            .expect("well-formed mapped program");
+        let at_ns = (clean.exec_time_ns / 3).max(1);
+        let mut plan = FaultPlan::new();
+        for &io in &crashed_ios {
+            plan = plan.with_event(FaultEvent::IoNodeCrash { io, at_ns });
+        }
+        let sim = Simulator::new(platform.clone())
+            .expect("valid platform config")
+            .with_fault_plan(plan)
+            .expect("plan fits the platform");
+
+        let r_orig = sim.run(&orig).expect("well-formed mapped program");
+        let r_inter = sim.run(&inter).expect("well-formed mapped program");
+        let r_remap = sim.run(&remapped).expect("well-formed mapped program");
         m.row(
             app.name,
-            vec![t_inter, t_sched, a.total_accesses() as f64],
+            vec![
+                r_orig.exec_time_ns as f64 / 1e6,
+                r_inter.exec_time_ns as f64 / 1e6,
+                r_remap.exec_time_ns as f64 / 1e6,
+                r_orig.faults.failovers as f64,
+                r_orig.faults.lost_dirty_chunks as f64,
+            ],
         );
     }
+    m.note("failovers / lost dirty are from the unremapped original run");
+    m.note("remapping moves the crashed I/O group's iterations to survivors up front");
     m
 }
 
@@ -775,7 +905,11 @@ mod tests {
         let runs = default_runs(Scale::Test, &test_platform());
         let t2 = table2(&runs, Scale::Test);
         assert_eq!(t2.rows.len(), 8);
-        for m in fig10(&runs).iter().chain(fig11(&runs).iter()).chain(fig18(&runs).iter()) {
+        for m in fig10(&runs)
+            .iter()
+            .chain(fig11(&runs).iter())
+            .chain(fig18(&runs).iter())
+        {
             assert_eq!(m.rows.len(), 8, "{}", m.id);
         }
     }
@@ -793,5 +927,25 @@ mod tests {
     fn multinest_covers_multi_nest_apps() {
         let m = multinest(Scale::Test, &test_platform());
         assert_eq!(m.rows.len(), 2);
+    }
+
+    #[test]
+    fn resilience_remapped_inter_beats_unremapped_original() {
+        let m = resilience(Scale::Test, &test_platform());
+        assert_eq!(m.rows.len(), 8);
+        let means = m.column_means();
+        // Columns: orig+crash, inter+crash, inter+remap, failovers, lost.
+        assert!(
+            means[2] < means[0],
+            "remapped inter must beat unremapped original on average: {means:?}"
+        );
+        // The crash must actually bite: the unremapped runs fail over.
+        assert!(means[3] > 0.0, "no failovers recorded: {means:?}");
+        for (app, cells) in &m.rows {
+            assert!(
+                cells.iter().take(3).all(|&c| c > 0.0),
+                "{app}: every condition must complete: {cells:?}"
+            );
+        }
     }
 }

@@ -13,10 +13,10 @@ use cachemap_core::{Mapper, MapperConfig, Version};
 use cachemap_polyhedral::DataSpace;
 use cachemap_storage::{HierarchyTree, PlatformConfig, SimReport, Simulator};
 use cachemap_workloads::{Application, Scale};
-use serde::{Deserialize, Serialize};
 
 pub mod experiments;
 pub mod report;
+pub mod timing;
 
 /// Runs one (application, version, platform) cell end to end.
 pub fn run_cell(
@@ -26,14 +26,17 @@ pub fn run_cell(
     version: Version,
 ) -> SimReport {
     let data = DataSpace::new(&app.program.arrays, platform.chunk_bytes);
-    let tree = HierarchyTree::from_config(platform);
+    let tree = HierarchyTree::from_config(platform).expect("valid platform config");
     let mapper = Mapper::new(*mapper_cfg);
     let mapped = mapper.map(&app.program, &data, platform, &tree, version);
-    Simulator::new(platform.clone()).run(&mapped)
+    Simulator::new(platform.clone())
+        .expect("valid platform config")
+        .run(&mapped)
+        .expect("well-formed mapped program")
 }
 
 /// The reports of all requested versions for one application.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AppResults {
     /// Application name.
     pub app: String,
@@ -70,32 +73,36 @@ pub fn run_suite(
     }
 
     let results: Vec<(usize, Version, SimReport)> = {
-        let mut out: Vec<Option<(usize, Version, SimReport)>> = vec![None; cells.len()];
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
             .min(cells.len().max(1));
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let out_slots: Vec<parking_lot::Mutex<Option<(usize, Version, SimReport)>>> =
-            (0..cells.len()).map(|_| parking_lot::Mutex::new(None)).collect();
-        crossbeam::scope(|s| {
+        let out_slots: Vec<std::sync::Mutex<Option<(usize, Version, SimReport)>>> = (0..cells
+            .len())
+            .map(|_| std::sync::Mutex::new(None))
+            .collect();
+        std::thread::scope(|s| {
             for _ in 0..threads {
-                s.spawn(|_| loop {
+                s.spawn(|| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= cells.len() {
                         break;
                     }
                     let (ai, v) = cells[i];
                     let rep = run_cell(&apps[ai], platform, mapper_cfg, v);
-                    *out_slots[i].lock() = Some((ai, v, rep));
+                    *out_slots[i].lock().expect("worker poisoned slot") = Some((ai, v, rep));
                 });
             }
-        })
-        .expect("worker thread panicked");
-        for (slot, o) in out_slots.into_iter().zip(out.iter_mut()) {
-            *o = slot.into_inner();
-        }
-        out.into_iter().map(|o| o.expect("cell completed")).collect()
+        });
+        out_slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("worker poisoned slot")
+                    .expect("cell completed")
+            })
+            .collect()
     };
 
     let mut per_app: Vec<AppResults> = apps
@@ -119,11 +126,14 @@ pub fn run_suite(
 }
 
 /// Writes a serializable result as pretty JSON under `reports/`.
-pub fn write_report<T: Serialize>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
+pub fn write_report<T: cachemap_util::ToJson>(
+    name: &str,
+    value: &T,
+) -> std::io::Result<std::path::PathBuf> {
     let dir = std::path::Path::new("reports");
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, serde_json::to_string_pretty(value)?)?;
+    std::fs::write(&path, value.to_json().to_string_pretty())?;
     Ok(path)
 }
 

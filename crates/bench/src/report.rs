@@ -1,10 +1,10 @@
 //! Result matrices and rendering shared by all experiments.
 
 use cachemap_util::table::TextTable;
-use serde::{Deserialize, Serialize};
+use cachemap_util::{Json, ToJson};
 
 /// How to format the numeric cells of a matrix.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CellFormat {
     /// Percentages with one decimal (`26.3`).
     Percent,
@@ -28,7 +28,7 @@ impl CellFormat {
 }
 
 /// A labelled numeric result matrix — one per table/figure.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Matrix {
     /// Experiment id, e.g. `"fig11"`.
     pub id: String,
@@ -108,6 +108,31 @@ impl Matrix {
             out.push('\n');
         }
         out
+    }
+}
+
+impl ToJson for Matrix {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("id", Json::Str(self.id.clone())),
+            ("title", Json::Str(self.title.clone())),
+            ("columns", self.columns.to_json()),
+            (
+                "rows",
+                Json::Array(
+                    self.rows
+                        .iter()
+                        .map(|(label, cells)| {
+                            Json::object(vec![
+                                ("label", Json::Str(label.clone())),
+                                ("cells", cells.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("notes", self.notes.to_json()),
+        ])
     }
 }
 

@@ -1,0 +1,71 @@
+//! A miniature wall-clock benchmarking harness.
+//!
+//! The workspace builds offline, so the `harness = false` bench targets
+//! use this module instead of an external benchmarking crate: warm up,
+//! run a fixed number of timed iterations, and report min/median/mean.
+//! Numbers are indicative rather than statistically rigorous — the bench
+//! binaries exist to keep every experiment's machinery exercised and its
+//! cost visible, not to gate regressions automatically.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Runs `f` `iters` times after `warmup` unrecorded runs and prints one
+/// line of timing. The closure's result is passed through [`black_box`]
+/// so the optimizer cannot delete the work.
+pub fn bench<R, F: FnMut() -> R>(name: &str, warmup: usize, iters: usize, mut f: F) {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut samples_ns: Vec<u128> = Vec::with_capacity(iters.max(1));
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        black_box(f());
+        samples_ns.push(t0.elapsed().as_nanos());
+    }
+    samples_ns.sort_unstable();
+    let min = samples_ns[0];
+    let median = samples_ns[samples_ns.len() / 2];
+    let mean = samples_ns.iter().sum::<u128>() / samples_ns.len() as u128;
+    println!(
+        "{name:<44} min {:>12}  median {:>12}  mean {:>12}",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean)
+    );
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_closure() {
+        let mut calls = 0u32;
+        bench("noop", 1, 3, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn formats_scale() {
+        assert_eq!(fmt_ns(10), "10 ns");
+        assert_eq!(fmt_ns(2_500), "2.500 us");
+        assert_eq!(fmt_ns(2_500_000), "2.500 ms");
+        assert_eq!(fmt_ns(2_500_000_000), "2.500 s");
+    }
+}

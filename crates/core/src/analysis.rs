@@ -24,10 +24,9 @@ use crate::cluster::Distribution;
 use crate::tags::IterationChunk;
 use cachemap_storage::topology::{CacheLevel, HierarchyTree};
 use cachemap_util::{FxHashMap, FxHashSet};
-use serde::{Deserialize, Serialize};
 
 /// Quality metrics of one distribution at one cache level.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LevelAnalysis {
     /// Which level the domains belong to.
     pub level: CacheLevel,
@@ -44,7 +43,7 @@ pub struct LevelAnalysis {
 }
 
 /// Full analysis across the hierarchy's levels (client, I/O, storage).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DistributionAnalysis {
     /// Per-level metrics, leaf level first.
     pub levels: Vec<LevelAnalysis>,
@@ -100,8 +99,8 @@ pub fn analyze(
                 s
             })
             .collect();
-        let mean_footprint = domain_sets.iter().map(|s| s.len() as f64).sum::<f64>()
-            / domain_sets.len() as f64;
+        let mean_footprint =
+            domain_sets.iter().map(|s| s.len() as f64).sum::<f64>() / domain_sets.len() as f64;
 
         // Replication: in how many domains does each used chunk appear?
         let mut appearances: FxHashMap<usize, u32> = FxHashMap::default();
@@ -187,7 +186,7 @@ mod tests {
     }
 
     fn tiny_tree() -> HierarchyTree {
-        HierarchyTree::from_config(&PlatformConfig::tiny())
+        HierarchyTree::from_config(&PlatformConfig::tiny()).unwrap()
     }
 
     #[test]
@@ -241,11 +240,7 @@ mod tests {
             ],
         };
         let a = analyze(&dist, &chunks, &tiny_tree());
-        let io = a
-            .levels
-            .iter()
-            .find(|l| l.level == CacheLevel::Io)
-            .unwrap();
+        let io = a.levels.iter().find(|l| l.level == CacheLevel::Io).unwrap();
         assert!((io.affinity_captured - 1.0).abs() < 1e-12);
         let client = a
             .levels
@@ -267,12 +262,7 @@ mod tests {
         // Block partition: chunks 0-1 → client 0, 2-3 → client 1, …
         let block = Distribution {
             per_client: (0..4)
-                .map(|c| {
-                    vec![
-                        WorkItem::whole(2 * c, 4),
-                        WorkItem::whole(2 * c + 1, 4),
-                    ]
-                })
+                .map(|c| vec![WorkItem::whole(2 * c, 4), WorkItem::whole(2 * c + 1, 4)])
                 .collect(),
         };
         let clustered = crate::cluster::distribute(
@@ -282,7 +272,11 @@ mod tests {
         );
         let a_block = analyze(&block, &tagged.chunks, &tree);
         let a_clustered = analyze(&clustered, &tagged.chunks, &tree);
-        let io_block = a_block.levels.iter().find(|l| l.level == CacheLevel::Io).unwrap();
+        let io_block = a_block
+            .levels
+            .iter()
+            .find(|l| l.level == CacheLevel::Io)
+            .unwrap();
         let io_clust = a_clustered
             .levels
             .iter()

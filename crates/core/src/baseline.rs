@@ -157,7 +157,15 @@ pub fn best_traversal_order(
             _ => best = Some((cost, order)),
         }
     }
-    best.expect("at least the identity traversal exists").1
+    match best {
+        Some((_, order)) => order,
+        None => {
+            // Invariant: candidate_traversals always yields at least the
+            // identity traversal, so best is always set.
+            debug_assert!(false, "at least the identity traversal exists");
+            Vec::new()
+        }
+    }
 }
 
 #[cfg(test)]

@@ -22,7 +22,6 @@
 use crate::tags::IterationChunk;
 use cachemap_storage::topology::{CacheLevel, HierarchyTree, NodeId};
 use cachemap_util::{BitSet, CountVec};
-use serde::{Deserialize, Serialize};
 
 /// A contiguous slice of one iteration chunk's iterations.
 ///
@@ -30,7 +29,7 @@ use serde::{Deserialize, Serialize};
 /// split an item into sub-ranges (`γΛa` split "according to the balance
 /// threshold requirements"). `start..end` index into
 /// [`IterationChunk::points`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkItem {
     /// Index into the chunk list this distribution was built from.
     pub chunk: usize,
@@ -63,7 +62,7 @@ impl WorkItem {
 
 /// The output of the distribution algorithm: the ordered iteration-chunk
 /// items assigned to each client node.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Distribution {
     /// `per_client[c]` lists the items client `c` will execute, in
     /// (pre-scheduling) assignment order.
@@ -101,7 +100,7 @@ impl Distribution {
 }
 
 /// How Stage 1 scores a candidate merge of two clusters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Linkage {
     /// Raw dot product of the bitwise-sum tags, exactly as written in
     /// Figure 5. Scores grow with cluster size, so early big clusters
@@ -121,7 +120,7 @@ pub enum Linkage {
 }
 
 /// Tuning knobs for the distribution algorithm.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClusterParams {
     /// Balance threshold as a fraction of the mean cluster size
     /// (the paper's experiments use 10%, i.e. `0.10`).
@@ -189,7 +188,14 @@ pub fn distribute(
         .enumerate()
         .map(|(i, c)| WorkItem::whole(i, c.len()))
         .collect();
-    distribute_at_node(chunks, tree, tree.root(), all_items, params, &mut per_client);
+    distribute_at_node(
+        chunks,
+        tree,
+        tree.root(),
+        all_items,
+        params,
+        &mut per_client,
+    );
     Distribution { per_client }
 }
 
@@ -221,6 +227,17 @@ fn distribute_at_node(
             .min()
             .unwrap_or((usize::MAX, usize::MAX))
     });
+    // On an asymmetric tree (a pruned degraded hierarchy), the children
+    // lead unequal numbers of clients, so the per-child shares must be
+    // proportional to subtree width, not equal.
+    let weights: Vec<u64> = tn
+        .children
+        .iter()
+        .map(|&ch| tree.clients_under(ch).len() as u64)
+        .collect();
+    if weights.windows(2).any(|w| w[0] != w[1]) {
+        balance_to_weights(&mut clusters, chunks, params, &weights);
+    }
     for (cluster, &child) in clusters.into_iter().zip(&tn.children) {
         distribute_at_node(chunks, tree, child, cluster.items, params, per_client);
     }
@@ -376,7 +393,14 @@ fn merge_stage(clusters: &mut Vec<Cluster>, target: usize, linkage: Linkage) {
                 }
             }
         }
-        let top = top.expect("at least two clusters alive");
+        let Some(top) = top else {
+            // Invariant: alive_count > target ≥ 1 leaves at least two
+            // alive clusters, so a best partner always exists. Fall back
+            // to tie-break merges rather than aborting the distribution.
+            debug_assert!(false, "no merge candidate while above target");
+            zero_phase_merges(clusters, &mut members, &mut alive, &mut alive_count, target);
+            break;
+        };
 
         // Once the best remaining dot product is zero, every remaining
         // pair is zero (dots only ever sum), so the greedy order reduces
@@ -460,19 +484,28 @@ fn zero_phase_merges(
         .map(|(i, _)| Reverse((clusters[i].size, i)))
         .collect();
     while *alive_count > target {
-        let Reverse((sp, p)) = heap.pop().expect("clusters remain");
+        // Invariant: alive_count > target ≥ 1 keeps at least two alive
+        // clusters in the heap (plus stale entries); exhaustion can only
+        // mean the invariant broke, so stop merging rather than panic.
+        let Some(Reverse((sp, p))) = heap.pop() else {
+            debug_assert!(false, "heap exhausted while above target");
+            break;
+        };
         // Skip stale heap entries.
         if !alive[p] || clusters[p].size != sp {
             continue;
         }
-        let Reverse((sq, q)) = loop {
-            let e = heap.pop().expect("at least two clusters remain");
-            let Reverse((s, i)) = e;
+        let mut second = None;
+        while let Some(Reverse((s, i))) = heap.pop() {
             if alive[i] && clusters[i].size == s {
-                break e;
+                second = Some(i);
+                break;
             }
+        }
+        let Some(q) = second else {
+            debug_assert!(false, "at least two clusters remain");
+            break;
         };
-        let _ = sq;
         // Merge the higher index into the lower, as PairKey's (i, j)
         // tie-break does.
         let (lo, hi) = (p.min(q), p.max(q));
@@ -493,7 +526,13 @@ fn split_cluster(cluster: &mut Cluster, chunks: &[IterationChunk]) -> Cluster {
     let mut moved = Cluster::empty(r);
     while moved.size < want {
         let need = want - moved.size;
-        let item = cluster.items.pop().expect("non-empty cluster while splitting");
+        // Invariant: moved.size < want ≤ cluster.size implies the donor
+        // still holds items; an empty pop means the size bookkeeping
+        // broke, so return the partial split instead of panicking.
+        let Some(item) = cluster.items.pop() else {
+            debug_assert!(false, "non-empty cluster while splitting");
+            break;
+        };
         let ilen = item.len() as u64;
         let tag = &chunks[item.chunk].tag;
         if ilen <= need {
@@ -639,6 +678,230 @@ fn balance_stage(clusters: &mut [Cluster], chunks: &[IterationChunk], params: &C
     }
 }
 
+/// Weighted variant of [`balance_stage`] for asymmetric (pruned) trees:
+/// cluster `i`'s target load is `total · weights[i] / Σweights`, and the
+/// `BThres` band is taken around each target. Clusters stay aligned with
+/// their position (the caller pairs position `i` with child `i`), so only
+/// sizes move, not assignments.
+fn balance_to_weights(
+    clusters: &mut [Cluster],
+    chunks: &[IterationChunk],
+    params: &ClusterParams,
+    weights: &[u64],
+) {
+    let n = clusters.len();
+    debug_assert_eq!(n, weights.len(), "one weight per cluster");
+    let total_weight: u64 = weights.iter().sum();
+    if n < 2 || total_weight == 0 {
+        return;
+    }
+    let total: u64 = clusters.iter().map(|c| c.size).sum();
+    let bthres = params.balance_threshold.max(0.0);
+    let target = |i: usize| total as f64 * weights[i] as f64 / total_weight as f64;
+    let ulim = |i: usize| target(i) * (1.0 + bthres);
+    let llim = |i: usize| (target(i) * (1.0 - bthres)).max(0.0);
+
+    let max_rounds = 4 * n * chunks.len().max(1);
+    for _ in 0..max_rounds {
+        // Donor: largest absolute excess over its upper band edge.
+        let donor = match (0..n)
+            .filter(|&i| clusters[i].size as f64 > ulim(i))
+            .max_by(|&a, &b| {
+                let ea = clusters[a].size as f64 - ulim(a);
+                let eb = clusters[b].size as f64 - ulim(b);
+                ea.total_cmp(&eb).then(b.cmp(&a)) // ties → lowest index
+            }) {
+            Some(i) => i,
+            None => break,
+        };
+        // Recipient: largest headroom below its upper band edge.
+        let recipient = match (0..n)
+            .filter(|&i| i != donor && (clusters[i].size as f64) < ulim(i))
+            .max_by(|&a, &b| {
+                let ha = ulim(a) - clusters[a].size as f64;
+                let hb = ulim(b) - clusters[b].size as f64;
+                ha.total_cmp(&hb).then(b.cmp(&a))
+            }) {
+            Some(i) => i,
+            None => break,
+        };
+
+        let donor_size = clusters[donor].size;
+        let recipient_size = clusters[recipient].size;
+        let max_evict = (donor_size as f64 - llim(donor)).floor().max(0.0) as u64;
+        let max_accept = (ulim(recipient) - recipient_size as f64).floor().max(0.0) as u64;
+        let allowed = max_evict.min(max_accept);
+        if allowed == 0 {
+            break;
+        }
+
+        // Prefer moving a whole item with the best affinity to the
+        // recipient; otherwise split the best-affinity oversized item.
+        let mut best: Option<(usize, u64)> = None;
+        for (ii, item) in clusters[donor].items.iter().enumerate() {
+            let ilen = item.len() as u64;
+            if ilen == 0 || ilen > allowed {
+                continue;
+            }
+            let d = clusters[recipient].tag.dot_bitset(&chunks[item.chunk].tag);
+            match best {
+                Some((_, bd)) if d <= bd => {}
+                _ => best = Some((ii, d)),
+            }
+        }
+        if let Some((ii, _)) = best {
+            let item = clusters[donor].items.remove(ii);
+            let tag = &chunks[item.chunk].tag;
+            clusters[donor].tag.sub_bitset(tag);
+            clusters[donor].size -= item.len() as u64;
+            clusters[recipient].tag.add_bitset(tag);
+            clusters[recipient].size += item.len() as u64;
+            clusters[recipient].items.push(item);
+            continue;
+        }
+        let (ii, _) = match clusters[donor]
+            .items
+            .iter()
+            .enumerate()
+            .filter(|(_, it)| it.len() as u64 > allowed)
+            .map(|(ii, it)| {
+                (
+                    ii,
+                    clusters[recipient].tag.dot_bitset(&chunks[it.chunk].tag),
+                )
+            })
+            .max_by_key(|&(ii, d)| (d, std::cmp::Reverse(ii)))
+        {
+            Some(x) => x,
+            None => break,
+        };
+        let item = clusters[donor].items[ii];
+        let cut = item.end - allowed as usize;
+        clusters[donor].items[ii] = WorkItem {
+            chunk: item.chunk,
+            start: item.start,
+            end: cut,
+        };
+        clusters[donor].size -= allowed;
+        let tail = WorkItem {
+            chunk: item.chunk,
+            start: cut,
+            end: item.end,
+        };
+        let tag = &chunks[item.chunk].tag;
+        clusters[recipient].tag.add_bitset(tag);
+        clusters[recipient].size += allowed;
+        clusters[recipient].items.push(tail);
+    }
+}
+
+/// Why a failure-aware remap could not be computed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemapError {
+    /// Pruning the hierarchy tree failed (bad client index, or no
+    /// survivors to remap onto).
+    Prune(cachemap_storage::topology::PruneError),
+    /// The distribution was built for a different client count than the
+    /// tree has.
+    ClientCountMismatch {
+        /// Clients in the distribution.
+        distribution_clients: usize,
+        /// Clients in the tree.
+        tree_clients: usize,
+    },
+    /// A work item references a chunk index outside the chunk list.
+    ChunkIndexOutOfRange {
+        /// The offending chunk index.
+        chunk: usize,
+        /// Length of the chunk list.
+        num_chunks: usize,
+    },
+}
+
+impl std::fmt::Display for RemapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RemapError::Prune(e) => write!(f, "{e}"),
+            RemapError::ClientCountMismatch {
+                distribution_clients,
+                tree_clients,
+            } => write!(
+                f,
+                "distribution has {distribution_clients} clients, tree has {tree_clients}"
+            ),
+            RemapError::ChunkIndexOutOfRange { chunk, num_chunks } => {
+                write!(f, "work item references chunk {chunk} of {num_chunks}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RemapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RemapError::Prune(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cachemap_storage::topology::PruneError> for RemapError {
+    fn from(e: cachemap_storage::topology::PruneError) -> Self {
+        RemapError::Prune(e)
+    }
+}
+
+/// Failure-aware remapping: redistributes the whole iteration load over
+/// the survivors by re-running the hierarchical clustering of Figure 5
+/// against the *pruned* tree.
+///
+/// Re-clustering everything (rather than just the failed clients' items)
+/// keeps the `BThres` load balance *global*: each survivor ends near
+/// `total / survivors` iterations, and the affinity structure is rebuilt
+/// for the degraded hierarchy, so orphan work lands with the clients
+/// that already share its data. The translated result uses the original
+/// client numbering; failed clients end with empty item lists.
+///
+/// # Errors
+/// See [`RemapError`].
+pub fn remap_failed(
+    dist: &Distribution,
+    chunks: &[IterationChunk],
+    tree: &HierarchyTree,
+    failed: &[usize],
+    params: &ClusterParams,
+) -> Result<Distribution, RemapError> {
+    if dist.per_client.len() != tree.num_clients() {
+        return Err(RemapError::ClientCountMismatch {
+            distribution_clients: dist.per_client.len(),
+            tree_clients: tree.num_clients(),
+        });
+    }
+    for items in &dist.per_client {
+        for item in items {
+            if item.chunk >= chunks.len() {
+                return Err(RemapError::ChunkIndexOutOfRange {
+                    chunk: item.chunk,
+                    num_chunks: chunks.len(),
+                });
+            }
+        }
+    }
+    if failed.is_empty() {
+        return Ok(dist.clone());
+    }
+    let (pruned, survivor_map) = tree.prune_clients(failed)?;
+
+    let sub_dist = distribute(chunks, &pruned, params);
+    let mut out = Distribution {
+        per_client: vec![Vec::new(); dist.per_client.len()],
+    };
+    for (new_client, items) in sub_dist.per_client.iter().enumerate() {
+        out.per_client[survivor_map[new_client]] = items.clone();
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -651,7 +914,7 @@ mod tests {
     fn figure_example() -> (Vec<IterationChunk>, HierarchyTree) {
         let (program, data) = crate::tags::tests::figure6_program(4);
         let tagged = tag_nest(&program, 0, &data);
-        let tree = HierarchyTree::from_config(&PlatformConfig::tiny());
+        let tree = HierarchyTree::from_config(&PlatformConfig::tiny()).unwrap();
         (tagged.chunks, tree)
     }
 
@@ -669,15 +932,10 @@ mod tests {
         let (chunks, tree) = figure_example();
         let dist = distribute(&chunks, &tree, &ClusterParams::default());
         let sets = client_chunk_sets(&dist);
-        let expected: Vec<FxHashSet<usize>> = [
-            vec![0, 2],
-            vec![4, 6],
-            vec![1, 3],
-            vec![5, 7],
-        ]
-        .into_iter()
-        .map(|v| v.into_iter().collect())
-        .collect();
+        let expected: Vec<FxHashSet<usize>> = [vec![0, 2], vec![4, 6], vec![1, 3], vec![5, 7]]
+            .into_iter()
+            .map(|v| v.into_iter().collect())
+            .collect();
         // Client↔cluster pairing is symmetric; compare as a set of sets.
         for want in &expected {
             assert!(
@@ -730,13 +988,8 @@ mod tests {
             tag: cachemap_util::BitSet::from_tag_str(tag),
             points: (0..n).map(|i| vec![i as i64]).collect(),
         };
-        let chunks = vec![
-            mk("1000", 97),
-            mk("0100", 1),
-            mk("0010", 1),
-            mk("0001", 1),
-        ];
-        let tree = HierarchyTree::from_config(&PlatformConfig::tiny());
+        let chunks = vec![mk("1000", 97), mk("0100", 1), mk("0010", 1), mk("0001", 1)];
+        let tree = HierarchyTree::from_config(&PlatformConfig::tiny()).unwrap();
         let dist = distribute(&chunks, &tree, &ClusterParams::default());
         assert_eq!(dist.total_iterations(), 100);
         // 100 iterations over 4 clients, 10% threshold → all within
@@ -755,20 +1008,16 @@ mod tests {
             tag: cachemap_util::BitSet::from_tag_str("1"),
             points: vec![vec![0]],
         }];
-        let tree = HierarchyTree::from_config(&PlatformConfig::tiny());
+        let tree = HierarchyTree::from_config(&PlatformConfig::tiny()).unwrap();
         let dist = distribute(&chunks, &tree, &ClusterParams::default());
         assert_eq!(dist.total_iterations(), 1);
-        let nonempty = dist
-            .per_client
-            .iter()
-            .filter(|v| !v.is_empty())
-            .count();
+        let nonempty = dist.per_client.iter().filter(|v| !v.is_empty()).count();
         assert_eq!(nonempty, 1);
     }
 
     #[test]
     fn empty_input_distributes_nothing() {
-        let tree = HierarchyTree::from_config(&PlatformConfig::tiny());
+        let tree = HierarchyTree::from_config(&PlatformConfig::tiny()).unwrap();
         let dist = distribute(&[], &tree, &ClusterParams::default());
         assert_eq!(dist.total_iterations(), 0);
         assert_eq!(dist.per_client.len(), 4);
@@ -801,7 +1050,7 @@ mod tests {
             mk("00001100", 10),
             mk("00000110", 10),
         ];
-        let tree = HierarchyTree::from_config(&PlatformConfig::tiny());
+        let tree = HierarchyTree::from_config(&PlatformConfig::tiny()).unwrap();
         let dist = distribute(&chunks, &tree, &ClusterParams::default());
         let sets = client_chunk_sets(&dist);
         // Clients 0,1 share L2; the pair {0,1} and the pair {2,3} of
@@ -826,19 +1075,115 @@ mod tests {
                 chunks.push(IterationChunk {
                     nest: 0,
                     tag,
-                    points: (0..8).map(|i| vec![(f * 128 + k * 16 + i) as i64]).collect(),
+                    points: (0..8)
+                        .map(|i| vec![(f * 128 + k * 16 + i) as i64])
+                        .collect(),
                 });
             }
         }
         let cfg = PlatformConfig::paper_default();
-        let tree = HierarchyTree::from_config(&cfg);
+        let tree = HierarchyTree::from_config(&cfg).unwrap();
         let dist = distribute(&chunks, &tree, &ClusterParams::default());
         assert_eq!(dist.total_iterations(), 12 * 6 * 8);
         assert_eq!(dist.per_client.len(), 64);
         // Mean load 9; threshold keeps clients within a sane band.
         let per = dist.iterations_per_client();
         let mean = dist.total_iterations() as f64 / 64.0;
-        assert!(per.iter().all(|&x| (x as f64) <= mean * 2.0 + 8.0), "{per:?}");
+        assert!(
+            per.iter().all(|&x| (x as f64) <= mean * 2.0 + 8.0),
+            "{per:?}"
+        );
+    }
+
+    /// All `(chunk, iteration)` pairs a distribution covers.
+    fn covered(dist: &Distribution) -> FxHashSet<(usize, usize)> {
+        let mut seen = FxHashSet::default();
+        for items in &dist.per_client {
+            for it in items {
+                for k in it.start..it.end {
+                    assert!(seen.insert((it.chunk, k)), "duplicate iteration");
+                }
+            }
+        }
+        seen
+    }
+
+    #[test]
+    fn remap_moves_all_failed_work_to_survivors() {
+        let (chunks, tree) = figure_example();
+        let params = ClusterParams::default();
+        let dist = distribute(&chunks, &tree, &params);
+        let before = covered(&dist);
+
+        let failed = vec![0, 1]; // whole I/O-node-0 subtree fails
+        let remapped = remap_failed(&dist, &chunks, &tree, &failed, &params).unwrap();
+        assert!(remapped.per_client[0].is_empty());
+        assert!(remapped.per_client[1].is_empty());
+        // Exact-partition: the same iterations, each exactly once.
+        assert_eq!(covered(&remapped), before);
+        // Every surviving client carries some of the rebalanced load.
+        assert!(!remapped.per_client[2].is_empty());
+        assert!(!remapped.per_client[3].is_empty());
+    }
+
+    #[test]
+    fn remap_balances_over_survivors() {
+        let (chunks, tree) = figure_example();
+        let params = ClusterParams::default();
+        let dist = distribute(&chunks, &tree, &params);
+        let remapped = remap_failed(&dist, &chunks, &tree, &[2], &params).unwrap();
+        let per = remapped.iterations_per_client();
+        assert_eq!(per[2], 0);
+        // 32 iterations over 3 survivors: each within BThres of the
+        // 10.67 mean after splitting (11 ± 1).
+        let survivors: Vec<u64> = [0, 1, 3].iter().map(|&c| per[c]).collect();
+        assert_eq!(survivors.iter().sum::<u64>(), 32);
+        assert!(
+            survivors.iter().all(|&x| (10..=12).contains(&x)),
+            "survivor loads {survivors:?} must stay near the mean"
+        );
+    }
+
+    #[test]
+    fn remap_with_no_failures_is_identity() {
+        let (chunks, tree) = figure_example();
+        let params = ClusterParams::default();
+        let dist = distribute(&chunks, &tree, &params);
+        let same = remap_failed(&dist, &chunks, &tree, &[], &params).unwrap();
+        assert_eq!(same, dist);
+    }
+
+    #[test]
+    fn remap_rejects_bad_inputs() {
+        let (chunks, tree) = figure_example();
+        let params = ClusterParams::default();
+        let dist = distribute(&chunks, &tree, &params);
+        assert!(matches!(
+            remap_failed(&dist, &chunks, &tree, &[9], &params),
+            Err(RemapError::Prune(_))
+        ));
+        assert!(matches!(
+            remap_failed(&dist, &chunks, &tree, &[0, 1, 2, 3], &params),
+            Err(RemapError::Prune(_))
+        ));
+        let short = Distribution {
+            per_client: vec![Vec::new(); 2],
+        };
+        assert!(matches!(
+            remap_failed(&short, &chunks, &tree, &[0], &params),
+            Err(RemapError::ClientCountMismatch { .. })
+        ));
+        let bogus = Distribution {
+            per_client: {
+                let mut v = vec![Vec::new(); 4];
+                v[0].push(WorkItem::whole(99, 4));
+                v
+            },
+        };
+        assert!(matches!(
+            remap_failed(&bogus, &chunks, &tree, &[0], &params),
+            Err(RemapError::ChunkIndexOutOfRange { .. })
+        ));
     }
 }
 
@@ -869,7 +1214,7 @@ mod balance_probe {
                 });
             }
         }
-        let tree = HierarchyTree::from_config(&PlatformConfig::paper_default());
+        let tree = HierarchyTree::from_config(&PlatformConfig::paper_default()).unwrap();
         let dist = distribute(&chunks, &tree, &ClusterParams::default());
         let per = dist.iterations_per_client();
         let mean = per.iter().sum::<u64>() as f64 / per.len() as f64;

@@ -8,10 +8,9 @@
 //! cache-sharing clients converts reuse into locality.
 
 use crate::tags::IterationChunk;
-use serde::{Deserialize, Serialize};
 
 /// Dense symmetric similarity graph over iteration chunks.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimilarityGraph {
     n: usize,
     /// Row-major `n × n` weight matrix; diagonal holds the tag popcount.

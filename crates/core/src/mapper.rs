@@ -16,17 +16,16 @@
 //! to each processor" — the mapper guarantees exactly that.
 
 use crate::baseline;
-use crate::cluster::{self, ClusterParams};
+use crate::cluster::{self, ClusterParams, RemapError};
 use crate::codegen;
 use crate::deps::{self, DepStrategy};
 use crate::schedule::{self, ScheduleParams};
 use crate::tags;
 use cachemap_polyhedral::{DataSpace, Program};
 use cachemap_storage::{HierarchyTree, MappedProgram, PlatformConfig};
-use serde::{Deserialize, Serialize};
 
 /// Which program version to generate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Version {
     /// Lexicographic order, contiguous blocks (the paper's baseline).
     Original,
@@ -60,7 +59,7 @@ impl Version {
 }
 
 /// Mapper tuning knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MapperConfig {
     /// Clustering / load-balance parameters (Figure 5).
     pub cluster: ClusterParams,
@@ -132,20 +131,66 @@ impl Mapper {
             Version::IntraProcessor => {
                 baseline::intra_processor(program, data, k, platform.client_cache_chunks)
             }
-            Version::InterProcessor => self.map_inter(program, data, tree, false),
-            Version::InterProcessorScheduled => self.map_inter(program, data, tree, true),
+            Version::InterProcessor | Version::InterProcessorScheduled => {
+                let sched = version == Version::InterProcessorScheduled;
+                match self.map_inter(program, data, tree, sched, &[]) {
+                    Ok(mp) => mp,
+                    Err(_) => {
+                        // Invariant: with no failed clients the remap step
+                        // is skipped, so map_inter cannot fail.
+                        debug_assert!(false, "mapping without failures cannot fail");
+                        MappedProgram::new(tree.num_clients())
+                    }
+                }
+            }
         }
     }
 
-    /// The inter-processor pipeline: tag → cluster → (schedule) →
-    /// (dependences) → lower.
+    /// Failure-aware mapping: like [`Mapper::map`], but the iteration
+    /// ranges of `failed_clients` are redistributed over the survivors.
+    ///
+    /// For the inter-processor versions the failed clients' chunks are
+    /// re-clustered against the *pruned* hierarchy tree (Figure 5 on the
+    /// degraded platform, honoring `BThres`); for the baselines — which
+    /// are hierarchy-agnostic by construction — the orphaned op streams
+    /// are reassigned round-robin over the survivors.
+    ///
+    /// # Errors
+    /// See [`RemapError`]; an empty `failed_clients` never fails.
+    pub fn map_with_failures(
+        &self,
+        program: &Program,
+        data: &DataSpace,
+        platform: &PlatformConfig,
+        tree: &HierarchyTree,
+        version: Version,
+        failed_clients: &[usize],
+    ) -> Result<MappedProgram, RemapError> {
+        if failed_clients.is_empty() {
+            return Ok(self.map(program, data, platform, tree, version));
+        }
+        match version {
+            Version::Original | Version::IntraProcessor => {
+                let mp = self.map(program, data, platform, tree, version);
+                reassign_round_robin(mp, failed_clients)
+            }
+            Version::InterProcessor => self.map_inter(program, data, tree, false, failed_clients),
+            Version::InterProcessorScheduled => {
+                self.map_inter(program, data, tree, true, failed_clients)
+            }
+        }
+    }
+
+    /// The inter-processor pipeline: tag → cluster → (remap) →
+    /// (schedule) → (dependences) → lower.
     fn map_inter(
         &self,
         program: &Program,
         data: &DataSpace,
         tree: &HierarchyTree,
         with_schedule: bool,
-    ) -> MappedProgram {
+        failed_clients: &[usize],
+    ) -> Result<MappedProgram, RemapError> {
         let nest_groups: Vec<Vec<usize>> = if self.cfg.joint_nests {
             vec![(0..program.nests.len()).collect()]
         } else {
@@ -154,10 +199,11 @@ impl Mapper {
 
         let mut mp = MappedProgram::new(tree.num_clients());
         for group in nest_groups {
-            let part = self.map_nest_group(program, data, tree, &group, with_schedule);
+            let part =
+                self.map_nest_group(program, data, tree, &group, with_schedule, failed_clients)?;
             codegen::append_program(&mut mp, part);
         }
-        mp
+        Ok(mp)
     }
 
     fn map_nest_group(
@@ -167,7 +213,8 @@ impl Mapper {
         tree: &HierarchyTree,
         nest_indices: &[usize],
         with_schedule: bool,
-    ) -> MappedProgram {
+        failed_clients: &[usize],
+    ) -> Result<MappedProgram, RemapError> {
         // 1. Tagging (multi-nest groups share the data space).
         let (mut chunks, _ranges) = tags::tag_nests(program, nest_indices, data);
 
@@ -178,8 +225,7 @@ impl Mapper {
             let mut offset = 0usize;
             for &ni in nest_indices {
                 let tagged = tags::tag_nest(program, ni, data);
-                let nest_edges =
-                    deps::chunk_dependence_edges(program, ni, data, &tagged);
+                let nest_edges = deps::chunk_dependence_edges(program, ni, data, &tagged);
                 edges.extend(
                     nest_edges
                         .into_iter()
@@ -202,6 +248,12 @@ impl Mapper {
         // 4b. Optional boundary refinement (extension; off by default).
         if self.cfg.refine_passes > 0 {
             crate::refine::refine(&mut dist, &chunks, tree, self.cfg.refine_passes);
+        }
+
+        // 4c. Failure-aware remap: re-cluster the failed clients' work
+        //     over the pruned hierarchy before scheduling/lowering.
+        if !failed_clients.is_empty() {
+            dist = cluster::remap_failed(&dist, &chunks, tree, failed_clients, &self.cfg.cluster)?;
         }
 
         // 5. Chunk execution order. The paper's base inter-processor
@@ -227,7 +279,7 @@ impl Mapper {
         // 6. Respect dependences inside each client's order, then lower
         //    with synchronization for the cross-client edges.
         if edges.is_empty() {
-            codegen::lower_distribution(&dist, &chunks, program, data)
+            Ok(codegen::lower_distribution(&dist, &chunks, program, data))
         } else {
             // Drop the (rare) cyclic artifacts of the conservative
             // chunk-granularity graph, impose one global topological
@@ -235,9 +287,43 @@ impl Mapper {
             // forward edges — provably deadlock-free.
             let edges = deps::acyclic_edges(&edges);
             deps::enforce_intra_client_order(&mut dist, &edges);
-            deps::lower_with_sync(&dist, &chunks, program, data, &edges)
+            Ok(deps::lower_with_sync(&dist, &chunks, program, data, &edges))
         }
     }
+}
+
+/// Reassigns the op streams of failed clients round-robin over the
+/// survivors (the hierarchy-agnostic fallback used for the baseline
+/// versions).
+fn reassign_round_robin(
+    mut mp: MappedProgram,
+    failed: &[usize],
+) -> Result<MappedProgram, RemapError> {
+    use cachemap_storage::topology::PruneError;
+    let n = mp.num_clients();
+    let mut is_failed = vec![false; n];
+    for &c in failed {
+        if c >= n {
+            return Err(RemapError::Prune(PruneError::UnknownClient {
+                client: c,
+                num_clients: n,
+            }));
+        }
+        is_failed[c] = true;
+    }
+    let survivors: Vec<usize> = (0..n).filter(|&c| !is_failed[c]).collect();
+    if survivors.is_empty() {
+        return Err(RemapError::Prune(PruneError::NoSurvivors));
+    }
+    let mut rr = 0usize;
+    for (c, &dead) in is_failed.iter().enumerate() {
+        if dead {
+            let ops = std::mem::take(&mut mp.per_client[c]);
+            mp.per_client[survivors[rr % survivors.len()]].extend(ops);
+            rr += 1;
+        }
+    }
+    Ok(mp)
 }
 
 #[cfg(test)]
@@ -248,7 +334,7 @@ mod tests {
     fn setup() -> (Program, DataSpace, PlatformConfig, HierarchyTree) {
         let (program, data) = crate::tags::tests::figure6_program(4);
         let cfg = PlatformConfig::tiny();
-        let tree = HierarchyTree::from_config(&cfg);
+        let tree = HierarchyTree::from_config(&cfg).unwrap();
         (program, data, cfg, tree)
     }
 
@@ -258,11 +344,7 @@ mod tests {
         let mapper = Mapper::paper_defaults();
         let counts: Vec<u64> = Version::ALL
             .iter()
-            .map(|&v| {
-                mapper
-                    .map(&program, &data, &cfg, &tree, v)
-                    .total_accesses()
-            })
+            .map(|&v| mapper.map(&program, &data, &cfg, &tree, v).total_accesses())
             .collect();
         assert!(
             counts.windows(2).all(|w| w[0] == w[1]),
@@ -274,13 +356,84 @@ mod tests {
     fn versions_simulate_end_to_end() {
         let (program, data, cfg, tree) = setup();
         let mapper = Mapper::paper_defaults();
-        let sim = Simulator::new(cfg.clone());
+        let sim = Simulator::new(cfg.clone()).unwrap();
         for v in Version::ALL {
             let mp = mapper.map(&program, &data, &cfg, &tree, v);
-            let rep = sim.run(&mp);
+            let rep = sim.run(&mp).unwrap();
             assert!(rep.l1.accesses() > 0, "{v:?} produced no accesses");
             assert!(rep.exec_time_ns > 0);
         }
+    }
+
+    #[test]
+    fn failure_mapping_preserves_total_work_in_every_version() {
+        let (program, data, cfg, tree) = setup();
+        let mapper = Mapper::paper_defaults();
+        for v in Version::ALL {
+            let healthy = mapper.map(&program, &data, &cfg, &tree, v);
+            let degraded = mapper
+                .map_with_failures(&program, &data, &cfg, &tree, v, &[0])
+                .unwrap();
+            assert_eq!(
+                degraded.total_accesses(),
+                healthy.total_accesses(),
+                "{v:?}: failures must not change the executed iterations"
+            );
+            assert!(
+                degraded.per_client[0]
+                    .iter()
+                    .all(|op| !matches!(op, cachemap_storage::ClientOp::Access { .. })),
+                "{v:?}: failed client 0 must issue no accesses"
+            );
+        }
+    }
+
+    #[test]
+    fn failure_mapping_with_no_failures_matches_map() {
+        let (program, data, cfg, tree) = setup();
+        let mapper = Mapper::paper_defaults();
+        for v in Version::ALL {
+            let a = mapper.map(&program, &data, &cfg, &tree, v);
+            let b = mapper
+                .map_with_failures(&program, &data, &cfg, &tree, v, &[])
+                .unwrap();
+            assert_eq!(a, b, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn failure_mapping_rejects_bad_client_sets() {
+        let (program, data, cfg, tree) = setup();
+        let mapper = Mapper::paper_defaults();
+        for v in [Version::Original, Version::InterProcessor] {
+            assert!(mapper
+                .map_with_failures(&program, &data, &cfg, &tree, v, &[7])
+                .is_err());
+            assert!(mapper
+                .map_with_failures(&program, &data, &cfg, &tree, v, &[0, 1, 2, 3])
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn degraded_inter_mapping_simulates_end_to_end() {
+        let (program, data, cfg, tree) = setup();
+        let mapper = Mapper::paper_defaults();
+        let sim = Simulator::new(cfg.clone()).unwrap();
+        let mp = mapper
+            .map_with_failures(
+                &program,
+                &data,
+                &cfg,
+                &tree,
+                Version::InterProcessor,
+                &[0, 1],
+            )
+            .unwrap();
+        let rep = sim.run(&mp).unwrap();
+        assert!(rep.l1.accesses() > 0);
+        assert_eq!(rep.per_client_finish_ns[0], 0, "failed client idles");
+        assert_eq!(rep.per_client_finish_ns[1], 0, "failed client idles");
     }
 
     #[test]

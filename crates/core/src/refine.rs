@@ -48,8 +48,7 @@ pub fn refine(
                 .collect();
             for ai in 0..group.len() {
                 for bi in (ai + 1)..group.len() {
-                    swapped_this_pass +=
-                        refine_pair(dist, chunks, group[ai], group[bi], r);
+                    swapped_this_pass += refine_pair(dist, chunks, group[ai], group[bi], r);
                 }
             }
         }
@@ -96,8 +95,7 @@ fn refine_pair(
                     continue;
                 }
                 let gb = gain_of(itb, &tag_b, &tag_a);
-                let cross =
-                    chunks[ita.chunk].tag.and_count(&chunks[itb.chunk].tag) as i64;
+                let cross = chunks[ita.chunk].tag.and_count(&chunks[itb.chunk].tag) as i64;
                 let joint = ga + gb - 2 * cross;
                 match best {
                     Some((_, _, g)) if g >= joint => {}
@@ -153,7 +151,7 @@ mod tests {
     }
 
     fn tiny_tree() -> HierarchyTree {
-        HierarchyTree::from_config(&PlatformConfig::tiny())
+        HierarchyTree::from_config(&PlatformConfig::tiny()).unwrap()
     }
 
     #[test]
@@ -190,12 +188,7 @@ mod tests {
 
     #[test]
     fn leaves_a_good_assignment_alone() {
-        let chunks = vec![
-            mk("1100", 4),
-            mk("1010", 4),
-            mk("0011", 4),
-            mk("0101", 4),
-        ];
+        let chunks = vec![mk("1100", 4), mk("1010", 4), mk("0011", 4), mk("0101", 4)];
         let mut dist = Distribution {
             per_client: vec![
                 vec![WorkItem::whole(0, 4), WorkItem::whole(1, 4)],

@@ -22,7 +22,6 @@
 use crate::cluster::{Distribution, WorkItem};
 use crate::tags::IterationChunk;
 use cachemap_storage::topology::HierarchyTree;
-use serde::{Deserialize, Serialize};
 
 /// How chunk-to-chunk reuse affinity is measured when scheduling.
 ///
@@ -31,7 +30,7 @@ use serde::{Deserialize, Serialize};
 /// Hamming Distance") while the Figure 15 algorithm box maximizes **dot
 /// products**; both are provided, with the algorithm box's choice as the
 /// default.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReuseMetric {
     /// Maximize `Λa • Λx` (Figure 15). The default.
     DotProduct,
@@ -40,7 +39,7 @@ pub enum ReuseMetric {
 }
 
 /// Scheduling weights (the paper's α and β; both 0.5 in its experiments).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScheduleParams {
     /// Weight of the horizontal (shared I/O cache) reuse term.
     pub alpha: f64,
@@ -135,9 +134,7 @@ fn schedule_group(
                     (None, None) => {
                         // First client, first chunk: least number of "1"
                         // bits (fewest data chunks touched).
-                        argmin_by(&remaining[pos], |it| {
-                            tag_of(it).count_ones() as u64
-                        })
+                        argmin_by(&remaining[pos], |it| tag_of(it).count_ones() as u64)
                     }
                     (None, Some(lx)) => {
                         // Empty own schedule: follow the left neighbor.
@@ -170,12 +167,14 @@ fn schedule_group(
 /// Index of the item minimizing `key` (ties → lowest chunk index, then
 /// lowest position).
 fn argmin_by(items: &[WorkItem], key: impl Fn(&WorkItem) -> u64) -> usize {
+    // Invariant: callers only invoke this on non-empty item lists.
+    debug_assert!(!items.is_empty(), "non-empty item list");
     items
         .iter()
         .enumerate()
         .min_by_key(|(i, it)| (key(it), it.chunk, *i))
         .map(|(i, _)| i)
-        .expect("non-empty item list")
+        .unwrap_or(0)
 }
 
 /// Index of the item maximizing `key` (ties → lowest chunk index, then
@@ -185,9 +184,7 @@ fn argmax_by_f64(items: &[WorkItem], key: impl Fn(&WorkItem) -> f64) -> usize {
     let mut best_key = f64::NEG_INFINITY;
     for (i, it) in items.iter().enumerate() {
         let k = key(it);
-        if k > best_key
-            || (k == best_key && (it.chunk, i) < (items[best].chunk, best))
-        {
+        if k > best_key || (k == best_key && (it.chunk, i) < (items[best].chunk, best)) {
             best = i;
             best_key = k;
         }
@@ -205,7 +202,7 @@ mod tests {
     fn figure_example() -> (Vec<IterationChunk>, HierarchyTree, Distribution) {
         let (program, data) = crate::tags::tests::figure6_program(4);
         let tagged = tag_nest(&program, 0, &data);
-        let tree = HierarchyTree::from_config(&PlatformConfig::tiny());
+        let tree = HierarchyTree::from_config(&PlatformConfig::tiny()).unwrap();
         let dist = distribute(&tagged.chunks, &tree, &ClusterParams::default());
         (tagged.chunks, tree, dist)
     }
@@ -266,7 +263,16 @@ mod tests {
     fn alpha_beta_extremes_still_schedule_everything() {
         let (chunks, tree, dist) = figure_example();
         for (alpha, beta) in [(1.0, 0.0), (0.0, 1.0), (0.0, 0.0)] {
-            let sched = schedule(&dist, &chunks, &tree, &ScheduleParams { alpha, beta, ..Default::default() });
+            let sched = schedule(
+                &dist,
+                &chunks,
+                &tree,
+                &ScheduleParams {
+                    alpha,
+                    beta,
+                    ..Default::default()
+                },
+            );
             assert_eq!(sched.total_iterations(), 32, "α={alpha} β={beta}");
         }
     }
@@ -280,13 +286,8 @@ mod tests {
             tag: cachemap_util::BitSet::from_tag_str(tag),
             points: (0..n).map(|i| vec![i as i64]).collect(),
         };
-        let chunks = vec![
-            mk("1100", 4),
-            mk("0110", 4),
-            mk("0011", 4),
-            mk("1000", 50),
-        ];
-        let tree = HierarchyTree::from_config(&PlatformConfig::tiny());
+        let chunks = vec![mk("1100", 4), mk("0110", 4), mk("0011", 4), mk("1000", 50)];
+        let tree = HierarchyTree::from_config(&PlatformConfig::tiny()).unwrap();
         let dist = Distribution {
             per_client: vec![
                 vec![
@@ -308,7 +309,7 @@ mod tests {
 
     #[test]
     fn empty_distribution_schedules_empty() {
-        let tree = HierarchyTree::from_config(&PlatformConfig::tiny());
+        let tree = HierarchyTree::from_config(&PlatformConfig::tiny()).unwrap();
         let dist = Distribution {
             per_client: vec![vec![]; 4],
         };

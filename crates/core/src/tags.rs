@@ -9,10 +9,9 @@
 
 use cachemap_polyhedral::{DataSpace, LoopNest, Point, Program};
 use cachemap_util::{BitSet, FxHashMap};
-use serde::{Deserialize, Serialize};
 
 /// A set of iterations with identical data-chunk access tags.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IterationChunk {
     /// Index of the loop nest (within its program) these iterations come
     /// from — needed to evaluate the right references at codegen time.
@@ -36,7 +35,7 @@ impl IterationChunk {
 }
 
 /// The result of tagging one loop nest.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaggedNest {
     /// Iteration chunks in order of first appearance.
     pub chunks: Vec<IterationChunk>,
@@ -74,8 +73,7 @@ pub fn tag_nest(program: &Program, nest_idx: usize, data: &DataSpace) -> TaggedN
     let nest = &program.nests[nest_idx];
     let mut index: FxHashMap<BitSet, u32> = FxHashMap::default();
     let mut chunks: Vec<IterationChunk> = Vec::new();
-    let mut iter_chunk_of: Vec<u32> =
-        Vec::with_capacity(nest.space.size().min(1 << 24) as usize);
+    let mut iter_chunk_of: Vec<u32> = Vec::with_capacity(nest.space.size().min(1 << 24) as usize);
 
     for point in nest.space.iter() {
         let tag = tag_of_iteration(nest, &program.arrays, data, &point);
@@ -122,9 +120,7 @@ pub fn tag_nests(
 #[cfg(test)]
 pub(crate) mod tests {
     use super::*;
-    use cachemap_polyhedral::{
-        AccessKind, AffineExpr, ArrayDecl, ArrayRef, IterationSpace, Loop,
-    };
+    use cachemap_polyhedral::{AccessKind, AffineExpr, ArrayDecl, ArrayRef, IterationSpace, Loop};
 
     /// The paper's running example (Figure 6): a 1-D array of `m`
     /// elements split into 12 chunks of size `d`; each iteration `i`

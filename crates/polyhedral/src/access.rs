@@ -8,10 +8,9 @@
 
 use crate::affine::AffineExpr;
 use crate::array::{ArrayDecl, ArrayId};
-use serde::{Deserialize, Serialize};
 
 /// Whether a reference reads or writes its array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// Read access (uses).
     Read,
@@ -20,7 +19,7 @@ pub enum AccessKind {
 }
 
 /// One affine array reference within a loop body.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ArrayRef {
     /// Which array the reference targets.
     pub array: ArrayId,

@@ -5,7 +5,6 @@
 //! an access matrix `Q`, and the offset vector `q̄` are all affine in the
 //! surrounding iterators.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An affine expression over the iterators of an `n`-deep loop nest,
@@ -20,11 +19,10 @@ use std::fmt;
 /// accesses of lattice codes — the "irregular data access patterns" the
 /// paper's conclusion names as the next extension. A modular expression
 /// evaluates to the mathematical (non-negative) remainder.
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct AffineExpr {
     coeffs: Vec<i64>,
     constant: i64,
-    #[serde(default)]
     modulus: Option<i64>,
 }
 

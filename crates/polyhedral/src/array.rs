@@ -6,13 +6,11 @@
 //! linearized row-major (last dimension fastest), which is how the data
 //! space of Figure 4 orders elements before chunking.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of an array within a [`crate::nest::Program`].
 pub type ArrayId = usize;
 
 /// A disk-resident multi-dimensional array.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ArrayDecl {
     /// Human-readable name (for reports and debugging).
     pub name: String,

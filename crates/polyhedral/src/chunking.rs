@@ -12,13 +12,12 @@
 //! cache simulator of `cachemap-storage`.
 
 use crate::array::{ArrayDecl, ArrayId};
-use serde::{Deserialize, Serialize};
 
 /// Global index of a data chunk `π_k` in the combined data space.
 pub type ChunkId = usize;
 
 /// The combined, chunked data space of a program.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DataSpace {
     chunk_bytes: u64,
     /// First global chunk id of each array, plus a final sentinel equal to
@@ -118,7 +117,7 @@ mod tests {
 
     fn two_arrays() -> Vec<ArrayDecl> {
         vec![
-            ArrayDecl::new("A", vec![100], 8), // 800 bytes → 4 chunks of 256
+            ArrayDecl::new("A", vec![100], 8),    // 800 bytes → 4 chunks of 256
             ArrayDecl::new("B", vec![10, 10], 8), // 800 bytes → 4 chunks
         ]
     }

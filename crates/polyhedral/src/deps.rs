@@ -19,10 +19,9 @@ use crate::access::{AccessKind, ArrayRef};
 use crate::array::ArrayDecl;
 use crate::nest::LoopNest;
 use cachemap_util::FxHashMap;
-use serde::{Deserialize, Serialize};
 
 /// Kind of a data dependence between two references.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DependenceKind {
     /// Write then read (true/flow dependence).
     Flow,
@@ -34,7 +33,7 @@ pub enum DependenceKind {
 
 /// A dependence distance vector `σ2 - σ1` between two iterations
 /// `σ1 <lex σ2` that touch the same element (with at least one write).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Dependence {
     /// Distance per loop level, outermost first.
     pub distance: Vec<i64>,
@@ -57,7 +56,7 @@ impl Dependence {
 }
 
 /// Direction of a dependence distance at one loop level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Distance `< 0`.
     Lt,
@@ -200,8 +199,7 @@ pub fn exact_dependences(nest: &LoopNest, arrays: &[ArrayDecl]) -> Vec<Dependenc
             match r.kind {
                 AccessKind::Read => {
                     if let Some(w) = &entry.write {
-                        let distance: Vec<i64> =
-                            point.iter().zip(w).map(|(c, p)| c - p).collect();
+                        let distance: Vec<i64> = point.iter().zip(w).map(|(c, p)| c - p).collect();
                         seen.insert(Dependence {
                             distance,
                             kind: DependenceKind::Flow,
@@ -211,8 +209,7 @@ pub fn exact_dependences(nest: &LoopNest, arrays: &[ArrayDecl]) -> Vec<Dependenc
                 }
                 AccessKind::Write => {
                     if let Some(rd) = &entry.read {
-                        let distance: Vec<i64> =
-                            point.iter().zip(rd).map(|(c, p)| c - p).collect();
+                        let distance: Vec<i64> = point.iter().zip(rd).map(|(c, p)| c - p).collect();
                         // A read and write at the same iteration is not an
                         // anti dependence unless the read came textually
                         // first, which our scan order already guarantees;
@@ -227,8 +224,7 @@ pub fn exact_dependences(nest: &LoopNest, arrays: &[ArrayDecl]) -> Vec<Dependenc
                         }
                     }
                     if let Some(w) = &entry.write {
-                        let distance: Vec<i64> =
-                            point.iter().zip(w).map(|(c, p)| c - p).collect();
+                        let distance: Vec<i64> = point.iter().zip(w).map(|(c, p)| c - p).collect();
                         if distance.iter().any(|&d| d != 0) {
                             seen.insert(Dependence {
                                 distance,
@@ -243,7 +239,11 @@ pub fn exact_dependences(nest: &LoopNest, arrays: &[ArrayDecl]) -> Vec<Dependenc
     }
 
     let mut out: Vec<Dependence> = seen.into_iter().collect();
-    out.sort_by(|a, b| a.distance.cmp(&b.distance).then_with(|| format!("{:?}", a.kind).cmp(&format!("{:?}", b.kind))));
+    out.sort_by(|a, b| {
+        a.distance
+            .cmp(&b.distance)
+            .then_with(|| format!("{:?}", a.kind).cmp(&format!("{:?}", b.kind)))
+    });
     out
 }
 
@@ -383,10 +383,7 @@ mod tests {
             "stencil",
             space,
             vec![
-                ArrayRef::read(
-                    0,
-                    vec![AffineExpr::var_plus(0, -1), AffineExpr::var(1)],
-                ),
+                ArrayRef::read(0, vec![AffineExpr::var_plus(0, -1), AffineExpr::var(1)]),
                 ArrayRef::write(0, vec![AffineExpr::var(0), AffineExpr::var(1)]),
             ],
         );

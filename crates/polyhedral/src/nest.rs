@@ -8,11 +8,10 @@
 use crate::access::ArrayRef;
 use crate::array::{ArrayDecl, ArrayId};
 use crate::space::{IterationSpace, Point};
-use serde::{Deserialize, Serialize};
 
 /// A loop nest: an iteration space plus the references executed at each
 /// iteration, and a per-iteration compute cost used by the simulator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoopNest {
     /// Name for reports and debugging.
     pub name: String,
@@ -86,7 +85,7 @@ impl LoopNest {
 }
 
 /// A program: arrays plus one or more loop nests over them.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     /// Name for reports.
     pub name: String,

@@ -9,7 +9,6 @@
 //! iterations of a set, we walk the same sequence with [`PointIter`].
 
 use crate::affine::AffineExpr;
-use serde::{Deserialize, Serialize};
 
 /// One iteration point `σ = (i'1, i'2, …, i'n)ᵀ`.
 pub type Point = Vec<i64>;
@@ -18,7 +17,7 @@ pub type Point = Vec<i64>;
 ///
 /// The bounds may reference outer iterators only (enforced by
 /// [`IterationSpace::new`]).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Loop {
     /// Inclusive lower bound `L_k`.
     pub lower: AffineExpr,
@@ -42,7 +41,7 @@ impl Loop {
 }
 
 /// An `n`-deep iteration space with affine bounds.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IterationSpace {
     loops: Vec<Loop>,
 }

@@ -11,10 +11,9 @@
 
 use crate::deps::{permutation_is_legal, Dependence};
 use crate::space::{IterationSpace, Point};
-use serde::{Deserialize, Serialize};
 
 /// An execution order over an iteration space.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Traversal {
     /// Original lexicographic order.
     Identity,
@@ -96,7 +95,11 @@ impl Traversal {
 }
 
 fn check_perm(perm: &[usize], depth: usize) {
-    assert_eq!(perm.len(), depth, "permutation length must equal nest depth");
+    assert_eq!(
+        perm.len(),
+        depth,
+        "permutation length must equal nest depth"
+    );
     let mut seen = vec![false; depth];
     for &p in perm {
         assert!(p < depth && !seen[p], "invalid permutation {perm:?}");
@@ -200,10 +203,7 @@ mod tests {
     fn permuted_is_column_major() {
         let s = square(2);
         let t = Traversal::Permuted(vec![1, 0]).enumerate(&s);
-        assert_eq!(
-            t,
-            vec![vec![0, 0], vec![1, 0], vec![0, 1], vec![1, 1]]
-        );
+        assert_eq!(t, vec![vec![0, 0], vec![1, 0], vec![0, 1], vec![1, 1]]);
     }
 
     #[test]
@@ -222,10 +222,7 @@ mod tests {
         let t = Traversal::Tiled(vec![2, 2]).enumerate(&s);
         assert_eq!(t.len(), 16);
         // First tile: (0..2)×(0..2).
-        assert_eq!(
-            &t[..4],
-            &[vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
-        );
+        assert_eq!(&t[..4], &[vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
         // Second tile: (0..2)×(2..4).
         assert_eq!(t[4], vec![0, 2]);
     }

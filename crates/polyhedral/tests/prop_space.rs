@@ -1,71 +1,78 @@
-//! Property tests for iteration spaces, traversals, and dependence tests.
+//! Property tests for iteration spaces, traversals, and dependence tests,
+//! driven by the in-repo deterministic harness (`cachemap_util::check`).
 
 use cachemap_polyhedral::deps::{banerjee_test, exact_dependences, gcd_test};
 use cachemap_polyhedral::transform::Traversal;
-use cachemap_polyhedral::{
-    AffineExpr, ArrayDecl, ArrayRef, IterationSpace, Loop, LoopNest, Point,
-};
-use proptest::prelude::*;
+use cachemap_polyhedral::{AffineExpr, ArrayDecl, ArrayRef, IterationSpace, Loop, LoopNest, Point};
+use cachemap_util::check::cases;
 
-proptest! {
-    #[test]
-    fn rectangular_enumeration_count_and_order(
-        extents in proptest::collection::vec(1i64..6, 1..4)
-    ) {
+#[test]
+fn rectangular_enumeration_count_and_order() {
+    cases(0x5ACE_0001, 96, |g| {
+        let ndims = g.usize_in(1, 4);
+        let extents: Vec<i64> = (0..ndims).map(|_| g.i64_in(1, 6)).collect();
         let space = IterationSpace::rectangular(&extents);
         let pts: Vec<Point> = space.iter().collect();
-        prop_assert_eq!(pts.len() as u64, space.size());
+        assert_eq!(pts.len() as u64, space.size());
         for w in pts.windows(2) {
-            prop_assert!(w[0] < w[1], "lexicographic order violated");
+            assert!(w[0] < w[1], "lexicographic order violated");
         }
         for p in &pts {
-            prop_assert!(space.contains(p));
+            assert!(space.contains(p));
         }
-    }
+    });
+}
 
-    #[test]
-    fn triangular_spaces_enumerate_consistently(n in 1i64..8) {
+#[test]
+fn triangular_spaces_enumerate_consistently() {
+    cases(0x5ACE_0002, 32, |g| {
+        let n = g.i64_in(1, 8);
         // i0 in 0..n, i1 in 0..=i0.
         let space = IterationSpace::new(vec![
             Loop::constant(0, n - 1),
             Loop::new(AffineExpr::constant(0), AffineExpr::var(0)),
         ]);
         let pts: Vec<Point> = space.iter().collect();
-        prop_assert_eq!(pts.len() as i64, n * (n + 1) / 2);
+        assert_eq!(pts.len() as i64, n * (n + 1) / 2);
         for p in &pts {
-            prop_assert!(p[1] <= p[0]);
+            assert!(p[1] <= p[0]);
         }
-    }
+    });
+}
 
-    #[test]
-    fn every_traversal_is_a_permutation_of_the_space(
-        n0 in 1i64..6,
-        n1 in 1i64..6,
-        tile in 1i64..4,
-        which in 0usize..4,
-    ) {
+#[test]
+fn every_traversal_is_a_permutation_of_the_space() {
+    cases(0x5ACE_0003, 96, |g| {
+        let n0 = g.i64_in(1, 6);
+        let n1 = g.i64_in(1, 6);
+        let tile = g.i64_in(1, 4);
+        let which = g.usize_in(0, 4);
         let space = IterationSpace::rectangular(&[n0, n1]);
         let traversal = match which {
             0 => Traversal::Identity,
             1 => Traversal::Permuted(vec![1, 0]),
             2 => Traversal::Tiled(vec![tile, tile]),
-            _ => Traversal::TiledPermuted { tiles: vec![tile, tile], perm: vec![1, 0] },
+            _ => Traversal::TiledPermuted {
+                tiles: vec![tile, tile],
+                perm: vec![1, 0],
+            },
         };
         let mut order = traversal.enumerate(&space);
-        prop_assert_eq!(order.len() as u64, space.size());
+        assert_eq!(order.len() as u64, space.size());
         order.sort();
         order.dedup();
-        prop_assert_eq!(order.len() as u64, space.size(), "duplicates in traversal");
-    }
+        assert_eq!(order.len() as u64, space.size(), "duplicates in traversal");
+    });
+}
 
-    #[test]
-    fn gcd_and_banerjee_never_contradict_exact_dependences(
-        n in 2i64..10,
-        wa in 1i64..3,
-        wc in 0i64..6,
-        ra in 1i64..3,
-        rc in 0i64..6,
-    ) {
+#[test]
+fn gcd_and_banerjee_never_contradict_exact_dependences() {
+    cases(0x5ACE_0004, 128, |g| {
+        let n = g.i64_in(2, 10);
+        let wa = g.i64_in(1, 3);
+        let wc = g.i64_in(0, 6);
+        let ra = g.i64_in(1, 3);
+        let rc = g.i64_in(0, 6);
         // A[wa·i + wc] written, A[ra·i + rc] read over i in 0..n.
         let max_idx = (wa * (n - 1) + wc).max(ra * (n - 1) + rc) + 1;
         let arrays = vec![ArrayDecl::new("A", vec![max_idx], 8)];
@@ -82,21 +89,24 @@ proptest! {
         // The approximate tests may report false positives but never
         // false negatives.
         if any_dep {
-            prop_assert!(gcd_test(&w, &r, 1), "GCD test missed a real dependence");
-            prop_assert!(
+            assert!(gcd_test(&w, &r, 1), "GCD test missed a real dependence");
+            assert!(
                 banerjee_test(&w, &r, &[(0, n - 1)]),
                 "Banerjee test missed a real dependence"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn legal_permutations_preserve_dependence_direction(
-        n in 2i64..7,
-        di in 0i64..3,
-        dj in -2i64..3,
-    ) {
-        prop_assume!(di != 0 || dj > 0);
+#[test]
+fn legal_permutations_preserve_dependence_direction() {
+    cases(0x5ACE_0005, 128, |g| {
+        let n = g.i64_in(2, 7);
+        let di = g.i64_in(0, 3);
+        let dj = g.i64_in(-2, 3);
+        if !(di != 0 || dj > 0) {
+            return;
+        }
         // A[i+di][j+dj] = A[i][j] gives a dependence with distance (di,dj).
         let pitch = n + 4;
         let arrays = vec![ArrayDecl::new("A", vec![(pitch + 3) * pitch + 8], 8)];
@@ -106,7 +116,10 @@ proptest! {
         let nest = LoopNest::new(
             "t",
             space,
-            vec![ArrayRef::read(0, vec![base]), ArrayRef::write(0, vec![shifted])],
+            vec![
+                ArrayRef::read(0, vec![base]),
+                ArrayRef::write(0, vec![shifted]),
+            ],
         );
         let deps = exact_dependences(&nest, &arrays);
         let interchange = Traversal::Permuted(vec![1, 0]);
@@ -115,12 +128,12 @@ proptest! {
             // swapping components.
             for d in &deps {
                 let swapped = [d.distance[1], d.distance[0]];
-                prop_assert!(
+                assert!(
                     swapped.iter().find(|&&x| x != 0).is_none_or(|&x| x > 0),
                     "legal interchange reversed {:?}",
                     d.distance
                 );
             }
         }
-    }
+    });
 }

@@ -10,8 +10,8 @@
 //! policy"; FIFO and LFU variants are provided for that ablation.
 
 use crate::config::PolicyKind;
-use cachemap_util::FxHashMap;
 use cachemap_util::stats::HitMiss;
+use cachemap_util::FxHashMap;
 
 /// A chunk identifier (global data-space numbering).
 pub type Chunk = usize;
@@ -57,6 +57,18 @@ pub trait ChunkCache {
 
     /// Drops all residents and statistics.
     fn reset(&mut self);
+
+    /// Removes every resident chunk (statistics are kept), returning the
+    /// former residents as `(chunk, dirty)` pairs in eviction order.
+    /// Used by fault injection to model a crashed node losing its cache.
+    fn drain(&mut self) -> Vec<(Chunk, bool)>;
+
+    /// Changes the capacity, evicting in policy order until the
+    /// residents fit; returns the evicted `(chunk, dirty)` pairs. A
+    /// capacity of zero is clamped to one (caches are never empty by
+    /// construction; see [`FaultPlan`](crate::faults::FaultPlan)
+    /// validation).
+    fn set_capacity(&mut self, capacity: usize) -> Vec<(Chunk, bool)>;
 }
 
 /// Builds a cache of the configured policy kind.
@@ -140,15 +152,18 @@ impl LruCache {
         }
     }
 
-    fn evict_lru(&mut self) -> (Chunk, bool) {
+    /// Evicts the least-recently-used entry; `None` on an empty cache.
+    fn evict_lru(&mut self) -> Option<(Chunk, bool)> {
         let victim = self.tail;
-        debug_assert_ne!(victim, NIL, "evict called on empty cache");
+        if victim == NIL {
+            return None;
+        }
         self.detach(victim);
         let chunk = self.slots[victim].chunk;
         let dirty = self.slots[victim].dirty;
         self.index.remove(&chunk);
         self.free.push(victim);
-        (chunk, dirty)
+        Some((chunk, dirty))
     }
 }
 
@@ -178,12 +193,14 @@ impl ChunkCache for LruCache {
         }
         let mut outcome = InsertOutcome::Inserted;
         if self.index.len() == self.capacity {
-            let (victim, was_dirty) = self.evict_lru();
-            outcome = if was_dirty {
-                InsertOutcome::EvictedDirty(victim)
-            } else {
-                InsertOutcome::EvictedClean(victim)
-            };
+            // Invariant: capacity > 0, so a full cache has a victim.
+            if let Some((victim, was_dirty)) = self.evict_lru() {
+                outcome = if was_dirty {
+                    InsertOutcome::EvictedDirty(victim)
+                } else {
+                    InsertOutcome::EvictedClean(victim)
+                };
+            }
         }
         let slot = if let Some(s) = self.free.pop() {
             self.slots[s] = LruEntry {
@@ -230,6 +247,27 @@ impl ChunkCache for LruCache {
         self.head = NIL;
         self.tail = NIL;
         self.stats = HitMiss::default();
+    }
+
+    fn drain(&mut self) -> Vec<(Chunk, bool)> {
+        let mut out = Vec::with_capacity(self.index.len());
+        while let Some(entry) = self.evict_lru() {
+            out.push(entry);
+        }
+        out
+    }
+
+    fn set_capacity(&mut self, capacity: usize) -> Vec<(Chunk, bool)> {
+        self.capacity = capacity.max(1);
+        let mut out = Vec::new();
+        while self.index.len() > self.capacity {
+            if let Some(entry) = self.evict_lru() {
+                out.push(entry);
+            } else {
+                break;
+            }
+        }
+        out
     }
 }
 
@@ -282,13 +320,15 @@ impl ChunkCache for FifoCache {
         }
         let mut outcome = InsertOutcome::Inserted;
         if self.dirty.len() == self.capacity {
-            let victim = self.queue.pop_front().expect("non-empty at capacity");
-            let was_dirty = self.dirty.remove(&victim).unwrap_or(false);
-            outcome = if was_dirty {
-                InsertOutcome::EvictedDirty(victim)
-            } else {
-                InsertOutcome::EvictedClean(victim)
-            };
+            // Invariant: capacity > 0, so a full cache has a queued victim.
+            if let Some(victim) = self.queue.pop_front() {
+                let was_dirty = self.dirty.remove(&victim).unwrap_or(false);
+                outcome = if was_dirty {
+                    InsertOutcome::EvictedDirty(victim)
+                } else {
+                    InsertOutcome::EvictedClean(victim)
+                };
+            }
         }
         self.queue.push_back(chunk);
         self.dirty.insert(chunk, dirty);
@@ -315,6 +355,30 @@ impl ChunkCache for FifoCache {
         self.queue.clear();
         self.dirty.clear();
         self.stats = HitMiss::default();
+    }
+
+    fn drain(&mut self) -> Vec<(Chunk, bool)> {
+        let mut out = Vec::with_capacity(self.dirty.len());
+        while let Some(victim) = self.queue.pop_front() {
+            let was_dirty = self.dirty.remove(&victim).unwrap_or(false);
+            out.push((victim, was_dirty));
+        }
+        out
+    }
+
+    fn set_capacity(&mut self, capacity: usize) -> Vec<(Chunk, bool)> {
+        self.capacity = capacity.max(1);
+        let mut out = Vec::new();
+        while self.dirty.len() > self.capacity {
+            match self.queue.pop_front() {
+                Some(victim) => {
+                    let was_dirty = self.dirty.remove(&victim).unwrap_or(false);
+                    out.push((victim, was_dirty));
+                }
+                None => break,
+            }
+        }
+        out
     }
 }
 
@@ -355,15 +419,17 @@ impl LfuCache {
         }
     }
 
-    fn evict_lfu(&mut self) -> (Chunk, bool) {
+    /// Evicts the least-frequently-used entry (ties broken by age,
+    /// `seq` is unique so the choice is deterministic); `None` on an
+    /// empty cache.
+    fn evict_lfu(&mut self) -> Option<(Chunk, bool)> {
         let victim = *self
             .entries
             .iter()
             .min_by_key(|(_, e)| (e.freq, e.seq))
-            .map(|(c, _)| c)
-            .expect("evict called on empty cache");
-        let e = self.entries.remove(&victim).unwrap();
-        (victim, e.dirty)
+            .map(|(c, _)| c)?;
+        let e = self.entries.remove(&victim)?;
+        Some((victim, e.dirty))
     }
 }
 
@@ -387,12 +453,14 @@ impl ChunkCache for LfuCache {
         }
         let mut outcome = InsertOutcome::Inserted;
         if self.entries.len() == self.capacity {
-            let (victim, was_dirty) = self.evict_lfu();
-            outcome = if was_dirty {
-                InsertOutcome::EvictedDirty(victim)
-            } else {
-                InsertOutcome::EvictedClean(victim)
-            };
+            // Invariant: capacity > 0, so a full cache has a victim.
+            if let Some((victim, was_dirty)) = self.evict_lfu() {
+                outcome = if was_dirty {
+                    InsertOutcome::EvictedDirty(victim)
+                } else {
+                    InsertOutcome::EvictedClean(victim)
+                };
+            }
         }
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -427,6 +495,26 @@ impl ChunkCache for LfuCache {
         self.entries.clear();
         self.next_seq = 0;
         self.stats = HitMiss::default();
+    }
+
+    fn drain(&mut self) -> Vec<(Chunk, bool)> {
+        let mut out = Vec::with_capacity(self.entries.len());
+        while let Some(entry) = self.evict_lfu() {
+            out.push(entry);
+        }
+        out
+    }
+
+    fn set_capacity(&mut self, capacity: usize) -> Vec<(Chunk, bool)> {
+        self.capacity = capacity.max(1);
+        let mut out = Vec::new();
+        while self.entries.len() > self.capacity {
+            match self.evict_lfu() {
+                Some(entry) => out.push(entry),
+                None => break,
+            }
+        }
+        out
     }
 }
 
@@ -547,6 +635,63 @@ mod tests {
             c.insert(1, false);
             assert!(c.access(1, false));
             assert!(c.stats().hits >= 1);
+        }
+    }
+
+    #[test]
+    fn drain_surfaces_dirty_residents_and_empties() {
+        for kind in [PolicyKind::Lru, PolicyKind::Fifo, PolicyKind::Lfu] {
+            let mut c = build_cache(kind, 4);
+            c.insert(1, false);
+            c.insert(2, true);
+            c.insert(3, false);
+            let drained = c.drain();
+            assert_eq!(drained.len(), 3, "{kind:?}");
+            assert_eq!(
+                drained.iter().filter(|(_, d)| *d).count(),
+                1,
+                "{kind:?} must surface the dirty chunk"
+            );
+            assert!(c.is_empty());
+            // Statistics survive a drain (unlike reset).
+            assert_eq!(c.stats().misses, 0);
+            c.insert(9, false);
+            assert!(c.contains(9));
+        }
+    }
+
+    #[test]
+    fn set_capacity_shrinks_in_policy_order() {
+        let mut c = LruCache::new(4);
+        for i in 0..4 {
+            c.insert(i, i == 0); // chunk 0 dirty, and LRU
+        }
+        let evicted = c.set_capacity(2);
+        assert_eq!(evicted, vec![(0, true), (1, false)]);
+        assert_eq!(c.capacity(), 2);
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(2) && c.contains(3));
+        // Growing evicts nothing; zero clamps to one.
+        assert!(c.set_capacity(8).is_empty());
+        let evicted = c.set_capacity(0);
+        assert_eq!(c.capacity(), 1);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn set_capacity_all_policies_respect_new_limit() {
+        for kind in [PolicyKind::Lru, PolicyKind::Fifo, PolicyKind::Lfu] {
+            let mut c = build_cache(kind, 8);
+            for i in 0..8 {
+                c.insert(i, i % 2 == 0);
+            }
+            let evicted = c.set_capacity(3);
+            assert_eq!(evicted.len(), 5, "{kind:?}");
+            assert_eq!(c.len(), 3, "{kind:?}");
+            assert_eq!(c.capacity(), 3, "{kind:?}");
+            c.insert(100, false);
+            assert!(c.len() <= 3, "{kind:?}");
         }
     }
 

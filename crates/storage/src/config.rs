@@ -18,10 +18,69 @@
 //! preserving the cache-pressure regime. [`PlatformConfig::paper_default`]
 //! encodes Table 1 at the default scale used throughout the harness.
 
-use serde::{Deserialize, Serialize};
+/// A structural problem with a [`PlatformConfig`], found by
+/// [`PlatformConfig::validate`].
+///
+/// Every simulation entry point ([`crate::Simulator::new`],
+/// [`crate::HierarchyTree::from_config`]) validates and surfaces this
+/// typed error rather than trusting callers or panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// One of the `w`/`x`/`y` node counts is zero.
+    ZeroNodeCount,
+    /// `num_clients` is not a multiple of `num_io_nodes`, so clients
+    /// cannot be divided contiguously over I/O nodes.
+    ClientsNotDivisible {
+        /// Configured number of clients.
+        clients: usize,
+        /// Configured number of I/O nodes.
+        io_nodes: usize,
+    },
+    /// `num_io_nodes` is not a multiple of `num_storage_nodes`.
+    IoNodesNotDivisible {
+        /// Configured number of I/O nodes.
+        io_nodes: usize,
+        /// Configured number of storage nodes.
+        storage_nodes: usize,
+    },
+    /// `chunk_bytes` is zero.
+    ZeroChunkSize,
+    /// One of the per-level cache capacities (in chunks) is zero.
+    ZeroCacheCapacity,
+    /// One of the physical rates (`rpm`, disk bandwidth, network
+    /// bandwidth) is zero, which would make service times undefined.
+    ZeroRate,
+    /// `disks_per_node` is zero.
+    ZeroDisksPerNode,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroNodeCount => write!(f, "node counts must be positive"),
+            ConfigError::ClientsNotDivisible { clients, io_nodes } => write!(
+                f,
+                "clients ({clients}) must divide evenly over I/O nodes ({io_nodes})"
+            ),
+            ConfigError::IoNodesNotDivisible {
+                io_nodes,
+                storage_nodes,
+            } => write!(
+                f,
+                "I/O nodes ({io_nodes}) must divide evenly over storage nodes ({storage_nodes})"
+            ),
+            ConfigError::ZeroChunkSize => write!(f, "chunk size must be positive"),
+            ConfigError::ZeroCacheCapacity => write!(f, "cache capacities must be positive"),
+            ConfigError::ZeroRate => write!(f, "rates must be positive"),
+            ConfigError::ZeroDisksPerNode => write!(f, "disks per node must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Replacement policy selector for the storage caches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PolicyKind {
     /// Least-recently-used (the paper's policy).
     Lru,
@@ -32,7 +91,7 @@ pub enum PolicyKind {
 }
 
 /// Full platform description consumed by the simulator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlatformConfig {
     /// Number of client (compute) nodes `w`.
     pub num_clients: usize,
@@ -168,36 +227,36 @@ impl PlatformConfig {
 
     /// Validates internal consistency (divisibility of the tree fan-outs,
     /// non-zero capacities).
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.num_clients == 0 || self.num_io_nodes == 0 || self.num_storage_nodes == 0 {
-            return Err("node counts must be positive".into());
+            return Err(ConfigError::ZeroNodeCount);
         }
         if !self.num_clients.is_multiple_of(self.num_io_nodes) {
-            return Err(format!(
-                "clients ({}) must divide evenly over I/O nodes ({})",
-                self.num_clients, self.num_io_nodes
-            ));
+            return Err(ConfigError::ClientsNotDivisible {
+                clients: self.num_clients,
+                io_nodes: self.num_io_nodes,
+            });
         }
         if !self.num_io_nodes.is_multiple_of(self.num_storage_nodes) {
-            return Err(format!(
-                "I/O nodes ({}) must divide evenly over storage nodes ({})",
-                self.num_io_nodes, self.num_storage_nodes
-            ));
+            return Err(ConfigError::IoNodesNotDivisible {
+                io_nodes: self.num_io_nodes,
+                storage_nodes: self.num_storage_nodes,
+            });
         }
         if self.chunk_bytes == 0 {
-            return Err("chunk size must be positive".into());
+            return Err(ConfigError::ZeroChunkSize);
         }
         if self.client_cache_chunks == 0
             || self.io_cache_chunks == 0
             || self.storage_cache_chunks == 0
         {
-            return Err("cache capacities must be positive".into());
+            return Err(ConfigError::ZeroCacheCapacity);
         }
         if self.rpm == 0 || self.disk_bw_bytes_per_s == 0 || self.net_bw_bytes_per_s == 0 {
-            return Err("rates must be positive".into());
+            return Err(ConfigError::ZeroRate);
         }
         if self.disks_per_node == 0 {
-            return Err("disks per node must be positive".into());
+            return Err(ConfigError::ZeroDisksPerNode);
         }
         Ok(())
     }
@@ -271,9 +330,42 @@ mod tests {
     #[test]
     fn invalid_fanout_rejected() {
         let c = PlatformConfig::paper_default().with_topology(64, 24, 16);
-        assert!(c.validate().is_err());
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::ClientsNotDivisible {
+                clients: 64,
+                io_nodes: 24
+            })
+        );
         let c = PlatformConfig::paper_default().with_topology(64, 32, 12);
-        assert!(c.validate().is_err());
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::IoNodesNotDivisible {
+                io_nodes: 32,
+                storage_nodes: 12
+            })
+        );
+    }
+
+    #[test]
+    fn zero_parameters_rejected_with_typed_errors() {
+        let mut c = PlatformConfig::tiny();
+        c.num_clients = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroNodeCount));
+        let mut c = PlatformConfig::tiny();
+        c.chunk_bytes = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroChunkSize));
+        let mut c = PlatformConfig::tiny();
+        c.io_cache_chunks = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroCacheCapacity));
+        let mut c = PlatformConfig::tiny();
+        c.rpm = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroRate));
+        let mut c = PlatformConfig::tiny();
+        c.disks_per_node = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroDisksPerNode));
+        // Errors render as readable messages.
+        assert!(ConfigError::ZeroRate.to_string().contains("positive"));
     }
 
     #[test]

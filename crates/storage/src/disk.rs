@@ -11,10 +11,9 @@
 
 use crate::cache::Chunk;
 use crate::config::PlatformConfig;
-use serde::{Deserialize, Serialize};
 
 /// State of one storage-node disk.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Disk {
     /// Chunk that the head is positioned right after, if any.
     last_chunk: Option<Chunk>,

@@ -16,21 +16,36 @@
 //! hop when the owner differs from the tree-route storage node. Caches
 //! are write-allocate / write-back, and dirty evictions cascade one level
 //! down with their costs charged to the access that triggered them.
+//!
+//! Fault injection ([`crate::faults`]) threads through the same global
+//! clock: scheduled events are applied lazily when the heap reaches their
+//! time, failover routing replaces crashed nodes on the access path, and
+//! transient errors draw from a seeded generator in heap order — so a
+//! faulty run is exactly as reproducible as a clean one, and a run with
+//! an empty [`FaultPlan`] is bit-identical to a fault-free run.
 
 use crate::cache::{build_cache, Chunk, ChunkCache, InsertOutcome};
-use crate::config::PlatformConfig;
+use crate::config::{ConfigError, PlatformConfig};
 use crate::disk::{disk_index, owner_of_chunk, striping_stride, total_disks, Disk};
+use crate::faults::{DegradeLevel, FaultEvent, FaultPlan, FaultPlanError, FaultStats};
 use crate::net::{chunk_transfer_ns, control_ns, Hop};
 use crate::topology::HierarchyTree;
 use crate::trace::{ServedBy, Trace, TraceEvent};
 use cachemap_util::stats::HitMiss;
-use cachemap_util::FxHashMap;
-use serde::{Deserialize, Serialize};
+use cachemap_util::{FxHashMap, XorShift64};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Retry attempts per access before a transient error is forced to
+/// succeed (a termination backstop; with validated rates the loop exits
+/// almost immediately).
+const MAX_TRANSIENT_RETRIES: u32 = 32;
+/// Cap on the exponential backoff, as a multiple of the base delay.
+const MAX_BACKOFF_FACTOR: u64 = 16;
 
 /// One operation in a client's instruction stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ClientOp {
     /// Pure computation for the given simulated nanoseconds.
     Compute {
@@ -57,7 +72,7 @@ pub enum ClientOp {
 }
 
 /// A fully mapped program: one operation stream per client node.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MappedProgram {
     /// `per_client[c]` is the ordered op stream of client `c`.
     pub per_client: Vec<Vec<ClientOp>>,
@@ -99,8 +114,94 @@ impl MappedProgram {
     }
 }
 
+/// Why a simulation could not be built or run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The platform configuration is invalid.
+    Config(ConfigError),
+    /// The hierarchy tree was built for a different client count.
+    TreeMismatch {
+        /// Clients in the tree.
+        tree_clients: usize,
+        /// Clients in the configuration.
+        config_clients: usize,
+    },
+    /// The program was mapped for a different client count.
+    ProgramMismatch {
+        /// Clients in the program.
+        program_clients: usize,
+        /// Clients in the configuration.
+        config_clients: usize,
+    },
+    /// A synchronization token was signalled twice.
+    DuplicateSignal {
+        /// The offending token.
+        token: u32,
+    },
+    /// The run ended with clients parked on tokens that were never
+    /// signalled.
+    Deadlock {
+        /// The waiting clients, in ascending order.
+        waiting: Vec<usize>,
+    },
+    /// The fault plan does not fit the platform.
+    Fault(FaultPlanError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Config(e) => write!(f, "invalid platform config: {e}"),
+            EngineError::TreeMismatch {
+                tree_clients,
+                config_clients,
+            } => write!(
+                f,
+                "hierarchy tree has {tree_clients} clients, config has {config_clients}"
+            ),
+            EngineError::ProgramMismatch {
+                program_clients,
+                config_clients,
+            } => write!(
+                f,
+                "program has {program_clients} clients, platform has {config_clients}"
+            ),
+            EngineError::DuplicateSignal { token } => {
+                write!(f, "token {token} signalled twice")
+            }
+            EngineError::Deadlock { waiting } => write!(
+                f,
+                "deadlock: clients {waiting:?} waiting on tokens that were never signalled"
+            ),
+            EngineError::Fault(e) => write!(f, "invalid fault plan: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Config(e) => Some(e),
+            EngineError::Fault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for EngineError {
+    fn from(e: ConfigError) -> Self {
+        EngineError::Config(e)
+    }
+}
+
+impl From<FaultPlanError> for EngineError {
+    fn from(e: FaultPlanError) -> Self {
+        EngineError::Fault(e)
+    }
+}
+
 /// Aggregated outcome of one simulation run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RunStats {
     /// Cumulative client-cache statistics (all L1 caches merged).
     pub l1: HitMiss,
@@ -122,6 +223,8 @@ pub struct RunStats {
     pub disk_writes: u64,
     /// Chunks prefetched into storage-node caches by server read-ahead.
     pub prefetched_chunks: u64,
+    /// Degraded-mode counters (all zero on a fault-free run).
+    pub faults: FaultStats,
 }
 
 struct Resources {
@@ -134,12 +237,54 @@ struct Resources {
     disk_free: Vec<u64>,
 }
 
+/// Mutable fault-injection state derived from a [`FaultPlan`].
+struct FaultState {
+    /// Events sorted by `(at_ns, plan order)`; applied lazily.
+    events: Vec<FaultEvent>,
+    next_event: usize,
+    io_alive: Vec<bool>,
+    storage_alive: Vec<bool>,
+    /// Per-storage-node disk service-time multiplier (starts at 1).
+    disk_factor: Vec<u64>,
+    transient_rng: Option<XorShift64>,
+    transient_rate_ppm: u64,
+    stats: FaultStats,
+    first_crash_ns: Option<u64>,
+    recovery_ns: Option<u64>,
+}
+
+impl FaultState {
+    fn from_plan(plan: &FaultPlan, cfg: &PlatformConfig) -> Option<FaultState> {
+        if plan.is_empty() {
+            // No state at all: the fault-free fast path stays untouched,
+            // which is what makes the empty plan bit-identical to a run
+            // without any plan.
+            return None;
+        }
+        let mut events = plan.events.clone();
+        events.sort_by_key(|e| e.at_ns()); // stable: plan order breaks ties
+        Some(FaultState {
+            events,
+            next_event: 0,
+            io_alive: vec![true; cfg.num_io_nodes],
+            storage_alive: vec![true; cfg.num_storage_nodes],
+            disk_factor: vec![1; cfg.num_storage_nodes],
+            transient_rng: plan.transient.map(|t| XorShift64::new(t.seed)),
+            transient_rate_ppm: plan.transient.map_or(0, |t| t.rate_ppm as u64),
+            stats: FaultStats::default(),
+            first_crash_ns: None,
+            recovery_ns: None,
+        })
+    }
+}
+
 /// The discrete-event engine. Construct with [`Engine::new`], then call
 /// [`Engine::run`] once.
 pub struct Engine<'a> {
     cfg: &'a PlatformConfig,
     tree: &'a HierarchyTree,
     res: Resources,
+    faults: Option<FaultState>,
     trace: Option<Vec<TraceEvent>>,
     /// Highest chunk id referenced by the program (read-ahead never
     /// prefetches beyond it).
@@ -149,16 +294,14 @@ pub struct Engine<'a> {
 
 impl<'a> Engine<'a> {
     /// Builds the engine's cache/disk state for a platform.
-    ///
-    /// # Panics
-    /// Panics if the config is invalid or the tree does not match it.
-    pub fn new(cfg: &'a PlatformConfig, tree: &'a HierarchyTree) -> Self {
-        cfg.validate().expect("invalid platform config");
-        assert_eq!(
-            tree.num_clients(),
-            cfg.num_clients,
-            "hierarchy tree does not match config"
-        );
+    pub fn new(cfg: &'a PlatformConfig, tree: &'a HierarchyTree) -> Result<Self, EngineError> {
+        cfg.validate()?;
+        if tree.num_clients() != cfg.num_clients {
+            return Err(EngineError::TreeMismatch {
+                tree_clients: tree.num_clients(),
+                config_clients: cfg.num_clients,
+            });
+        }
         let res = Resources {
             l1: (0..cfg.num_clients)
                 .map(|_| build_cache(cfg.policy, cfg.client_cache_chunks))
@@ -174,42 +317,52 @@ impl<'a> Engine<'a> {
             disks: (0..total_disks(cfg)).map(|_| Disk::new()).collect(),
             disk_free: vec![0; total_disks(cfg)],
         };
-        Engine {
+        Ok(Engine {
             cfg,
             tree,
             res,
+            faults: None,
             trace: None,
             max_chunk: 0,
             prefetched: 0,
-        }
+        })
+    }
+
+    /// Attaches a fault plan (validated against the platform). An empty
+    /// plan leaves the engine on the fault-free fast path.
+    pub fn with_fault_plan(mut self, plan: &FaultPlan) -> Result<Self, EngineError> {
+        plan.validate(self.cfg)?;
+        self.faults = FaultState::from_plan(plan, self.cfg);
+        Ok(self)
     }
 
     /// Like [`Engine::run`] but also records every access into a
     /// [`Trace`].
-    pub fn run_traced(mut self, program: &MappedProgram) -> (RunStats, Trace) {
+    pub fn run_traced(mut self, program: &MappedProgram) -> Result<(RunStats, Trace), EngineError> {
         self.trace = Some(Vec::new());
-        let (stats, trace) = self.run_impl(program);
-        (stats, trace.expect("trace capture was enabled"))
+        let (stats, trace) = self.run_impl(program)?;
+        // Invariant: run_impl returns the trace whenever capture was
+        // primed above; fall back to an empty trace defensively.
+        debug_assert!(trace.is_some(), "trace capture was enabled");
+        Ok((stats, trace.unwrap_or(Trace { events: Vec::new() })))
     }
 
     /// Runs a mapped program to completion and returns the statistics.
-    ///
-    /// # Panics
-    /// Panics if the program's client count mismatches the platform, if a
-    /// token is signalled twice, or if the run deadlocks on a `Wait`
-    /// whose `Signal` never arrives.
-    pub fn run(self, program: &MappedProgram) -> RunStats {
-        self.run_impl(program).0
+    pub fn run(self, program: &MappedProgram) -> Result<RunStats, EngineError> {
+        Ok(self.run_impl(program)?.0)
     }
 
-    fn run_impl(mut self, program: &MappedProgram) -> (RunStats, Option<Trace>) {
+    fn run_impl(
+        mut self,
+        program: &MappedProgram,
+    ) -> Result<(RunStats, Option<Trace>), EngineError> {
         let n = self.cfg.num_clients;
-        assert_eq!(
-            program.num_clients(),
-            n,
-            "program has {} clients, platform has {n}",
-            program.num_clients()
-        );
+        if program.num_clients() != n {
+            return Err(EngineError::ProgramMismatch {
+                program_clients: program.num_clients(),
+                config_clients: n,
+            });
+        }
         self.max_chunk = program
             .per_client
             .iter()
@@ -235,6 +388,7 @@ impl<'a> Engine<'a> {
 
         while let Some(Reverse((t, c))) = heap.pop() {
             debug_assert_eq!(t, clock[c]);
+            self.apply_due_faults(t);
             let op = program.per_client[c][pc[c]];
             pc[c] += 1;
             let mut park = false;
@@ -261,7 +415,9 @@ impl<'a> Engine<'a> {
                 ClientOp::Signal { token } => {
                     clock[c] += self.cfg.sync_ns;
                     let prev = signals.insert(token, clock[c]);
-                    assert!(prev.is_none(), "token {token} signalled twice");
+                    if prev.is_some() {
+                        return Err(EngineError::DuplicateSignal { token });
+                    }
                     if let Some(waiters) = parked.remove(&token) {
                         for w in waiters {
                             clock[w] = clock[w].max(clock[c]) + self.cfg.sync_ns;
@@ -284,11 +440,11 @@ impl<'a> Engine<'a> {
             }
         }
 
-        assert!(
-            parked.is_empty(),
-            "deadlock: clients {:?} waiting on tokens that were never signalled",
-            parked.values().flatten().collect::<Vec<_>>()
-        );
+        if !parked.is_empty() {
+            let mut waiting: Vec<usize> = parked.values().flatten().copied().collect();
+            waiting.sort_unstable();
+            return Err(EngineError::Deadlock { waiting });
+        }
 
         let mut stats = RunStats {
             per_client_io_ns: io_ns,
@@ -311,11 +467,188 @@ impl<'a> Engine<'a> {
             stats.disk_sequential_reads += d.sequential_reads;
         }
         stats.prefetched_chunks = self.prefetched;
+        if let Some(f) = &self.faults {
+            stats.faults = f.stats;
+            stats.faults.recovery_ns = f.recovery_ns.unwrap_or(0);
+        }
         let trace = self.trace.take().map(|mut events| {
             events.sort_by_key(|e| (e.time_ns, e.client));
             Trace { events }
         });
-        (stats, trace)
+        Ok((stats, trace))
+    }
+
+    /// Applies every scheduled fault event whose time has been reached.
+    /// Runs at each heap pop, so events fire in global-time order.
+    fn apply_due_faults(&mut self, now: u64) {
+        let Some(f) = self.faults.as_mut() else {
+            return;
+        };
+        while f.next_event < f.events.len() {
+            let ev = f.events[f.next_event];
+            if ev.at_ns() > now {
+                break;
+            }
+            f.next_event += 1;
+            match ev {
+                FaultEvent::IoNodeCrash { io, at_ns } => {
+                    if f.io_alive[io] {
+                        f.io_alive[io] = false;
+                        f.stats.crashed_io_nodes += 1;
+                        f.first_crash_ns.get_or_insert(at_ns);
+                        let lost = self.res.l2[io]
+                            .drain()
+                            .iter()
+                            .filter(|(_, dirty)| *dirty)
+                            .count();
+                        f.stats.lost_dirty_chunks += lost as u64;
+                    }
+                }
+                FaultEvent::StorageNodeCrash { storage, at_ns } => {
+                    if f.storage_alive[storage] {
+                        f.storage_alive[storage] = false;
+                        f.stats.crashed_storage_nodes += 1;
+                        f.first_crash_ns.get_or_insert(at_ns);
+                        let lost = self.res.l3[storage]
+                            .drain()
+                            .iter()
+                            .filter(|(_, dirty)| *dirty)
+                            .count();
+                        f.stats.lost_dirty_chunks += lost as u64;
+                    }
+                }
+                FaultEvent::DiskDegrade {
+                    storage,
+                    latency_factor,
+                    ..
+                } => {
+                    f.disk_factor[storage] = latency_factor as u64;
+                }
+                FaultEvent::CacheDegrade {
+                    level,
+                    node,
+                    at_ns,
+                    capacity_chunks,
+                } => {
+                    // Evicted dirty chunks are written back to the next
+                    // level asynchronously: the lower-level resource
+                    // clocks advance but no client waits.
+                    match level {
+                        DegradeLevel::Client => {
+                            let evicted = self.res.l1[node].set_capacity(capacity_chunks);
+                            let io = self.tree.io_of_client(node);
+                            for (victim, dirty) in evicted {
+                                if dirty && f.io_alive[io] {
+                                    let t = at_ns.max(self.res.l2_free[io]);
+                                    write_back_l2(
+                                        &mut self.res,
+                                        f,
+                                        self.cfg,
+                                        self.tree,
+                                        io,
+                                        victim,
+                                        t,
+                                    );
+                                }
+                            }
+                        }
+                        DegradeLevel::Io => {
+                            let evicted = self.res.l2[node].set_capacity(capacity_chunks);
+                            let s = self.tree.storage_of_io(node);
+                            for (victim, dirty) in evicted {
+                                if dirty {
+                                    let t = at_ns.max(self.res.l3_free[s]);
+                                    write_back_l3(&mut self.res, f, self.cfg, s, victim, t);
+                                }
+                            }
+                        }
+                        DegradeLevel::Storage => {
+                            let evicted = self.res.l3[node].set_capacity(capacity_chunks);
+                            for (victim, dirty) in evicted {
+                                if dirty {
+                                    write_back_disk(&mut self.res, f, self.cfg, victim, at_ns);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// True unless fault injection has crashed storage node `s`.
+    fn storage_is_alive(&self, s: usize) -> bool {
+        match &self.faults {
+            Some(f) => f.storage_alive[s],
+            None => true,
+        }
+    }
+
+    /// Resolves the I/O node an access should use. Returns the node (or
+    /// `None` for direct-to-storage when every candidate is dead) and
+    /// whether a failover happened.
+    fn route_io(&self, io: usize) -> (Option<usize>, bool) {
+        match &self.faults {
+            None => (Some(io), false),
+            Some(f) if f.io_alive[io] => (Some(io), false),
+            Some(f) => {
+                // Fail over to the lowest-indexed surviving sibling
+                // under the same storage parent.
+                let sibling = self
+                    .tree
+                    .io_siblings(io)
+                    .into_iter()
+                    .find(|&x| f.io_alive[x]);
+                (sibling, true)
+            }
+        }
+    }
+
+    /// Draws transient errors for one remote access and charges the
+    /// capped exponential backoff to simulated time.
+    fn transient_retries(&mut self, mut t: u64) -> u64 {
+        let base = self.cfg.net_hop_ns.max(1);
+        let Some(f) = self.faults.as_mut() else {
+            return t;
+        };
+        let Some(rng) = f.transient_rng.as_mut() else {
+            return t;
+        };
+        let mut backoff = base;
+        for _ in 0..MAX_TRANSIENT_RETRIES {
+            if !rng.chance(f.transient_rate_ppm, 1_000_000) {
+                break;
+            }
+            f.stats.transient_errors += 1;
+            f.stats.retries += 1;
+            f.stats.retry_backoff_ns += backoff;
+            t += backoff;
+            backoff = (backoff * 2).min(base * MAX_BACKOFF_FACTOR);
+        }
+        t
+    }
+
+    /// Disk read service time including any degradation factor.
+    fn disk_read_service(&mut self, di: usize, chunk: Chunk) -> u64 {
+        let base = self.res.disks[di].read(chunk, self.cfg);
+        base * self.disk_factor(di)
+    }
+
+    fn disk_factor(&self, di: usize) -> u64 {
+        match &self.faults {
+            Some(f) => f.disk_factor[di / self.cfg.disks_per_node],
+            None => 1,
+        }
+    }
+
+    /// Writes a dirty chunk straight to its disk (used when the caches
+    /// below the victim's level are dead); returns the completion time.
+    fn disk_writeback(&mut self, victim: Chunk, t: u64) -> u64 {
+        let di = disk_index(victim, self.cfg);
+        let start = t.max(self.res.disk_free[di]);
+        let service = self.res.disks[di].write(victim, self.cfg) * self.disk_factor(di);
+        self.res.disk_free[di] = start + service;
+        start + service
     }
 
     /// Executes one chunk access for client `c` starting at time `t`;
@@ -326,21 +659,38 @@ impl<'a> Engine<'a> {
         if self.res.l1[c].access(chunk, write) {
             return (t, ServedBy::L1);
         }
+        // The access leaves the client: transient errors may hit the
+        // request and are retried with backoff before it proceeds.
+        t = self.transient_retries(t);
+
         let mut served_by = ServedBy::L2;
-
-        // L1 miss → request to the I/O node on this client's tree path.
-        let io = self.tree.io_of_client(c);
+        let io_home = self.tree.io_of_client(c);
         t += control_ns(Hop::ClientIo, cfg);
-        t = self.serve_l2(io, t);
-        let l2_hit = self.res.l2[io].access(chunk, false);
+        let (io_route, mut failed_over) = self.route_io(io_home);
 
+        let mut l2_hit = false;
+        if let Some(io) = io_route {
+            if io != io_home {
+                // Redirect hop to the failover sibling.
+                t += control_ns(Hop::ClientIo, cfg);
+            }
+            t = self.serve_l2(io, t);
+            l2_hit = self.res.l2[io].access(chunk, false);
+        }
         if !l2_hit {
-            // L2 miss → storage node on the tree path.
+            // L2 miss (or no surviving L2) → storage node on the path.
             let s = self.tree.storage_of_client(c);
             t += control_ns(Hop::IoStorage, cfg);
-            t = self.serve_l3(s, t);
-            let l3_hit = self.res.l3[s].access(chunk, false);
-            served_by = ServedBy::L3;
+            let storage_alive = self.storage_is_alive(s);
+            let mut l3_hit = false;
+            if storage_alive {
+                t = self.serve_l3(s, t);
+                l3_hit = self.res.l3[s].access(chunk, false);
+                served_by = ServedBy::L3;
+            } else {
+                failed_over = true;
+                served_by = ServedBy::Disk;
+            }
 
             if !l3_hit {
                 served_by = ServedBy::Disk;
@@ -351,35 +701,61 @@ impl<'a> Engine<'a> {
                 }
                 let di = disk_index(chunk, cfg);
                 let start = t.max(self.res.disk_free[di]);
-                let service = self.res.disks[di].read(chunk, cfg);
+                let service = self.disk_read_service(di, chunk);
                 t = start + service;
                 self.res.disk_free[di] = t;
                 if owner != s {
                     t += chunk_transfer_ns(Hop::StoragePeer, cfg);
                 }
-                // Fill L3 (write-back any dirty victim to its disk).
-                t = self.fill_l3(s, chunk, false, t);
-                // Server read-ahead: pull the next sequential chunks of
-                // this spindle into L3 asynchronously — the disk stays
-                // busy (streaming at transfer rate) but the client does
-                // not wait.
-                if cfg.readahead_chunks > 0 {
-                    self.readahead(s, chunk, t);
+                if storage_alive {
+                    // Fill L3 (write-back any dirty victim to its disk).
+                    t = self.fill_l3(s, chunk, false, t);
+                    // Server read-ahead: pull the next sequential chunks
+                    // of this spindle into L3 asynchronously — the disk
+                    // stays busy (streaming at transfer rate) but the
+                    // client does not wait.
+                    if cfg.readahead_chunks > 0 {
+                        self.readahead(s, chunk, t);
+                    }
                 }
             }
             t += chunk_transfer_ns(Hop::IoStorage, cfg);
-            // Fill L2 (dirty victim cascades into L3).
-            t = self.fill_l2(io, chunk, false, t);
+            if let Some(io) = io_route {
+                // Fill L2 (dirty victim cascades into L3).
+                t = self.fill_l2(io, chunk, false, t);
+            }
         }
         t += chunk_transfer_ns(Hop::ClientIo, cfg);
 
-        // Fill L1; dirty victim is written back to L2.
+        // Fill L1; dirty victim is written back to L2 (or past it when
+        // the surviving route has no L2).
         match self.res.l1[c].insert(chunk, write) {
             InsertOutcome::Inserted | InsertOutcome::EvictedClean(_) => {}
             InsertOutcome::EvictedDirty(victim) => {
                 t += chunk_transfer_ns(Hop::ClientIo, cfg);
-                t = self.serve_l2(io, t);
-                t = self.fill_l2(io, victim, true, t);
+                if let Some(io) = io_route {
+                    t = self.serve_l2(io, t);
+                    t = self.fill_l2(io, victim, true, t);
+                } else {
+                    let s = self.tree.storage_of_client(c);
+                    t += chunk_transfer_ns(Hop::IoStorage, cfg);
+                    if self.storage_is_alive(s) {
+                        t = self.serve_l3(s, t);
+                        t = self.fill_l3(s, victim, true, t);
+                    } else {
+                        t = self.disk_writeback(victim, t);
+                    }
+                }
+            }
+        }
+        if failed_over {
+            if let Some(f) = self.faults.as_mut() {
+                f.stats.failovers += 1;
+                if f.recovery_ns.is_none() {
+                    if let Some(crash) = f.first_crash_ns {
+                        f.recovery_ns = Some(t.saturating_sub(crash));
+                    }
+                }
             }
         }
         (t, served_by)
@@ -398,7 +774,7 @@ impl<'a> Engine<'a> {
             // Sequential transfer keeps the spindle busy; the requesting
             // client does not wait for it.
             let start = t.max(self.res.disk_free[di]);
-            let service = self.res.disks[di].read(next, cfg);
+            let service = self.disk_read_service(di, next);
             self.res.disk_free[di] = start + service;
             self.fill_l3(s, next, false, start + service);
             self.prefetched += 1;
@@ -421,20 +797,20 @@ impl<'a> Engine<'a> {
         end
     }
 
-    /// Inserts into L2, cascading a dirty victim into L3.
+    /// Inserts into L2, cascading a dirty victim into L3 (or straight to
+    /// disk when the parent storage node is dead).
     fn fill_l2(&mut self, io: usize, chunk: Chunk, dirty: bool, mut t: u64) -> u64 {
         match self.res.l2[io].insert(chunk, dirty) {
             InsertOutcome::Inserted | InsertOutcome::EvictedClean(_) => t,
             InsertOutcome::EvictedDirty(victim) => {
-                let s = {
-                    // The L2's parent storage node in the tree.
-                    let io_id = self.tree.io_node(io);
-                    let parent = self.tree.node(io_id).parent.expect("io has parent");
-                    self.tree.node(parent).layer_index
-                };
+                let s = self.tree.storage_of_io(io);
                 t += chunk_transfer_ns(Hop::IoStorage, self.cfg);
-                t = self.serve_l3(s, t);
-                self.fill_l3(s, victim, true, t)
+                if self.storage_is_alive(s) {
+                    t = self.serve_l3(s, t);
+                    self.fill_l3(s, victim, true, t)
+                } else {
+                    self.disk_writeback(victim, t)
+                }
             }
         }
     }
@@ -444,15 +820,64 @@ impl<'a> Engine<'a> {
         match self.res.l3[s].insert(chunk, dirty) {
             InsertOutcome::Inserted | InsertOutcome::EvictedClean(_) => t,
             InsertOutcome::EvictedDirty(victim) => {
-                let di = disk_index(victim, self.cfg);
-                let start = t.max(self.res.disk_free[di]);
-                let service = self.res.disks[di].write(victim, self.cfg);
-                t = start + service;
-                self.res.disk_free[di] = t;
+                t = self.disk_writeback(victim, t);
                 t
             }
         }
     }
+}
+
+/// Asynchronous degrade-time write-back into an L2 cache (free function
+/// so [`Engine::apply_due_faults`] can borrow `FaultState` alongside the
+/// resources). Cascades a dirty victim toward L3/disk like
+/// [`Engine::fill_l2`], without charging any client.
+fn write_back_l2(
+    res: &mut Resources,
+    f: &FaultState,
+    cfg: &PlatformConfig,
+    tree: &HierarchyTree,
+    io: usize,
+    chunk: Chunk,
+    t: u64,
+) {
+    res.l2_free[io] = res.l2_free[io].max(t) + cfg.cache_access_ns;
+    if let InsertOutcome::EvictedDirty(victim) = res.l2[io].insert(chunk, true) {
+        let s = tree.storage_of_io(io);
+        write_back_l3(res, f, cfg, s, victim, res.l2_free[io]);
+    }
+}
+
+/// Asynchronous degrade-time write-back into an L3 cache.
+fn write_back_l3(
+    res: &mut Resources,
+    f: &FaultState,
+    cfg: &PlatformConfig,
+    s: usize,
+    chunk: Chunk,
+    t: u64,
+) {
+    if !f.storage_alive[s] {
+        write_back_disk(res, f, cfg, chunk, t);
+        return;
+    }
+    res.l3_free[s] = res.l3_free[s].max(t) + cfg.cache_access_ns;
+    if let InsertOutcome::EvictedDirty(victim) = res.l3[s].insert(chunk, true) {
+        write_back_disk(res, f, cfg, victim, res.l3_free[s]);
+    }
+}
+
+/// Asynchronous degrade-time write-back straight to disk.
+fn write_back_disk(
+    res: &mut Resources,
+    f: &FaultState,
+    cfg: &PlatformConfig,
+    chunk: Chunk,
+    t: u64,
+) {
+    let di = disk_index(chunk, cfg);
+    let start = t.max(res.disk_free[di]);
+    let service = res.disks[di].write(chunk, cfg) * f.disk_factor[di / cfg.disks_per_node];
+    res.disk_free[di] = start + service;
 }
 
 #[cfg(test)]
@@ -461,12 +886,12 @@ mod tests {
 
     fn tiny() -> (PlatformConfig, HierarchyTree) {
         let cfg = PlatformConfig::tiny();
-        let tree = HierarchyTree::from_config(&cfg);
+        let tree = HierarchyTree::from_config(&cfg).unwrap();
         (cfg, tree)
     }
 
     fn run(cfg: &PlatformConfig, tree: &HierarchyTree, prog: &MappedProgram) -> RunStats {
-        Engine::new(cfg, tree).run(prog)
+        Engine::new(cfg, tree).unwrap().run(prog).unwrap()
     }
 
     #[test]
@@ -476,6 +901,7 @@ mod tests {
         let stats = run(&cfg, &tree, &prog);
         assert!(stats.per_client_finish_ns.iter().all(|&t| t == 0));
         assert_eq!(stats.l1.accesses(), 0);
+        assert_eq!(stats.faults, FaultStats::default());
     }
 
     #[test]
@@ -494,8 +920,14 @@ mod tests {
         let (cfg, tree) = tiny();
         let mut prog = MappedProgram::new(cfg.num_clients);
         prog.per_client[0] = vec![
-            ClientOp::Access { chunk: 3, write: false },
-            ClientOp::Access { chunk: 3, write: false },
+            ClientOp::Access {
+                chunk: 3,
+                write: false,
+            },
+            ClientOp::Access {
+                chunk: 3,
+                write: false,
+            },
         ];
         let stats = run(&cfg, &tree, &prog);
         assert_eq!(stats.l1.hits, 1);
@@ -513,10 +945,16 @@ mod tests {
         let (cfg, tree) = tiny();
         // Clients 0 and 1 share I/O node 0 in the tiny topology.
         let mut prog = MappedProgram::new(cfg.num_clients);
-        prog.per_client[0] = vec![ClientOp::Access { chunk: 9, write: false }];
+        prog.per_client[0] = vec![ClientOp::Access {
+            chunk: 9,
+            write: false,
+        }];
         prog.per_client[1] = vec![
             ClientOp::Compute { ns: 60_000_000 }, // let client 0 finish first
-            ClientOp::Access { chunk: 9, write: false },
+            ClientOp::Access {
+                chunk: 9,
+                write: false,
+            },
         ];
         let stats = run(&cfg, &tree, &prog);
         assert_eq!(stats.l1.misses, 2); // each client misses its private L1
@@ -531,10 +969,16 @@ mod tests {
         // Clients 0 and 2 are under different I/O nodes but the same
         // (only) storage node: the reuse shows up at L3, not L2.
         let mut prog = MappedProgram::new(cfg.num_clients);
-        prog.per_client[0] = vec![ClientOp::Access { chunk: 9, write: false }];
+        prog.per_client[0] = vec![ClientOp::Access {
+            chunk: 9,
+            write: false,
+        }];
         prog.per_client[2] = vec![
             ClientOp::Compute { ns: 60_000_000 },
-            ClientOp::Access { chunk: 9, write: false },
+            ClientOp::Access {
+                chunk: 9,
+                write: false,
+            },
         ];
         let stats = run(&cfg, &tree, &prog);
         assert_eq!(stats.l2.hits, 0);
@@ -547,9 +991,15 @@ mod tests {
         let (cfg, tree) = tiny(); // L1 holds 4 chunks
         let mut ops = Vec::new();
         for chunk in 0..5 {
-            ops.push(ClientOp::Access { chunk, write: false });
+            ops.push(ClientOp::Access {
+                chunk,
+                write: false,
+            });
         }
-        ops.push(ClientOp::Access { chunk: 0, write: false }); // evicted by now
+        ops.push(ClientOp::Access {
+            chunk: 0,
+            write: false,
+        }); // evicted by now
         let mut prog = MappedProgram::new(cfg.num_clients);
         prog.per_client[0] = ops;
         let stats = run(&cfg, &tree, &prog);
@@ -567,13 +1017,25 @@ mod tests {
         cfg.client_cache_chunks = 1;
         cfg.io_cache_chunks = 1;
         cfg.storage_cache_chunks = 1;
-        let tree = HierarchyTree::from_config(&cfg);
+        let tree = HierarchyTree::from_config(&cfg).unwrap();
         let mut prog = MappedProgram::new(cfg.num_clients);
         prog.per_client[0] = vec![
-            ClientOp::Access { chunk: 0, write: true },
-            ClientOp::Access { chunk: 1, write: true },
-            ClientOp::Access { chunk: 2, write: true },
-            ClientOp::Access { chunk: 3, write: true },
+            ClientOp::Access {
+                chunk: 0,
+                write: true,
+            },
+            ClientOp::Access {
+                chunk: 1,
+                write: true,
+            },
+            ClientOp::Access {
+                chunk: 2,
+                write: true,
+            },
+            ClientOp::Access {
+                chunk: 3,
+                write: true,
+            },
         ];
         let stats = run(&cfg, &tree, &prog);
         assert!(stats.disk_writes >= 1, "dirty evictions must reach disk");
@@ -607,12 +1069,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "deadlock")]
-    fn missing_signal_is_a_deadlock() {
+    fn missing_signal_is_a_deadlock_error() {
+        // Changed from a `should_panic` test: the engine now reports the
+        // deadlock as a typed error instead of panicking.
         let (cfg, tree) = tiny();
         let mut prog = MappedProgram::new(cfg.num_clients);
         prog.per_client[0] = vec![ClientOp::Wait { token: 99 }];
-        run(&cfg, &tree, &prog);
+        let err = Engine::new(&cfg, &tree).unwrap().run(&prog).unwrap_err();
+        assert_eq!(err, EngineError::Deadlock { waiting: vec![0] });
+        assert!(err.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn duplicate_signal_is_an_error() {
+        let (cfg, tree) = tiny();
+        let mut prog = MappedProgram::new(cfg.num_clients);
+        prog.per_client[0] = vec![ClientOp::Signal { token: 3 }, ClientOp::Signal { token: 3 }];
+        let err = Engine::new(&cfg, &tree).unwrap().run(&prog).unwrap_err();
+        assert_eq!(err, EngineError::DuplicateSignal { token: 3 });
+    }
+
+    #[test]
+    fn program_size_mismatch_is_an_error() {
+        let (cfg, tree) = tiny();
+        let prog = MappedProgram::new(cfg.num_clients + 1);
+        let err = Engine::new(&cfg, &tree).unwrap().run(&prog).unwrap_err();
+        assert!(matches!(err, EngineError::ProgramMismatch { .. }));
     }
 
     #[test]
@@ -645,7 +1127,10 @@ mod tests {
         // it would alone.
         let mk = |chunks: std::ops::Range<usize>| -> Vec<ClientOp> {
             chunks
-                .map(|chunk| ClientOp::Access { chunk, write: false })
+                .map(|chunk| ClientOp::Access {
+                    chunk,
+                    write: false,
+                })
                 .collect()
         };
         let mut solo = MappedProgram::new(cfg.num_clients);
@@ -668,11 +1153,251 @@ mod tests {
         let mut prog = MappedProgram::new(2);
         prog.per_client[0] = vec![
             ClientOp::Compute { ns: 5 },
-            ClientOp::Access { chunk: 0, write: false },
+            ClientOp::Access {
+                chunk: 0,
+                write: false,
+            },
         ];
-        prog.per_client[1] = vec![ClientOp::Access { chunk: 1, write: true }];
+        prog.per_client[1] = vec![ClientOp::Access {
+            chunk: 1,
+            write: true,
+        }];
         assert_eq!(prog.total_accesses(), 2);
         assert_eq!(prog.accesses_per_client(), vec![1, 1]);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::faults::TransientFaults;
+
+    fn tiny() -> (PlatformConfig, HierarchyTree) {
+        let cfg = PlatformConfig::tiny();
+        let tree = HierarchyTree::from_config(&cfg).unwrap();
+        (cfg, tree)
+    }
+
+    /// A 4-client workload with enough misses to exercise every level.
+    fn workload(cfg: &PlatformConfig) -> MappedProgram {
+        let mut prog = MappedProgram::new(cfg.num_clients);
+        for c in 0..cfg.num_clients {
+            prog.per_client[c] = (0..60)
+                .map(|i| ClientOp::Access {
+                    chunk: (c * 17 + i * 5) % 48,
+                    write: i % 3 == 0,
+                })
+                .collect();
+        }
+        prog
+    }
+
+    fn run_with(
+        cfg: &PlatformConfig,
+        tree: &HierarchyTree,
+        prog: &MappedProgram,
+        plan: &FaultPlan,
+    ) -> RunStats {
+        Engine::new(cfg, tree)
+            .unwrap()
+            .with_fault_plan(plan)
+            .unwrap()
+            .run(prog)
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_plan_is_bit_identical_to_no_plan() {
+        let (cfg, tree) = tiny();
+        let prog = workload(&cfg);
+        let clean = Engine::new(&cfg, &tree).unwrap().run(&prog).unwrap();
+        let with_empty = run_with(&cfg, &tree, &prog, &FaultPlan::new());
+        assert_eq!(clean.per_client_finish_ns, with_empty.per_client_finish_ns);
+        assert_eq!(clean.per_client_io_ns, with_empty.per_client_io_ns);
+        assert_eq!(clean.l1, with_empty.l1);
+        assert_eq!(clean.l2, with_empty.l2);
+        assert_eq!(clean.l3, with_empty.l3);
+        assert_eq!(clean.disk_reads, with_empty.disk_reads);
+        assert_eq!(clean.faults, with_empty.faults);
+    }
+
+    #[test]
+    fn io_crash_mid_run_fails_over_and_completes() {
+        let (cfg, tree) = tiny();
+        let prog = workload(&cfg);
+        let clean = Engine::new(&cfg, &tree).unwrap().run(&prog).unwrap();
+        // Crash I/O node 0 halfway through the clean run.
+        let mid = clean.per_client_finish_ns.iter().max().copied().unwrap() / 2;
+        let plan = FaultPlan::new().with_event(FaultEvent::IoNodeCrash { io: 0, at_ns: mid });
+        let faulty = run_with(&cfg, &tree, &prog, &plan);
+        assert_eq!(faulty.faults.crashed_io_nodes, 1);
+        assert!(faulty.faults.failovers > 0, "clients 0/1 must fail over");
+        assert!(faulty.faults.recovery_ns > 0);
+        // Failover routing costs time: the run must not get faster.
+        let clean_end = clean.per_client_finish_ns.iter().max().unwrap();
+        let faulty_end = faulty.per_client_finish_ns.iter().max().unwrap();
+        assert!(faulty_end >= clean_end);
+        // All accesses still complete.
+        assert_eq!(faulty.l1.accesses(), clean.l1.accesses());
+    }
+
+    #[test]
+    fn io_crash_with_no_sibling_goes_direct_to_storage() {
+        // tiny() has 2 I/O nodes under 1 storage node: crash both and
+        // every post-crash miss must go direct-to-storage.
+        let (cfg, tree) = tiny();
+        let prog = workload(&cfg);
+        let plan = FaultPlan::new()
+            .with_event(FaultEvent::IoNodeCrash { io: 0, at_ns: 0 })
+            .with_event(FaultEvent::IoNodeCrash { io: 1, at_ns: 0 });
+        let faulty = run_with(&cfg, &tree, &prog, &plan);
+        assert_eq!(faulty.faults.crashed_io_nodes, 2);
+        assert_eq!(faulty.l2.accesses(), 0, "no surviving L2 to access");
+        assert!(faulty.faults.failovers > 0);
+        assert_eq!(
+            faulty.l1.accesses(),
+            prog.total_accesses(),
+            "the run must still complete every access"
+        );
+    }
+
+    #[test]
+    fn storage_crash_loses_dirty_chunks_and_streams_from_disk() {
+        let (cfg, tree) = tiny();
+        let mut prog = MappedProgram::new(cfg.num_clients);
+        // Fill L3 with dirty chunks (small L1/L2 push dirty data down),
+        // then crash the storage node and read more.
+        prog.per_client[0] = (0..32)
+            .map(|i| ClientOp::Access {
+                chunk: i,
+                write: true,
+            })
+            .collect();
+        prog.per_client[1] = vec![
+            ClientOp::Compute { ns: u64::MAX / 2 }, // after the crash below
+            ClientOp::Access {
+                chunk: 40,
+                write: false,
+            },
+        ];
+        let plan = FaultPlan::new().with_event(FaultEvent::StorageNodeCrash {
+            storage: 0,
+            at_ns: u64::MAX / 4,
+        });
+        let faulty = run_with(&cfg, &tree, &prog, &plan);
+        assert_eq!(faulty.faults.crashed_storage_nodes, 1);
+        assert!(
+            faulty.faults.lost_dirty_chunks > 0,
+            "dirty L3 residents must be counted as lost"
+        );
+        assert!(faulty.faults.failovers > 0, "post-crash reads bypass L3");
+    }
+
+    #[test]
+    fn disk_degrade_slows_the_run() {
+        let (cfg, tree) = tiny();
+        // Single client: the access order cannot re-interleave, so the
+        // degraded run differs from the clean one only in timing.
+        let mut prog = MappedProgram::new(cfg.num_clients);
+        prog.per_client[0] = (0..60)
+            .map(|i| ClientOp::Access {
+                chunk: (i * 5) % 48,
+                write: i % 3 == 0,
+            })
+            .collect();
+        let clean = Engine::new(&cfg, &tree).unwrap().run(&prog).unwrap();
+        let plan = FaultPlan::new().with_event(FaultEvent::DiskDegrade {
+            storage: 0,
+            at_ns: 0,
+            latency_factor: 8,
+        });
+        let slow = run_with(&cfg, &tree, &prog, &plan);
+        assert!(
+            slow.per_client_finish_ns.iter().max() > clean.per_client_finish_ns.iter().max(),
+            "8x slower disks must lengthen the run"
+        );
+        assert_eq!(slow.disk_reads, clean.disk_reads, "same access pattern");
+    }
+
+    #[test]
+    fn cache_degrade_shrinks_capacity_and_costs_hits() {
+        let (cfg, tree) = tiny();
+        let prog = workload(&cfg);
+        let clean = Engine::new(&cfg, &tree).unwrap().run(&prog).unwrap();
+        let plan = FaultPlan::new().with_event(FaultEvent::CacheDegrade {
+            level: DegradeLevel::Storage,
+            node: 0,
+            at_ns: 0,
+            capacity_chunks: 1,
+        });
+        let degraded = run_with(&cfg, &tree, &prog, &plan);
+        assert!(
+            degraded.l3.hits <= clean.l3.hits,
+            "a 1-chunk L3 cannot hit more than the full one"
+        );
+        assert!(degraded.disk_reads >= clean.disk_reads);
+    }
+
+    #[test]
+    fn transient_errors_retry_and_charge_time() {
+        let (cfg, tree) = tiny();
+        let prog = workload(&cfg);
+        let clean = Engine::new(&cfg, &tree).unwrap().run(&prog).unwrap();
+        let plan = FaultPlan::new().with_transient(TransientFaults {
+            rate_ppm: 200_000, // 20% per remote attempt: plenty of retries
+            seed: 7,
+        });
+        let faulty = run_with(&cfg, &tree, &prog, &plan);
+        assert!(faulty.faults.transient_errors > 0);
+        assert_eq!(faulty.faults.retries, faulty.faults.transient_errors);
+        assert!(faulty.faults.retry_backoff_ns > 0);
+        // Retries only ever add simulated time.
+        assert!(
+            faulty.per_client_finish_ns.iter().max() >= clean.per_client_finish_ns.iter().max()
+        );
+        // Hit/miss behaviour is unchanged: retries delay, they don't
+        // change what is fetched.
+        assert_eq!(faulty.l1, clean.l1);
+        assert_eq!(faulty.disk_reads, clean.disk_reads);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let (cfg, tree) = tiny();
+        let prog = workload(&cfg);
+        let plan = FaultPlan::new()
+            .with_event(FaultEvent::IoNodeCrash {
+                io: 0,
+                at_ns: 100_000,
+            })
+            .with_event(FaultEvent::DiskDegrade {
+                storage: 0,
+                at_ns: 50_000,
+                latency_factor: 3,
+            })
+            .with_transient(TransientFaults {
+                rate_ppm: 50_000,
+                seed: 99,
+            });
+        let a = run_with(&cfg, &tree, &prog, &plan);
+        let b = run_with(&cfg, &tree, &prog, &plan);
+        assert_eq!(a.per_client_finish_ns, b.per_client_finish_ns);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.l1, b.l1);
+        assert_eq!(a.l2, b.l2);
+        assert_eq!(a.disk_reads, b.disk_reads);
+    }
+
+    #[test]
+    fn invalid_plan_is_rejected_at_attach() {
+        let (cfg, tree) = tiny();
+        let plan = FaultPlan::new().with_event(FaultEvent::IoNodeCrash { io: 99, at_ns: 0 });
+        let err = Engine::new(&cfg, &tree)
+            .unwrap()
+            .with_fault_plan(&plan)
+            .err()
+            .expect("out-of-range io must be rejected");
+        assert!(matches!(err, EngineError::Fault(_)));
     }
 }
 
@@ -683,7 +1408,7 @@ mod trace_prefetch_tests {
 
     fn tiny() -> (PlatformConfig, HierarchyTree) {
         let cfg = PlatformConfig::tiny();
-        let tree = HierarchyTree::from_config(&cfg);
+        let tree = HierarchyTree::from_config(&cfg).unwrap();
         (cfg, tree)
     }
 
@@ -692,11 +1417,17 @@ mod trace_prefetch_tests {
         let (cfg, tree) = tiny();
         let mut prog = MappedProgram::new(cfg.num_clients);
         prog.per_client[0] = vec![
-            ClientOp::Access { chunk: 1, write: false }, // disk
-            ClientOp::Access { chunk: 1, write: false }, // L1 hit
+            ClientOp::Access {
+                chunk: 1,
+                write: false,
+            }, // disk
+            ClientOp::Access {
+                chunk: 1,
+                write: false,
+            }, // L1 hit
         ];
-        let plain = Engine::new(&cfg, &tree).run(&prog);
-        let (stats, trace) = Engine::new(&cfg, &tree).run_traced(&prog);
+        let plain = Engine::new(&cfg, &tree).unwrap().run(&prog).unwrap();
+        let (stats, trace) = Engine::new(&cfg, &tree).unwrap().run_traced(&prog).unwrap();
         assert_eq!(plain.per_client_finish_ns, stats.per_client_finish_ns);
         assert_eq!(trace.len(), 2);
         assert_eq!(trace.events[0].served_by, ServedBy::Disk);
@@ -709,9 +1440,12 @@ mod trace_prefetch_tests {
         let (cfg, tree) = tiny();
         let mut prog = MappedProgram::new(cfg.num_clients);
         prog.per_client[0] = (0..20)
-            .map(|i| ClientOp::Access { chunk: i % 5, write: false })
+            .map(|i| ClientOp::Access {
+                chunk: i % 5,
+                write: false,
+            })
             .collect();
-        let (stats, trace) = Engine::new(&cfg, &tree).run_traced(&prog);
+        let (stats, trace) = Engine::new(&cfg, &tree).unwrap().run_traced(&prog).unwrap();
         let profile = trace.client_reuse_profile(0);
         // L1 holds 4 chunks; Mattson predicts its hits exactly for a
         // single-client run.
@@ -725,16 +1459,25 @@ mod trace_prefetch_tests {
     fn readahead_prefetches_sequential_spindle_chunks() {
         let (mut cfg, _) = tiny();
         cfg.readahead_chunks = 2;
-        let tree = HierarchyTree::from_config(&cfg);
+        let tree = HierarchyTree::from_config(&cfg).unwrap();
         // tiny(): 1 storage node × 4 spindles → stride 4. Touch chunk 0,
         // then its spindle successors 4 and 8 should be L3 hits.
         let mut prog = MappedProgram::new(cfg.num_clients);
         prog.per_client[0] = vec![
-            ClientOp::Access { chunk: 0, write: false },
-            ClientOp::Access { chunk: 4, write: false },
-            ClientOp::Access { chunk: 8, write: false },
+            ClientOp::Access {
+                chunk: 0,
+                write: false,
+            },
+            ClientOp::Access {
+                chunk: 4,
+                write: false,
+            },
+            ClientOp::Access {
+                chunk: 8,
+                write: false,
+            },
         ];
-        let stats = Engine::new(&cfg, &tree).run(&prog);
+        let stats = Engine::new(&cfg, &tree).unwrap().run(&prog).unwrap();
         assert_eq!(stats.prefetched_chunks, 2);
         assert_eq!(stats.l3.hits, 2, "prefetched chunks must hit in L3");
         assert_eq!(stats.disk_reads, 3, "demand read + two prefetch reads");
@@ -744,10 +1487,13 @@ mod trace_prefetch_tests {
     fn readahead_stops_at_program_footprint() {
         let (mut cfg, _) = tiny();
         cfg.readahead_chunks = 8;
-        let tree = HierarchyTree::from_config(&cfg);
+        let tree = HierarchyTree::from_config(&cfg).unwrap();
         let mut prog = MappedProgram::new(cfg.num_clients);
-        prog.per_client[0] = vec![ClientOp::Access { chunk: 0, write: false }];
-        let stats = Engine::new(&cfg, &tree).run(&prog);
+        prog.per_client[0] = vec![ClientOp::Access {
+            chunk: 0,
+            write: false,
+        }];
+        let stats = Engine::new(&cfg, &tree).unwrap().run(&prog).unwrap();
         assert_eq!(
             stats.prefetched_chunks, 0,
             "nothing beyond the program's highest chunk may be prefetched"
@@ -758,8 +1504,11 @@ mod trace_prefetch_tests {
     fn readahead_off_by_default() {
         let (cfg, tree) = tiny();
         let mut prog = MappedProgram::new(cfg.num_clients);
-        prog.per_client[0] = vec![ClientOp::Access { chunk: 0, write: false }];
-        let stats = Engine::new(&cfg, &tree).run(&prog);
+        prog.per_client[0] = vec![ClientOp::Access {
+            chunk: 0,
+            write: false,
+        }];
+        let stats = Engine::new(&cfg, &tree).unwrap().run(&prog).unwrap();
         assert_eq!(stats.prefetched_chunks, 0);
     }
 }

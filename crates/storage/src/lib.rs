@@ -24,10 +24,13 @@
 //! * [`trace`] — optional access-trace capture and Mattson
 //!   reuse-distance analysis (drives the calibration discussion in
 //!   EXPERIMENTS.md);
+//! * [`faults`] — a serializable fault-injection plan (node crashes,
+//!   disk/cache degradation, seeded transient errors) applied inside the
+//!   engine's global clock so degraded runs stay reproducible;
 //! * [`sim`] — the top-level [`sim::Simulator`] producing a
 //!   [`sim::SimReport`] with per-level hit/miss statistics, I/O latency,
-//!   and execution time — exactly the three result types Section 5.1
-//!   reports.
+//!   execution time — exactly the three result types Section 5.1
+//!   reports — plus the degraded-mode counters.
 //!
 //! Simulated time is integer **nanoseconds** (`u64`) for reproducibility.
 
@@ -38,12 +41,16 @@ pub mod cache;
 pub mod config;
 pub mod disk;
 pub mod engine;
+pub mod faults;
 pub mod net;
 pub mod sim;
 pub mod topology;
 pub mod trace;
 
-pub use config::PlatformConfig;
-pub use engine::{ClientOp, MappedProgram};
-pub use sim::{SimReport, Simulator};
-pub use topology::{CacheLevel, HierarchyTree, NodeId};
+pub use config::{ConfigError, PlatformConfig};
+pub use engine::{ClientOp, EngineError, MappedProgram};
+pub use faults::{
+    DegradeLevel, FaultEvent, FaultPlan, FaultPlanError, FaultStats, TransientFaults,
+};
+pub use sim::{SimError, SimReport, Simulator};
+pub use topology::{CacheLevel, HierarchyTree, NodeId, PruneError};

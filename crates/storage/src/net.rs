@@ -8,10 +8,9 @@
 //! engine's resource clocks.
 
 use crate::config::PlatformConfig;
-use serde::{Deserialize, Serialize};
 
 /// Which hop a transfer crosses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Hop {
     /// Client node ↔ I/O node.
     ClientIo,

@@ -4,16 +4,74 @@
 //! runs a [`MappedProgram`] through the event engine, and condenses the
 //! raw statistics into a [`SimReport`] carrying exactly the three result
 //! families Section 5.1 reports: per-level storage-cache miss rates, I/O
-//! latency, and overall execution time.
+//! latency, and overall execution time — plus the degraded-mode counters
+//! of the fault-injection subsystem when a [`FaultPlan`] is attached.
 
-use crate::config::PlatformConfig;
-use crate::engine::{Engine, MappedProgram, RunStats};
+use crate::config::{ConfigError, PlatformConfig};
+use crate::engine::{Engine, EngineError, MappedProgram, RunStats};
+use crate::faults::{FaultPlan, FaultPlanError, FaultStats};
 use crate::topology::HierarchyTree;
 use cachemap_util::stats::HitMiss;
-use serde::{Deserialize, Serialize};
+use cachemap_util::{Json, ToJson};
+use std::fmt;
+
+/// Why a simulation could not be constructed or run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The platform configuration is invalid.
+    Config(ConfigError),
+    /// The engine rejected the program or deadlocked.
+    Engine(EngineError),
+    /// The fault plan does not fit the platform.
+    Fault(FaultPlanError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "{e}"),
+            SimError::Engine(e) => write!(f, "{e}"),
+            SimError::Fault(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            SimError::Engine(e) => Some(e),
+            SimError::Fault(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+impl From<FaultPlanError> for SimError {
+    fn from(e: FaultPlanError) -> Self {
+        SimError::Fault(e)
+    }
+}
+
+impl From<EngineError> for SimError {
+    fn from(e: EngineError) -> Self {
+        // Collapse nested config/fault errors to the top-level variants
+        // so callers match one layer.
+        match e {
+            EngineError::Config(c) => SimError::Config(c),
+            EngineError::Fault(p) => SimError::Fault(p),
+            other => SimError::Engine(other),
+        }
+    }
+}
 
 /// Condensed results of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Cumulative L1 (client cache) statistics.
     pub l1: HitMiss,
@@ -36,12 +94,19 @@ pub struct SimReport {
     pub disk_sequential_fraction: f64,
     /// Disk write-backs serviced.
     pub disk_writes: u64,
+    /// Degraded-mode counters (all zero without a fault plan).
+    pub faults: FaultStats,
 }
 
 impl SimReport {
     fn from_run(stats: RunStats) -> Self {
         let io_latency_ns = stats.per_client_io_ns.iter().sum();
-        let exec_time_ns = stats.per_client_finish_ns.iter().copied().max().unwrap_or(0);
+        let exec_time_ns = stats
+            .per_client_finish_ns
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0);
         let seq_frac = if stats.disk_reads == 0 {
             0.0
         } else {
@@ -58,6 +123,7 @@ impl SimReport {
             disk_reads: stats.disk_reads,
             disk_sequential_fraction: seq_frac,
             disk_writes: stats.disk_writes,
+            faults: stats.faults,
         }
     }
 
@@ -87,21 +153,79 @@ impl SimReport {
     }
 }
 
-/// One-platform simulator: owns the config and its hierarchy tree.
+fn hitmiss_json(hm: &HitMiss) -> Json {
+    Json::object(vec![
+        ("hits", Json::UInt(hm.hits)),
+        ("misses", Json::UInt(hm.misses)),
+    ])
+}
+
+impl ToJson for SimReport {
+    /// Deterministic serialization: two byte-identical reports describe
+    /// byte-identical runs, which is how the reproducibility property
+    /// tests compare faulty runs.
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("l1", hitmiss_json(&self.l1)),
+            ("l2", hitmiss_json(&self.l2)),
+            ("l3", hitmiss_json(&self.l3)),
+            ("io_latency_ns", Json::UInt(self.io_latency_ns)),
+            ("exec_time_ns", Json::UInt(self.exec_time_ns)),
+            (
+                "per_client_finish_ns",
+                Json::Array(
+                    self.per_client_finish_ns
+                        .iter()
+                        .map(|&t| Json::UInt(t))
+                        .collect(),
+                ),
+            ),
+            (
+                "per_client_io_ns",
+                Json::Array(
+                    self.per_client_io_ns
+                        .iter()
+                        .map(|&t| Json::UInt(t))
+                        .collect(),
+                ),
+            ),
+            ("disk_reads", Json::UInt(self.disk_reads)),
+            (
+                "disk_sequential_fraction",
+                Json::Float(self.disk_sequential_fraction),
+            ),
+            ("disk_writes", Json::UInt(self.disk_writes)),
+            ("faults", self.faults.to_json()),
+        ])
+    }
+}
+
+/// One-platform simulator: owns the config, its hierarchy tree, and an
+/// optional fault plan applied to every run.
 #[derive(Debug, Clone)]
 pub struct Simulator {
     cfg: PlatformConfig,
     tree: HierarchyTree,
+    faults: Option<FaultPlan>,
 }
 
 impl Simulator {
     /// Builds a simulator for a platform configuration.
-    ///
-    /// # Panics
-    /// Panics if the configuration is invalid.
-    pub fn new(cfg: PlatformConfig) -> Self {
-        let tree = HierarchyTree::from_config(&cfg);
-        Simulator { cfg, tree }
+    pub fn new(cfg: PlatformConfig) -> Result<Self, SimError> {
+        let tree = HierarchyTree::from_config(&cfg)?;
+        Ok(Simulator {
+            cfg,
+            tree,
+            faults: None,
+        })
+    }
+
+    /// Attaches a fault plan (validated against the platform) that every
+    /// subsequent [`Simulator::run`] will inject.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Result<Self, SimError> {
+        plan.validate(&self.cfg)?;
+        self.faults = Some(plan);
+        Ok(self)
     }
 
     /// The platform configuration.
@@ -114,17 +238,33 @@ impl Simulator {
         &self.tree
     }
 
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    fn engine(&self) -> Result<Engine<'_>, SimError> {
+        let engine = Engine::new(&self.cfg, &self.tree)?;
+        match &self.faults {
+            Some(plan) => Ok(engine.with_fault_plan(plan)?),
+            None => Ok(engine),
+        }
+    }
+
     /// Runs a mapped program on a fresh platform state (cold caches).
-    pub fn run(&self, program: &MappedProgram) -> SimReport {
-        let stats = Engine::new(&self.cfg, &self.tree).run(program);
-        SimReport::from_run(stats)
+    pub fn run(&self, program: &MappedProgram) -> Result<SimReport, SimError> {
+        let stats = self.engine()?.run(program)?;
+        Ok(SimReport::from_run(stats))
     }
 
     /// Runs a mapped program and also captures the full access trace
     /// (for reuse-distance analysis and debugging).
-    pub fn run_traced(&self, program: &MappedProgram) -> (SimReport, crate::trace::Trace) {
-        let (stats, trace) = Engine::new(&self.cfg, &self.tree).run_traced(program);
-        (SimReport::from_run(stats), trace)
+    pub fn run_traced(
+        &self,
+        program: &MappedProgram,
+    ) -> Result<(SimReport, crate::trace::Trace), SimError> {
+        let (stats, trace) = self.engine()?.run_traced(program)?;
+        Ok((SimReport::from_run(stats), trace))
     }
 }
 
@@ -132,43 +272,112 @@ impl Simulator {
 mod tests {
     use super::*;
     use crate::engine::ClientOp;
+    use crate::faults::FaultEvent;
+
+    fn sim() -> Simulator {
+        Simulator::new(PlatformConfig::tiny()).unwrap()
+    }
 
     #[test]
     fn report_rates_and_times() {
-        let sim = Simulator::new(PlatformConfig::tiny());
+        let sim = sim();
         let mut prog = MappedProgram::new(4);
         prog.per_client[0] = vec![
-            ClientOp::Access { chunk: 0, write: false },
-            ClientOp::Access { chunk: 0, write: false },
+            ClientOp::Access {
+                chunk: 0,
+                write: false,
+            },
+            ClientOp::Access {
+                chunk: 0,
+                write: false,
+            },
             ClientOp::Compute { ns: 1000 },
         ];
-        let rep = sim.run(&prog);
+        let rep = sim.run(&prog).unwrap();
         assert_eq!(rep.l1.accesses(), 2);
         assert!((rep.l1_miss_rate() - 0.5).abs() < 1e-12);
         assert!(rep.io_latency_ns > 0);
         assert!(rep.exec_time_ns >= rep.per_client_finish_ns[0]);
         assert_eq!(rep.disk_reads, 1);
         assert!(rep.exec_time_ms() > 0.0);
+        assert_eq!(rep.faults, FaultStats::default());
     }
 
     #[test]
     fn cold_caches_between_runs() {
-        let sim = Simulator::new(PlatformConfig::tiny());
+        let sim = sim();
         let mut prog = MappedProgram::new(4);
-        prog.per_client[0] = vec![ClientOp::Access { chunk: 5, write: false }];
-        let a = sim.run(&prog);
-        let b = sim.run(&prog);
+        prog.per_client[0] = vec![ClientOp::Access {
+            chunk: 5,
+            write: false,
+        }];
+        let a = sim.run(&prog).unwrap();
+        let b = sim.run(&prog).unwrap();
         assert_eq!(a.l1.misses, b.l1.misses, "runs must not share cache state");
         assert_eq!(a.io_latency_ns, b.io_latency_ns);
     }
 
     #[test]
     fn exec_time_is_max_over_clients() {
-        let sim = Simulator::new(PlatformConfig::tiny());
+        let sim = sim();
         let mut prog = MappedProgram::new(4);
         prog.per_client[0] = vec![ClientOp::Compute { ns: 10 }];
         prog.per_client[3] = vec![ClientOp::Compute { ns: 99 }];
-        let rep = sim.run(&prog);
+        let rep = sim.run(&prog).unwrap();
         assert_eq!(rep.exec_time_ns, 99);
+    }
+
+    #[test]
+    fn invalid_config_is_reported_not_panicked() {
+        let mut cfg = PlatformConfig::tiny();
+        cfg.chunk_bytes = 0;
+        let err = Simulator::new(cfg).unwrap_err();
+        assert!(matches!(err, SimError::Config(_)));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn fault_plan_threads_through_to_the_report() {
+        let sim = sim()
+            .with_fault_plan(
+                FaultPlan::new().with_event(FaultEvent::IoNodeCrash { io: 0, at_ns: 0 }),
+            )
+            .unwrap();
+        let mut prog = MappedProgram::new(4);
+        prog.per_client[0] = vec![ClientOp::Access {
+            chunk: 0,
+            write: false,
+        }];
+        let rep = sim.run(&prog).unwrap();
+        assert_eq!(rep.faults.crashed_io_nodes, 1);
+        assert!(rep.faults.failovers > 0);
+    }
+
+    #[test]
+    fn invalid_fault_plan_is_rejected() {
+        let err = sim()
+            .with_fault_plan(FaultPlan::new().with_event(FaultEvent::StorageNodeCrash {
+                storage: 9,
+                at_ns: 0,
+            }))
+            .unwrap_err();
+        assert!(matches!(err, SimError::Fault(_)));
+    }
+
+    #[test]
+    fn report_json_is_deterministic() {
+        let sim = sim();
+        let mut prog = MappedProgram::new(4);
+        prog.per_client[0] = (0..10)
+            .map(|i| ClientOp::Access {
+                chunk: i % 3,
+                write: i % 2 == 0,
+            })
+            .collect();
+        let a = sim.run(&prog).unwrap().to_json().to_string_compact();
+        let b = sim.run(&prog).unwrap().to_json().to_string_compact();
+        assert_eq!(a, b);
+        assert!(a.contains("\"exec_time_ns\""));
+        assert!(a.contains("\"faults\""));
     }
 }

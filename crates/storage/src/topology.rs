@@ -7,14 +7,45 @@
 //! level ℓ* when the same level-ℓ cache sits on both of their paths to
 //! the root — the central definition of Section 3.
 
-use crate::config::PlatformConfig;
-use serde::{Deserialize, Serialize};
+use crate::config::{ConfigError, PlatformConfig};
 
 /// Index of a node in the hierarchy tree.
 pub type NodeId = usize;
 
+/// Why a [`HierarchyTree::prune_clients`] call could not produce a
+/// degraded tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PruneError {
+    /// A failed-client index does not exist in this tree.
+    UnknownClient {
+        /// The offending client index.
+        client: usize,
+        /// Number of clients in the tree.
+        num_clients: usize,
+    },
+    /// Every client was marked failed; no survivors remain to remap onto.
+    NoSurvivors,
+}
+
+impl std::fmt::Display for PruneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PruneError::UnknownClient {
+                client,
+                num_clients,
+            } => write!(
+                f,
+                "failed client {client} out of range (tree has {num_clients} clients)"
+            ),
+            PruneError::NoSurvivors => write!(f, "all clients failed; nothing to remap onto"),
+        }
+    }
+}
+
+impl std::error::Error for PruneError {}
+
 /// Which layer of the storage hierarchy a cache belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CacheLevel {
     /// Client-node cache (the paper's L1).
     Client,
@@ -28,7 +59,7 @@ pub enum CacheLevel {
 }
 
 /// One node of the hierarchy tree.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TreeNode {
     /// Node id (index into the tree's node table).
     pub id: NodeId,
@@ -44,7 +75,7 @@ pub struct TreeNode {
 }
 
 /// The storage cache hierarchy tree.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HierarchyTree {
     nodes: Vec<TreeNode>,
     root: NodeId,
@@ -60,10 +91,11 @@ impl HierarchyTree {
     /// describes). A dummy root is added when there are multiple storage
     /// nodes.
     ///
-    /// # Panics
-    /// Panics if the config fails [`PlatformConfig::validate`].
-    pub fn from_config(cfg: &PlatformConfig) -> Self {
-        cfg.validate().expect("invalid platform config");
+    /// # Errors
+    /// Returns the [`ConfigError`] of [`PlatformConfig::validate`] when
+    /// the config is structurally invalid.
+    pub fn from_config(cfg: &PlatformConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let mut nodes: Vec<TreeNode> = Vec::new();
         let mut alloc = |level, parent, layer_index| {
             let id = nodes.len();
@@ -109,13 +141,13 @@ impl HierarchyTree {
         }
 
         let root = root.unwrap_or(storage_nodes[0]);
-        HierarchyTree {
+        Ok(HierarchyTree {
             nodes,
             root,
             clients,
             io_nodes,
             storage_nodes,
-        }
+        })
     }
 
     /// The root node id.
@@ -154,17 +186,56 @@ impl HierarchyTree {
     }
 
     /// Index of the I/O node serving a client.
+    ///
+    /// Invariant: construction (and pruning) always wires every client
+    /// leaf under an I/O node, so the parent lookup cannot fail.
     pub fn io_of_client(&self, client: usize) -> usize {
         let leaf = self.clients[client];
-        let io = self.nodes[leaf].parent.expect("client has I/O parent");
-        self.nodes[io].layer_index
+        match self.nodes[leaf].parent {
+            Some(io) => self.nodes[io].layer_index,
+            None => {
+                debug_assert!(false, "client leaf {client} has no I/O parent");
+                0
+            }
+        }
     }
 
     /// Index of the storage node serving a client (via its I/O node).
+    ///
+    /// Invariant: every I/O node is wired under a storage node by
+    /// construction, so the parent lookup cannot fail.
     pub fn storage_of_client(&self, client: usize) -> usize {
-        let io = self.io_node(self.io_of_client(client));
-        let s = self.nodes[io].parent.expect("I/O node has storage parent");
-        self.nodes[s].layer_index
+        self.storage_of_io(self.io_of_client(client))
+    }
+
+    /// Index of the storage node above an I/O node.
+    ///
+    /// Invariant: every I/O node has a storage parent by construction.
+    pub fn storage_of_io(&self, io: usize) -> usize {
+        let io_id = self.io_nodes[io];
+        match self.nodes[io_id].parent {
+            Some(s) => self.nodes[s].layer_index,
+            None => {
+                debug_assert!(false, "I/O node {io} has no storage parent");
+                0
+            }
+        }
+    }
+
+    /// Layer indices of the I/O nodes sharing a storage parent with `io`
+    /// (excluding `io` itself), in increasing order. These are the
+    /// failover candidates when I/O node `io` crashes.
+    pub fn io_siblings(&self, io: usize) -> Vec<usize> {
+        let io_id = self.io_nodes[io];
+        let Some(parent) = self.nodes[io_id].parent else {
+            return Vec::new();
+        };
+        self.nodes[parent]
+            .children
+            .iter()
+            .map(|&c| self.nodes[c].layer_index)
+            .filter(|&i| i != io)
+            .collect()
     }
 
     /// Client indices under an arbitrary tree node (in increasing order).
@@ -185,11 +256,120 @@ impl HierarchyTree {
 
     /// Path of node ids from a client leaf up to (and including) the root.
     pub fn path_to_root(&self, client: usize) -> Vec<NodeId> {
-        let mut path = vec![self.clients[client]];
-        while let Some(p) = self.nodes[*path.last().unwrap()].parent {
-            path.push(p);
+        let mut path = Vec::new();
+        let mut cursor = self.clients[client];
+        loop {
+            path.push(cursor);
+            match self.nodes[cursor].parent {
+                Some(p) => cursor = p,
+                None => return path,
+            }
         }
-        path
+    }
+
+    /// Builds the degraded tree left after the given clients fail: the
+    /// failed leaves are removed, along with any internal node that no
+    /// longer has a surviving client beneath it. Returns the pruned tree
+    /// plus the survivor map — `map[new_client] = original_client` — so a
+    /// distribution over the pruned tree can be translated back to
+    /// original client indices.
+    ///
+    /// Node and layer indices are renumbered contiguously (in original
+    /// order), keeping every [`HierarchyTree`] invariant intact, so the
+    /// clustering algorithms run on a pruned tree unchanged.
+    ///
+    /// # Errors
+    /// [`PruneError::UnknownClient`] if a failed index is out of range,
+    /// [`PruneError::NoSurvivors`] if no client remains.
+    pub fn prune_clients(
+        &self,
+        failed: &[usize],
+    ) -> Result<(HierarchyTree, Vec<usize>), PruneError> {
+        let n = self.clients.len();
+        let mut is_failed = vec![false; n];
+        for &c in failed {
+            if c >= n {
+                return Err(PruneError::UnknownClient {
+                    client: c,
+                    num_clients: n,
+                });
+            }
+            is_failed[c] = true;
+        }
+        let survivors: Vec<usize> = (0..n).filter(|&c| !is_failed[c]).collect();
+        if survivors.is_empty() {
+            return Err(PruneError::NoSurvivors);
+        }
+
+        // Keep every surviving leaf and its ancestor chain.
+        let mut keep = vec![false; self.nodes.len()];
+        for &c in &survivors {
+            let mut cursor = Some(self.clients[c]);
+            while let Some(id) = cursor {
+                if keep[id] {
+                    break;
+                }
+                keep[id] = true;
+                cursor = self.nodes[id].parent;
+            }
+        }
+
+        // Renumber kept nodes in original id order (deterministic).
+        let mut new_id = vec![usize::MAX; self.nodes.len()];
+        let mut kept_ids = Vec::new();
+        for id in 0..self.nodes.len() {
+            if keep[id] {
+                new_id[id] = kept_ids.len();
+                kept_ids.push(id);
+            }
+        }
+
+        let mut nodes = Vec::with_capacity(kept_ids.len());
+        let mut clients = Vec::new();
+        let mut io_nodes = Vec::new();
+        let mut storage_nodes = Vec::new();
+        for &old in &kept_ids {
+            let src = &self.nodes[old];
+            let id = new_id[old];
+            let layer_index = match src.level {
+                CacheLevel::Client => {
+                    clients.push(id);
+                    clients.len() - 1
+                }
+                CacheLevel::Io => {
+                    io_nodes.push(id);
+                    io_nodes.len() - 1
+                }
+                CacheLevel::Storage => {
+                    storage_nodes.push(id);
+                    storage_nodes.len() - 1
+                }
+                CacheLevel::DummyRoot => 0,
+            };
+            nodes.push(TreeNode {
+                id,
+                level: src.level,
+                parent: src.parent.map(|p| new_id[p]),
+                children: src
+                    .children
+                    .iter()
+                    .filter(|&&c| keep[c])
+                    .map(|&c| new_id[c])
+                    .collect(),
+                layer_index,
+            });
+        }
+
+        Ok((
+            HierarchyTree {
+                nodes,
+                root: new_id[self.root],
+                clients,
+                io_nodes,
+                storage_nodes,
+            },
+            survivors,
+        ))
     }
 
     /// True if the two clients have affinity at a cache of the given
@@ -242,7 +422,11 @@ mod tests {
 
     fn figure7_tree() -> HierarchyTree {
         // 4 clients, 2 I/O nodes, 1 storage node — Figure 7.
-        HierarchyTree::from_config(&PlatformConfig::tiny())
+        HierarchyTree::from_config(&PlatformConfig::tiny()).unwrap()
+    }
+
+    fn paper_tree() -> HierarchyTree {
+        HierarchyTree::from_config(&PlatformConfig::paper_default()).unwrap()
     }
 
     #[test]
@@ -261,7 +445,7 @@ mod tests {
     #[test]
     fn figure1_affinity() {
         // Paper default: each L2 shared by 2 clients, each L3 by 4.
-        let t = HierarchyTree::from_config(&PlatformConfig::paper_default());
+        let t = paper_tree();
         assert!(t.have_affinity_at(0, 1, CacheLevel::Io));
         assert!(!t.have_affinity_at(0, 2, CacheLevel::Io));
         assert!(t.have_affinity_at(0, 3, CacheLevel::Storage));
@@ -274,7 +458,7 @@ mod tests {
 
     #[test]
     fn dummy_root_added_for_multiple_storage_nodes() {
-        let t = HierarchyTree::from_config(&PlatformConfig::paper_default());
+        let t = paper_tree();
         assert_eq!(t.node(t.root()).level, CacheLevel::DummyRoot);
         assert_eq!(t.node(t.root()).children.len(), 16);
     }
@@ -302,7 +486,7 @@ mod tests {
 
     #[test]
     fn levels_with_dummy_root() {
-        let t = HierarchyTree::from_config(&PlatformConfig::paper_default());
+        let t = paper_tree();
         let levels = t.levels();
         assert_eq!(levels.len(), 4);
         assert_eq!(levels[0].0, CacheLevel::DummyRoot);
@@ -311,7 +495,7 @@ mod tests {
 
     #[test]
     fn path_to_root_lengths() {
-        let t = HierarchyTree::from_config(&PlatformConfig::paper_default());
+        let t = paper_tree();
         assert_eq!(t.path_to_root(17).len(), 4); // client, io, storage, dummy
         let t2 = figure7_tree();
         assert_eq!(t2.path_to_root(0).len(), 3);
@@ -319,10 +503,75 @@ mod tests {
 
     #[test]
     fn contiguous_partitioning() {
-        let t = HierarchyTree::from_config(&PlatformConfig::paper_default());
+        let t = paper_tree();
         // Client 10 → I/O node 5 → storage node 2.
         assert_eq!(t.io_of_client(10), 5);
         assert_eq!(t.storage_of_client(10), 2);
         assert_eq!(t.clients_under(t.storage_node(2)), vec![8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn io_siblings_share_the_storage_parent() {
+        let t = paper_tree();
+        // 32 I/O nodes over 16 storage nodes → pairs {0,1}, {2,3}, …
+        assert_eq!(t.io_siblings(0), vec![1]);
+        assert_eq!(t.io_siblings(1), vec![0]);
+        assert_eq!(t.io_siblings(5), vec![4]);
+        let t2 = figure7_tree(); // 2 I/O nodes under 1 storage node
+        assert_eq!(t2.io_siblings(0), vec![1]);
+        assert_eq!(t2.storage_of_io(1), 0);
+    }
+
+    #[test]
+    fn prune_removes_failed_subtrees_and_maps_survivors() {
+        let t = figure7_tree();
+        // Clients 0 and 1 fail → I/O node 0 loses all leaves and is
+        // pruned; survivors 2, 3 renumber to 0, 1.
+        let (pruned, map) = t.prune_clients(&[0, 1]).unwrap();
+        assert_eq!(pruned.num_clients(), 2);
+        assert_eq!(map, vec![2, 3]);
+        assert_eq!(pruned.io_of_client(0), 0); // old io 1, renumbered
+        assert_eq!(pruned.clients_under(pruned.root()), vec![0, 1]);
+        assert_eq!(pruned.levels().len(), 3);
+    }
+
+    #[test]
+    fn prune_keeps_partial_subtrees() {
+        let t = figure7_tree();
+        let (pruned, map) = t.prune_clients(&[1]).unwrap();
+        assert_eq!(map, vec![0, 2, 3]);
+        // I/O node 0 survives with one client; io 1 keeps two.
+        assert_eq!(pruned.io_of_client(0), 0);
+        assert_eq!(pruned.io_of_client(1), 1);
+        assert_eq!(pruned.io_of_client(2), 1);
+        assert_eq!(pruned.deepest_shared_level(1, 2), Some(CacheLevel::Io));
+    }
+
+    #[test]
+    fn prune_rejects_bad_inputs() {
+        let t = figure7_tree();
+        assert_eq!(
+            t.prune_clients(&[7]),
+            Err(PruneError::UnknownClient {
+                client: 7,
+                num_clients: 4
+            })
+        );
+        assert_eq!(t.prune_clients(&[0, 1, 2, 3]), Err(PruneError::NoSurvivors));
+    }
+
+    #[test]
+    fn prune_drops_empty_storage_nodes_and_dummy_root_logic_holds() {
+        let t = paper_tree();
+        // Fail every client except the four under storage node 0: the
+        // pruned tree keeps the dummy root only if >1 storage node
+        // survives — here exactly one survives, but the dummy root is
+        // retained as the ancestor chain (still a valid tree).
+        let failed: Vec<usize> = (4..64).collect();
+        let (pruned, map) = t.prune_clients(&failed).unwrap();
+        assert_eq!(pruned.num_clients(), 4);
+        assert_eq!(map, vec![0, 1, 2, 3]);
+        assert_eq!(pruned.storage_of_client(3), 0);
+        assert_eq!(pruned.clients_under(pruned.root()), vec![0, 1, 2, 3]);
     }
 }

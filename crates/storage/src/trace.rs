@@ -13,10 +13,9 @@
 
 use crate::cache::Chunk;
 use cachemap_util::FxHashMap;
-use serde::{Deserialize, Serialize};
 
 /// Which level of the hierarchy served an access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ServedBy {
     /// Client-local cache hit.
     L1,
@@ -29,7 +28,7 @@ pub enum ServedBy {
 }
 
 /// One recorded chunk access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Simulated start time of the access, ns.
     pub time_ns: u64,
@@ -44,7 +43,7 @@ pub struct TraceEvent {
 }
 
 /// A full run trace (in global simulated-time order).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     /// Events ordered by issue time.
     pub events: Vec<TraceEvent>,
@@ -95,7 +94,7 @@ impl Trace {
 /// is `d`; cold first-touches are counted separately. For an LRU cache
 /// of capacity `C`, the hit count is exactly
 /// `Σ_{d < C} histogram[d]` — the classical Mattson stack analysis.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ReuseProfile {
     /// Count per exact reuse distance.
     pub histogram: Vec<u64>,

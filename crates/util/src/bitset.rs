@@ -17,7 +17,6 @@
 //! [`BitSet`] implements the plain tag; [`CountVec`] implements the
 //! bitwise-sum cluster tag.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 const WORD_BITS: usize = 64;
@@ -27,7 +26,7 @@ const WORD_BITS: usize = 64;
 /// Used as the r-bit iteration tag of the paper. The length (`len`) is the
 /// number of addressable bits `r`; all bits at positions `>= len` are kept
 /// zero as an internal invariant so popcounts never over-report.
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct BitSet {
     len: usize,
     words: Vec<u64>,
@@ -89,7 +88,11 @@ impl BitSet {
     /// # Panics
     /// Panics if `i >= len`.
     pub fn set(&mut self, i: usize) {
-        assert!(i < self.len, "bit {i} out of range for BitSet of len {}", self.len);
+        assert!(
+            i < self.len,
+            "bit {i} out of range for BitSet of len {}",
+            self.len
+        );
         self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
     }
 
@@ -98,7 +101,11 @@ impl BitSet {
     /// # Panics
     /// Panics if `i >= len`.
     pub fn clear(&mut self, i: usize) {
-        assert!(i < self.len, "bit {i} out of range for BitSet of len {}", self.len);
+        assert!(
+            i < self.len,
+            "bit {i} out of range for BitSet of len {}",
+            self.len
+        );
         self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
     }
 
@@ -107,7 +114,11 @@ impl BitSet {
     /// # Panics
     /// Panics if `i >= len`.
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit {i} out of range for BitSet of len {}", self.len);
+        assert!(
+            i < self.len,
+            "bit {i} out of range for BitSet of len {}",
+            self.len
+        );
         (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
     }
 
@@ -183,7 +194,9 @@ impl BitSet {
 
     /// Renders the tag in the paper's `λ0 λ1 …` string notation.
     pub fn to_tag_string(&self) -> String {
-        (0..self.len).map(|i| if self.get(i) { '1' } else { '0' }).collect()
+        (0..self.len)
+            .map(|i| if self.get(i) { '1' } else { '0' })
+            .collect()
     }
 }
 
@@ -200,7 +213,7 @@ impl fmt::Debug for BitSet {
 /// clusters (or between a chunk tag and a cluster) is the dot product of
 /// the vectors. A plain [`BitSet`] tag converts losslessly into a 0/1
 /// count vector.
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct CountVec {
     counts: Vec<u32>,
 }
@@ -208,7 +221,9 @@ pub struct CountVec {
 impl CountVec {
     /// Creates a zero vector over `len` chunks.
     pub fn new(len: usize) -> Self {
-        CountVec { counts: vec![0; len] }
+        CountVec {
+            counts: vec![0; len],
+        }
     }
 
     /// Builds the 0/1 count vector of a single tag.
@@ -240,7 +255,11 @@ impl CountVec {
     /// # Panics
     /// Panics if lengths differ.
     pub fn add(&mut self, other: &CountVec) {
-        assert_eq!(self.counts.len(), other.counts.len(), "CountVec length mismatch");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "CountVec length mismatch"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
@@ -251,7 +270,11 @@ impl CountVec {
     /// # Panics
     /// Panics if lengths differ.
     pub fn add_bitset(&mut self, tag: &BitSet) {
-        assert_eq!(self.counts.len(), tag.len(), "CountVec/BitSet length mismatch");
+        assert_eq!(
+            self.counts.len(),
+            tag.len(),
+            "CountVec/BitSet length mismatch"
+        );
         for b in tag.iter_ones() {
             self.counts[b] += 1;
         }
@@ -263,7 +286,11 @@ impl CountVec {
     /// # Panics
     /// Panics if lengths differ or a count would underflow.
     pub fn sub_bitset(&mut self, tag: &BitSet) {
-        assert_eq!(self.counts.len(), tag.len(), "CountVec/BitSet length mismatch");
+        assert_eq!(
+            self.counts.len(),
+            tag.len(),
+            "CountVec/BitSet length mismatch"
+        );
         for b in tag.iter_ones() {
             assert!(self.counts[b] > 0, "CountVec underflow at chunk {b}");
             self.counts[b] -= 1;
@@ -276,7 +303,11 @@ impl CountVec {
     /// # Panics
     /// Panics if lengths differ.
     pub fn dot(&self, other: &CountVec) -> u64 {
-        assert_eq!(self.counts.len(), other.counts.len(), "CountVec length mismatch");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "CountVec length mismatch"
+        );
         self.counts
             .iter()
             .zip(&other.counts)
@@ -290,7 +321,11 @@ impl CountVec {
     /// # Panics
     /// Panics if lengths differ.
     pub fn dot_bitset(&self, tag: &BitSet) -> u64 {
-        assert_eq!(self.counts.len(), tag.len(), "CountVec/BitSet length mismatch");
+        assert_eq!(
+            self.counts.len(),
+            tag.len(),
+            "CountVec/BitSet length mismatch"
+        );
         tag.iter_ones().map(|b| self.counts[b] as u64).sum()
     }
 

@@ -14,14 +14,24 @@
 //!   used when reporting experiment results.
 //! * [`table`] — a fixed-width plain-text table printer shared by the
 //!   experiment harness so every figure/table prints in a uniform format.
+//! * [`json`] — a dependency-free JSON value tree, writer, and parser with
+//!   deterministic output bytes (used for reports and fault plans).
+//! * [`rng`] — a seeded xorshift64* generator for deterministic fault
+//!   sampling and test-input generation.
+//! * [`check`] — a miniature property-test harness built on [`rng`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod bitset;
+pub mod check;
 pub mod hash;
+pub mod json;
+pub mod rng;
 pub mod stats;
 pub mod table;
 
 pub use bitset::{BitSet, CountVec};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use json::{Json, ToJson};
+pub use rng::XorShift64;

@@ -5,8 +5,6 @@
 //! application suite ("26.3% on average"). These helpers centralize that
 //! arithmetic so every harness subcommand computes it identically.
 
-use serde::{Deserialize, Serialize};
-
 /// Arithmetic mean; returns 0.0 on an empty slice.
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -65,7 +63,7 @@ pub fn stddev(xs: &[f64]) -> f64 {
 }
 
 /// A running tally of hits and misses for one cache level or resource.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct HitMiss {
     /// Accesses that were served by this level.
     pub hits: u64,

@@ -1,75 +1,98 @@
-//! Property tests for the tag bitset and count-vector algebra.
+//! Property tests for the tag bitset and count-vector algebra, driven by
+//! the in-repo deterministic harness (`cachemap_util::check`).
 
+use cachemap_util::check::{cases, Gen};
 use cachemap_util::{BitSet, CountVec};
-use proptest::prelude::*;
 
-fn arb_bits(len: usize) -> impl Strategy<Value = Vec<usize>> {
-    proptest::collection::vec(0..len, 0..len)
+fn arb_bits(g: &mut Gen, len: usize) -> Vec<usize> {
+    g.vec_usize(0..len, 0..len)
 }
 
-proptest! {
-    #[test]
-    fn count_ones_matches_set_semantics(bits in arb_bits(96)) {
+#[test]
+fn count_ones_matches_set_semantics() {
+    cases(0xB175_0001, 128, |g| {
+        let bits = arb_bits(g, 96);
         let set = BitSet::from_bits(96, bits.iter().copied());
         let unique: std::collections::BTreeSet<usize> = bits.into_iter().collect();
-        prop_assert_eq!(set.count_ones() as usize, unique.len());
-        prop_assert_eq!(set.iter_ones().collect::<Vec<_>>(),
-                        unique.into_iter().collect::<Vec<_>>());
-    }
+        assert_eq!(set.count_ones() as usize, unique.len());
+        assert_eq!(
+            set.iter_ones().collect::<Vec<_>>(),
+            unique.into_iter().collect::<Vec<_>>()
+        );
+    });
+}
 
-    #[test]
-    fn and_count_is_intersection_size(a in arb_bits(80), b in arb_bits(80)) {
+#[test]
+fn and_count_is_intersection_size() {
+    cases(0xB175_0002, 128, |g| {
+        let a = arb_bits(g, 80);
+        let b = arb_bits(g, 80);
         let sa = BitSet::from_bits(80, a.iter().copied());
         let sb = BitSet::from_bits(80, b.iter().copied());
         let ia: std::collections::BTreeSet<usize> = a.into_iter().collect();
         let ib: std::collections::BTreeSet<usize> = b.into_iter().collect();
-        prop_assert_eq!(sa.and_count(&sb) as usize, ia.intersection(&ib).count());
-        prop_assert_eq!(sa.and_count(&sb), sb.and_count(&sa));
-        prop_assert_eq!(sa.intersects(&sb), ia.intersection(&ib).next().is_some());
-    }
+        assert_eq!(sa.and_count(&sb) as usize, ia.intersection(&ib).count());
+        assert_eq!(sa.and_count(&sb), sb.and_count(&sa));
+        assert_eq!(sa.intersects(&sb), ia.intersection(&ib).next().is_some());
+    });
+}
 
-    #[test]
-    fn hamming_is_symmetric_difference(a in arb_bits(70), b in arb_bits(70)) {
+#[test]
+fn hamming_is_symmetric_difference() {
+    cases(0xB175_0003, 128, |g| {
+        let a = arb_bits(g, 70);
+        let b = arb_bits(g, 70);
         let sa = BitSet::from_bits(70, a.iter().copied());
         let sb = BitSet::from_bits(70, b.iter().copied());
         let ia: std::collections::BTreeSet<usize> = a.into_iter().collect();
         let ib: std::collections::BTreeSet<usize> = b.into_iter().collect();
-        prop_assert_eq!(sa.hamming(&sb) as usize, ia.symmetric_difference(&ib).count());
-    }
+        assert_eq!(
+            sa.hamming(&sb) as usize,
+            ia.symmetric_difference(&ib).count()
+        );
+    });
+}
 
-    #[test]
-    fn tag_string_roundtrip(bits in arb_bits(64)) {
+#[test]
+fn tag_string_roundtrip() {
+    cases(0xB175_0004, 128, |g| {
+        let bits = arb_bits(g, 64);
         let set = BitSet::from_bits(64, bits);
         let back = BitSet::from_tag_str(&set.to_tag_string());
-        prop_assert_eq!(set, back);
-    }
+        assert_eq!(set, back);
+    });
+}
 
-    #[test]
-    fn countvec_add_then_sub_is_identity(
-        tags in proptest::collection::vec(arb_bits(40), 1..8)
-    ) {
-        let sets: Vec<BitSet> = tags.iter()
-            .map(|t| BitSet::from_bits(40, t.iter().copied()))
+#[test]
+fn countvec_add_then_sub_is_identity() {
+    cases(0xB175_0005, 128, |g| {
+        let ntags = g.usize_in(1, 8);
+        let sets: Vec<BitSet> = (0..ntags)
+            .map(|_| BitSet::from_bits(40, arb_bits(g, 40)))
             .collect();
         let mut cv = CountVec::new(40);
         for s in &sets {
             cv.add_bitset(s);
         }
-        prop_assert_eq!(cv.total(),
-            sets.iter().map(|s| s.count_ones() as u64).sum::<u64>());
+        assert_eq!(
+            cv.total(),
+            sets.iter().map(|s| s.count_ones() as u64).sum::<u64>()
+        );
         for s in &sets {
             cv.sub_bitset(s);
         }
-        prop_assert!(cv.is_zero());
-    }
+        assert!(cv.is_zero());
+    });
+}
 
-    #[test]
-    fn dot_is_bilinear_over_union(a in arb_bits(48), b in arb_bits(48), c in arb_bits(48)) {
+#[test]
+fn dot_is_bilinear_over_union() {
+    cases(0xB175_0006, 128, |g| {
         // dot(A+B, C) = dot(A, C) + dot(B, C) for count vectors.
         let (sa, sb, sc) = (
-            BitSet::from_bits(48, a.iter().copied()),
-            BitSet::from_bits(48, b.iter().copied()),
-            BitSet::from_bits(48, c.iter().copied()),
+            BitSet::from_bits(48, arb_bits(g, 48)),
+            BitSet::from_bits(48, arb_bits(g, 48)),
+            BitSet::from_bits(48, arb_bits(g, 48)),
         );
         let mut ab = CountVec::new(48);
         ab.add_bitset(&sa);
@@ -77,6 +100,6 @@ proptest! {
         let cvc = CountVec::from_bitset(&sc);
         let lhs = ab.dot(&cvc);
         let rhs = CountVec::from_bitset(&sa).dot(&cvc) + CountVec::from_bitset(&sb).dot(&cvc);
-        prop_assert_eq!(lhs, rhs);
-    }
+        assert_eq!(lhs, rhs);
+    });
 }

@@ -104,8 +104,7 @@ pub fn sar(scale: Scale) -> Application {
         ArrayRef::read(1, sub(vec![c * E, E, 1], half * c * E)), // IMG[r+R/2][col]
         ArrayRef::write(2, sub(vec![c * E, E, 1], 0)), // OUT[r][col]
     ];
-    let azimuth =
-        LoopNest::new("azimuth_pass", azimuth_space, azimuth_refs).with_compute_us(400.0);
+    let azimuth = LoopNest::new("azimuth_pass", azimuth_space, azimuth_refs).with_compute_us(400.0);
 
     Application {
         name: "sar",
@@ -135,11 +134,11 @@ pub fn contour(scale: Scale) -> Application {
         Loop::constant(0, k - 1),
     ]);
     let refs = vec![
-        ArrayRef::read(0, sub(vec![c * E, E, 1], 0)),     // G[i][j]
+        ArrayRef::read(0, sub(vec![c * E, E, 1], 0)), // G[i][j]
         ArrayRef::read(0, sub(vec![c * E, E, 1], c * E)), // G[i+1][j]
-        ArrayRef::read(0, sub(vec![c * E, E, 1], E)),     // G[i][j+1]
-        ArrayRef::read(2, sub(vec![0, E, 1], 0)),         // LVL[j]
-        ArrayRef::write(1, sub(vec![c * E, E, 1], 0)),    // CT[i][j]
+        ArrayRef::read(0, sub(vec![c * E, E, 1], E)), // G[i][j+1]
+        ArrayRef::read(2, sub(vec![0, E, 1], 0)),     // LVL[j]
+        ArrayRef::write(1, sub(vec![c * E, E, 1], 0)), // CT[i][j]
     ];
     let nest = LoopNest::new("scan", space, refs).with_compute_us(200.0);
     Application {
@@ -241,11 +240,11 @@ pub fn apsi(scale: Scale) -> Application {
             Loop::constant(0, k - 1),
         ]);
         let refs = vec![
-            ArrayRef::read(0, sub(vec![g * E, E, 1], 0)),     // C[i][j]
+            ArrayRef::read(0, sub(vec![g * E, E, 1], 0)), // C[i][j]
             ArrayRef::read(0, sub(vec![g * E, E, 1], g * E)), // C[i+1][j]
-            ArrayRef::read(0, sub(vec![g * E, E, 1], E)),     // C[i][j+1]
-            ArrayRef::read(1, sub(vec![0, E, 1], 0)),         // W[j] — vertical wind profile
-            ArrayRef::write(0, sub(vec![g * E, E, 1], 0)),    // C[i][j] =
+            ArrayRef::read(0, sub(vec![g * E, E, 1], E)), // C[i][j+1]
+            ArrayRef::read(1, sub(vec![0, E, 1], 0)),     // W[j] — vertical wind profile
+            ArrayRef::write(0, sub(vec![g * E, E, 1], 0)), // C[i][j] =
         ];
         LoopNest::new(name, space, refs).with_compute_us(400.0)
     };
@@ -313,12 +312,12 @@ pub fn wupwise(scale: Scale) -> Application {
         Loop::constant(0, k - 1),
     ]);
     let refs = vec![
-        ArrayRef::read(0, sub(vec![g * E, E, 1], 0)),            // PSI[x][y]
-        ArrayRef::read(0, sub(vec![g * E, E, 1], g * E)),        // PSI[x+1][y]
-        ArrayRef::read(0, sub(vec![g * E, E, 1], E)),            // PSI[x][y+1]
+        ArrayRef::read(0, sub(vec![g * E, E, 1], 0)), // PSI[x][y]
+        ArrayRef::read(0, sub(vec![g * E, E, 1], g * E)), // PSI[x+1][y]
+        ArrayRef::read(0, sub(vec![g * E, E, 1], E)), // PSI[x][y+1]
         ArrayRef::read(0, sub(vec![g * E, E, 1], half * g * E)), // PSI[x+L/2][y] — even-odd partner
-        ArrayRef::read(1, sub(vec![g * E, E, 1], 0)),            // U[x][y]
-        ArrayRef::write(0, sub(vec![g * E, E, 1], 0)),           // PSI[x][y] =
+        ArrayRef::read(1, sub(vec![g * E, E, 1], 0)), // U[x][y]
+        ArrayRef::write(0, sub(vec![g * E, E, 1], 0)), // PSI[x][y] =
     ];
     let nest = LoopNest::new("lattice_sweep", space, refs).with_compute_us(800.0);
     Application {
@@ -393,8 +392,7 @@ mod tests {
             let lin = nest.refs[0].eval_linear(&p, &app.program.arrays[0]);
             seen.insert(data.chunk_of(0, lin));
         }
-        let iters_per_chunk =
-            nest.num_iterations() as f64 / seen.len() as f64;
+        let iters_per_chunk = nest.num_iterations() as f64 / seen.len() as f64;
         // Only the k-loop revisits a chunk.
         assert!(iters_per_chunk <= 2.01, "{iters_per_chunk}");
     }

@@ -101,7 +101,7 @@ mod tests {
         let app = wupwise_periodic(Scale::Test);
         let nest = &app.program.nests[0];
         let l = 10i64; // Test scale
-        // At the last row, the +1 neighbour wraps to row 0.
+                       // At the last row, the +1 neighbour wraps to row 0.
         let last = nest.refs[1].eval(&[l - 1, 0, 0])[0];
         let first_row = nest.refs[0].eval(&[0, 0, 0])[0];
         assert_eq!(last, first_row);

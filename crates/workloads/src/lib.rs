@@ -29,7 +29,6 @@
 #![forbid(unsafe_code)]
 
 use cachemap_polyhedral::Program;
-use serde::{Deserialize, Serialize};
 
 pub mod apps;
 pub mod extras;
@@ -42,7 +41,7 @@ pub mod extras;
 pub const CHUNK_ELEMS: i64 = 8192;
 
 /// Workload scale knob.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// Tiny instances for unit/integration tests (seconds in debug).
     Test,
@@ -69,7 +68,7 @@ impl Scale {
 }
 
 /// An application model plus its paper-reported reference numbers.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Application {
     /// Suite name (matches Table 2).
     pub name: &'static str,
@@ -113,7 +112,14 @@ pub fn by_name(name: &str, scale: Scale) -> Option<Application> {
 
 /// The suite names in Table 2 order.
 pub const NAMES: [&str; 8] = [
-    "hf", "sar", "contour", "astro", "e_elem", "apsi", "madbench2", "wupwise",
+    "hf",
+    "sar",
+    "contour",
+    "astro",
+    "e_elem",
+    "apsi",
+    "madbench2",
+    "wupwise",
 ];
 
 #[cfg(test)]

@@ -15,11 +15,21 @@ use cachemap::storage::config::PolicyKind;
 
 fn run(app: &Application, platform: &PlatformConfig) -> (f64, f64) {
     let data = DataSpace::new(&app.program.arrays, platform.chunk_bytes);
-    let tree = HierarchyTree::from_config(platform);
-    let sim = Simulator::new(platform.clone());
+    let tree = HierarchyTree::from_config(platform).expect("valid platform config");
+    let sim = Simulator::new(platform.clone()).expect("valid platform config");
     let mapper = Mapper::paper_defaults();
-    let base = sim.run(&mapper.map(&app.program, &data, platform, &tree, Version::Original));
-    let inter = sim.run(&mapper.map(&app.program, &data, platform, &tree, Version::InterProcessor));
+    let base = sim
+        .run(&mapper.map(&app.program, &data, platform, &tree, Version::Original))
+        .expect("well-formed mapped program");
+    let inter = sim
+        .run(&mapper.map(
+            &app.program,
+            &data,
+            platform,
+            &tree,
+            Version::InterProcessor,
+        ))
+        .expect("well-formed mapped program");
     (
         inter.io_latency_ns as f64 / base.io_latency_ns as f64,
         inter.exec_time_ns as f64 / base.exec_time_ns as f64,

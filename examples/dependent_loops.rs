@@ -32,8 +32,8 @@ fn main() {
 
     let platform = PlatformConfig::tiny();
     let data = DataSpace::new(&program.arrays, 64); // 8 elements per chunk
-    let tree = HierarchyTree::from_config(&platform);
-    let sim = Simulator::new(platform.clone());
+    let tree = HierarchyTree::from_config(&platform).expect("valid platform config");
+    let sim = Simulator::new(platform.clone()).expect("valid platform config");
 
     // The dependence analysis sees the flow dependence exactly.
     let deps = cachemap::polyhedral::deps::exact_dependences(&program.nests[0], &program.arrays);
@@ -67,8 +67,12 @@ fn main() {
             .flatten()
             .filter(|op| matches!(op, ClientOp::Signal { .. } | ClientOp::Wait { .. }))
             .count();
-        let busy = mapped.per_client.iter().filter(|ops| !ops.is_empty()).count();
-        let rep = sim.run(&mapped);
+        let busy = mapped
+            .per_client
+            .iter()
+            .filter(|ops| !ops.is_empty())
+            .count();
+        let rep = sim.run(&mapped).expect("well-formed mapped program");
         println!(
             "{:<14} {:>10.2} {:>10.2} {:>12} {:>10}",
             label,

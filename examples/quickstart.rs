@@ -28,11 +28,15 @@ fn main() {
     // The paper's platform: 64 clients → 32 I/O nodes → 16 storage nodes.
     let platform = PlatformConfig::paper_default();
     let data = DataSpace::new(&program.arrays, platform.chunk_bytes);
-    let tree = HierarchyTree::from_config(&platform);
-    let sim = Simulator::new(platform.clone());
+    let tree = HierarchyTree::from_config(&platform).expect("valid platform config");
+    let sim = Simulator::new(platform.clone()).expect("valid platform config");
     let mapper = Mapper::paper_defaults();
 
-    println!("transpose kernel: {} iterations, {} data chunks\n", program.total_iterations(), data.num_chunks());
+    println!(
+        "transpose kernel: {} iterations, {} data chunks\n",
+        program.total_iterations(),
+        data.num_chunks()
+    );
     println!(
         "{:<24} {:>8} {:>8} {:>8} {:>12} {:>12}",
         "version", "L1 miss", "L2 miss", "L3 miss", "I/O (ms)", "exec (ms)"
@@ -40,7 +44,7 @@ fn main() {
     let mut baseline_io = None;
     for version in Version::ALL {
         let mapped = mapper.map(&program, &data, &platform, &tree, version);
-        let rep = sim.run(&mapped);
+        let rep = sim.run(&mapped).expect("well-formed mapped program");
         let io_ms = rep.io_latency_ms() / platform.num_clients as f64;
         baseline_io.get_or_insert(io_ms);
         println!(

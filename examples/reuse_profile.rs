@@ -15,7 +15,9 @@ use cachemap::prelude::*;
 use cachemap::storage::trace::ReuseProfile;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "astro".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "astro".to_string());
     let app = cachemap::workloads::by_name(&name, Scale::Paper).unwrap_or_else(|| {
         eprintln!("unknown app {name:?}");
         std::process::exit(2);
@@ -23,14 +25,14 @@ fn main() {
 
     let platform = PlatformConfig::paper_default();
     let data = DataSpace::new(&app.program.arrays, platform.chunk_bytes);
-    let tree = HierarchyTree::from_config(&platform);
-    let sim = Simulator::new(platform.clone());
+    let tree = HierarchyTree::from_config(&platform).expect("valid platform config");
+    let sim = Simulator::new(platform.clone()).expect("valid platform config");
     let mapper = Mapper::paper_defaults();
 
     println!("{name}: reuse-distance view of the mapping effect\n");
     for version in [Version::Original, Version::InterProcessor] {
         let mapped = mapper.map(&app.program, &data, &platform, &tree, version);
-        let (report, trace) = sim.run_traced(&mapped);
+        let (report, trace) = sim.run_traced(&mapped).expect("well-formed mapped program");
 
         // Aggregate private (per-client) profile: what L1 caches see.
         let mut private = ReuseProfile::default();
@@ -51,7 +53,10 @@ fn main() {
         );
         print!("  L1 miss rate if the client caches held N chunks:  ");
         for cap in [8usize, 16, 32, 64, 128] {
-            print!("N={cap}:{:4.1}%  ", private.miss_rate_at_capacity(cap) * 100.0);
+            print!(
+                "N={cap}:{:4.1}%  ",
+                private.miss_rate_at_capacity(cap) * 100.0
+            );
         }
         println!();
         match private.mean_distance() {

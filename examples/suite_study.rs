@@ -23,8 +23,8 @@ fn main() {
 
     let platform = PlatformConfig::paper_default();
     let data = DataSpace::new(&app.program.arrays, platform.chunk_bytes);
-    let tree = HierarchyTree::from_config(&platform);
-    let sim = Simulator::new(platform.clone());
+    let tree = HierarchyTree::from_config(&platform).expect("valid platform config");
+    let sim = Simulator::new(platform.clone()).expect("valid platform config");
     let mapper = Mapper::paper_defaults();
 
     println!("{} — {}", app.name, app.description);
@@ -50,7 +50,7 @@ fn main() {
     let mut base: Option<SimReport> = None;
     for version in Version::ALL {
         let mapped = mapper.map(&app.program, &data, &platform, &tree, version);
-        let rep = sim.run(&mapped);
+        let rep = sim.run(&mapped).expect("well-formed mapped program");
         let b = base.get_or_insert_with(|| rep.clone());
         println!(
             "{:<24} {:>7.1}% {:>7.1}% {:>7.1}% {:>11.3} {:>11.3}",

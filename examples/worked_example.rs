@@ -55,7 +55,7 @@ fn main() {
 
     // Figure 7: 4 clients, 2 I/O nodes, 1 storage node.
     let platform = PlatformConfig::tiny();
-    let tree = HierarchyTree::from_config(&platform);
+    let tree = HierarchyTree::from_config(&platform).expect("valid platform config");
 
     println!("\nHierarchical clustering (Figure 9):");
     let dist = distribute(&tagged.chunks, &tree, &ClusterParams::default());
@@ -84,7 +84,10 @@ fn main() {
         &tree,
         Version::InterProcessorScheduled,
     );
-    let rep = Simulator::new(platform).run(&mapped);
+    let rep = Simulator::new(platform)
+        .expect("valid platform config")
+        .run(&mapped)
+        .expect("well-formed mapped program");
     println!(
         "\nSimulated on the Figure 7 platform: {} accesses, L1 miss {:.1}%, exec {:.2} ms",
         rep.l1.accesses(),

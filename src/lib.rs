@@ -22,6 +22,7 @@
 //! ## Quickstart
 //!
 //! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! use cachemap::prelude::*;
 //!
 //! // A toy out-of-core loop nest: for i { A[i] += B[i] } over a
@@ -43,11 +44,13 @@
 //! // Map it onto the Figure 7 platform and simulate.
 //! let platform = PlatformConfig::tiny();
 //! let data = DataSpace::new(&program.arrays, platform.chunk_bytes);
-//! let tree = HierarchyTree::from_config(&platform);
+//! let tree = HierarchyTree::from_config(&platform)?;
 //! let mapper = Mapper::paper_defaults();
 //! let mapped = mapper.map(&program, &data, &platform, &tree, Version::InterProcessor);
-//! let report = Simulator::new(platform).run(&mapped);
+//! let report = Simulator::new(platform)?.run(&mapped)?;
 //! assert!(report.l1.accesses() > 0);
+//! # Ok(())
+//! # }
 //! ```
 
 pub use cachemap_core as core;

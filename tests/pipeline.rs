@@ -13,8 +13,8 @@ fn platform() -> PlatformConfig {
 #[test]
 fn every_app_and_version_runs_end_to_end() {
     let platform = platform();
-    let tree = HierarchyTree::from_config(&platform);
-    let sim = Simulator::new(platform.clone());
+    let tree = HierarchyTree::from_config(&platform).unwrap();
+    let sim = Simulator::new(platform.clone()).unwrap();
     let mapper = Mapper::paper_defaults();
 
     for app in cachemap::workloads::suite(Scale::Test) {
@@ -23,7 +23,7 @@ fn every_app_and_version_runs_end_to_end() {
         for version in Version::ALL {
             let mapped = mapper.map(&app.program, &data, &platform, &tree, version);
             access_counts.push(mapped.total_accesses());
-            let rep = sim.run(&mapped);
+            let rep = sim.run(&mapped).unwrap();
             assert!(rep.l1.accesses() > 0, "{} {:?}", app.name, version);
             assert!(rep.exec_time_ns > 0, "{} {:?}", app.name, version);
             // L2 sees exactly the L1 misses; L3 exactly the L2 misses.
@@ -41,18 +41,30 @@ fn every_app_and_version_runs_end_to_end() {
 #[test]
 fn mapping_and_simulation_are_deterministic() {
     let platform = platform();
-    let tree = HierarchyTree::from_config(&platform);
-    let sim = Simulator::new(platform.clone());
+    let tree = HierarchyTree::from_config(&platform).unwrap();
+    let sim = Simulator::new(platform.clone()).unwrap();
     let mapper = Mapper::paper_defaults();
     let app = cachemap::workloads::by_name("madbench2", Scale::Test).unwrap();
     let data = DataSpace::new(&app.program.arrays, platform.chunk_bytes);
 
-    let m1 = mapper.map(&app.program, &data, &platform, &tree, Version::InterProcessorScheduled);
-    let m2 = mapper.map(&app.program, &data, &platform, &tree, Version::InterProcessorScheduled);
+    let m1 = mapper.map(
+        &app.program,
+        &data,
+        &platform,
+        &tree,
+        Version::InterProcessorScheduled,
+    );
+    let m2 = mapper.map(
+        &app.program,
+        &data,
+        &platform,
+        &tree,
+        Version::InterProcessorScheduled,
+    );
     assert_eq!(m1, m2, "mapping must be deterministic");
 
-    let r1 = sim.run(&m1);
-    let r2 = sim.run(&m1);
+    let r1 = sim.run(&m1).unwrap();
+    let r2 = sim.run(&m1).unwrap();
     assert_eq!(r1.per_client_finish_ns, r2.per_client_finish_ns);
     assert_eq!(r1.io_latency_ns, r2.io_latency_ns);
 }
@@ -60,11 +72,17 @@ fn mapping_and_simulation_are_deterministic() {
 #[test]
 fn inter_processor_balances_iterations_within_threshold() {
     let platform = platform();
-    let tree = HierarchyTree::from_config(&platform);
+    let tree = HierarchyTree::from_config(&platform).unwrap();
     let mapper = Mapper::paper_defaults();
     for app in cachemap::workloads::suite(Scale::Test) {
         let data = DataSpace::new(&app.program.arrays, platform.chunk_bytes);
-        let mapped = mapper.map(&app.program, &data, &platform, &tree, Version::InterProcessor);
+        let mapped = mapper.map(
+            &app.program,
+            &data,
+            &platform,
+            &tree,
+            Version::InterProcessor,
+        );
         let per = mapped.accesses_per_client();
         let total: u64 = per.iter().sum();
         let mean = total as f64 / per.len() as f64;
@@ -86,11 +104,17 @@ fn multi_nest_apps_execute_nests_in_program_order() {
     // sar has two nests; per client, all range-pass accesses must come
     // before any azimuth-pass access (the mapper appends nest programs).
     let platform = platform();
-    let tree = HierarchyTree::from_config(&platform);
+    let tree = HierarchyTree::from_config(&platform).unwrap();
     let mapper = Mapper::paper_defaults();
     let app = cachemap::workloads::by_name("sar", Scale::Test).unwrap();
     let data = DataSpace::new(&app.program.arrays, platform.chunk_bytes);
-    let mapped = mapper.map(&app.program, &data, &platform, &tree, Version::InterProcessor);
+    let mapped = mapper.map(
+        &app.program,
+        &data,
+        &platform,
+        &tree,
+        Version::InterProcessor,
+    );
 
     // RAW (array 0) is only touched by the range pass; OUT (array 2)
     // only by azimuth. Track chunk id ranges.
@@ -104,7 +128,10 @@ fn multi_nest_apps_execute_nests_in_program_order() {
                     seen_azimuth = true;
                 }
                 if *chunk < raw_hi {
-                    assert!(!seen_azimuth, "client {c}: range access after azimuth began");
+                    assert!(
+                        !seen_azimuth,
+                        "client {c}: range access after azimuth began"
+                    );
                 }
             }
         }
@@ -114,12 +141,18 @@ fn multi_nest_apps_execute_nests_in_program_order() {
 #[test]
 fn scheduled_version_keeps_the_distribution() {
     let platform = platform();
-    let tree = HierarchyTree::from_config(&platform);
+    let tree = HierarchyTree::from_config(&platform).unwrap();
     let mapper = Mapper::paper_defaults();
     let app = cachemap::workloads::by_name("hf", Scale::Test).unwrap();
     let data = DataSpace::new(&app.program.arrays, platform.chunk_bytes);
 
-    let inter = mapper.map(&app.program, &data, &platform, &tree, Version::InterProcessor);
+    let inter = mapper.map(
+        &app.program,
+        &data,
+        &platform,
+        &tree,
+        Version::InterProcessor,
+    );
     let sched = mapper.map(
         &app.program,
         &data,

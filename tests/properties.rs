@@ -1,42 +1,38 @@
 //! Cross-crate property-based tests: random small loop nests and
-//! platforms, checking the mapper's end-to-end invariants.
+//! platforms, checking the mapper's end-to-end invariants. Driven by the
+//! in-repo deterministic harness (`cachemap_util::check`).
 
 use cachemap::prelude::*;
-use proptest::prelude::*;
+use cachemap::storage::{FaultEvent, FaultPlan, TransientFaults};
+use cachemap::util::check::{cases, Gen};
+use cachemap::util::ToJson;
 
 /// A random 1- or 2-deep affine nest over one or two arrays, kept small
 /// enough that hundreds of cases run in seconds.
-fn arb_program() -> impl Strategy<Value = Program> {
-    (
-        2i64..12,          // extent of loop 0
-        1i64..10,          // extent of loop 1
-        1usize..4,         // number of read refs
-        0i64..5,           // offset spice
-        proptest::bool::ANY, // second array?
-    )
-        .prop_map(|(n0, n1, nreads, off, two_arrays)| {
-            let elems = (n0 + n1 + off + 8) * (n0 + n1 + off + 8);
-            let mut arrays = vec![ArrayDecl::new("A", vec![elems], 8)];
-            if two_arrays {
-                arrays.push(ArrayDecl::new("B", vec![elems], 8));
-            }
-            let pitch = n1 + off + 4;
-            let space = IterationSpace::rectangular(&[n0, n1]);
-            let mut refs = Vec::new();
-            for r in 0..nreads {
-                let target = if two_arrays && r % 2 == 1 { 1 } else { 0 };
-                refs.push(ArrayRef::read(
-                    target,
-                    vec![AffineExpr::new(vec![pitch, 1], off + r as i64)],
-                ));
-            }
-            refs.push(ArrayRef::write(
-                0,
-                vec![AffineExpr::new(vec![pitch, 1], 0)],
-            ));
-            let nest = LoopNest::new("rand", space, refs).with_compute_us(1.0);
-            Program::new("rand", arrays, vec![nest])
-        })
+fn arb_program(g: &mut Gen) -> Program {
+    let n0 = g.i64_in(2, 12);
+    let n1 = g.i64_in(1, 10);
+    let nreads = g.usize_in(1, 4);
+    let off = g.i64_in(0, 5);
+    let two_arrays = g.bool();
+    let elems = (n0 + n1 + off + 8) * (n0 + n1 + off + 8);
+    let mut arrays = vec![ArrayDecl::new("A", vec![elems], 8)];
+    if two_arrays {
+        arrays.push(ArrayDecl::new("B", vec![elems], 8));
+    }
+    let pitch = n1 + off + 4;
+    let space = IterationSpace::rectangular(&[n0, n1]);
+    let mut refs = Vec::new();
+    for r in 0..nreads {
+        let target = if two_arrays && r % 2 == 1 { 1 } else { 0 };
+        refs.push(ArrayRef::read(
+            target,
+            vec![AffineExpr::new(vec![pitch, 1], off + r as i64)],
+        ));
+    }
+    refs.push(ArrayRef::write(0, vec![AffineExpr::new(vec![pitch, 1], 0)]));
+    let nest = LoopNest::new("rand", space, refs).with_compute_us(1.0);
+    Program::new("rand", arrays, vec![nest])
 }
 
 fn tiny_platform(chunk_bytes: u64) -> PlatformConfig {
@@ -45,17 +41,14 @@ fn tiny_platform(chunk_bytes: u64) -> PlatformConfig {
     p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn all_versions_issue_identical_access_multisets(
-        program in arb_program(),
-        chunk_bytes in prop_oneof![Just(64u64), Just(128), Just(256)],
-    ) {
+#[test]
+fn all_versions_issue_identical_access_multisets() {
+    cases(0xE2E_0001, 64, |g| {
+        let program = arb_program(g);
+        let chunk_bytes = g.choose(&[64u64, 128, 256]);
         let platform = tiny_platform(chunk_bytes);
         let data = DataSpace::new(&program.arrays, platform.chunk_bytes);
-        let tree = HierarchyTree::from_config(&platform);
+        let tree = HierarchyTree::from_config(&platform).unwrap();
         let mapper = Mapper::paper_defaults();
 
         let mut multisets: Vec<Vec<(usize, bool)>> = Vec::new();
@@ -74,60 +67,157 @@ proptest! {
             multisets.push(all);
         }
         for w in multisets.windows(2) {
-            prop_assert_eq!(&w[0], &w[1]);
+            assert_eq!(&w[0], &w[1]);
         }
-    }
+    });
+}
 
-    #[test]
-    fn inter_mapping_partitions_every_iteration(program in arb_program()) {
+#[test]
+fn inter_mapping_partitions_every_iteration() {
+    cases(0xE2E_0002, 64, |g| {
+        let program = arb_program(g);
         let platform = tiny_platform(64);
         let data = DataSpace::new(&program.arrays, platform.chunk_bytes);
-        let tree = HierarchyTree::from_config(&platform);
+        let tree = HierarchyTree::from_config(&platform).unwrap();
         let mapper = Mapper::paper_defaults();
         let mapped = mapper.map(&program, &data, &platform, &tree, Version::InterProcessor);
         let per_iter_accesses = program.nests[0].refs.len() as u64;
-        prop_assert_eq!(
+        assert_eq!(
             mapped.total_accesses(),
             program.total_iterations() * per_iter_accesses
         );
-    }
+    });
+}
 
-    #[test]
-    fn simulation_statistics_are_self_consistent(program in arb_program()) {
+#[test]
+fn simulation_statistics_are_self_consistent() {
+    cases(0xE2E_0003, 64, |g| {
+        let program = arb_program(g);
         let platform = tiny_platform(64);
         let data = DataSpace::new(&program.arrays, platform.chunk_bytes);
-        let tree = HierarchyTree::from_config(&platform);
+        let tree = HierarchyTree::from_config(&platform).unwrap();
         let mapper = Mapper::paper_defaults();
-        let mapped = mapper.map(&program, &data, &platform, &tree, Version::InterProcessorScheduled);
-        let rep = Simulator::new(platform.clone()).run(&mapped);
+        let mapped = mapper.map(
+            &program,
+            &data,
+            &platform,
+            &tree,
+            Version::InterProcessorScheduled,
+        );
+        let rep = Simulator::new(platform.clone())
+            .unwrap()
+            .run(&mapped)
+            .unwrap();
 
         // Hierarchy access funnel.
-        prop_assert_eq!(rep.l1.accesses(), mapped.total_accesses());
-        prop_assert_eq!(rep.l2.accesses(), rep.l1.misses);
-        prop_assert_eq!(rep.l3.accesses(), rep.l2.misses);
-        prop_assert_eq!(rep.disk_reads, rep.l3.misses);
+        assert_eq!(rep.l1.accesses(), mapped.total_accesses());
+        assert_eq!(rep.l2.accesses(), rep.l1.misses);
+        assert_eq!(rep.l3.accesses(), rep.l2.misses);
+        assert_eq!(rep.disk_reads, rep.l3.misses);
         // Times are sane.
         let max_finish = *rep.per_client_finish_ns.iter().max().unwrap();
-        prop_assert_eq!(rep.exec_time_ns, max_finish);
+        assert_eq!(rep.exec_time_ns, max_finish);
         let sum_io: u64 = rep.per_client_io_ns.iter().sum();
-        prop_assert_eq!(rep.io_latency_ns, sum_io);
+        assert_eq!(rep.io_latency_ns, sum_io);
         for (f, io) in rep.per_client_finish_ns.iter().zip(&rep.per_client_io_ns) {
-            prop_assert!(f >= io);
+            assert!(f >= io);
         }
-    }
+    });
+}
 
-    #[test]
-    fn balance_threshold_is_respected_up_to_granularity(program in arb_program()) {
+#[test]
+fn empty_fault_plan_is_bit_identical_to_no_plan() {
+    cases(0xE2E_0005, 32, |g| {
+        let program = arb_program(g);
         let platform = tiny_platform(64);
         let data = DataSpace::new(&program.arrays, platform.chunk_bytes);
-        let tree = HierarchyTree::from_config(&platform);
-        let tagged = cachemap::core::tags::tag_nest(&program, 0, &data);
-        let dist = cachemap::core::cluster::distribute(
-            &tagged.chunks,
-            &tree,
-            &ClusterParams::default(),
+        let tree = HierarchyTree::from_config(&platform).unwrap();
+        let mapper = Mapper::paper_defaults();
+        let mapped = mapper.map(&program, &data, &platform, &tree, Version::InterProcessor);
+
+        let base = Simulator::new(platform.clone())
+            .unwrap()
+            .run(&mapped)
+            .unwrap();
+        let empty = Simulator::new(platform.clone())
+            .unwrap()
+            .with_fault_plan(FaultPlan::new())
+            .unwrap()
+            .run(&mapped)
+            .unwrap();
+        assert_eq!(
+            base.to_json().to_string_compact(),
+            empty.to_json().to_string_compact(),
+            "an empty fault plan must not perturb the simulation at all"
         );
-        prop_assert_eq!(dist.total_iterations(), program.total_iterations());
+    });
+}
+
+#[test]
+fn same_seed_and_fault_plan_reproduce_the_report_byte_for_byte() {
+    cases(0xE2E_0006, 32, |g| {
+        let program = arb_program(g);
+        let platform = tiny_platform(64);
+        let data = DataSpace::new(&program.arrays, platform.chunk_bytes);
+        let tree = HierarchyTree::from_config(&platform).unwrap();
+        let mapper = Mapper::paper_defaults();
+        let mapped = mapper.map(&program, &data, &platform, &tree, Version::InterProcessor);
+        let horizon = Simulator::new(platform.clone())
+            .unwrap()
+            .run(&mapped)
+            .unwrap()
+            .exec_time_ns
+            .max(2);
+
+        // A random plan: seeded transient errors, plus optionally an
+        // I/O-node crash and a disk degradation mid-run.
+        let mut plan = FaultPlan::new().with_transient(TransientFaults {
+            rate_ppm: g.u64_in(0, 200_000) as u32,
+            seed: g.u64_in(0, u64::MAX - 1),
+        });
+        if g.bool() {
+            plan = plan.with_event(FaultEvent::IoNodeCrash {
+                io: g.usize_in(0, 1),
+                at_ns: g.u64_in(1, horizon),
+            });
+        }
+        if g.bool() {
+            plan = plan.with_event(FaultEvent::DiskDegrade {
+                storage: 0,
+                at_ns: g.u64_in(1, horizon),
+                latency_factor: g.u64_in(2, 8) as u32,
+            });
+        }
+
+        let run = |plan: FaultPlan| {
+            Simulator::new(platform.clone())
+                .unwrap()
+                .with_fault_plan(plan)
+                .unwrap()
+                .run(&mapped)
+                .unwrap()
+                .to_json()
+                .to_string_compact()
+        };
+        assert_eq!(
+            run(plan.clone()),
+            run(plan),
+            "same seed + same fault plan must replay byte-for-byte"
+        );
+    });
+}
+
+#[test]
+fn balance_threshold_is_respected_up_to_granularity() {
+    cases(0xE2E_0004, 64, |g| {
+        let program = arb_program(g);
+        let platform = tiny_platform(64);
+        let data = DataSpace::new(&program.arrays, platform.chunk_bytes);
+        let tree = HierarchyTree::from_config(&platform).unwrap();
+        let tagged = cachemap::core::tags::tag_nest(&program, 0, &data);
+        let dist =
+            cachemap::core::cluster::distribute(&tagged.chunks, &tree, &ClusterParams::default());
+        assert_eq!(dist.total_iterations(), program.total_iterations());
         // With splitting available, no client should exceed the mean by
         // more than the compounded threshold plus one chunk of slack.
         let per = dist.iterations_per_client();
@@ -135,10 +225,10 @@ proptest! {
         let largest_chunk = tagged.chunks.iter().map(|c| c.len()).max().unwrap_or(0) as f64;
         let slack = mean * 0.45 + largest_chunk + 1.0;
         for &p in &per {
-            prop_assert!(
+            assert!(
                 (p as f64) <= mean + slack,
                 "client load {p} vs mean {mean} (slack {slack})"
             );
         }
-    }
+    });
 }

@@ -76,7 +76,7 @@ fn figure8_graph_weights() {
 fn figure9_clusters_and_figure17_schedule() {
     let (program, data) = figure6();
     let tagged = tag_nest(&program, 0, &data);
-    let tree = HierarchyTree::from_config(&PlatformConfig::tiny());
+    let tree = HierarchyTree::from_config(&PlatformConfig::tiny()).unwrap();
     let dist = distribute(&tagged.chunks, &tree, &ClusterParams::default());
 
     // Figure 9's clusters, as sets (client↔cluster pairing is symmetric).
@@ -101,7 +101,10 @@ fn figure9_clusters_and_figure17_schedule() {
         .map(|items| items.iter().map(|i| i.chunk).collect())
         .collect();
     for want in [vec![1, 3], vec![5, 7], vec![0, 2], vec![4, 6]] {
-        assert!(orders.contains(&want), "missing order {want:?} in {orders:?}");
+        assert!(
+            orders.contains(&want),
+            "missing order {want:?} in {orders:?}"
+        );
     }
 }
 
@@ -109,18 +112,22 @@ fn figure9_clusters_and_figure17_schedule() {
 fn mapped_example_simulates_with_better_locality_than_original() {
     let (program, data) = figure6();
     let platform = PlatformConfig::tiny();
-    let tree = HierarchyTree::from_config(&platform);
-    let sim = Simulator::new(platform.clone());
+    let tree = HierarchyTree::from_config(&platform).unwrap();
+    let sim = Simulator::new(platform.clone()).unwrap();
     let mapper = Mapper::paper_defaults();
 
-    let orig = sim.run(&mapper.map(&program, &data, &platform, &tree, Version::Original));
-    let inter = sim.run(&mapper.map(
-        &program,
-        &data,
-        &platform,
-        &tree,
-        Version::InterProcessorScheduled,
-    ));
+    let orig = sim
+        .run(&mapper.map(&program, &data, &platform, &tree, Version::Original))
+        .unwrap();
+    let inter = sim
+        .run(&mapper.map(
+            &program,
+            &data,
+            &platform,
+            &tree,
+            Version::InterProcessorScheduled,
+        ))
+        .unwrap();
     assert_eq!(orig.l1.accesses(), inter.l1.accesses());
     // The whole point of the example: hierarchy-aware mapping converts
     // shared-cache interference into reuse.
