@@ -1,0 +1,82 @@
+//! Guard for the near-zero-cost-when-disabled observability contract:
+//! an engine run carrying a *disabled* recorder must cost about the same
+//! as a plain run. The instrumented paths compile to one branch per
+//! observation, so anything beyond noise indicates an accidental
+//! always-on allocation or formatting on the hot path.
+
+use cachemap_bench::timing::bench;
+use cachemap_obs::Recorder;
+use cachemap_storage::{ClientOp, MappedProgram, PlatformConfig, Simulator};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn stream(len: usize, span: usize) -> Vec<usize> {
+    let mut x = 0x2545_f491_4f6c_dd1du64;
+    (0..len)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) as usize % span
+        })
+        .collect()
+}
+
+fn median_ns<R, F: FnMut() -> R>(warmup: usize, iters: usize, mut f: F) -> u128 {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut samples: Vec<u128> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let platform = PlatformConfig::paper_default();
+    let sim = Simulator::new(platform.clone()).expect("paper default is valid");
+
+    let mut program = MappedProgram::new(platform.num_clients);
+    for (ci, ops) in program.per_client.iter_mut().enumerate() {
+        for (k, chunk) in stream(2000, 2048).into_iter().enumerate() {
+            ops.push(ClientOp::Access {
+                chunk: (chunk + ci * 7) % 2048,
+                write: k % 5 == 0,
+            });
+        }
+    }
+    println!("program: {} accesses", program.total_accesses());
+
+    bench("engine/plain", 2, 15, || {
+        sim.run(&program).expect("program simulates")
+    });
+    bench("engine/disabled-recorder", 2, 15, || {
+        let mut rec = Recorder::disabled();
+        sim.run_observed(&program, &mut rec)
+            .expect("program simulates")
+    });
+    bench("engine/enabled-recorder", 2, 15, || {
+        let mut rec = Recorder::enabled(1_000_000);
+        sim.run_observed(&program, &mut rec)
+            .expect("program simulates")
+    });
+
+    let plain = median_ns(2, 15, || sim.run(&program).expect("program simulates"));
+    let disabled = median_ns(2, 15, || {
+        let mut rec = Recorder::disabled();
+        sim.run_observed(&program, &mut rec)
+            .expect("program simulates")
+    });
+    let ratio = disabled as f64 / plain as f64;
+    println!("disabled-recorder overhead: {ratio:.3}x");
+    assert!(
+        ratio < 1.5,
+        "disabled recorder must be near-free (got {ratio:.3}x); \
+         an instrumented path is doing work while observability is off"
+    );
+}

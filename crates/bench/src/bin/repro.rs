@@ -12,6 +12,12 @@
 //!
 //! Each experiment prints a paper-style table and archives the raw
 //! numbers under `reports/<id>.json`.
+//!
+//! Observability: `repro obs-export[:<app>]` captures one fully observed
+//! run (mapper phase profile + engine time series) into
+//! `reports/<app>-inter-scheduled.obs.json`; `repro obs <path...>`
+//! renders such artifacts; `repro resilience` additionally exports an
+//! artifact showing the crash → failover → steady-state timeline.
 
 use cachemap_bench::{experiments, report::Matrix, write_report};
 use cachemap_storage::PlatformConfig;
@@ -99,9 +105,33 @@ fn main() {
             "usage: repro [--test-scale] <experiment...>\n\
              experiments: all table1 table2 example fig10 fig11 fig12 fig13 fig14 \
              fig18 alphabeta prefetch refine linkage policies schedmetric deps multinest \
-             mapping-cost resilience"
+             mapping-cost resilience obs-export[:<app>]\n\
+             artifact inspection: repro obs <artifact.obs.json...>"
         );
         std::process::exit(2);
+    }
+
+    // `repro obs <path...>` renders exported artifacts; the remaining
+    // arguments are file paths, not experiment names.
+    if wanted[0] == "obs" {
+        if wanted.len() < 2 {
+            eprintln!("usage: repro obs <artifact.obs.json...>");
+            std::process::exit(2);
+        }
+        for path in &wanted[1..] {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            match cachemap_obs::ObsArtifact::parse(&text) {
+                Ok(a) => println!("{}", cachemap_bench::render_artifact(&a)),
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        return;
     }
     if wanted.iter().any(|w| w == "all") {
         wanted = [
@@ -210,6 +240,41 @@ fn main() {
             "resilience" => {
                 eprintln!("[resilience: mid-run I/O-node crash, remap vs failover ...]");
                 emit(&[experiments::resilience(scale, &platform)]);
+                let artifact = cachemap_bench::obs::resilience_observed(scale, &platform);
+                let label = artifact.meta.label.clone();
+                match cachemap_bench::write_obs_artifact(&label, &artifact) {
+                    Ok(path) => println!(
+                        "   [obs artifact: {} — inspect with `repro obs`]\n",
+                        path.display()
+                    ),
+                    Err(e) => eprintln!("   [warning: could not write obs artifact: {e}]\n"),
+                }
+            }
+            s if s == "obs-export" || s.starts_with("obs-export:") => {
+                let name = s.strip_prefix("obs-export:").unwrap_or("contour");
+                let app = cachemap_workloads::by_name(name, scale)
+                    .unwrap_or_else(|| panic!("unknown app {name}"));
+                eprintln!("[obs-export: observed {name} inter-processor+sched run …]");
+                let label = format!("{name}/inter-scheduled");
+                let (rep, artifact) = cachemap_bench::run_cell_observed(
+                    &app,
+                    &platform,
+                    &cachemap_core::MapperConfig::default(),
+                    cachemap_core::Version::InterProcessorScheduled,
+                    &label,
+                );
+                match cachemap_bench::write_obs_artifact(&label, &artifact) {
+                    Ok(path) => println!(
+                        "wrote {} (exec {:.1} ms — inspect with `repro obs {}`)",
+                        path.display(),
+                        rep.exec_time_ns as f64 / 1e6,
+                        path.display()
+                    ),
+                    Err(e) => {
+                        eprintln!("could not write obs artifact: {e}");
+                        std::process::exit(1);
+                    }
+                }
             }
             s if s.starts_with("detail:") => {
                 let name = &s["detail:".len()..];

@@ -15,8 +15,11 @@ use cachemap_storage::{HierarchyTree, PlatformConfig, SimReport, Simulator};
 use cachemap_workloads::{Application, Scale};
 
 pub mod experiments;
+pub mod obs;
 pub mod report;
 pub mod timing;
+
+pub use obs::{render_artifact, run_cell_observed, write_obs_artifact};
 
 /// Runs one (application, version, platform) cell end to end.
 pub fn run_cell(

@@ -20,6 +20,7 @@
 //! iteration chunks that client node will execute.
 
 use crate::tags::IterationChunk;
+use cachemap_obs::Profile;
 use cachemap_storage::topology::{CacheLevel, HierarchyTree, NodeId};
 use cachemap_util::{BitSet, CountVec};
 
@@ -182,6 +183,22 @@ pub fn distribute(
     tree: &HierarchyTree,
     params: &ClusterParams,
 ) -> Distribution {
+    distribute_profiled(chunks, tree, params, &mut Profile::disabled())
+}
+
+/// [`distribute`] with phase accounting: one span per hierarchy level
+/// (`level:root` → `level:storage` → `level:io`), each carrying the
+/// merge/split/balance-move counters for that level plus a
+/// `similarity-graph` child span for the pairwise dot-product build.
+/// Sibling subtrees at the same depth accumulate into one span, so the
+/// profile mirrors the levels of Figure 5, not the tree fan-out. With a
+/// disabled profile this is exactly [`distribute`].
+pub fn distribute_profiled(
+    chunks: &[IterationChunk],
+    tree: &HierarchyTree,
+    params: &ClusterParams,
+    prof: &mut Profile,
+) -> Distribution {
     let mut per_client: Vec<Vec<WorkItem>> = vec![Vec::new(); tree.num_clients()];
     let all_items: Vec<WorkItem> = chunks
         .iter()
@@ -195,11 +212,23 @@ pub fn distribute(
         all_items,
         params,
         &mut per_client,
+        prof,
     );
     Distribution { per_client }
 }
 
+/// Span name for the clustering step performed *at* a node of `level`.
+fn level_span_name(level: CacheLevel) -> &'static str {
+    match level {
+        CacheLevel::DummyRoot => "level:root",
+        CacheLevel::Storage => "level:storage",
+        CacheLevel::Io => "level:io",
+        CacheLevel::Client => "level:client",
+    }
+}
+
 /// Recursive descent: partition `items` among the children of `node`.
+#[allow(clippy::too_many_arguments)]
 fn distribute_at_node(
     chunks: &[IterationChunk],
     tree: &HierarchyTree,
@@ -207,14 +236,19 @@ fn distribute_at_node(
     items: Vec<WorkItem>,
     params: &ClusterParams,
     per_client: &mut [Vec<WorkItem>],
+    prof: &mut Profile,
 ) {
     let tn = tree.node(node);
     if tn.level == CacheLevel::Client {
         per_client[tn.layer_index] = items;
         return;
     }
+    // The span stays open across the recursion so each level nests under
+    // its parent; `push` resumes the same-named span for sibling nodes.
+    prof.push(level_span_name(tn.level));
+    prof.count("items", items.len() as u64);
     let num_clusters = tn.children.len();
-    let mut clusters = partition_into(chunks, items, num_clusters, params);
+    let mut clusters = partition_into(chunks, items, num_clusters, params, prof);
     // Hand clusters to children in a deterministic order: by the
     // earliest iteration chunk each cluster contains (this also matches
     // the per-client assignment of the paper's worked example,
@@ -236,11 +270,12 @@ fn distribute_at_node(
         .map(|&ch| tree.clients_under(ch).len() as u64)
         .collect();
     if weights.windows(2).any(|w| w[0] != w[1]) {
-        balance_to_weights(&mut clusters, chunks, params, &weights);
+        balance_to_weights(&mut clusters, chunks, params, &weights, prof);
     }
     for (cluster, &child) in clusters.into_iter().zip(&tn.children) {
-        distribute_at_node(chunks, tree, child, cluster.items, params, per_client);
+        distribute_at_node(chunks, tree, child, cluster.items, params, per_client, prof);
     }
+    prof.pop();
 }
 
 /// One level of Figure 5: Stage 1 clustering + Stage 2 load balancing.
@@ -251,6 +286,7 @@ fn partition_into(
     items: Vec<WorkItem>,
     num_clusters: usize,
     params: &ClusterParams,
+    prof: &mut Profile,
 ) -> Vec<Cluster> {
     let r = chunks.first().map_or(0, |c| c.tag.len());
     let mut clusters: Vec<Cluster> = items
@@ -260,7 +296,7 @@ fn partition_into(
         .collect();
 
     if clusters.len() > num_clusters {
-        merge_stage(&mut clusters, num_clusters, params.linkage);
+        merge_stage(&mut clusters, num_clusters, params.linkage, prof);
     }
     while clusters.len() < num_clusters {
         // "Select cαq such that S(cαq) is max; break it into two."
@@ -273,6 +309,7 @@ fn partition_into(
             Some(i) if clusters[i].size > 1 => {
                 let half = split_cluster(&mut clusters[i], chunks);
                 clusters.push(half);
+                prof.count("splits", 1);
             }
             _ => {
                 // Nothing splittable left: pad with empty clusters.
@@ -281,7 +318,7 @@ fn partition_into(
         }
     }
 
-    balance_stage(&mut clusters, chunks, params);
+    balance_stage(&mut clusters, chunks, params, prof);
     clusters
 }
 
@@ -321,16 +358,22 @@ impl PairKey {
 ///   the merged pair (or beaten by the new cluster) are recomputed, so
 ///   a merge costs `O(n)` plus the occasional rescan instead of the
 ///   naive `O(n²)` full pair search.
-fn merge_stage(clusters: &mut Vec<Cluster>, target: usize, linkage: Linkage) {
+fn merge_stage(clusters: &mut Vec<Cluster>, target: usize, linkage: Linkage, prof: &mut Profile) {
     let n = clusters.len();
     let mut dots = vec![0u64; n * n];
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let d = clusters[i].tag.dot(&clusters[j].tag);
-            dots[i * n + j] = d;
-            dots[j * n + i] = d;
+    prof.scope("similarity-graph", |prof| {
+        let mut nonzero = 0u64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = clusters[i].tag.dot(&clusters[j].tag);
+                dots[i * n + j] = d;
+                dots[j * n + i] = d;
+                nonzero += u64::from(d > 0);
+            }
         }
-    }
+        prof.count("pairs", (n * (n - 1) / 2) as u64);
+        prof.count("nonzero", nonzero);
+    });
     let mut members = vec![1u64; n]; // iteration chunks per cluster
     let mut alive: Vec<bool> = vec![true; n];
     let mut alive_count = n;
@@ -398,7 +441,14 @@ fn merge_stage(clusters: &mut Vec<Cluster>, target: usize, linkage: Linkage) {
             // alive clusters, so a best partner always exists. Fall back
             // to tie-break merges rather than aborting the distribution.
             debug_assert!(false, "no merge candidate while above target");
-            zero_phase_merges(clusters, &mut members, &mut alive, &mut alive_count, target);
+            zero_phase_merges(
+                clusters,
+                &mut members,
+                &mut alive,
+                &mut alive_count,
+                target,
+                prof,
+            );
             break;
         };
 
@@ -408,10 +458,19 @@ fn merge_stage(clusters: &mut Vec<Cluster>, target: usize, linkage: Linkage) {
         // (lowest indices on ties). Finish in O(n log n) instead of
         // paying cache-repair rescans for meaningless merges.
         if top.num == 0 {
-            zero_phase_merges(clusters, &mut members, &mut alive, &mut alive_count, target);
+            zero_phase_merges(
+                clusters,
+                &mut members,
+                &mut alive,
+                &mut alive_count,
+                target,
+                prof,
+            );
             break;
         }
         let (p, q) = (top.i, top.j);
+        prof.count("merges", 1);
+        prof.count("merge_dot_sum", dots[p * n + q]);
 
         // Merge q into p.
         let q_cluster = std::mem::replace(&mut clusters[q], Cluster::empty(0));
@@ -474,6 +533,7 @@ fn zero_phase_merges(
     alive: &mut [bool],
     alive_count: &mut usize,
     target: usize,
+    prof: &mut Profile,
 ) {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
@@ -514,6 +574,7 @@ fn zero_phase_merges(
         members[lo] += members[hi];
         alive[hi] = false;
         *alive_count -= 1;
+        prof.count("zero_merges", 1);
         heap.push(Reverse((clusters[lo].size, lo)));
     }
 }
@@ -566,7 +627,12 @@ fn split_cluster(cluster: &mut Cluster, chunks: &[IterationChunk]) -> Cluster {
 }
 
 /// Stage 2: greedy load balancing within `BThres`.
-fn balance_stage(clusters: &mut [Cluster], chunks: &[IterationChunk], params: &ClusterParams) {
+fn balance_stage(
+    clusters: &mut [Cluster],
+    chunks: &[IterationChunk],
+    params: &ClusterParams,
+    prof: &mut Profile,
+) {
     let n = clusters.len();
     if n < 2 {
         return;
@@ -633,6 +699,7 @@ fn balance_stage(clusters: &mut [Cluster], chunks: &[IterationChunk], params: &C
             clusters[recipient].tag.add_bitset(tag);
             clusters[recipient].size += item.len() as u64;
             clusters[recipient].items.push(item);
+            prof.count("balance_moves", 1);
             continue;
         }
 
@@ -675,6 +742,7 @@ fn balance_stage(clusters: &mut [Cluster], chunks: &[IterationChunk], params: &C
         clusters[recipient].tag.add_bitset(tag);
         clusters[recipient].size += allowed;
         clusters[recipient].items.push(tail);
+        prof.count("balance_split_moves", 1);
     }
 }
 
@@ -688,6 +756,7 @@ fn balance_to_weights(
     chunks: &[IterationChunk],
     params: &ClusterParams,
     weights: &[u64],
+    prof: &mut Profile,
 ) {
     let n = clusters.len();
     debug_assert_eq!(n, weights.len(), "one weight per cluster");
@@ -757,6 +826,7 @@ fn balance_to_weights(
             clusters[recipient].tag.add_bitset(tag);
             clusters[recipient].size += item.len() as u64;
             clusters[recipient].items.push(item);
+            prof.count("weighted_moves", 1);
             continue;
         }
         let (ii, _) = match clusters[donor]
@@ -792,6 +862,7 @@ fn balance_to_weights(
         clusters[recipient].tag.add_bitset(tag);
         clusters[recipient].size += allowed;
         clusters[recipient].items.push(tail);
+        prof.count("weighted_moves", 1);
     }
 }
 
@@ -871,6 +942,19 @@ pub fn remap_failed(
     failed: &[usize],
     params: &ClusterParams,
 ) -> Result<Distribution, RemapError> {
+    remap_failed_profiled(dist, chunks, tree, failed, params, &mut Profile::disabled())
+}
+
+/// [`remap_failed`] with phase accounting for the re-clustering pass
+/// over the pruned tree (see [`distribute_profiled`]).
+pub fn remap_failed_profiled(
+    dist: &Distribution,
+    chunks: &[IterationChunk],
+    tree: &HierarchyTree,
+    failed: &[usize],
+    params: &ClusterParams,
+    prof: &mut Profile,
+) -> Result<Distribution, RemapError> {
     if dist.per_client.len() != tree.num_clients() {
         return Err(RemapError::ClientCountMismatch {
             distribution_clients: dist.per_client.len(),
@@ -892,7 +976,7 @@ pub fn remap_failed(
     }
     let (pruned, survivor_map) = tree.prune_clients(failed)?;
 
-    let sub_dist = distribute(chunks, &pruned, params);
+    let sub_dist = distribute_profiled(chunks, &pruned, params, prof);
     let mut out = Distribution {
         per_client: vec![Vec::new(); dist.per_client.len()],
     };

@@ -21,6 +21,7 @@ use crate::codegen;
 use crate::deps::{self, DepStrategy};
 use crate::schedule::{self, ScheduleParams};
 use crate::tags;
+use cachemap_obs::Profile;
 use cachemap_polyhedral::{DataSpace, Program};
 use cachemap_storage::{HierarchyTree, MappedProgram, PlatformConfig};
 
@@ -125,25 +126,53 @@ impl Mapper {
         tree: &HierarchyTree,
         version: Version,
     ) -> MappedProgram {
-        let k = platform.num_clients;
-        match version {
-            Version::Original => baseline::original(program, data, k),
-            Version::IntraProcessor => {
-                baseline::intra_processor(program, data, k, platform.client_cache_chunks)
-            }
-            Version::InterProcessor | Version::InterProcessorScheduled => {
-                let sched = version == Version::InterProcessorScheduled;
-                match self.map_inter(program, data, tree, sched, &[]) {
-                    Ok(mp) => mp,
-                    Err(_) => {
-                        // Invariant: with no failed clients the remap step
-                        // is skipped, so map_inter cannot fail.
-                        debug_assert!(false, "mapping without failures cannot fail");
-                        MappedProgram::new(tree.num_clients())
+        self.map_profiled(
+            program,
+            data,
+            platform,
+            tree,
+            version,
+            &mut Profile::disabled(),
+        )
+    }
+
+    /// [`Mapper::map`] with phase accounting: the pipeline stages record
+    /// wall-clock spans (`tagging`, `dependences`, `cluster` with one
+    /// child per hierarchy level, `refine`, `schedule`/`order`, `lower`)
+    /// and deterministic counters (chunk, edge, merge, balance-move
+    /// totals) into `prof`. With a disabled profile this is exactly
+    /// [`Mapper::map`]; the baselines record only the outer `map` span
+    /// since they bypass the pipeline.
+    pub fn map_profiled(
+        &self,
+        program: &Program,
+        data: &DataSpace,
+        platform: &PlatformConfig,
+        tree: &HierarchyTree,
+        version: Version,
+        prof: &mut Profile,
+    ) -> MappedProgram {
+        prof.scope("map", |prof| {
+            let k = platform.num_clients;
+            match version {
+                Version::Original => baseline::original(program, data, k),
+                Version::IntraProcessor => {
+                    baseline::intra_processor(program, data, k, platform.client_cache_chunks)
+                }
+                Version::InterProcessor | Version::InterProcessorScheduled => {
+                    let sched = version == Version::InterProcessorScheduled;
+                    match self.map_inter(program, data, tree, sched, &[], prof) {
+                        Ok(mp) => mp,
+                        Err(_) => {
+                            // Invariant: with no failed clients the remap step
+                            // is skipped, so map_inter cannot fail.
+                            debug_assert!(false, "mapping without failures cannot fail");
+                            MappedProgram::new(tree.num_clients())
+                        }
                     }
                 }
             }
-        }
+        })
     }
 
     /// Failure-aware mapping: like [`Mapper::map`], but the iteration
@@ -166,19 +195,46 @@ impl Mapper {
         version: Version,
         failed_clients: &[usize],
     ) -> Result<MappedProgram, RemapError> {
+        self.map_with_failures_profiled(
+            program,
+            data,
+            platform,
+            tree,
+            version,
+            failed_clients,
+            &mut Profile::disabled(),
+        )
+    }
+
+    /// [`Mapper::map_with_failures`] with phase accounting (see
+    /// [`Mapper::map_profiled`]); the failure-aware re-clustering shows
+    /// up as a `remap` span inside the pipeline.
+    #[allow(clippy::too_many_arguments)]
+    pub fn map_with_failures_profiled(
+        &self,
+        program: &Program,
+        data: &DataSpace,
+        platform: &PlatformConfig,
+        tree: &HierarchyTree,
+        version: Version,
+        failed_clients: &[usize],
+        prof: &mut Profile,
+    ) -> Result<MappedProgram, RemapError> {
         if failed_clients.is_empty() {
-            return Ok(self.map(program, data, platform, tree, version));
+            return Ok(self.map_profiled(program, data, platform, tree, version, prof));
         }
-        match version {
+        prof.scope("map", |prof| match version {
             Version::Original | Version::IntraProcessor => {
                 let mp = self.map(program, data, platform, tree, version);
                 reassign_round_robin(mp, failed_clients)
             }
-            Version::InterProcessor => self.map_inter(program, data, tree, false, failed_clients),
-            Version::InterProcessorScheduled => {
-                self.map_inter(program, data, tree, true, failed_clients)
+            Version::InterProcessor => {
+                self.map_inter(program, data, tree, false, failed_clients, prof)
             }
-        }
+            Version::InterProcessorScheduled => {
+                self.map_inter(program, data, tree, true, failed_clients, prof)
+            }
+        })
     }
 
     /// The inter-processor pipeline: tag → cluster → (remap) →
@@ -190,22 +246,32 @@ impl Mapper {
         tree: &HierarchyTree,
         with_schedule: bool,
         failed_clients: &[usize],
+        prof: &mut Profile,
     ) -> Result<MappedProgram, RemapError> {
         let nest_groups: Vec<Vec<usize>> = if self.cfg.joint_nests {
             vec![(0..program.nests.len()).collect()]
         } else {
             (0..program.nests.len()).map(|i| vec![i]).collect()
         };
+        prof.count("nest_groups", nest_groups.len() as u64);
 
         let mut mp = MappedProgram::new(tree.num_clients());
         for group in nest_groups {
-            let part =
-                self.map_nest_group(program, data, tree, &group, with_schedule, failed_clients)?;
+            let part = self.map_nest_group(
+                program,
+                data,
+                tree,
+                &group,
+                with_schedule,
+                failed_clients,
+                prof,
+            )?;
             codegen::append_program(&mut mp, part);
         }
         Ok(mp)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn map_nest_group(
         &self,
         program: &Program,
@@ -214,25 +280,34 @@ impl Mapper {
         nest_indices: &[usize],
         with_schedule: bool,
         failed_clients: &[usize],
+        prof: &mut Profile,
     ) -> Result<MappedProgram, RemapError> {
         // 1. Tagging (multi-nest groups share the data space).
-        let (mut chunks, _ranges) = tags::tag_nests(program, nest_indices, data);
+        let (mut chunks, _ranges) = prof.scope("tagging", |prof| {
+            let tagged = tags::tag_nests(program, nest_indices, data);
+            prof.count("nests", nest_indices.len() as u64);
+            prof.count("chunks", tagged.0.len() as u64);
+            tagged
+        });
 
         // 2. Dependence discovery at chunk level (per nest; cross-nest
         //    dependences are sequenced by the per-client program order).
         let mut edges = Vec::new();
         if self.cfg.dep_strategy != DepStrategy::Ignore {
-            let mut offset = 0usize;
-            for &ni in nest_indices {
-                let tagged = tags::tag_nest(program, ni, data);
-                let nest_edges = deps::chunk_dependence_edges(program, ni, data, &tagged);
-                edges.extend(
-                    nest_edges
-                        .into_iter()
-                        .map(|(a, b)| (a + offset, b + offset)),
-                );
-                offset += tagged.chunks.len();
-            }
+            prof.scope("dependences", |prof| {
+                let mut offset = 0usize;
+                for &ni in nest_indices {
+                    let tagged = tags::tag_nest(program, ni, data);
+                    let nest_edges = deps::chunk_dependence_edges(program, ni, data, &tagged);
+                    edges.extend(
+                        nest_edges
+                            .into_iter()
+                            .map(|(a, b)| (a + offset, b + offset)),
+                    );
+                    offset += tagged.chunks.len();
+                }
+                prof.count("edges", edges.len() as u64);
+            });
         }
 
         // 3. Strategy 1 (co-clustering) rewrites the chunk list so the
@@ -243,17 +318,31 @@ impl Mapper {
         }
 
         // 4. Hierarchical distribution (Figure 5).
-        let mut dist = cluster::distribute(&chunks, tree, &self.cfg.cluster);
+        let mut dist = prof.scope("cluster", |prof| {
+            cluster::distribute_profiled(&chunks, tree, &self.cfg.cluster, prof)
+        });
 
         // 4b. Optional boundary refinement (extension; off by default).
         if self.cfg.refine_passes > 0 {
-            crate::refine::refine(&mut dist, &chunks, tree, self.cfg.refine_passes);
+            prof.scope("refine", |_| {
+                crate::refine::refine(&mut dist, &chunks, tree, self.cfg.refine_passes);
+            });
         }
 
         // 4c. Failure-aware remap: re-cluster the failed clients' work
         //     over the pruned hierarchy before scheduling/lowering.
         if !failed_clients.is_empty() {
-            dist = cluster::remap_failed(&dist, &chunks, tree, failed_clients, &self.cfg.cluster)?;
+            dist = prof.scope("remap", |prof| {
+                prof.count("failed_clients", failed_clients.len() as u64);
+                cluster::remap_failed_profiled(
+                    &dist,
+                    &chunks,
+                    tree,
+                    failed_clients,
+                    &self.cfg.cluster,
+                    prof,
+                )
+            })?;
         }
 
         // 5. Chunk execution order. The paper's base inter-processor
@@ -263,32 +352,38 @@ impl Mapper {
         //    The Figure 15 scheduling enhancement replaces that order
         //    with the reuse-driven one.
         if with_schedule {
-            dist = schedule::schedule(&dist, &chunks, tree, &self.cfg.schedule);
+            dist = prof.scope("schedule", |_| {
+                schedule::schedule(&dist, &chunks, tree, &self.cfg.schedule)
+            });
         } else {
-            for items in &mut dist.per_client {
-                items.sort_by_key(|it| {
-                    chunks[it.chunk]
-                        .points
-                        .get(it.start)
-                        .cloned()
-                        .unwrap_or_default()
-                });
-            }
+            prof.scope("order", |_| {
+                for items in &mut dist.per_client {
+                    items.sort_by_key(|it| {
+                        chunks[it.chunk]
+                            .points
+                            .get(it.start)
+                            .cloned()
+                            .unwrap_or_default()
+                    });
+                }
+            });
         }
 
         // 6. Respect dependences inside each client's order, then lower
         //    with synchronization for the cross-client edges.
-        if edges.is_empty() {
-            Ok(codegen::lower_distribution(&dist, &chunks, program, data))
-        } else {
-            // Drop the (rare) cyclic artifacts of the conservative
-            // chunk-granularity graph, impose one global topological
-            // order on every client, then synchronize the remaining
-            // forward edges — provably deadlock-free.
-            let edges = deps::acyclic_edges(&edges);
-            deps::enforce_intra_client_order(&mut dist, &edges);
-            Ok(deps::lower_with_sync(&dist, &chunks, program, data, &edges))
-        }
+        prof.scope("lower", |_| {
+            if edges.is_empty() {
+                Ok(codegen::lower_distribution(&dist, &chunks, program, data))
+            } else {
+                // Drop the (rare) cyclic artifacts of the conservative
+                // chunk-granularity graph, impose one global topological
+                // order on every client, then synchronize the remaining
+                // forward edges — provably deadlock-free.
+                let edges = deps::acyclic_edges(&edges);
+                deps::enforce_intra_client_order(&mut dist, &edges);
+                Ok(deps::lower_with_sync(&dist, &chunks, program, data, &edges))
+            }
+        })
     }
 }
 
@@ -449,6 +544,75 @@ mod tests {
         let mapper2 = Mapper::paper_defaults();
         let separate = mapper2.map(&program, &data, &cfg, &tree, Version::InterProcessor);
         assert_eq!(joint.total_accesses(), separate.total_accesses());
+    }
+
+    #[test]
+    fn profiled_map_matches_unprofiled_and_records_pipeline_phases() {
+        let (program, data, cfg, tree) = setup();
+        let mapper = Mapper::paper_defaults();
+        let v = Version::InterProcessorScheduled;
+        let mut prof = Profile::enabled();
+        let profiled = mapper.map_profiled(&program, &data, &cfg, &tree, v, &mut prof);
+        assert_eq!(profiled, mapper.map(&program, &data, &cfg, &tree, v));
+
+        let map = prof.root_named("map").expect("map span recorded");
+        let names: Vec<&str> = map
+            .children
+            .iter()
+            .map(|&i| prof.node(i).name.as_str())
+            .collect();
+        assert_eq!(names, ["tagging", "cluster", "schedule", "lower"]);
+        let cluster = map
+            .children
+            .iter()
+            .map(|&i| prof.node(i))
+            .find(|n| n.name == "cluster")
+            .unwrap();
+        // tiny platform: storage root → I/O level → clients.
+        let storage = cluster
+            .children
+            .iter()
+            .map(|&i| prof.node(i))
+            .find(|n| n.name == "level:storage")
+            .expect("per-level span");
+        assert!(storage.count("items").is_some_and(|v| v > 0));
+        assert!(storage
+            .children
+            .iter()
+            .any(|&i| prof.node(i).name == "level:io"));
+    }
+
+    #[test]
+    fn profiled_failure_mapping_records_remap_span() {
+        let (program, data, cfg, tree) = setup();
+        let mapper = Mapper::paper_defaults();
+        let mut prof = Profile::enabled();
+        let mp = mapper
+            .map_with_failures_profiled(
+                &program,
+                &data,
+                &cfg,
+                &tree,
+                Version::InterProcessor,
+                &[0],
+                &mut prof,
+            )
+            .unwrap();
+        assert_eq!(
+            mp,
+            mapper
+                .map_with_failures(&program, &data, &cfg, &tree, Version::InterProcessor, &[0])
+                .unwrap(),
+            "profiling must not change the mapping"
+        );
+        let map = prof.root_named("map").expect("map span recorded");
+        let remap = map
+            .children
+            .iter()
+            .map(|&i| prof.node(i))
+            .find(|n| n.name == "remap")
+            .expect("remap span");
+        assert_eq!(remap.count("failed_clients"), Some(1));
     }
 
     #[test]

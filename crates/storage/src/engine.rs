@@ -31,6 +31,7 @@ use crate::faults::{DegradeLevel, FaultEvent, FaultPlan, FaultPlanError, FaultSt
 use crate::net::{chunk_transfer_ns, control_ns, Hop};
 use crate::topology::HierarchyTree;
 use crate::trace::{ServedBy, Trace, TraceEvent};
+use cachemap_obs::{Level as ObsLevel, LinkHop, Recorder};
 use cachemap_util::stats::HitMiss;
 use cachemap_util::{FxHashMap, XorShift64};
 use std::cmp::Reverse;
@@ -200,6 +201,26 @@ impl From<FaultPlanError> for EngineError {
     }
 }
 
+/// Eviction counters for one cache level, aggregated over a run.
+/// Dirty evictions additionally count as writebacks (the victim is
+/// pushed one level down, or to disk).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvictionTally {
+    /// Total evictions, clean and dirty.
+    pub evictions: u64,
+    /// Dirty evictions that triggered a writeback.
+    pub writebacks: u64,
+}
+
+impl EvictionTally {
+    fn bump(&mut self, dirty: bool) {
+        self.evictions += 1;
+        if dirty {
+            self.writebacks += 1;
+        }
+    }
+}
+
 /// Aggregated outcome of one simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
@@ -209,6 +230,12 @@ pub struct RunStats {
     pub l2: HitMiss,
     /// Cumulative storage-node cache statistics.
     pub l3: HitMiss,
+    /// Client-cache evictions/writebacks (all L1 caches merged).
+    pub l1_evictions: EvictionTally,
+    /// I/O-node cache evictions/writebacks.
+    pub l2_evictions: EvictionTally,
+    /// Storage-node cache evictions/writebacks.
+    pub l3_evictions: EvictionTally,
     /// Per-client time spent inside `Access` operations, ns.
     pub per_client_io_ns: Vec<u64>,
     /// Per-client time spent inside `Compute` operations, ns.
@@ -235,6 +262,10 @@ struct Resources {
     l3_free: Vec<u64>,
     disks: Vec<Disk>,
     disk_free: Vec<u64>,
+    /// Aggregate eviction/writeback tallies `[l1, l2, l3]`. Lives here
+    /// (not on the engine) so the degrade-time write-back free functions
+    /// can update it while `FaultState` is borrowed.
+    tally: [EvictionTally; 3],
 }
 
 /// Mutable fault-injection state derived from a [`FaultPlan`].
@@ -285,6 +316,11 @@ pub struct Engine<'a> {
     tree: &'a HierarchyTree,
     res: Resources,
     faults: Option<FaultState>,
+    /// Metric recorder; `Some` only when the caller attached an *enabled*
+    /// recorder, so the disabled path stays structurally identical to a
+    /// run without observability (mirrors the empty-`FaultPlan` fast
+    /// path).
+    obs: Option<&'a mut Recorder>,
     trace: Option<Vec<TraceEvent>>,
     /// Highest chunk id referenced by the program (read-ahead never
     /// prefetches beyond it).
@@ -316,16 +352,27 @@ impl<'a> Engine<'a> {
             l3_free: vec![0; cfg.num_storage_nodes],
             disks: (0..total_disks(cfg)).map(|_| Disk::new()).collect(),
             disk_free: vec![0; total_disks(cfg)],
+            tally: [EvictionTally::default(); 3],
         };
         Ok(Engine {
             cfg,
             tree,
             res,
             faults: None,
+            obs: None,
             trace: None,
             max_chunk: 0,
             prefetched: 0,
         })
+    }
+
+    /// Attaches a metric recorder. A disabled recorder is ignored,
+    /// keeping the uninstrumented fast path byte-identical.
+    pub fn with_recorder(mut self, rec: &'a mut Recorder) -> Self {
+        if rec.is_enabled() {
+            self.obs = Some(rec);
+        }
+        self
     }
 
     /// Attaches a fault plan (validated against the platform). An empty
@@ -396,12 +443,19 @@ impl<'a> Engine<'a> {
                 ClientOp::Compute { ns } => {
                     clock[c] += ns;
                     compute_ns[c] += ns;
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.client_compute(c, t, ns);
+                    }
                 }
                 ClientOp::Access { chunk, write } => {
                     let start = clock[c];
                     let (end, served_by) = self.access(c, chunk, write, start);
                     io_ns[c] += end - start;
                     clock[c] = end;
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.client_io(c, start, end - start);
+                        o.chunk_access(chunk as u64);
+                    }
                     if let Some(tr) = &mut self.trace {
                         tr.push(TraceEvent {
                             time_ns: start,
@@ -466,6 +520,9 @@ impl<'a> Engine<'a> {
             stats.disk_writes += d.writes;
             stats.disk_sequential_reads += d.sequential_reads;
         }
+        stats.l1_evictions = self.res.tally[0];
+        stats.l2_evictions = self.res.tally[1];
+        stats.l3_evictions = self.res.tally[2];
         stats.prefetched_chunks = self.prefetched;
         if let Some(f) = &self.faults {
             stats.faults = f.stats;
@@ -502,6 +559,9 @@ impl<'a> Engine<'a> {
                             .filter(|(_, dirty)| *dirty)
                             .count();
                         f.stats.lost_dirty_chunks += lost as u64;
+                        if let Some(o) = self.obs.as_deref_mut() {
+                            o.event(at_ns, "io_crash", io as i64);
+                        }
                     }
                 }
                 FaultEvent::StorageNodeCrash { storage, at_ns } => {
@@ -515,14 +575,20 @@ impl<'a> Engine<'a> {
                             .filter(|(_, dirty)| *dirty)
                             .count();
                         f.stats.lost_dirty_chunks += lost as u64;
+                        if let Some(o) = self.obs.as_deref_mut() {
+                            o.event(at_ns, "storage_crash", storage as i64);
+                        }
                     }
                 }
                 FaultEvent::DiskDegrade {
                     storage,
                     latency_factor,
-                    ..
+                    at_ns,
                 } => {
                     f.disk_factor[storage] = latency_factor as u64;
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.event(at_ns, "disk_degrade", storage as i64);
+                    }
                 }
                 FaultEvent::CacheDegrade {
                     level,
@@ -530,6 +596,9 @@ impl<'a> Engine<'a> {
                     at_ns,
                     capacity_chunks,
                 } => {
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.event(at_ns, "cache_degrade", node as i64);
+                    }
                     // Evicted dirty chunks are written back to the next
                     // level asynchronously: the lower-level resource
                     // clocks advance but no client waits.
@@ -538,6 +607,10 @@ impl<'a> Engine<'a> {
                             let evicted = self.res.l1[node].set_capacity(capacity_chunks);
                             let io = self.tree.io_of_client(node);
                             for (victim, dirty) in evicted {
+                                self.res.tally[0].bump(dirty);
+                                if let Some(o) = self.obs.as_deref_mut() {
+                                    o.eviction(ObsLevel::L1, node, at_ns, dirty);
+                                }
                                 if dirty && f.io_alive[io] {
                                     let t = at_ns.max(self.res.l2_free[io]);
                                     write_back_l2(
@@ -545,6 +618,7 @@ impl<'a> Engine<'a> {
                                         f,
                                         self.cfg,
                                         self.tree,
+                                        self.obs.as_deref_mut(),
                                         io,
                                         victim,
                                         t,
@@ -556,15 +630,31 @@ impl<'a> Engine<'a> {
                             let evicted = self.res.l2[node].set_capacity(capacity_chunks);
                             let s = self.tree.storage_of_io(node);
                             for (victim, dirty) in evicted {
+                                self.res.tally[1].bump(dirty);
+                                if let Some(o) = self.obs.as_deref_mut() {
+                                    o.eviction(ObsLevel::L2, node, at_ns, dirty);
+                                }
                                 if dirty {
                                     let t = at_ns.max(self.res.l3_free[s]);
-                                    write_back_l3(&mut self.res, f, self.cfg, s, victim, t);
+                                    write_back_l3(
+                                        &mut self.res,
+                                        f,
+                                        self.cfg,
+                                        self.obs.as_deref_mut(),
+                                        s,
+                                        victim,
+                                        t,
+                                    );
                                 }
                             }
                         }
                         DegradeLevel::Storage => {
                             let evicted = self.res.l3[node].set_capacity(capacity_chunks);
                             for (victim, dirty) in evicted {
+                                self.res.tally[2].bump(dirty);
+                                if let Some(o) = self.obs.as_deref_mut() {
+                                    o.eviction(ObsLevel::L3, node, at_ns, dirty);
+                                }
                                 if dirty {
                                     write_back_disk(&mut self.res, f, self.cfg, victim, at_ns);
                                 }
@@ -604,9 +694,9 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Draws transient errors for one remote access and charges the
-    /// capped exponential backoff to simulated time.
-    fn transient_retries(&mut self, mut t: u64) -> u64 {
+    /// Draws transient errors for one remote access by client `c` and
+    /// charges the capped exponential backoff to simulated time.
+    fn transient_retries(&mut self, c: usize, mut t: u64) -> u64 {
         let base = self.cfg.net_hop_ns.max(1);
         let Some(f) = self.faults.as_mut() else {
             return t;
@@ -622,6 +712,9 @@ impl<'a> Engine<'a> {
             f.stats.transient_errors += 1;
             f.stats.retries += 1;
             f.stats.retry_backoff_ns += backoff;
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.event(t, "retry", c as i64);
+            }
             t += backoff;
             backoff = (backoff * 2).min(base * MAX_BACKOFF_FACTOR);
         }
@@ -656,17 +749,25 @@ impl<'a> Engine<'a> {
     fn access(&mut self, c: usize, chunk: Chunk, write: bool, t: u64) -> (u64, ServedBy) {
         let cfg = self.cfg;
         let mut t = t + cfg.cache_access_ns; // L1 lookup
-        if self.res.l1[c].access(chunk, write) {
+        let l1_hit = self.res.l1[c].access(chunk, write);
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.cache_access(ObsLevel::L1, c, t, l1_hit);
+        }
+        if l1_hit {
             return (t, ServedBy::L1);
         }
         // The access leaves the client: transient errors may hit the
         // request and are retried with backoff before it proceeds.
-        t = self.transient_retries(t);
+        t = self.transient_retries(c, t);
 
         let mut served_by = ServedBy::L2;
         let io_home = self.tree.io_of_client(c);
         t += control_ns(Hop::ClientIo, cfg);
         let (io_route, mut failed_over) = self.route_io(io_home);
+        // Transfers on the client⇄io and io⇄storage paths are attributed
+        // to the home I/O node even when failover bypassed it, so link
+        // tallies stay comparable across faulty and clean runs.
+        let io_link = io_route.unwrap_or(io_home);
 
         let mut l2_hit = false;
         if let Some(io) = io_route {
@@ -676,6 +777,9 @@ impl<'a> Engine<'a> {
             }
             t = self.serve_l2(io, t);
             l2_hit = self.res.l2[io].access(chunk, false);
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.cache_access(ObsLevel::L2, io, t, l2_hit);
+            }
         }
         if !l2_hit {
             // L2 miss (or no surviving L2) → storage node on the path.
@@ -686,6 +790,9 @@ impl<'a> Engine<'a> {
             if storage_alive {
                 t = self.serve_l3(s, t);
                 l3_hit = self.res.l3[s].access(chunk, false);
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.cache_access(ObsLevel::L3, s, t, l3_hit);
+                }
                 served_by = ServedBy::L3;
             } else {
                 failed_over = true;
@@ -706,6 +813,9 @@ impl<'a> Engine<'a> {
                 self.res.disk_free[di] = t;
                 if owner != s {
                     t += chunk_transfer_ns(Hop::StoragePeer, cfg);
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.link_transfer(LinkHop::StoragePeer, owner, s, cfg.chunk_bytes);
+                    }
                 }
                 if storage_alive {
                     // Fill L3 (write-back any dirty victim to its disk).
@@ -720,25 +830,47 @@ impl<'a> Engine<'a> {
                 }
             }
             t += chunk_transfer_ns(Hop::IoStorage, cfg);
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.link_transfer(LinkHop::IoStorage, s, io_link, cfg.chunk_bytes);
+            }
             if let Some(io) = io_route {
                 // Fill L2 (dirty victim cascades into L3).
                 t = self.fill_l2(io, chunk, false, t);
             }
         }
         t += chunk_transfer_ns(Hop::ClientIo, cfg);
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.link_transfer(LinkHop::ClientIo, io_link, c, cfg.chunk_bytes);
+        }
 
         // Fill L1; dirty victim is written back to L2 (or past it when
         // the surviving route has no L2).
         match self.res.l1[c].insert(chunk, write) {
-            InsertOutcome::Inserted | InsertOutcome::EvictedClean(_) => {}
+            InsertOutcome::Inserted => {}
+            InsertOutcome::EvictedClean(_) => {
+                self.res.tally[0].bump(false);
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.eviction(ObsLevel::L1, c, t, false);
+                }
+            }
             InsertOutcome::EvictedDirty(victim) => {
+                self.res.tally[0].bump(true);
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.eviction(ObsLevel::L1, c, t, true);
+                }
                 t += chunk_transfer_ns(Hop::ClientIo, cfg);
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.link_transfer(LinkHop::ClientIo, c, io_link, cfg.chunk_bytes);
+                }
                 if let Some(io) = io_route {
                     t = self.serve_l2(io, t);
                     t = self.fill_l2(io, victim, true, t);
                 } else {
                     let s = self.tree.storage_of_client(c);
                     t += chunk_transfer_ns(Hop::IoStorage, cfg);
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.link_transfer(LinkHop::IoStorage, io_link, s, cfg.chunk_bytes);
+                    }
                     if self.storage_is_alive(s) {
                         t = self.serve_l3(s, t);
                         t = self.fill_l3(s, victim, true, t);
@@ -756,6 +888,9 @@ impl<'a> Engine<'a> {
                         f.recovery_ns = Some(t.saturating_sub(crash));
                     }
                 }
+            }
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.event(t, "failover", c as i64);
             }
         }
         (t, served_by)
@@ -784,6 +919,9 @@ impl<'a> Engine<'a> {
     /// Waits for and occupies the L2 cache controller of I/O node `io`.
     fn serve_l2(&mut self, io: usize, t: u64) -> u64 {
         let start = t.max(self.res.l2_free[io]);
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.queue_wait(ObsLevel::L2, io, t, start - t);
+        }
         let end = start + self.cfg.cache_access_ns;
         self.res.l2_free[io] = end;
         end
@@ -792,6 +930,9 @@ impl<'a> Engine<'a> {
     /// Waits for and occupies the L3 cache controller of storage node `s`.
     fn serve_l3(&mut self, s: usize, t: u64) -> u64 {
         let start = t.max(self.res.l3_free[s]);
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.queue_wait(ObsLevel::L3, s, t, start - t);
+        }
         let end = start + self.cfg.cache_access_ns;
         self.res.l3_free[s] = end;
         end
@@ -801,10 +942,24 @@ impl<'a> Engine<'a> {
     /// disk when the parent storage node is dead).
     fn fill_l2(&mut self, io: usize, chunk: Chunk, dirty: bool, mut t: u64) -> u64 {
         match self.res.l2[io].insert(chunk, dirty) {
-            InsertOutcome::Inserted | InsertOutcome::EvictedClean(_) => t,
+            InsertOutcome::Inserted => t,
+            InsertOutcome::EvictedClean(_) => {
+                self.res.tally[1].bump(false);
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.eviction(ObsLevel::L2, io, t, false);
+                }
+                t
+            }
             InsertOutcome::EvictedDirty(victim) => {
+                self.res.tally[1].bump(true);
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.eviction(ObsLevel::L2, io, t, true);
+                }
                 let s = self.tree.storage_of_io(io);
                 t += chunk_transfer_ns(Hop::IoStorage, self.cfg);
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.link_transfer(LinkHop::IoStorage, io, s, self.cfg.chunk_bytes);
+                }
                 if self.storage_is_alive(s) {
                     t = self.serve_l3(s, t);
                     self.fill_l3(s, victim, true, t)
@@ -818,8 +973,19 @@ impl<'a> Engine<'a> {
     /// Inserts into L3, writing a dirty victim back to its disk.
     fn fill_l3(&mut self, s: usize, chunk: Chunk, dirty: bool, mut t: u64) -> u64 {
         match self.res.l3[s].insert(chunk, dirty) {
-            InsertOutcome::Inserted | InsertOutcome::EvictedClean(_) => t,
+            InsertOutcome::Inserted => t,
+            InsertOutcome::EvictedClean(_) => {
+                self.res.tally[2].bump(false);
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.eviction(ObsLevel::L3, s, t, false);
+                }
+                t
+            }
             InsertOutcome::EvictedDirty(victim) => {
+                self.res.tally[2].bump(true);
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.eviction(ObsLevel::L3, s, t, true);
+                }
                 t = self.disk_writeback(victim, t);
                 t
             }
@@ -831,19 +997,35 @@ impl<'a> Engine<'a> {
 /// so [`Engine::apply_due_faults`] can borrow `FaultState` alongside the
 /// resources). Cascades a dirty victim toward L3/disk like
 /// [`Engine::fill_l2`], without charging any client.
+#[allow(clippy::too_many_arguments)]
 fn write_back_l2(
     res: &mut Resources,
     f: &FaultState,
     cfg: &PlatformConfig,
     tree: &HierarchyTree,
+    mut obs: Option<&mut Recorder>,
     io: usize,
     chunk: Chunk,
     t: u64,
 ) {
     res.l2_free[io] = res.l2_free[io].max(t) + cfg.cache_access_ns;
-    if let InsertOutcome::EvictedDirty(victim) = res.l2[io].insert(chunk, true) {
-        let s = tree.storage_of_io(io);
-        write_back_l3(res, f, cfg, s, victim, res.l2_free[io]);
+    match res.l2[io].insert(chunk, true) {
+        InsertOutcome::Inserted => {}
+        InsertOutcome::EvictedClean(_) => {
+            res.tally[1].bump(false);
+            if let Some(o) = obs.as_deref_mut() {
+                o.eviction(ObsLevel::L2, io, t, false);
+            }
+        }
+        InsertOutcome::EvictedDirty(victim) => {
+            res.tally[1].bump(true);
+            if let Some(o) = obs.as_deref_mut() {
+                o.eviction(ObsLevel::L2, io, t, true);
+            }
+            let s = tree.storage_of_io(io);
+            let free = res.l2_free[io];
+            write_back_l3(res, f, cfg, obs, s, victim, free);
+        }
     }
 }
 
@@ -852,6 +1034,7 @@ fn write_back_l3(
     res: &mut Resources,
     f: &FaultState,
     cfg: &PlatformConfig,
+    mut obs: Option<&mut Recorder>,
     s: usize,
     chunk: Chunk,
     t: u64,
@@ -861,8 +1044,22 @@ fn write_back_l3(
         return;
     }
     res.l3_free[s] = res.l3_free[s].max(t) + cfg.cache_access_ns;
-    if let InsertOutcome::EvictedDirty(victim) = res.l3[s].insert(chunk, true) {
-        write_back_disk(res, f, cfg, victim, res.l3_free[s]);
+    match res.l3[s].insert(chunk, true) {
+        InsertOutcome::Inserted => {}
+        InsertOutcome::EvictedClean(_) => {
+            res.tally[2].bump(false);
+            if let Some(o) = obs.as_deref_mut() {
+                o.eviction(ObsLevel::L3, s, t, false);
+            }
+        }
+        InsertOutcome::EvictedDirty(victim) => {
+            res.tally[2].bump(true);
+            if let Some(o) = obs {
+                o.eviction(ObsLevel::L3, s, t, true);
+            }
+            let free = res.l3_free[s];
+            write_back_disk(res, f, cfg, victim, free);
+        }
     }
 }
 

@@ -48,7 +48,7 @@ pub mod topology;
 pub mod trace;
 
 pub use config::{ConfigError, PlatformConfig};
-pub use engine::{ClientOp, EngineError, MappedProgram};
+pub use engine::{ClientOp, EngineError, EvictionTally, MappedProgram};
 pub use faults::{
     DegradeLevel, FaultEvent, FaultPlan, FaultPlanError, FaultStats, TransientFaults,
 };

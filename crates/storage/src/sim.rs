@@ -8,9 +8,10 @@
 //! of the fault-injection subsystem when a [`FaultPlan`] is attached.
 
 use crate::config::{ConfigError, PlatformConfig};
-use crate::engine::{Engine, EngineError, MappedProgram, RunStats};
+use crate::engine::{Engine, EngineError, EvictionTally, MappedProgram, RunStats};
 use crate::faults::{FaultPlan, FaultPlanError, FaultStats};
 use crate::topology::HierarchyTree;
+use cachemap_obs::Recorder;
 use cachemap_util::stats::HitMiss;
 use cachemap_util::{Json, ToJson};
 use std::fmt;
@@ -79,6 +80,12 @@ pub struct SimReport {
     pub l2: HitMiss,
     /// Cumulative L3 (storage-node cache) statistics.
     pub l3: HitMiss,
+    /// L1 eviction/writeback counters.
+    pub l1_evictions: EvictionTally,
+    /// L2 eviction/writeback counters.
+    pub l2_evictions: EvictionTally,
+    /// L3 eviction/writeback counters.
+    pub l3_evictions: EvictionTally,
     /// Application I/O latency: total time all clients spent performing
     /// I/O (includes storage-cache access cycles, per Section 5.1), ns.
     pub io_latency_ns: u64,
@@ -94,6 +101,8 @@ pub struct SimReport {
     pub disk_sequential_fraction: f64,
     /// Disk write-backs serviced.
     pub disk_writes: u64,
+    /// Chunks prefetched into storage caches by server read-ahead.
+    pub prefetched_chunks: u64,
     /// Degraded-mode counters (all zero without a fault plan).
     pub faults: FaultStats,
 }
@@ -116,6 +125,9 @@ impl SimReport {
             l1: stats.l1,
             l2: stats.l2,
             l3: stats.l3,
+            l1_evictions: stats.l1_evictions,
+            l2_evictions: stats.l2_evictions,
+            l3_evictions: stats.l3_evictions,
             io_latency_ns,
             exec_time_ns,
             per_client_finish_ns: stats.per_client_finish_ns,
@@ -123,6 +135,7 @@ impl SimReport {
             disk_reads: stats.disk_reads,
             disk_sequential_fraction: seq_frac,
             disk_writes: stats.disk_writes,
+            prefetched_chunks: stats.prefetched_chunks,
             faults: stats.faults,
         }
     }
@@ -157,6 +170,13 @@ fn hitmiss_json(hm: &HitMiss) -> Json {
     Json::object(vec![
         ("hits", Json::UInt(hm.hits)),
         ("misses", Json::UInt(hm.misses)),
+    ])
+}
+
+fn evictions_json(t: &EvictionTally) -> Json {
+    Json::object(vec![
+        ("evictions", Json::UInt(t.evictions)),
+        ("writebacks", Json::UInt(t.writebacks)),
     ])
 }
 
@@ -195,6 +215,15 @@ impl ToJson for SimReport {
                 Json::Float(self.disk_sequential_fraction),
             ),
             ("disk_writes", Json::UInt(self.disk_writes)),
+            (
+                "evictions",
+                Json::object(vec![
+                    ("l1", evictions_json(&self.l1_evictions)),
+                    ("l2", evictions_json(&self.l2_evictions)),
+                    ("l3", evictions_json(&self.l3_evictions)),
+                ]),
+            ),
+            ("prefetched_chunks", Json::UInt(self.prefetched_chunks)),
             ("faults", self.faults.to_json()),
         ])
     }
@@ -254,6 +283,19 @@ impl Simulator {
     /// Runs a mapped program on a fresh platform state (cold caches).
     pub fn run(&self, program: &MappedProgram) -> Result<SimReport, SimError> {
         let stats = self.engine()?.run(program)?;
+        Ok(SimReport::from_run(stats))
+    }
+
+    /// Like [`Simulator::run`] but feeds observations into `rec`. With a
+    /// disabled recorder this is exactly [`Simulator::run`]: the engine
+    /// drops the recorder reference up front, so the run (and the
+    /// resulting report) is bit-identical to an unobserved one.
+    pub fn run_observed(
+        &self,
+        program: &MappedProgram,
+        rec: &mut Recorder,
+    ) -> Result<SimReport, SimError> {
+        let stats = self.engine()?.with_recorder(rec).run(program)?;
         Ok(SimReport::from_run(stats))
     }
 

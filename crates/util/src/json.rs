@@ -56,6 +56,15 @@ impl Json {
         }
     }
 
+    /// The value as `i64` if it is an integer that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Json::Int(i) => Some(i),
+            Json::UInt(u) => i64::try_from(u).ok(),
+            _ => None,
+        }
+    }
+
     /// The value as `f64` if numeric.
     pub fn as_f64(&self) -> Option<f64> {
         match *self {

@@ -17,6 +17,8 @@
 //!   graph, hierarchical clustering, load balancing, local scheduling,
 //!   dependence handling, and the comparison baselines;
 //! * [`workloads`] — the eight-application evaluation suite;
+//! * [`obs`] — deterministic observability: mapper phase profiles,
+//!   engine metric time series, JSON/Prometheus export;
 //! * [`util`] — bitsets, hashing, statistics.
 //!
 //! ## Quickstart
@@ -54,6 +56,7 @@
 //! ```
 
 pub use cachemap_core as core;
+pub use cachemap_obs as obs;
 pub use cachemap_polyhedral as polyhedral;
 pub use cachemap_storage as storage;
 pub use cachemap_util as util;
