@@ -10,6 +10,11 @@
 //! mapping-cost resilience`, plus the diagnostics `detail:<app>` and
 //! `clients:<app>`.
 //!
+//! Chaos: `repro chaos[:<seed>[:<plans>]]` runs a seeded fault-plan
+//! campaign against the online supervisor and checks four invariants
+//! per plan; violated plans are shrunk to minimal `chaos_repro_*.json`
+//! files, which `repro chaos-replay <file...>` re-runs byte-for-byte.
+//!
 //! Each experiment prints a paper-style table and archives the raw
 //! numbers under `reports/<id>.json`.
 //!
@@ -105,8 +110,9 @@ fn main() {
             "usage: repro [--test-scale] <experiment...>\n\
              experiments: all table1 table2 example fig10 fig11 fig12 fig13 fig14 \
              fig18 alphabeta prefetch refine linkage policies schedmetric deps multinest \
-             mapping-cost resilience obs-export[:<app>]\n\
-             artifact inspection: repro obs <artifact.obs.json...>"
+             mapping-cost resilience chaos[:<seed>[:<plans>]] obs-export[:<app>]\n\
+             artifact inspection: repro obs <artifact.obs.json...>\n\
+             chaos replay: repro chaos-replay <chaos_repro_*.json...>"
         );
         std::process::exit(2);
     }
@@ -132,6 +138,39 @@ fn main() {
             }
         }
         return;
+    }
+    // `repro chaos-replay <path...>` re-runs shrunk chaos plans; the
+    // remaining arguments are repro files, not experiment names.
+    if wanted[0] == "chaos-replay" {
+        if wanted.len() < 2 {
+            eprintln!("usage: repro chaos-replay <chaos_repro_*.json...>");
+            std::process::exit(2);
+        }
+        let mut all_reproduced = true;
+        for path in &wanted[1..] {
+            match cachemap_bench::chaos::replay(std::path::Path::new(path)) {
+                Ok(outcome) => {
+                    if outcome.reproduced() {
+                        println!(
+                            "{path}: failure reproduced ({})",
+                            outcome.observed.join("; ")
+                        );
+                    } else {
+                        all_reproduced = false;
+                        println!(
+                            "{path}: NOT reproduced — recorded [{}], observed [{}]",
+                            outcome.recorded.join("; "),
+                            outcome.observed.join("; ")
+                        );
+                    }
+                }
+                Err(e) => {
+                    all_reproduced = false;
+                    eprintln!("{path}: {e}");
+                }
+            }
+        }
+        std::process::exit(if all_reproduced { 0 } else { 1 });
     }
     if wanted.iter().any(|w| w == "all") {
         wanted = [
@@ -240,6 +279,23 @@ fn main() {
             "resilience" => {
                 eprintln!("[resilience: mid-run I/O-node crash, remap vs failover ...]");
                 emit(&[experiments::resilience(scale, &platform)]);
+                eprintln!("[resilience-online: supervised epochs, oracle-free detection ...]");
+                let online = experiments::resilience_online(scale, &platform);
+                for (app, cells) in &online.rows {
+                    // cells: unremapped, online, detect latency (ns), remaps.
+                    if cells[2] >= 0.0 {
+                        println!(
+                            "   detection latency {app}: {:.3} ms simulated ({} remap{})",
+                            cells[2] / 1e6,
+                            cells[3] as u64,
+                            if cells[3] as u64 == 1 { "" } else { "s" }
+                        );
+                    } else {
+                        println!("   detection latency {app}: crash never detected");
+                    }
+                }
+                println!();
+                emit(&[online]);
                 let artifact = cachemap_bench::obs::resilience_observed(scale, &platform);
                 let label = artifact.meta.label.clone();
                 match cachemap_bench::write_obs_artifact(&label, &artifact) {
@@ -248,6 +304,62 @@ fn main() {
                         path.display()
                     ),
                     Err(e) => eprintln!("   [warning: could not write obs artifact: {e}]\n"),
+                }
+            }
+            s if s == "chaos" || s.starts_with("chaos:") => {
+                let mut parts = s.splitn(3, ':').skip(1);
+                let seed: u64 = parts.next().map_or(42, |p| {
+                    p.parse().unwrap_or_else(|_| panic!("bad chaos seed: {p}"))
+                });
+                let mut cfg = cachemap_bench::chaos::ChaosConfig::with_seed(seed);
+                if let Some(p) = parts.next() {
+                    cfg.plans = p
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad chaos budget: {p}"));
+                }
+                cfg.scale = scale;
+                eprintln!(
+                    "[chaos: seed {seed}, {} randomized fault plans, 4 invariants ...]",
+                    cfg.plans
+                );
+                let report = cachemap_bench::chaos::run_campaign(&cfg, |p| {
+                    let verdict = if p.violations.is_empty() {
+                        "ok".to_string()
+                    } else {
+                        format!("VIOLATED: {}", p.violations.join("; "))
+                    };
+                    println!(
+                        "  plan {:>3} {:<10} {} event{}{}: {verdict}",
+                        p.index,
+                        p.app,
+                        p.events,
+                        if p.events == 1 { "" } else { "s" },
+                        if p.transient { " + transients" } else { "" },
+                    );
+                });
+                if report.clean() {
+                    println!(
+                        "chaos campaign clean: {} plans, zero invariant violations",
+                        report.plans.len()
+                    );
+                } else {
+                    for f in &report.failures {
+                        eprintln!(
+                            "plan {} ({}) failed after shrinking to {} event(s): {}",
+                            f.plan_index,
+                            f.app,
+                            f.shrunk.events.len(),
+                            f.violations.join("; ")
+                        );
+                        if let Some(p) = &f.repro_path {
+                            eprintln!(
+                                "  repro: {} (replay with `repro chaos-replay {}`)",
+                                p.display(),
+                                p.display()
+                            );
+                        }
+                    }
+                    std::process::exit(1);
                 }
             }
             s if s == "obs-export" || s.starts_with("obs-export:") => {

@@ -1,0 +1,696 @@
+//! Chaos-campaign harness for the online resilience layer.
+//!
+//! A campaign generates a stream of randomized [`FaultPlan`]s from one
+//! seed — crash storms, rolling degradation, transient-error bursts, and
+//! mixes — and runs every plan through the online supervisor
+//! ([`cachemap_core::online::run_online`]), checking four invariants
+//! after each run:
+//!
+//! 1. **coverage** — every iteration chunk of the initial plan executed
+//!    exactly once, across all epochs and remaps;
+//! 2. **termination** — the supervised run completes under any plan;
+//! 3. **output** — the recovered run writes the same data-chunk set as
+//!    the fault-free run;
+//! 4. **bounded slowdown** — the online run takes at most
+//!    [`ChaosConfig::slowdown_factor`] × the slower of the fault-free
+//!    and unremapped runs of the same plan.
+//!
+//! A violated invariant triggers greedy shrinking: events are dropped
+//! one at a time (then the transient model) while the failure persists,
+//! and the minimal failing plan is written to a `chaos_repro_*.json`
+//! file that [`replay`] can re-run byte-for-byte.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+use cachemap_core::cluster::{ClusterParams, Distribution};
+use cachemap_core::online::{plan_joint, run_online, written_chunks, OnlineConfig};
+use cachemap_core::schedule::ScheduleParams;
+use cachemap_core::tags::IterationChunk;
+use cachemap_polyhedral::{DataSpace, Program};
+use cachemap_storage::{
+    DegradeLevel, FaultEvent, FaultPlan, HierarchyTree, MappedProgram, PlatformConfig, Simulator,
+    TransientFaults,
+};
+use cachemap_util::rng::XorShift64;
+use cachemap_util::{Json, ToJson};
+use cachemap_workloads::Scale;
+
+/// Campaign knobs.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seed for the plan generator; the same seed replays the same
+    /// campaign plan-for-plan.
+    pub seed: u64,
+    /// Number of fault plans to generate and check.
+    pub plans: usize,
+    /// Workload scale the campaign runs at.
+    pub scale: Scale,
+    /// Platform under test. Smaller than the paper platform by default
+    /// so a sixty-plan campaign stays in CLI territory.
+    pub platform: PlatformConfig,
+    /// Epochs per supervised run.
+    pub epochs: usize,
+    /// Invariant 4: the online run may take at most this factor × the
+    /// slower of the fault-free and unremapped runs.
+    pub slowdown_factor: f64,
+    /// Directory that receives `chaos_repro_*.json` files.
+    pub repro_dir: PathBuf,
+}
+
+impl ChaosConfig {
+    /// Default campaign at a seed: 60 plans on a 16/8/4 platform with
+    /// small caches (so eviction and dirty-line replay stay exercised).
+    pub fn with_seed(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            plans: 60,
+            scale: Scale::Test,
+            platform: PlatformConfig::paper_default()
+                .with_topology(16, 8, 4)
+                .with_cache_chunks(8, 8, 8),
+            epochs: 4,
+            slowdown_factor: 2.0,
+            repro_dir: PathBuf::from("."),
+        }
+    }
+}
+
+/// One checked plan, for the campaign log.
+#[derive(Debug, Clone)]
+pub struct PlanSummary {
+    /// Plan index within the campaign (0-based).
+    pub index: usize,
+    /// Application the plan ran against.
+    pub app: String,
+    /// Number of scheduled fault events.
+    pub events: usize,
+    /// Whether the plan carried a transient-error model.
+    pub transient: bool,
+    /// Invariant violations (empty = pass).
+    pub violations: Vec<String>,
+}
+
+/// A failing plan after shrinking.
+#[derive(Debug, Clone)]
+pub struct ChaosFailure {
+    /// Plan index within the campaign.
+    pub plan_index: usize,
+    /// Application the plan ran against.
+    pub app: String,
+    /// Violations of the *shrunk* plan.
+    pub violations: Vec<String>,
+    /// The minimal failing plan.
+    pub shrunk: FaultPlan,
+    /// Where the repro JSON was written (`None` if writing failed).
+    pub repro_path: Option<PathBuf>,
+}
+
+/// Result of a whole campaign.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// The campaign seed.
+    pub seed: u64,
+    /// Per-plan outcomes, in generation order.
+    pub plans: Vec<PlanSummary>,
+    /// Shrunk failures with their repro files.
+    pub failures: Vec<ChaosFailure>,
+}
+
+impl ChaosReport {
+    /// True when every plan passed every invariant.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Everything derivable once per application: the joint plan, its
+/// lowering, and the fault-free reference run.
+struct AppCtx {
+    name: String,
+    program: Program,
+    data: DataSpace,
+    chunks: Vec<IterationChunk>,
+    dist: Distribution,
+    full: MappedProgram,
+    clean_ns: u64,
+    clean_written: BTreeSet<usize>,
+    expected_cov: BTreeMap<(usize, usize), u64>,
+}
+
+fn build_ctx(app: &cachemap_workloads::Application, platform: &PlatformConfig) -> AppCtx {
+    let data = DataSpace::new(&app.program.arrays, platform.chunk_bytes);
+    let tree = HierarchyTree::from_config(platform).expect("valid platform config");
+    let (chunks, dist) = plan_joint(
+        &app.program,
+        &data,
+        &tree,
+        &ClusterParams::default(),
+        &ScheduleParams::default(),
+    );
+    let full = cachemap_core::codegen::lower_distribution(&dist, &chunks, &app.program, &data);
+    let clean = Simulator::new(platform.clone())
+        .expect("valid platform config")
+        .run(&full)
+        .expect("well-formed mapped program");
+    let clean_written = written_chunks(&dist, &chunks, &app.program, &data);
+    let mut expected_cov = BTreeMap::new();
+    for items in &dist.per_client {
+        for it in items {
+            for i in it.start..it.end {
+                *expected_cov.entry((it.chunk, i)).or_insert(0u64) += 1;
+            }
+        }
+    }
+    AppCtx {
+        name: app.name.to_string(),
+        program: app.program.clone(),
+        data,
+        chunks,
+        dist,
+        full,
+        clean_ns: clean.exec_time_ns,
+        clean_written,
+        expected_cov,
+    }
+}
+
+/// Draws `k` distinct values from `0..n` (partial Fisher–Yates).
+fn distinct(rng: &mut XorShift64, n: usize, k: usize) -> Vec<usize> {
+    let mut pool: Vec<usize> = (0..n).collect();
+    let k = k.min(n);
+    for i in 0..k {
+        let j = rng.usize_in(i, n);
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+/// Generates one randomized fault plan. Plans are always valid for the
+/// platform: crash storms never take down every I/O node, and cache
+/// degradations never target a node that crashes earlier (the
+/// `CrashDegradeOverlap` rule) because crash and degrade node pools are
+/// kept disjoint.
+fn gen_plan(rng: &mut XorShift64, platform: &PlatformConfig, horizon_ns: u64) -> FaultPlan {
+    let span = horizon_ns.max(2);
+    let at = |rng: &mut XorShift64| 1 + rng.next_below(span - 1);
+    let num_io = platform.num_io_nodes;
+    let num_storage = platform.num_storage_nodes;
+    let mut plan = FaultPlan::new();
+    match rng.usize_in(0, 4) {
+        // Crash storm: several I/O nodes (never all) and sometimes a
+        // storage node go down at independent times.
+        0 => {
+            let k = rng.usize_in(1, num_io.max(2));
+            for io in distinct(rng, num_io, k) {
+                let t = at(rng);
+                plan = plan.with_event(FaultEvent::IoNodeCrash { io, at_ns: t });
+            }
+            if rng.chance(1, 3) {
+                let t = at(rng);
+                plan = plan.with_event(FaultEvent::StorageNodeCrash {
+                    storage: rng.usize_in(0, num_storage),
+                    at_ns: t,
+                });
+            }
+        }
+        // Rolling degradation: disks slow down and I/O caches shrink in
+        // waves; nothing crashes, so no overlap is possible.
+        1 => {
+            let d = rng.usize_in(1, 4);
+            for storage in distinct(rng, num_storage, d) {
+                let t = at(rng);
+                let f = rng.usize_in(2, 7) as u32;
+                plan = plan.with_event(FaultEvent::DiskDegrade {
+                    storage,
+                    at_ns: t,
+                    latency_factor: f,
+                });
+            }
+            let c = rng.usize_in(0, 3);
+            for node in distinct(rng, num_io, c) {
+                let t = at(rng);
+                let cap = rng.usize_in(1, 5);
+                plan = plan.with_event(FaultEvent::CacheDegrade {
+                    level: DegradeLevel::Io,
+                    node,
+                    at_ns: t,
+                    capacity_chunks: cap,
+                });
+            }
+        }
+        // Transient burst: seeded retry storms, sometimes on top of a
+        // single crash.
+        2 => {
+            let rate = rng.usize_in(2_000, 80_000) as u32;
+            let seed = rng.next_u64();
+            plan = plan.with_transient(TransientFaults {
+                rate_ppm: rate,
+                seed,
+            });
+            if rng.chance(1, 2) {
+                let io = rng.usize_in(0, num_io);
+                let t = at(rng);
+                plan = plan.with_event(FaultEvent::IoNodeCrash { io, at_ns: t });
+            }
+        }
+        // Mixed: crashes on one pool of I/O nodes, cache degradation on
+        // a disjoint pool, disk degradation, maybe transients.
+        _ => {
+            let k = rng.usize_in(1, num_io.max(2));
+            let pool = distinct(rng, num_io, num_io);
+            let (crashed, healthy) = pool.split_at(k.min(pool.len().saturating_sub(1)).max(1));
+            for &io in crashed {
+                let t = at(rng);
+                plan = plan.with_event(FaultEvent::IoNodeCrash { io, at_ns: t });
+            }
+            for &node in healthy.iter().take(rng.usize_in(0, 3)) {
+                let t = at(rng);
+                let cap = rng.usize_in(1, 5);
+                plan = plan.with_event(FaultEvent::CacheDegrade {
+                    level: DegradeLevel::Io,
+                    node,
+                    at_ns: t,
+                    capacity_chunks: cap,
+                });
+            }
+            if rng.chance(1, 2) {
+                let storage = rng.usize_in(0, num_storage);
+                let t = at(rng);
+                let f = rng.usize_in(2, 5) as u32;
+                plan = plan.with_event(FaultEvent::DiskDegrade {
+                    storage,
+                    at_ns: t,
+                    latency_factor: f,
+                });
+            }
+            if rng.chance(1, 4) {
+                let rate = rng.usize_in(1_000, 20_000) as u32;
+                let seed = rng.next_u64();
+                plan = plan.with_transient(TransientFaults {
+                    rate_ppm: rate,
+                    seed,
+                });
+            }
+        }
+    }
+    plan
+}
+
+/// Runs one plan through the supervisor and checks the four invariants.
+/// Returns the violations (empty = pass).
+fn check_plan(
+    ctx: &AppCtx,
+    platform: &PlatformConfig,
+    plan: &FaultPlan,
+    epochs: usize,
+    slowdown_factor: f64,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    let sim = match Simulator::new(platform.clone())
+        .expect("valid platform config")
+        .with_fault_plan(plan.clone())
+    {
+        Ok(sim) => sim,
+        Err(e) => return vec![format!("plan rejected by the simulator: {e}")],
+    };
+    let unremapped_ns = match sim.run(&ctx.full) {
+        Ok(rep) => rep.exec_time_ns,
+        Err(e) => {
+            violations.push(format!("unremapped run failed: {e}"));
+            return violations;
+        }
+    };
+    let cfg = OnlineConfig {
+        epochs,
+        bucket_ns: (ctx.clean_ns / 5000).max(20_000),
+        ..OnlineConfig::default()
+    };
+    let out = match run_online(&sim, &ctx.program, &ctx.data, &ctx.chunks, &ctx.dist, &cfg) {
+        Ok(out) => out,
+        Err(e) => {
+            // Invariant 2: termination under any plan.
+            violations.push(format!("online run did not terminate cleanly: {e}"));
+            return violations;
+        }
+    };
+    // Invariant 1: every iteration chunk executed exactly once.
+    let cov = out.coverage();
+    if cov != ctx.expected_cov {
+        let extra = cov
+            .iter()
+            .filter(|(k, &v)| ctx.expected_cov.get(k) != Some(&v))
+            .take(3)
+            .map(|((c, i), v)| format!("chunk {c} iter {i} ran {v}x"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let missing = ctx
+            .expected_cov
+            .keys()
+            .filter(|k| !cov.contains_key(k))
+            .count();
+        violations.push(format!(
+            "coverage violated: {extra}{}{missing} iterations missing",
+            if extra.is_empty() { "" } else { "; " }
+        ));
+    }
+    // Invariant 3: same output set as the fault-free run.
+    let mut written = BTreeSet::new();
+    for dist in &out.executed {
+        written.extend(written_chunks(dist, &ctx.chunks, &ctx.program, &ctx.data));
+    }
+    if written != ctx.clean_written {
+        violations.push(format!(
+            "output set differs from the fault-free run: {} written vs {} expected",
+            written.len(),
+            ctx.clean_written.len()
+        ));
+    }
+    // Invariant 4: bounded slowdown vs the worse of clean/unremapped.
+    let bound = (ctx.clean_ns.max(unremapped_ns) as f64) * slowdown_factor;
+    if out.exec_time_ns as f64 > bound {
+        violations.push(format!(
+            "slowdown unbounded: online {} ns > {slowdown_factor}x max(clean {} ns, unremapped {} ns)",
+            out.exec_time_ns, ctx.clean_ns, unremapped_ns
+        ));
+    }
+    violations
+}
+
+/// Greedy shrink: repeatedly drop single events (then the transient
+/// model) as long as the plan still violates an invariant. Returns the
+/// minimal failing plan and its violations.
+fn shrink(
+    ctx: &AppCtx,
+    platform: &PlatformConfig,
+    plan: &FaultPlan,
+    epochs: usize,
+    slowdown_factor: f64,
+) -> (FaultPlan, Vec<String>) {
+    let mut cur = plan.clone();
+    let mut cur_violations = check_plan(ctx, platform, &cur, epochs, slowdown_factor);
+    loop {
+        let mut reduced = false;
+        for i in 0..cur.events.len() {
+            let mut cand = cur.clone();
+            cand.events.remove(i);
+            let v = check_plan(ctx, platform, &cand, epochs, slowdown_factor);
+            if !v.is_empty() {
+                cur = cand;
+                cur_violations = v;
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced && cur.transient.is_some() {
+            let mut cand = cur.clone();
+            cand.transient = None;
+            let v = check_plan(ctx, platform, &cand, epochs, slowdown_factor);
+            if !v.is_empty() {
+                cur = cand;
+                cur_violations = v;
+                reduced = true;
+            }
+        }
+        if !reduced {
+            return (cur, cur_violations);
+        }
+    }
+}
+
+fn scale_label(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Test => "test",
+        Scale::Paper => "paper",
+    }
+}
+
+fn repro_json(cfg: &ChaosConfig, failure: &ChaosFailure) -> Json {
+    Json::object(vec![
+        ("seed", Json::UInt(cfg.seed)),
+        ("plan_index", Json::UInt(failure.plan_index as u64)),
+        ("app", Json::Str(failure.app.clone())),
+        ("scale", Json::Str(scale_label(cfg.scale).to_string())),
+        (
+            "platform",
+            Json::object(vec![
+                ("clients", Json::UInt(cfg.platform.num_clients as u64)),
+                ("io_nodes", Json::UInt(cfg.platform.num_io_nodes as u64)),
+                (
+                    "storage_nodes",
+                    Json::UInt(cfg.platform.num_storage_nodes as u64),
+                ),
+                (
+                    "l1_chunks",
+                    Json::UInt(cfg.platform.client_cache_chunks as u64),
+                ),
+                ("l2_chunks", Json::UInt(cfg.platform.io_cache_chunks as u64)),
+                (
+                    "l3_chunks",
+                    Json::UInt(cfg.platform.storage_cache_chunks as u64),
+                ),
+            ]),
+        ),
+        ("epochs", Json::UInt(cfg.epochs as u64)),
+        ("slowdown_factor", Json::Float(cfg.slowdown_factor)),
+        (
+            "violations",
+            Json::Array(
+                failure
+                    .violations
+                    .iter()
+                    .map(|v| Json::Str(v.clone()))
+                    .collect(),
+            ),
+        ),
+        ("fault_plan", failure.shrunk.to_json()),
+    ])
+}
+
+/// Runs a seeded chaos campaign: `cfg.plans` randomized fault plans,
+/// each checked against the four invariants, failures shrunk and
+/// written as repro JSON files. `progress` is called once per plan with
+/// its summary (hook for CLI logging; pass `|_| {}` to stay silent).
+pub fn run_campaign(cfg: &ChaosConfig, mut progress: impl FnMut(&PlanSummary)) -> ChaosReport {
+    let apps = cachemap_workloads::suite(cfg.scale);
+    let contexts: Vec<AppCtx> = apps.iter().map(|a| build_ctx(a, &cfg.platform)).collect();
+    let mut rng = XorShift64::new(cfg.seed);
+    let mut report = ChaosReport {
+        seed: cfg.seed,
+        plans: Vec::with_capacity(cfg.plans),
+        failures: Vec::new(),
+    };
+    for index in 0..cfg.plans {
+        let ctx = &contexts[rng.usize_in(0, contexts.len())];
+        let plan = gen_plan(&mut rng, &cfg.platform, ctx.clean_ns);
+        debug_assert!(plan.validate(&cfg.platform).is_ok());
+        let violations = check_plan(ctx, &cfg.platform, &plan, cfg.epochs, cfg.slowdown_factor);
+        let summary = PlanSummary {
+            index,
+            app: ctx.name.clone(),
+            events: plan.events.len(),
+            transient: plan.transient.is_some(),
+            violations: violations.clone(),
+        };
+        progress(&summary);
+        report.plans.push(summary);
+        if !violations.is_empty() {
+            let (shrunk, shrunk_violations) =
+                shrink(ctx, &cfg.platform, &plan, cfg.epochs, cfg.slowdown_factor);
+            let mut failure = ChaosFailure {
+                plan_index: index,
+                app: ctx.name.clone(),
+                violations: shrunk_violations,
+                shrunk,
+                repro_path: None,
+            };
+            let path = cfg
+                .repro_dir
+                .join(format!("chaos_repro_{}_{index}.json", cfg.seed));
+            let body = repro_json(cfg, &failure).to_string_pretty();
+            if std::fs::write(&path, body).is_ok() {
+                failure.repro_path = Some(path);
+            }
+            report.failures.push(failure);
+        }
+    }
+    report
+}
+
+/// What replaying a repro file produced.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// The violations recorded in the file.
+    pub recorded: Vec<String>,
+    /// The violations observed when re-running the plan.
+    pub observed: Vec<String>,
+}
+
+impl ReplayOutcome {
+    /// True when re-running the shrunk plan reproduces the recorded
+    /// failure exactly.
+    pub fn reproduced(&self) -> bool {
+        !self.observed.is_empty() && self.observed == self.recorded
+    }
+}
+
+/// Re-runs the shrunk plan of a `chaos_repro_*.json` file and compares
+/// the observed violations against the recorded ones.
+pub fn replay(path: &Path) -> Result<ReplayOutcome, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read repro file: {e}"))?;
+    let json = cachemap_util::json::parse(&text).map_err(|e| format!("malformed repro: {e}"))?;
+    let get = |key: &str| {
+        json.get(key)
+            .ok_or_else(|| format!("repro file missing `{key}`"))
+    };
+    let app_name = get("app")?
+        .as_str()
+        .ok_or("`app` must be a string")?
+        .to_string();
+    let scale = match get("scale")?.as_str() {
+        Some("paper") => Scale::Paper,
+        _ => Scale::Test,
+    };
+    let platform_json = get("platform")?;
+    let dim = |key: &str| {
+        platform_json
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("platform field `{key}` missing"))
+    };
+    let platform = PlatformConfig::paper_default()
+        .with_topology(
+            dim("clients")? as usize,
+            dim("io_nodes")? as usize,
+            dim("storage_nodes")? as usize,
+        )
+        .with_cache_chunks(
+            dim("l1_chunks")? as usize,
+            dim("l2_chunks")? as usize,
+            dim("l3_chunks")? as usize,
+        );
+    let epochs = get("epochs")?.as_u64().ok_or("`epochs` must be a number")? as usize;
+    let slowdown_factor = get("slowdown_factor")?
+        .as_f64()
+        .ok_or("`slowdown_factor` must be a number")?;
+    let recorded: Vec<String> = get("violations")?
+        .as_array()
+        .ok_or("`violations` must be an array")?
+        .iter()
+        .filter_map(|v| v.as_str().map(str::to_string))
+        .collect();
+    let plan = FaultPlan::from_json(get("fault_plan")?).map_err(|e| format!("bad plan: {e}"))?;
+    let app = cachemap_workloads::by_name(&app_name, scale)
+        .ok_or_else(|| format!("unknown app {app_name}"))?;
+    let ctx = build_ctx(&app, &platform);
+    let observed = check_plan(&ctx, &platform, &plan, epochs, slowdown_factor);
+    Ok(ReplayOutcome { recorded, observed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(seed: u64, plans: usize) -> ChaosConfig {
+        ChaosConfig {
+            plans,
+            ..ChaosConfig::with_seed(seed)
+        }
+    }
+
+    #[test]
+    fn generated_plans_are_valid_and_diverse() {
+        let cfg = small_cfg(7, 0);
+        let mut rng = XorShift64::new(7);
+        let mut kinds = BTreeSet::new();
+        let mut io_crashes_max = 0usize;
+        for _ in 0..200 {
+            let plan = gen_plan(&mut rng, &cfg.platform, 50_000_000);
+            plan.validate(&cfg.platform).expect("generated plan valid");
+            let crashes = plan
+                .events
+                .iter()
+                .filter(|e| matches!(e, FaultEvent::IoNodeCrash { .. }))
+                .count();
+            assert!(
+                crashes < cfg.platform.num_io_nodes,
+                "a storm must never take down every I/O node"
+            );
+            io_crashes_max = io_crashes_max.max(crashes);
+            for ev in &plan.events {
+                kinds.insert(match ev {
+                    FaultEvent::IoNodeCrash { .. } => "io_crash",
+                    FaultEvent::StorageNodeCrash { .. } => "storage_crash",
+                    FaultEvent::DiskDegrade { .. } => "disk_degrade",
+                    FaultEvent::CacheDegrade { .. } => "cache_degrade",
+                });
+            }
+            if plan.transient.is_some() {
+                kinds.insert("transient");
+            }
+        }
+        assert!(kinds.len() >= 4, "campaign must mix fault kinds: {kinds:?}");
+        assert!(io_crashes_max >= 2, "storms must crash multiple nodes");
+    }
+
+    #[test]
+    fn campaign_is_deterministic_per_seed() {
+        let cfg = small_cfg(11, 4);
+        let a = run_campaign(&cfg, |_| {});
+        let b = run_campaign(&cfg, |_| {});
+        assert_eq!(a.plans.len(), 4);
+        for (x, y) in a.plans.iter().zip(&b.plans) {
+            assert_eq!(x.app, y.app);
+            assert_eq!(x.events, y.events);
+            assert_eq!(x.violations, y.violations);
+        }
+    }
+
+    #[test]
+    fn small_campaign_holds_all_invariants() {
+        let report = run_campaign(&small_cfg(42, 6), |_| {});
+        assert!(
+            report.clean(),
+            "invariant violations: {:?}",
+            report.failures
+        );
+    }
+
+    #[test]
+    fn shrinking_and_replay_reproduce_a_forced_failure() {
+        // Force a failure by checking against an impossible slowdown
+        // bound, then confirm the shrink keeps the failure minimal and
+        // the repro file replays to the same violation.
+        let dir = std::env::temp_dir().join("cachemap_chaos_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = ChaosConfig {
+            plans: 8,
+            slowdown_factor: 0.5, // online can never be 2x faster than clean
+            repro_dir: dir.clone(),
+            ..ChaosConfig::with_seed(1234)
+        };
+        let report = run_campaign(&cfg, |_| {});
+        assert!(
+            !report.failures.is_empty(),
+            "an impossible bound must produce failures"
+        );
+        let failure = &report.failures[0];
+        assert!(
+            !failure.violations.is_empty(),
+            "shrunk plan must still fail"
+        );
+        let path = failure.repro_path.as_ref().expect("repro file written");
+        let outcome = replay(path).expect("repro file replays");
+        assert_eq!(outcome.recorded, failure.violations);
+        assert!(
+            outcome.reproduced(),
+            "replay must reproduce the recorded violation: {outcome:?}"
+        );
+        for f in &report.failures {
+            if let Some(p) = &f.repro_path {
+                let _ = std::fs::remove_file(p);
+            }
+        }
+    }
+}

@@ -14,6 +14,7 @@ use cachemap_polyhedral::DataSpace;
 use cachemap_storage::{HierarchyTree, PlatformConfig, SimReport, Simulator};
 use cachemap_workloads::{Application, Scale};
 
+pub mod chaos;
 pub mod experiments;
 pub mod obs;
 pub mod report;

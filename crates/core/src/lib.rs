@@ -33,7 +33,11 @@
 //!    together, including multi-nest mapping (§5.4);
 //! 9. [`refine`] / [`analysis`] — extensions beyond the paper: optional
 //!    KL-style boundary refinement of the distribution, and static
-//!    quality metrics (replication, affinity capture) for diagnostics.
+//!    quality metrics (replication, affinity capture) for diagnostics;
+//! 10. [`online`] — the online resilience supervisor: epoch-sliced
+//!     execution with checkpointed progress, oracle-free failure
+//!     detection from engine observations, and incremental live
+//!     remapping of the remaining work onto surviving clusters.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -45,10 +49,12 @@ pub mod codegen;
 pub mod deps;
 pub mod graph;
 pub mod mapper;
+pub mod online;
 pub mod refine;
 pub mod schedule;
 pub mod tags;
 
 pub use cluster::{Distribution, WorkItem};
 pub use mapper::{Mapper, MapperConfig, Version};
+pub use online::{run_online, OnlineConfig, OnlineDetection, OnlineError, OnlineOutcome};
 pub use tags::{IterationChunk, TaggedNest};

@@ -134,6 +134,13 @@ pub enum EngineError {
         /// Clients in the configuration.
         config_clients: usize,
     },
+    /// Start clocks were supplied for a different client count.
+    StartClockMismatch {
+        /// Clocks supplied.
+        given: usize,
+        /// Clients in the configuration.
+        config_clients: usize,
+    },
     /// A synchronization token was signalled twice.
     DuplicateSignal {
         /// The offending token.
@@ -167,6 +174,13 @@ impl fmt::Display for EngineError {
                 f,
                 "program has {program_clients} clients, platform has {config_clients}"
             ),
+            EngineError::StartClockMismatch {
+                given,
+                config_clients,
+            } => write!(
+                f,
+                "{given} start clocks supplied, platform has {config_clients} clients"
+            ),
             EngineError::DuplicateSignal { token } => {
                 write!(f, "token {token} signalled twice")
             }
@@ -198,6 +212,88 @@ impl From<ConfigError> for EngineError {
 impl From<FaultPlanError> for EngineError {
     fn from(e: FaultPlanError) -> Self {
         EngineError::Fault(e)
+    }
+}
+
+/// Opt-in request-level robustness policy (all thresholds in simulated
+/// nanoseconds). The default (all zeros) disables every mechanism and
+/// leaves the engine on the unpoliced fast path, bit-identical to a run
+/// without a policy.
+///
+/// The three mechanisms act on an L1 miss, before the request is
+/// committed to an I/O node, using only state a client-side RPC layer
+/// could observe (the target's queue backlog):
+///
+/// 1. **Deadline** — if the L2 queue backlog alone already exceeds
+///    `deadline_ns`, the request is declared late.
+/// 2. **Hedged retries** — a late request is duplicated to up to
+///    `max_hedges` surviving sibling I/O nodes (one extra control hop
+///    each); the replica with the shortest queue wins.
+/// 3. **Admission shed** — if the winner's backlog still exceeds
+///    `shed_queue_ns`, the request sheds to the direct-to-storage path
+///    instead of queueing behind the overloaded cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestPolicy {
+    /// Per-request deadline; queue backlog beyond it triggers hedging.
+    /// Zero disables deadlines (and with them hedging).
+    pub deadline_ns: u64,
+    /// Maximum hedged replicas per late request.
+    pub max_hedges: u32,
+    /// Backlog beyond which the request sheds to direct-to-storage.
+    /// Zero disables shedding.
+    pub shed_queue_ns: u64,
+}
+
+impl RequestPolicy {
+    /// True when at least one mechanism is active.
+    pub fn is_enabled(&self) -> bool {
+        self.deadline_ns > 0 || self.shed_queue_ns > 0
+    }
+}
+
+/// Counters for [`RequestPolicy`] decisions during one run (all zero
+/// when no policy is attached).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyStats {
+    /// Requests whose queue backlog exceeded the deadline.
+    pub deadline_violations: u64,
+    /// Hedged replicas sent to sibling I/O nodes.
+    pub hedges: u64,
+    /// Hedges that won (the replica's queue beat the original's).
+    pub hedge_wins: u64,
+    /// Requests shed to the direct-to-storage path.
+    pub sheds: u64,
+}
+
+/// Resident cache lines at an epoch boundary, per level and node, in
+/// eviction order (least-recently-used first).
+///
+/// Epoch boundaries have checkpoint-flush semantics: dirty lines are
+/// written back at the boundary, but the (now clean) data stays
+/// resident — a checkpoint does not wipe caches. Restoring a snapshot
+/// reinserts the lines clean, oldest first, so LRU recency is
+/// preserved exactly; FIFO keeps its queue order, and LFU restarts
+/// every line at frequency one (the boundary forgets hotness, not
+/// residency).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Per-client L1 residents.
+    pub l1: Vec<Vec<Chunk>>,
+    /// Per-I/O-node L2 residents.
+    pub l2: Vec<Vec<Chunk>>,
+    /// Per-storage-node L3 residents.
+    pub l3: Vec<Vec<Chunk>>,
+}
+
+impl CacheSnapshot {
+    /// Total resident lines across all levels.
+    pub fn resident_lines(&self) -> usize {
+        self.l1
+            .iter()
+            .chain(self.l2.iter())
+            .chain(self.l3.iter())
+            .map(Vec::len)
+            .sum()
     }
 }
 
@@ -252,6 +348,8 @@ pub struct RunStats {
     pub prefetched_chunks: u64,
     /// Degraded-mode counters (all zero on a fault-free run).
     pub faults: FaultStats,
+    /// Request-policy counters (all zero without a [`RequestPolicy`]).
+    pub policy: PolicyStats,
 }
 
 struct Resources {
@@ -326,6 +424,17 @@ pub struct Engine<'a> {
     /// prefetches beyond it).
     max_chunk: Chunk,
     prefetched: u64,
+    /// Request-level robustness policy; `Some` only when enabled, so the
+    /// unpoliced path stays structurally identical.
+    policy: Option<RequestPolicy>,
+    policy_stats: PolicyStats,
+    /// Per-client starting clocks (epoch resume); `None` starts everyone
+    /// at zero.
+    start_clocks: Option<Vec<u64>>,
+    /// Cache residents carried over from the previous epoch.
+    resume_caches: Option<CacheSnapshot>,
+    /// Capture the final cache residents when the run ends.
+    want_snapshot: bool,
 }
 
 impl<'a> Engine<'a> {
@@ -363,6 +472,11 @@ impl<'a> Engine<'a> {
             trace: None,
             max_chunk: 0,
             prefetched: 0,
+            policy: None,
+            policy_stats: PolicyStats::default(),
+            start_clocks: None,
+            resume_caches: None,
+            want_snapshot: false,
         })
     }
 
@@ -383,11 +497,38 @@ impl<'a> Engine<'a> {
         Ok(self)
     }
 
+    /// Attaches a request-level robustness policy. A disabled policy
+    /// (all thresholds zero) is ignored, keeping the unpoliced fast
+    /// path byte-identical.
+    pub fn with_policy(mut self, policy: RequestPolicy) -> Self {
+        if policy.is_enabled() {
+            self.policy = Some(policy);
+        }
+        self
+    }
+
+    /// Starts each client at the given simulated-time clock instead of
+    /// zero (the supervisor's epoch loop uses this to keep absolute time
+    /// continuous across epochs). Length is validated at run time.
+    pub fn with_start_clocks(mut self, clocks: Vec<u64>) -> Self {
+        self.start_clocks = Some(clocks);
+        self
+    }
+
+    /// Seeds the caches with the resident lines of a previous epoch's
+    /// snapshot (all clean) before the run starts. Crash events that
+    /// re-fire at the first tick still drain the seeded state, so a
+    /// node that died in an earlier epoch stays cold.
+    pub fn with_cache_snapshot(mut self, snapshot: CacheSnapshot) -> Self {
+        self.resume_caches = Some(snapshot);
+        self
+    }
+
     /// Like [`Engine::run`] but also records every access into a
     /// [`Trace`].
     pub fn run_traced(mut self, program: &MappedProgram) -> Result<(RunStats, Trace), EngineError> {
         self.trace = Some(Vec::new());
-        let (stats, trace) = self.run_impl(program)?;
+        let (stats, trace, _) = self.run_impl(program)?;
         // Invariant: run_impl returns the trace whenever capture was
         // primed above; fall back to an empty trace defensively.
         debug_assert!(trace.is_some(), "trace capture was enabled");
@@ -399,10 +540,22 @@ impl<'a> Engine<'a> {
         Ok(self.run_impl(program)?.0)
     }
 
+    /// Like [`Engine::run`] but also returns the final cache residents
+    /// (dirty lines flushed to clean) for the next epoch to resume from.
+    pub fn run_with_snapshot(
+        mut self,
+        program: &MappedProgram,
+    ) -> Result<(RunStats, CacheSnapshot), EngineError> {
+        self.want_snapshot = true;
+        let (stats, _, snapshot) = self.run_impl(program)?;
+        debug_assert!(snapshot.is_some(), "snapshot capture was enabled");
+        Ok((stats, snapshot.unwrap_or_default()))
+    }
+
     fn run_impl(
         mut self,
         program: &MappedProgram,
-    ) -> Result<(RunStats, Option<Trace>), EngineError> {
+    ) -> Result<(RunStats, Option<Trace>, Option<CacheSnapshot>), EngineError> {
         let n = self.cfg.num_clients;
         if program.num_clients() != n {
             return Err(EngineError::ProgramMismatch {
@@ -421,7 +574,34 @@ impl<'a> Engine<'a> {
             .max()
             .unwrap_or(0);
 
-        let mut clock = vec![0u64; n];
+        let mut clock = match self.start_clocks.take() {
+            Some(clocks) if clocks.len() == n => clocks,
+            Some(clocks) => {
+                return Err(EngineError::StartClockMismatch {
+                    given: clocks.len(),
+                    config_clients: n,
+                })
+            }
+            None => vec![0u64; n],
+        };
+        if let Some(snap) = self.resume_caches.take() {
+            // Reinsert carried-over residents clean, oldest first, so
+            // replacement order survives the boundary. `insert` does not
+            // touch hit/miss statistics, so seeded lines cost nothing.
+            let levels = [
+                (&mut self.res.l1, &snap.l1),
+                (&mut self.res.l2, &snap.l2),
+                (&mut self.res.l3, &snap.l3),
+            ];
+            for (caches, lines) in levels {
+                for (cache, resident) in caches.iter_mut().zip(lines) {
+                    for &chunk in resident {
+                        cache.insert(chunk, false);
+                    }
+                }
+            }
+        }
+
         let mut pc = vec![0usize; n];
         let mut io_ns = vec![0u64; n];
         let mut compute_ns = vec![0u64; n];
@@ -430,7 +610,7 @@ impl<'a> Engine<'a> {
 
         let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..n)
             .filter(|&c| !program.per_client[c].is_empty())
-            .map(|c| Reverse((0u64, c)))
+            .map(|c| Reverse((clock[c], c)))
             .collect();
 
         while let Some(Reverse((t, c))) = heap.pop() {
@@ -524,6 +704,7 @@ impl<'a> Engine<'a> {
         stats.l2_evictions = self.res.tally[1];
         stats.l3_evictions = self.res.tally[2];
         stats.prefetched_chunks = self.prefetched;
+        stats.policy = self.policy_stats;
         if let Some(f) = &self.faults {
             stats.faults = f.stats;
             stats.faults.recovery_ns = f.recovery_ns.unwrap_or(0);
@@ -532,7 +713,25 @@ impl<'a> Engine<'a> {
             events.sort_by_key(|e| (e.time_ns, e.client));
             Trace { events }
         });
-        Ok((stats, trace))
+        // Snapshot after statistics: `drain` keeps stats intact and
+        // returns residents in eviction order. The dirty flag is
+        // dropped — the boundary flushes those lines.
+        let snapshot = if self.want_snapshot {
+            let take = |caches: &mut Vec<Box<dyn ChunkCache + Send>>| -> Vec<Vec<Chunk>> {
+                caches
+                    .iter_mut()
+                    .map(|c| c.drain().into_iter().map(|(chunk, _)| chunk).collect())
+                    .collect()
+            };
+            Some(CacheSnapshot {
+                l1: take(&mut self.res.l1),
+                l2: take(&mut self.res.l2),
+                l3: take(&mut self.res.l3),
+            })
+        } else {
+            None
+        };
+        Ok((stats, trace, snapshot))
     }
 
     /// Applies every scheduled fault event whose time has been reached.
@@ -674,6 +873,14 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// True unless fault injection has crashed I/O node `io`.
+    fn io_is_alive(&self, io: usize) -> bool {
+        match &self.faults {
+            Some(f) => f.io_alive[io],
+            None => true,
+        }
+    }
+
     /// Resolves the I/O node an access should use. Returns the node (or
     /// `None` for direct-to-storage when every candidate is dead) and
     /// whether a failover happened.
@@ -763,7 +970,52 @@ impl<'a> Engine<'a> {
         let mut served_by = ServedBy::L2;
         let io_home = self.tree.io_of_client(c);
         t += control_ns(Hop::ClientIo, cfg);
-        let (io_route, mut failed_over) = self.route_io(io_home);
+        let (mut io_route, mut failed_over) = self.route_io(io_home);
+        // Request policy: deadline check, hedged retries against sibling
+        // I/O nodes, and admission shedding — all driven by queue
+        // backlog, the one signal a client-side RPC layer can observe.
+        if let (Some(pol), Some(io)) = (self.policy, io_route) {
+            let mut chosen = io;
+            let mut backlog = self.res.l2_free[io].saturating_sub(t);
+            if pol.deadline_ns > 0 && backlog > pol.deadline_ns {
+                self.policy_stats.deadline_violations += 1;
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.event(t, "deadline", c as i64);
+                }
+                let mut hedges = 0u32;
+                for sib in self.tree.io_siblings(io) {
+                    if hedges >= pol.max_hedges {
+                        break;
+                    }
+                    if !self.io_is_alive(sib) {
+                        continue;
+                    }
+                    hedges += 1;
+                    self.policy_stats.hedges += 1;
+                    // Each hedge costs one extra control hop before the
+                    // replica's queue position is known.
+                    t += control_ns(Hop::ClientIo, cfg);
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.event(t, "hedge", c as i64);
+                    }
+                    let sib_backlog = self.res.l2_free[sib].saturating_sub(t);
+                    if sib_backlog < backlog {
+                        chosen = sib;
+                        backlog = sib_backlog;
+                        self.policy_stats.hedge_wins += 1;
+                    }
+                }
+            }
+            if pol.shed_queue_ns > 0 && backlog > pol.shed_queue_ns {
+                self.policy_stats.sheds += 1;
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.event(t, "shed", c as i64);
+                }
+                io_route = None;
+            } else {
+                io_route = Some(chosen);
+            }
+        }
         // Transfers on the client⇄io and io⇄storage paths are attributed
         // to the home I/O node even when failover bypassed it, so link
         // tallies stay comparable across faulty and clean runs.
@@ -1362,6 +1614,54 @@ mod tests {
         assert_eq!(prog.total_accesses(), 2);
         assert_eq!(prog.accesses_per_client(), vec![1, 1]);
     }
+
+    #[test]
+    fn snapshot_round_trip_makes_the_next_run_warm() {
+        let (cfg, tree) = tiny();
+        let mut prog = MappedProgram::new(cfg.num_clients);
+        prog.per_client[0] = vec![ClientOp::Access {
+            chunk: 3,
+            write: true,
+        }];
+        let (cold, snap) = Engine::new(&cfg, &tree)
+            .unwrap()
+            .run_with_snapshot(&prog)
+            .unwrap();
+        assert_eq!(cold.l1.misses, 1);
+        assert_eq!(cold.disk_reads, 1);
+        assert!(snap.resident_lines() >= 3, "line resident at every level");
+        assert!(snap.l1[0].contains(&3));
+
+        // Resuming from the snapshot hits in L1 immediately: the dirty
+        // flag was flushed at the boundary but residency survived.
+        let (warm, again) = Engine::new(&cfg, &tree)
+            .unwrap()
+            .with_cache_snapshot(snap.clone())
+            .run_with_snapshot(&prog)
+            .unwrap();
+        assert_eq!(warm.l1.hits, 1);
+        assert_eq!(warm.l1.misses, 0);
+        assert_eq!(warm.disk_reads, 0);
+        assert!(warm.per_client_finish_ns[0] < cold.per_client_finish_ns[0]);
+        assert_eq!(again, snap, "residency is stable across a warm replay");
+    }
+
+    #[test]
+    fn snapshot_seeding_leaves_stats_untouched() {
+        let (cfg, tree) = tiny();
+        let snap = CacheSnapshot {
+            l2: vec![vec![1, 2, 3], vec![]],
+            ..Default::default()
+        };
+        let prog = MappedProgram::new(cfg.num_clients);
+        let (stats, out) = Engine::new(&cfg, &tree)
+            .unwrap()
+            .with_cache_snapshot(snap)
+            .run_with_snapshot(&prog)
+            .unwrap();
+        assert_eq!(stats.l2.accesses(), 0, "seeding is not an access");
+        assert_eq!(out.l2[0], vec![1, 2, 3]);
+    }
 }
 
 #[cfg(test)]
@@ -1491,6 +1791,107 @@ mod fault_tests {
     }
 
     #[test]
+    fn property_lost_dirty_l2_lines_refetched_from_storage_exactly_once() {
+        // Randomized property: after an I/O-node crash and sibling
+        // failover, every dirty L2 line lost in the crash is re-fetched
+        // from the storage level exactly once (the refetch re-populates
+        // the survivors' caches, so later uses hit), and the counters
+        // reconcile — every dirty line the client pushed into L2 either
+        // left as an L2 writeback or was counted lost at the crash.
+        let mut rng = XorShift64::new(0xD117_CACE);
+        for round in 0..12 {
+            // L1 of one chunk forces every dirty write down into L2;
+            // large L2/L3 keep the lost set fully under our control.
+            let cfg = PlatformConfig::tiny().with_cache_chunks(1, 64, 64);
+            let tree = HierarchyTree::from_config(&cfg).unwrap();
+            let k = rng.usize_in(1, 9);
+            let client = rng.usize_in(0, cfg.num_clients);
+            let crashed_io = tree.io_of_client(client);
+            let mut ids = std::collections::BTreeSet::new();
+            while ids.len() < 2 * k {
+                ids.insert(rng.usize_in(0, 1000));
+            }
+            let ids: Vec<usize> = ids.into_iter().collect();
+            let (dirty, fillers) = ids.split_at(k);
+
+            let mut prog = MappedProgram::new(cfg.num_clients);
+            let ops = &mut prog.per_client[client];
+            for i in 0..k {
+                // Write the dirty chunk, then read a filler: the one-line
+                // L1 evicts the dirty chunk into L2 immediately.
+                ops.push(ClientOp::Access {
+                    chunk: dirty[i],
+                    write: true,
+                });
+                ops.push(ClientOp::Access {
+                    chunk: fillers[i],
+                    write: false,
+                });
+            }
+            // Idle past the crash, then read every lost chunk twice.
+            let crash_ns = 1u64 << 39; // far beyond the write phase
+            ops.push(ClientOp::Compute { ns: 1 << 40 });
+            for pass in 0..2 {
+                let _ = pass;
+                for &d in dirty {
+                    ops.push(ClientOp::Access {
+                        chunk: d,
+                        write: false,
+                    });
+                }
+            }
+
+            let plan = FaultPlan::new().with_event(FaultEvent::IoNodeCrash {
+                io: crashed_io,
+                at_ns: crash_ns,
+            });
+            let (stats, trace) = Engine::new(&cfg, &tree)
+                .unwrap()
+                .with_fault_plan(&plan)
+                .unwrap()
+                .run_traced(&prog)
+                .unwrap();
+
+            assert_eq!(stats.faults.crashed_io_nodes, 1, "round {round}");
+            assert!(
+                stats.faults.failovers > 0,
+                "round {round}: sibling took over"
+            );
+            assert_eq!(
+                stats.faults.lost_dirty_chunks, k as u64,
+                "round {round}: exactly the {k} dirty lines are lost"
+            );
+            // Reconciliation: dirty lines entering L2 (L1 writebacks) ==
+            // dirty lines leaving L2 (writebacks) + lines lost in the crash.
+            assert_eq!(
+                stats.l1_evictions.writebacks,
+                stats.l2_evictions.writebacks + stats.faults.lost_dirty_chunks,
+                "round {round}: dirty-line conservation at L2"
+            );
+            for &d in dirty {
+                let post: Vec<&TraceEvent> = trace
+                    .events
+                    .iter()
+                    .filter(|e| e.chunk == d && e.time_ns >= crash_ns)
+                    .collect();
+                assert_eq!(post.len(), 2, "round {round}: chunk {d} read twice");
+                assert!(
+                    matches!(post[0].served_by, ServedBy::L3 | ServedBy::Disk),
+                    "round {round}: first post-crash use of lost chunk {d} must \
+                     re-fetch from storage, got {:?}",
+                    post[0].served_by
+                );
+                assert!(
+                    matches!(post[1].served_by, ServedBy::L1 | ServedBy::L2),
+                    "round {round}: second use of chunk {d} must hit a survivor \
+                     cache (re-fetched once, not twice), got {:?}",
+                    post[1].served_by
+                );
+            }
+        }
+    }
+
+    #[test]
     fn disk_degrade_slows_the_run() {
         let (cfg, tree) = tiny();
         // Single client: the access order cannot re-interleave, so the
@@ -1595,6 +1996,38 @@ mod fault_tests {
             .err()
             .expect("out-of-range io must be rejected");
         assert!(matches!(err, EngineError::Fault(_)));
+    }
+
+    #[test]
+    fn crash_at_start_drains_seeded_snapshot_state() {
+        // A node already dead when the epoch starts must not serve hits
+        // from carried-over residency: the crash event re-fires at the
+        // first tick and drains the seeded (clean) lines.
+        let (cfg, tree) = tiny();
+        let plan = FaultPlan::new().with_event(FaultEvent::IoNodeCrash { io: 0, at_ns: 0 });
+        let snap = CacheSnapshot {
+            l2: vec![vec![3], vec![]],
+            ..Default::default()
+        };
+        let mut prog = MappedProgram::new(cfg.num_clients);
+        prog.per_client[0] = vec![ClientOp::Access {
+            chunk: 3,
+            write: false,
+        }];
+        let stats = Engine::new(&cfg, &tree)
+            .unwrap()
+            .with_fault_plan(&plan)
+            .unwrap()
+            .with_cache_snapshot(snap)
+            .run(&prog)
+            .unwrap();
+        assert_eq!(stats.l2.hits, 0, "dead node must not serve seeded lines");
+        assert_eq!(stats.disk_reads, 1);
+        assert!(stats.faults.failovers >= 1);
+        assert_eq!(
+            stats.faults.lost_dirty_chunks, 0,
+            "seeded residency is clean, so nothing is lost"
+        );
     }
 }
 

@@ -162,6 +162,21 @@ pub enum FaultPlanError {
         /// Offending rate.
         rate_ppm: u32,
     },
+    /// A cache-degrade entry targets a node at or after the crash that
+    /// destroys that node's cache — the degradation could only shrink a
+    /// cache that no longer exists, so the plan is contradictory.
+    /// (Disk degradation after a storage-node crash remains valid: the
+    /// crash models the cache-server daemon, the spindles survive.)
+    CrashDegradeOverlap {
+        /// Which cache level the degrade entry names.
+        level: DegradeLevel,
+        /// Node index within that level.
+        node: usize,
+        /// When the node crashes.
+        crash_at_ns: u64,
+        /// When the (unreachable) degradation was scheduled.
+        degrade_at_ns: u64,
+    },
     /// The plan's JSON form could not be decoded.
     Malformed {
         /// Human-readable decode failure.
@@ -201,6 +216,18 @@ impl fmt::Display for FaultPlanError {
             FaultPlanError::TransientRateTooHigh { rate_ppm } => write!(
                 f,
                 "transient error rate {rate_ppm} ppm must be below 1000000"
+            ),
+            FaultPlanError::CrashDegradeOverlap {
+                level,
+                node,
+                crash_at_ns,
+                degrade_at_ns,
+            } => write!(
+                f,
+                "{} node {node} crashes at {crash_at_ns} ns but a cache degradation \
+                 is scheduled for it at {degrade_at_ns} ns (the crash already \
+                 destroyed that cache)",
+                level.label()
             ),
             FaultPlanError::Malformed { message } => {
                 write!(f, "malformed fault plan: {message}")
@@ -316,6 +343,38 @@ impl FaultPlan {
                         return Err(err);
                     }
                 }
+            }
+        }
+        // A crash destroys the node's cache; a cache-degrade entry for
+        // the same node at or after the crash could never take effect
+        // (the engine used to silently shrink the drained dead cache).
+        for ev in &self.events {
+            let FaultEvent::CacheDegrade {
+                level, node, at_ns, ..
+            } = *ev
+            else {
+                continue;
+            };
+            let crash = self.events.iter().find_map(|c| match *c {
+                FaultEvent::IoNodeCrash { io, at_ns: t }
+                    if level == DegradeLevel::Io && io == node && t <= at_ns =>
+                {
+                    Some(t)
+                }
+                FaultEvent::StorageNodeCrash { storage, at_ns: t }
+                    if level == DegradeLevel::Storage && storage == node && t <= at_ns =>
+                {
+                    Some(t)
+                }
+                _ => None,
+            });
+            if let Some(crash_at_ns) = crash {
+                return Err(FaultPlanError::CrashDegradeOverlap {
+                    level,
+                    node,
+                    crash_at_ns,
+                    degrade_at_ns: at_ns,
+                });
             }
         }
         if let Some(t) = &self.transient {
@@ -601,6 +660,75 @@ mod tests {
                 rate_ppm: 1_000_000
             })
         );
+    }
+
+    #[test]
+    fn degrade_at_or_after_crash_of_same_node_rejected() {
+        let cfg = PlatformConfig::tiny(); // 4 clients, 2 I/O, 1 storage
+                                          // I/O node 0 crashes at 500, then its (dead) L2 "degrades" at 800.
+        let plan = FaultPlan::new()
+            .with_event(FaultEvent::IoNodeCrash { io: 0, at_ns: 500 })
+            .with_event(FaultEvent::CacheDegrade {
+                level: DegradeLevel::Io,
+                node: 0,
+                at_ns: 800,
+                capacity_chunks: 2,
+            });
+        assert_eq!(
+            plan.validate(&cfg),
+            Err(FaultPlanError::CrashDegradeOverlap {
+                level: DegradeLevel::Io,
+                node: 0,
+                crash_at_ns: 500,
+                degrade_at_ns: 800,
+            })
+        );
+        // Same instant counts as overlap (the crash drains the cache first).
+        let plan = FaultPlan::new()
+            .with_event(FaultEvent::StorageNodeCrash {
+                storage: 0,
+                at_ns: 1_000,
+            })
+            .with_event(FaultEvent::CacheDegrade {
+                level: DegradeLevel::Storage,
+                node: 0,
+                at_ns: 1_000,
+                capacity_chunks: 2,
+            });
+        assert!(matches!(
+            plan.validate(&cfg),
+            Err(FaultPlanError::CrashDegradeOverlap { .. })
+        ));
+        // Degrading *before* the crash is a legitimate schedule.
+        let plan = FaultPlan::new()
+            .with_event(FaultEvent::CacheDegrade {
+                level: DegradeLevel::Io,
+                node: 0,
+                at_ns: 100,
+                capacity_chunks: 2,
+            })
+            .with_event(FaultEvent::IoNodeCrash { io: 0, at_ns: 500 });
+        assert_eq!(plan.validate(&cfg), Ok(()));
+        // A different node, or the surviving spindles of a crashed
+        // storage node, may still degrade later.
+        let plan = FaultPlan::new()
+            .with_event(FaultEvent::IoNodeCrash { io: 0, at_ns: 500 })
+            .with_event(FaultEvent::CacheDegrade {
+                level: DegradeLevel::Io,
+                node: 1,
+                at_ns: 800,
+                capacity_chunks: 2,
+            })
+            .with_event(FaultEvent::StorageNodeCrash {
+                storage: 0,
+                at_ns: 500,
+            })
+            .with_event(FaultEvent::DiskDegrade {
+                storage: 0,
+                at_ns: 900,
+                latency_factor: 3,
+            });
+        assert_eq!(plan.validate(&cfg), Ok(()));
     }
 
     #[test]

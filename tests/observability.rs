@@ -43,9 +43,12 @@ fn arb_plan(g: &mut Gen, horizon: u64) -> FaultPlan {
         rate_ppm: g.u64_in(0, 150_000) as u32,
         seed: g.u64_in(0, u64::MAX - 1),
     });
+    let mut crashed_io = None;
     if g.bool() {
+        let io = g.usize_in(0, 1);
+        crashed_io = Some(io);
         plan = plan.with_event(FaultEvent::IoNodeCrash {
-            io: g.usize_in(0, 1),
+            io,
             at_ns: g.u64_in(1, horizon),
         });
     }
@@ -55,9 +58,17 @@ fn arb_plan(g: &mut Gen, horizon: u64) -> FaultPlan {
             DegradeLevel::Io,
             DegradeLevel::Storage,
         ]);
+        // Degrading a crashed node's cache is rejected by plan
+        // validation (`CrashDegradeOverlap`), so aim the I/O-level
+        // degrade at the surviving sibling.
+        let node = if level == DegradeLevel::Io && crashed_io == Some(0) {
+            1
+        } else {
+            0
+        };
         plan = plan.with_event(FaultEvent::CacheDegrade {
             level,
-            node: 0,
+            node,
             at_ns: g.u64_in(1, horizon),
             capacity_chunks: 1,
         });
