@@ -26,6 +26,7 @@
 
 use cachemap_bench::{experiments, report::Matrix, write_report};
 use cachemap_storage::PlatformConfig;
+use cachemap_util::ToJson;
 use cachemap_workloads::Scale;
 
 fn emit(matrices: &[Matrix]) {
@@ -101,19 +102,48 @@ fn worked_example() -> String {
     out
 }
 
+fn usage() -> String {
+    "usage: repro [--test-scale] <subcommand...>\n\
+     \n\
+     paper experiments:\n\
+     \x20 all table1 table2 example fig10 fig11 fig12 fig13 fig14 fig18\n\
+     \x20 alphabeta prefetch refine linkage policies schedmetric deps\n\
+     \x20 multinest mapping-cost resilience\n\
+     diagnostics:\n\
+     \x20 detail:<app> clients:<app> analyze:<app> trace:<app>\n\
+     observability:\n\
+     \x20 obs <artifact.obs.json...>    render exported artifacts\n\
+     \x20 obs-export[:<app>]            capture one observed run\n\
+     fault injection:\n\
+     \x20 chaos[:<seed>[:<plans>]]      seeded fault-plan campaign\n\
+     \x20 chaos-replay <file...>        re-run shrunk repro plans\n\
+     mapping service:\n\
+     \x20 serve[:<addr>]                long-running mapping server\n\
+     \x20                               (default 127.0.0.1:7411)\n\
+     \x20 serve-bench[:<seed>[:<requests>]]\n\
+     \x20                               closed-loop SLO load campaign\n\
+     \x20                               (default seed 42, 1200 requests)\n\
+     help:\n\
+     \x20 help | --help | -h            this screen"
+        .to_string()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let test_scale = args.iter().any(|a| a == "--test-scale");
-    let mut wanted: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
+    let wants_help = args
+        .iter()
+        .any(|a| a == "help" || a == "--help" || a == "-h");
+    let mut wanted: Vec<String> = args
+        .into_iter()
+        .filter(|a| !a.starts_with("--") && a != "help" && a != "-h")
+        .collect();
+    if wants_help {
+        println!("{}", usage());
+        return;
+    }
     if wanted.is_empty() {
-        eprintln!(
-            "usage: repro [--test-scale] <experiment...>\n\
-             experiments: all table1 table2 example fig10 fig11 fig12 fig13 fig14 \
-             fig18 alphabeta prefetch refine linkage policies schedmetric deps multinest \
-             mapping-cost resilience chaos[:<seed>[:<plans>]] obs-export[:<app>]\n\
-             artifact inspection: repro obs <artifact.obs.json...>\n\
-             chaos replay: repro chaos-replay <chaos_repro_*.json...>"
-        );
+        eprintln!("{}", usage());
         std::process::exit(2);
     }
 
@@ -570,8 +600,59 @@ fn main() {
                     println!("  trace client {c}: {firsts:?}");
                 }
             }
+            s if s == "serve" || s.starts_with("serve:") => {
+                let addr = s.strip_prefix("serve:").unwrap_or("127.0.0.1:7411");
+                let service = std::sync::Arc::new(cachemap_service::MapService::start(
+                    cachemap_service::ServiceConfig::default(),
+                ));
+                let server =
+                    cachemap_service::server::Server::spawn(addr, std::sync::Arc::clone(&service))
+                        .unwrap_or_else(|e| {
+                            eprintln!("cannot bind {addr}: {e}");
+                            std::process::exit(2);
+                        });
+                println!(
+                    "mapping service listening on {} (JSON-lines; GET /metrics for Prometheus;\n\
+                     send {{\"op\":\"shutdown\",\"id\":0}} to stop)",
+                    server.addr()
+                );
+                server.join();
+                service.shutdown();
+            }
+            s if s == "serve-bench" || s.starts_with("serve-bench:") => {
+                let mut parts = s.splitn(3, ':').skip(1);
+                let mut cfg = cachemap_bench::serve::ServeBenchConfig::default();
+                if let Some(p) = parts.next() {
+                    cfg.seed = p
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad serve-bench seed: {p}"));
+                }
+                if let Some(p) = parts.next() {
+                    cfg.requests = p
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad serve-bench request count: {p}"));
+                }
+                eprintln!(
+                    "[serve-bench: seed {}, {} requests, {} closed-loop clients …]",
+                    cfg.seed, cfg.requests, cfg.clients
+                );
+                let report = cachemap_bench::serve::run(&cfg).unwrap_or_else(|e| {
+                    eprintln!("serve-bench failed: {e}");
+                    std::process::exit(1);
+                });
+                println!("{}", cachemap_bench::serve::render(&report));
+                match std::fs::write("BENCH_service.json", report.to_json().to_string_pretty()) {
+                    Ok(()) => println!("   [raw numbers: BENCH_service.json]"),
+                    Err(e) => eprintln!("   [warning: could not write BENCH_service.json: {e}]"),
+                }
+                let scratch = format!("BENCH_service-{}", cfg.seed);
+                match write_report(&scratch, &report) {
+                    Ok(path) => println!("   [scratch copy: {}]", path.display()),
+                    Err(e) => eprintln!("   [warning: could not write scratch copy: {e}]"),
+                }
+            }
             other => {
-                eprintln!("unknown experiment: {other}");
+                eprintln!("unknown experiment: {other}\n\n{}", usage());
                 std::process::exit(2);
             }
         }

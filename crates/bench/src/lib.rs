@@ -18,6 +18,7 @@ pub mod chaos;
 pub mod experiments;
 pub mod obs;
 pub mod report;
+pub mod serve;
 pub mod timing;
 
 pub use obs::{render_artifact, run_cell_observed, write_obs_artifact};

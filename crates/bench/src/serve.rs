@@ -1,0 +1,519 @@
+//! Closed-loop load harness for the mapping service (`repro serve-bench`).
+//!
+//! Spawns a live TCP server, replays a seeded zipf-skewed mix of the
+//! eight workload applications against it from several closed-loop
+//! client threads, and reports throughput, cache hit rate, and p50/p99
+//! latency. Three invariants are asserted while the load runs:
+//!
+//! 1. **No silent drops** — every request is answered either with a
+//!    mapping or with a typed `ServiceError` code.
+//! 2. **Byte identity** — every served mapping (hit or miss) serializes
+//!    to exactly the bytes of an uncached `Mapper::map` run.
+//! 3. **Memoization works** — the hit rate over the zipf mix reaches at
+//!    least 50% (the template pool is far smaller than the request
+//!    count, so misses are bounded by the pool size).
+//!
+//! The harness is deterministic for a given `(seed, requests, clients)`
+//! triple in everything but wall-clock timings.
+
+use cachemap_core::{Mapper, MapperConfig, Version};
+use cachemap_polyhedral::DataSpace;
+use cachemap_service::server::Server;
+use cachemap_service::{MapRequest, MapService, ServiceConfig};
+use cachemap_storage::{HierarchyTree, PlatformConfig};
+use cachemap_util::check::Gen;
+use cachemap_util::{json, Json, ToJson};
+use cachemap_workloads::{suite, Scale};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Load-campaign knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeBenchConfig {
+    /// RNG seed for the zipf template sequence.
+    pub seed: u64,
+    /// Total requests across all client threads.
+    pub requests: usize,
+    /// Closed-loop client threads (one TCP connection each).
+    pub clients: usize,
+    /// Limit on workload applications in the template pool
+    /// (`0` = the full eight-application suite); debug-build tests use
+    /// a small pool to keep the cold-oracle phase fast.
+    pub apps: usize,
+}
+
+impl Default for ServeBenchConfig {
+    fn default() -> Self {
+        ServeBenchConfig {
+            seed: 42,
+            requests: 1200,
+            clients: 8,
+            apps: 0,
+        }
+    }
+}
+
+/// Aggregated campaign results.
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    /// The seed the campaign ran with.
+    pub seed: u64,
+    /// Requests sent (= answered; the harness asserts no silent drops).
+    pub requests: usize,
+    /// Distinct request templates in the zipf pool.
+    pub templates: usize,
+    /// Successful responses served from the fingerprint cache.
+    pub hits: u64,
+    /// Successful responses computed by the pipeline.
+    pub computed: u64,
+    /// Typed rejections by `ServiceError` code.
+    pub rejections: BTreeMap<String, u64>,
+    /// Cache hit rate over successful responses.
+    pub hit_rate: f64,
+    /// Requests per second over the whole campaign.
+    pub throughput_rps: f64,
+    /// Median end-to-end latency (µs).
+    pub p50_us: u64,
+    /// 99th-percentile end-to-end latency (µs).
+    pub p99_us: u64,
+    /// Campaign wall-clock (ms).
+    pub elapsed_ms: f64,
+    /// Scraped `/metrics` passed the Prometheus schema check.
+    pub metrics_schema_ok: bool,
+}
+
+impl ToJson for ServeBenchReport {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("bench", Json::Str("serve".into())),
+            ("seed", Json::UInt(self.seed)),
+            ("requests", Json::UInt(self.requests as u64)),
+            ("templates", Json::UInt(self.templates as u64)),
+            ("hits", Json::UInt(self.hits)),
+            ("computed", Json::UInt(self.computed)),
+            (
+                "rejections",
+                Json::Object(
+                    self.rejections
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                        .collect(),
+                ),
+            ),
+            ("hit_rate", Json::Float(self.hit_rate)),
+            ("throughput_rps", Json::Float(self.throughput_rps)),
+            ("p50_us", Json::UInt(self.p50_us)),
+            ("p99_us", Json::UInt(self.p99_us)),
+            ("elapsed_ms", Json::Float(self.elapsed_ms)),
+            ("metrics_schema_ok", Json::Bool(self.metrics_schema_ok)),
+        ])
+    }
+}
+
+struct Template {
+    line: String,
+    cold_bytes: String,
+}
+
+/// Builds the template pool: 8 apps × 2 versions × 2 mapper variants,
+/// with each template's cold-pipeline oracle bytes computed up front.
+fn build_templates(app_limit: usize) -> Vec<Template> {
+    let platform = PlatformConfig::tiny();
+    let tree = HierarchyTree::from_config(&platform).expect("tiny config is valid");
+    let mappers = [
+        MapperConfig::default(),
+        MapperConfig {
+            refine_passes: 1,
+            ..MapperConfig::default()
+        },
+    ];
+    let mut apps = suite(Scale::Test);
+    if app_limit > 0 {
+        apps.truncate(app_limit);
+    }
+    let mut out = Vec::new();
+    for app in apps {
+        let data = DataSpace::new(&app.program.arrays, platform.chunk_bytes);
+        for version in [Version::InterProcessor, Version::InterProcessorScheduled] {
+            for mapper in mappers {
+                let cold_bytes = Mapper::new(mapper)
+                    .map(&app.program, &data, &platform, &tree, version)
+                    .to_json()
+                    .to_string_compact();
+                let req = MapRequest {
+                    id: out.len() as u64,
+                    program: app.program.clone(),
+                    platform: platform.clone(),
+                    mapper,
+                    version,
+                    deadline_ms: None,
+                };
+                out.push(Template {
+                    line: req.to_json().to_string_compact(),
+                    cold_bytes,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Zipf(s = 1.2) sampler over `n` ranks via inverse-CDF table lookup.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize) -> Self {
+        let weights: Vec<f64> = (0..n).map(|r| 1.0 / ((r + 1) as f64).powf(1.2)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Zipf { cdf }
+    }
+
+    fn sample(&self, g: &mut Gen) -> usize {
+        let u = g.f64();
+        self.cdf
+            .iter()
+            .position(|&c| u < c)
+            .unwrap_or(self.cdf.len() - 1)
+    }
+}
+
+struct ClientTally {
+    hits: u64,
+    computed: u64,
+    rejections: BTreeMap<String, u64>,
+    latencies_us: Vec<u64>,
+}
+
+fn drive_client(
+    addr: std::net::SocketAddr,
+    templates: &[Template],
+    zipf: &Zipf,
+    seed: u64,
+    requests: usize,
+) -> Result<ClientTally, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut g = Gen::from_seed(seed);
+    let mut tally = ClientTally {
+        hits: 0,
+        computed: 0,
+        rejections: BTreeMap::new(),
+        latencies_us: Vec::with_capacity(requests),
+    };
+    let mut reply = String::new();
+    for k in 0..requests {
+        let t = &templates[zipf.sample(&mut g)];
+        let t0 = Instant::now();
+        writer
+            .write_all(t.line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("request {k}: write: {e}"))?;
+        reply.clear();
+        reader
+            .read_line(&mut reply)
+            .map_err(|e| format!("request {k}: read: {e}"))?;
+        tally.latencies_us.push(t0.elapsed().as_micros() as u64);
+        if reply.is_empty() {
+            return Err(format!("request {k}: connection closed without a reply"));
+        }
+        let v = json::parse(&reply).map_err(|e| format!("request {k}: bad reply json: {e}"))?;
+        match v.get("status").and_then(Json::as_str) {
+            Some("ok") => {
+                let mapping = v
+                    .get("mapping")
+                    .ok_or_else(|| format!("request {k}: ok reply without a mapping"))?;
+                // Invariant 2: hit or miss, the bytes match the cold run.
+                let got = mapping.to_string_compact();
+                if got != t.cold_bytes {
+                    return Err(format!(
+                        "request {k}: mapping diverged from the cold pipeline \
+                         ({} vs {} bytes)",
+                        got.len(),
+                        t.cold_bytes.len()
+                    ));
+                }
+                if v.get("cached") == Some(&Json::Bool(true)) {
+                    tally.hits += 1;
+                } else {
+                    tally.computed += 1;
+                }
+            }
+            Some("error") => {
+                // Invariant 1: rejections carry a typed code.
+                let code = v
+                    .get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("request {k}: error reply without a code"))?;
+                *tally.rejections.entry(code.to_string()).or_insert(0) += 1;
+            }
+            other => return Err(format!("request {k}: unrecognized status {other:?}")),
+        }
+    }
+    Ok(tally)
+}
+
+/// Checks one Prometheus text exposition for schema validity: every
+/// sample line is `name{label="value",…} number`, with legal metric and
+/// label identifiers.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    fn ident_ok(s: &str, allow_colon: bool) -> bool {
+        !s.is_empty()
+            && s.chars().enumerate().all(|(i, c)| {
+                c.is_ascii_alphabetic()
+                    || c == '_'
+                    || (allow_colon && c == ':')
+                    || (i > 0 && c.is_ascii_digit())
+            })
+    }
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value: {line:?}", ln + 1))?;
+        if !(value == "+Inf" || value == "-Inf" || value == "NaN" || value.parse::<f64>().is_ok()) {
+            return Err(format!("line {}: bad value {value:?}", ln + 1));
+        }
+        let (name, labels) = match series.split_once('{') {
+            None => (series, None),
+            Some((n, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {}: unterminated label set", ln + 1))?;
+                (n, Some(body))
+            }
+        };
+        if !ident_ok(name, true) {
+            return Err(format!("line {}: bad metric name {name:?}", ln + 1));
+        }
+        if let Some(body) = labels {
+            for pair in body.split(',') {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("line {}: bad label pair {pair:?}", ln + 1))?;
+                if !ident_ok(k, false) {
+                    return Err(format!("line {}: bad label name {k:?}", ln + 1));
+                }
+                if !(v.len() >= 2 && v.starts_with('"') && v.ends_with('"')) {
+                    return Err(format!("line {}: unquoted label value {v:?}", ln + 1));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Scrapes `GET /metrics` from a live server over plain HTTP.
+pub fn scrape_metrics(addr: std::net::SocketAddr) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: bench\r\n\r\n")
+        .map_err(|e| format!("write: {e}"))?;
+    let mut raw = String::new();
+    BufReader::new(stream)
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read: {e}"))?;
+    if !raw.starts_with("HTTP/1.1 200") {
+        return Err(format!(
+            "unexpected response: {:?}",
+            raw.lines().next().unwrap_or("")
+        ));
+    }
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .ok_or("no body")?;
+    Ok(body)
+}
+
+/// Runs the full campaign: spawn server, drive the load, scrape
+/// metrics, aggregate. Panics on invariant violations (no-silent-drop,
+/// byte-identity, hit-rate floor).
+pub fn run(cfg: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
+    let templates = Arc::new(build_templates(cfg.apps));
+    let zipf = Arc::new(Zipf::new(templates.len()));
+    let service = Arc::new(MapService::start(ServiceConfig::default()));
+    let server =
+        Server::spawn("127.0.0.1:0", Arc::clone(&service)).map_err(|e| format!("bind: {e}"))?;
+    let addr = server.addr();
+
+    let clients = cfg.clients.max(1);
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let templates = Arc::clone(&templates);
+            let zipf = Arc::clone(&zipf);
+            // Spread the remainder so the totals add up exactly.
+            let share = cfg.requests / clients + usize::from(c < cfg.requests % clients);
+            let seed = cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (c as u64 + 1);
+            std::thread::spawn(move || drive_client(addr, &templates, &zipf, seed, share))
+        })
+        .collect();
+
+    let mut hits = 0u64;
+    let mut computed = 0u64;
+    let mut rejections: BTreeMap<String, u64> = BTreeMap::new();
+    let mut latencies: Vec<u64> = Vec::with_capacity(cfg.requests);
+    for h in handles {
+        let tally = h.join().map_err(|_| "client thread panicked")??;
+        hits += tally.hits;
+        computed += tally.computed;
+        for (code, n) in tally.rejections {
+            *rejections.entry(code).or_insert(0) += n;
+        }
+        latencies.extend(tally.latencies_us);
+    }
+    let elapsed = t0.elapsed();
+
+    // Invariant 1 (no silent drops): every request is accounted for.
+    let rejected: u64 = rejections.values().sum();
+    let answered = hits + computed + rejected;
+    assert_eq!(
+        answered as usize, cfg.requests,
+        "requests dropped without a typed ServiceError"
+    );
+
+    let served = hits + computed;
+    let hit_rate = if served == 0 {
+        0.0
+    } else {
+        hits as f64 / served as f64
+    };
+    // Invariant 3: the zipf mix must actually exercise memoization.
+    if cfg.requests >= 4 * templates.len() {
+        assert!(
+            hit_rate >= 0.5,
+            "hit rate {hit_rate:.3} below the 0.5 floor ({hits} hits / {served} served)"
+        );
+    }
+
+    let metrics = scrape_metrics(addr)?;
+    validate_prometheus(&metrics)?;
+    if !metrics.contains("cachemap_service_cache_hits_total") {
+        return Err("metrics scrape is missing the cache-hit counter".into());
+    }
+
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            0
+        } else {
+            let idx = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len()) - 1;
+            latencies[idx]
+        }
+    };
+    let report = ServeBenchReport {
+        seed: cfg.seed,
+        requests: cfg.requests,
+        templates: templates.len(),
+        hits,
+        computed,
+        rejections,
+        hit_rate,
+        throughput_rps: cfg.requests as f64 / elapsed.as_secs_f64(),
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        metrics_schema_ok: true,
+    };
+
+    server.shutdown();
+    service.shutdown();
+    Ok(report)
+}
+
+/// Renders the human-readable campaign summary.
+pub fn render(report: &ServeBenchReport) -> String {
+    let rej: u64 = report.rejections.values().sum();
+    format!(
+        "== serve-bench — seed {} ==\n\
+         requests      {:>8}   ({} templates, {} clients closed-loop)\n\
+         served        {:>8}   ({} cached + {} computed, hit rate {:.1}%)\n\
+         rejected      {:>8}   (all with typed ServiceError codes)\n\
+         throughput    {:>8.0} req/s\n\
+         latency       p50 {} µs, p99 {} µs\n\
+         wall clock    {:>8.1} ms\n\
+         metrics       Prometheus schema OK",
+        report.seed,
+        report.requests,
+        report.templates,
+        ServeBenchConfig::default().clients,
+        report.hits + report.computed,
+        report.hits,
+        report.computed,
+        report.hit_rate * 100.0,
+        rej,
+        report.throughput_rps,
+        report.p50_us,
+        report.p99_us,
+        report.elapsed_ms,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = Zipf::new(32);
+        let mut g = Gen::from_seed(7);
+        let mut counts = [0usize; 32];
+        for _ in 0..2000 {
+            counts[z.sample(&mut g)] += 1;
+        }
+        assert!(counts[0] > counts[31], "rank 0 must dominate rank 31");
+        assert!(counts.iter().sum::<usize>() == 2000);
+    }
+
+    #[test]
+    fn prometheus_validator_accepts_real_and_rejects_junk() {
+        let good = "# HELP x_total help\n# TYPE x_total counter\n\
+                    x_total{op=\"map\",outcome=\"ok\"} 3\n\
+                    lat_bucket{le=\"+Inf\"} 7\nlat_sum 0.25\n";
+        validate_prometheus(good).unwrap();
+        for bad in [
+            "1bad_name 3\n",
+            "x{op=map} 3\n",
+            "x{op=\"map\"} notanumber\n",
+            "x{op=\"map\" 3\n",
+        ] {
+            assert!(validate_prometheus(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn tiny_campaign_meets_all_invariants() {
+        // Two apps keep the cold-oracle phase fast in debug builds; the
+        // full eight-app pool runs under `repro serve-bench` in release.
+        let report = run(&ServeBenchConfig {
+            seed: 7,
+            requests: 64,
+            clients: 4,
+            apps: 2,
+        })
+        .unwrap();
+        assert_eq!(report.requests, 64);
+        assert_eq!(report.templates, 8);
+        assert!(report.hit_rate >= 0.5);
+        assert!(report.metrics_schema_ok);
+    }
+}

@@ -53,8 +53,10 @@ pub mod online;
 pub mod refine;
 pub mod schedule;
 pub mod tags;
+pub mod wire;
 
 pub use cluster::{Distribution, WorkItem};
 pub use mapper::{Mapper, MapperConfig, Version};
 pub use online::{run_online, OnlineConfig, OnlineDetection, OnlineError, OnlineOutcome};
 pub use tags::{IterationChunk, TaggedNest};
+pub use wire::fingerprint;

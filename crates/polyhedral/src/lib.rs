@@ -36,6 +36,7 @@ pub mod deps;
 pub mod nest;
 pub mod space;
 pub mod transform;
+pub mod wire;
 
 pub use access::{AccessKind, ArrayRef};
 pub use affine::AffineExpr;
@@ -43,3 +44,4 @@ pub use array::{ArrayDecl, ArrayId};
 pub use chunking::{ChunkId, DataSpace};
 pub use nest::{LoopNest, Program};
 pub use space::{IterationSpace, Loop, Point};
+pub use wire::WireError;

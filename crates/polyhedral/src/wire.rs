@@ -1,0 +1,414 @@
+//! JSON wire codec for the polyhedral IR.
+//!
+//! The mapping service receives loop nests over the wire, so [`Program`]
+//! and its constituents serialize to the workspace's [`Json`] tree and
+//! parse back with typed errors. The encoding is positional where order
+//! is semantic (subscripts, dims, loops) and keyed objects elsewhere, so
+//! the canonical-JSON fingerprint of `cachemap-util` is invariant to
+//! field spelling order but sensitive to every value.
+//!
+//! Encodings:
+//!
+//! ```text
+//! AffineExpr     {"coeffs":[c0,…],"constant":k}            (+ "mod":m when quasi-affine)
+//! Loop           {"lower":<expr>,"upper":<expr>}
+//! IterationSpace {"loops":[<loop>,…]}
+//! ArrayRef       {"array":id,"subscripts":[<expr>,…],"write":bool}
+//! ArrayDecl      {"name":s,"dims":[d0,…],"elem_size":b}
+//! LoopNest       {"name":s,"space":<space>,"refs":[<ref>,…],"compute_us":f}
+//! Program        {"name":s,"arrays":[<decl>,…],"nests":[<nest>,…]}
+//! ```
+
+use crate::access::{AccessKind, ArrayRef};
+use crate::affine::AffineExpr;
+use crate::array::ArrayDecl;
+use crate::nest::{LoopNest, Program};
+use crate::space::{IterationSpace, Loop};
+use cachemap_util::{Json, ToJson};
+use std::fmt;
+
+/// A structural problem found while decoding a wire value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Dotted path to the offending field (e.g. `nests[0].space`).
+    pub path: String,
+    /// What was wrong there.
+    pub message: String,
+}
+
+impl WireError {
+    /// Creates an error at `path`.
+    pub fn new(path: impl Into<String>, message: impl Into<String>) -> Self {
+        WireError {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+
+    fn nested(self, prefix: &str) -> Self {
+        WireError {
+            path: if self.path.is_empty() {
+                prefix.to_string()
+            } else {
+                format!("{prefix}.{}", self.path)
+            },
+            message: self.message,
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn want_obj<'a>(v: &'a Json, path: &str) -> Result<&'a Json, WireError> {
+    match v {
+        Json::Object(_) => Ok(v),
+        _ => Err(WireError::new(path, "expected an object")),
+    }
+}
+
+fn field<'a>(v: &'a Json, key: &str, path: &str) -> Result<&'a Json, WireError> {
+    v.get(key)
+        .ok_or_else(|| WireError::new(path, format!("missing field '{key}'")))
+}
+
+fn as_i64(v: &Json, path: &str) -> Result<i64, WireError> {
+    v.as_i64()
+        .ok_or_else(|| WireError::new(path, "expected an integer"))
+}
+
+fn as_u64(v: &Json, path: &str) -> Result<u64, WireError> {
+    v.as_u64()
+        .ok_or_else(|| WireError::new(path, "expected a non-negative integer"))
+}
+
+fn as_f64(v: &Json, path: &str) -> Result<f64, WireError> {
+    v.as_f64()
+        .ok_or_else(|| WireError::new(path, "expected a number"))
+}
+
+fn as_str<'a>(v: &'a Json, path: &str) -> Result<&'a str, WireError> {
+    v.as_str()
+        .ok_or_else(|| WireError::new(path, "expected a string"))
+}
+
+fn as_array<'a>(v: &'a Json, path: &str) -> Result<&'a [Json], WireError> {
+    v.as_array()
+        .ok_or_else(|| WireError::new(path, "expected an array"))
+}
+
+impl ToJson for AffineExpr {
+    fn to_json(&self) -> Json {
+        let coeffs: Vec<Json> = (0..self.num_coeffs())
+            .map(|j| Json::Int(self.coeff(j)))
+            .collect();
+        let mut pairs = vec![
+            ("coeffs", Json::Array(coeffs)),
+            ("constant", Json::Int(self.constant_term())),
+        ];
+        if let Some(m) = self.modulus() {
+            pairs.push(("mod", Json::Int(m)));
+        }
+        Json::object(pairs)
+    }
+}
+
+/// Parses an [`AffineExpr`].
+pub fn affine_from_json(v: &Json) -> Result<AffineExpr, WireError> {
+    want_obj(v, "")?;
+    let coeffs = as_array(field(v, "coeffs", "")?, "coeffs")?
+        .iter()
+        .enumerate()
+        .map(|(i, c)| as_i64(c, &format!("coeffs[{i}]")))
+        .collect::<Result<Vec<i64>, _>>()?;
+    let constant = as_i64(field(v, "constant", "")?, "constant")?;
+    let expr = AffineExpr::new(coeffs, constant);
+    match v.get("mod") {
+        None | Some(Json::Null) => Ok(expr),
+        Some(m) => {
+            let m = as_i64(m, "mod")?;
+            if m <= 0 {
+                return Err(WireError::new("mod", "modulus must be positive"));
+            }
+            Ok(expr.with_mod(m))
+        }
+    }
+}
+
+impl ToJson for Loop {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("lower", self.lower.to_json()),
+            ("upper", self.upper.to_json()),
+        ])
+    }
+}
+
+/// Parses a [`Loop`].
+pub fn loop_from_json(v: &Json) -> Result<Loop, WireError> {
+    want_obj(v, "")?;
+    let lower = affine_from_json(field(v, "lower", "")?).map_err(|e| e.nested("lower"))?;
+    let upper = affine_from_json(field(v, "upper", "")?).map_err(|e| e.nested("upper"))?;
+    Ok(Loop::new(lower, upper))
+}
+
+impl ToJson for IterationSpace {
+    fn to_json(&self) -> Json {
+        Json::object(vec![(
+            "loops",
+            Json::Array(self.loops().iter().map(ToJson::to_json).collect()),
+        )])
+    }
+}
+
+/// Parses an [`IterationSpace`].
+pub fn space_from_json(v: &Json) -> Result<IterationSpace, WireError> {
+    want_obj(v, "")?;
+    let loops = as_array(field(v, "loops", "")?, "loops")?
+        .iter()
+        .enumerate()
+        .map(|(i, l)| loop_from_json(l).map_err(|e| e.nested(&format!("loops[{i}]"))))
+        .collect::<Result<Vec<Loop>, _>>()?;
+    if loops.is_empty() {
+        return Err(WireError::new("loops", "a nest needs at least one loop"));
+    }
+    Ok(IterationSpace::new(loops))
+}
+
+impl ToJson for ArrayRef {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("array", Json::UInt(self.array as u64)),
+            (
+                "subscripts",
+                Json::Array(self.subscripts.iter().map(ToJson::to_json).collect()),
+            ),
+            ("write", Json::Bool(self.kind == AccessKind::Write)),
+        ])
+    }
+}
+
+/// Parses an [`ArrayRef`].
+pub fn array_ref_from_json(v: &Json) -> Result<ArrayRef, WireError> {
+    want_obj(v, "")?;
+    let array = as_u64(field(v, "array", "")?, "array")? as usize;
+    let subscripts = as_array(field(v, "subscripts", "")?, "subscripts")?
+        .iter()
+        .enumerate()
+        .map(|(i, s)| affine_from_json(s).map_err(|e| e.nested(&format!("subscripts[{i}]"))))
+        .collect::<Result<Vec<AffineExpr>, _>>()?;
+    let write = match field(v, "write", "")? {
+        Json::Bool(b) => *b,
+        _ => return Err(WireError::new("write", "expected a boolean")),
+    };
+    Ok(ArrayRef {
+        array,
+        subscripts,
+        kind: if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        },
+    })
+}
+
+impl ToJson for ArrayDecl {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("name", Json::Str(self.name.clone())),
+            (
+                "dims",
+                Json::Array(self.dims.iter().map(|&d| Json::Int(d)).collect()),
+            ),
+            ("elem_size", Json::UInt(self.elem_size)),
+        ])
+    }
+}
+
+/// Parses an [`ArrayDecl`].
+pub fn array_decl_from_json(v: &Json) -> Result<ArrayDecl, WireError> {
+    want_obj(v, "")?;
+    let name = as_str(field(v, "name", "")?, "name")?;
+    let dims = as_array(field(v, "dims", "")?, "dims")?
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let d = as_i64(d, &format!("dims[{i}]"))?;
+            if d <= 0 {
+                return Err(WireError::new(
+                    format!("dims[{i}]"),
+                    "dimensions must be positive",
+                ));
+            }
+            Ok(d)
+        })
+        .collect::<Result<Vec<i64>, _>>()?;
+    if dims.is_empty() {
+        return Err(WireError::new("dims", "an array needs at least one dim"));
+    }
+    let elem_size = as_u64(field(v, "elem_size", "")?, "elem_size")?;
+    if elem_size == 0 {
+        return Err(WireError::new("elem_size", "element size must be positive"));
+    }
+    Ok(ArrayDecl::new(name, dims, elem_size))
+}
+
+impl ToJson for LoopNest {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("space", self.space.to_json()),
+            (
+                "refs",
+                Json::Array(self.refs.iter().map(ToJson::to_json).collect()),
+            ),
+            ("compute_us", Json::Float(self.compute_us)),
+        ])
+    }
+}
+
+/// Parses a [`LoopNest`].
+pub fn nest_from_json(v: &Json) -> Result<LoopNest, WireError> {
+    want_obj(v, "")?;
+    let name = as_str(field(v, "name", "")?, "name")?;
+    let space = space_from_json(field(v, "space", "")?).map_err(|e| e.nested("space"))?;
+    let refs = as_array(field(v, "refs", "")?, "refs")?
+        .iter()
+        .enumerate()
+        .map(|(i, r)| array_ref_from_json(r).map_err(|e| e.nested(&format!("refs[{i}]"))))
+        .collect::<Result<Vec<ArrayRef>, _>>()?;
+    let compute_us = match v.get("compute_us") {
+        None => 1.0,
+        Some(c) => as_f64(c, "compute_us")?,
+    };
+    if compute_us.is_nan() || compute_us < 0.0 {
+        return Err(WireError::new(
+            "compute_us",
+            "compute cost must be a non-negative number",
+        ));
+    }
+    Ok(LoopNest::new(name, space, refs).with_compute_us(compute_us))
+}
+
+impl ToJson for Program {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("name", Json::Str(self.name.clone())),
+            (
+                "arrays",
+                Json::Array(self.arrays.iter().map(ToJson::to_json).collect()),
+            ),
+            (
+                "nests",
+                Json::Array(self.nests.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// Parses a [`Program`], validating that every reference targets a
+/// declared array (so the constructor's assertion cannot fire on wire
+/// input).
+pub fn program_from_json(v: &Json) -> Result<Program, WireError> {
+    want_obj(v, "")?;
+    let name = as_str(field(v, "name", "")?, "name")?;
+    let arrays = as_array(field(v, "arrays", "")?, "arrays")?
+        .iter()
+        .enumerate()
+        .map(|(i, a)| array_decl_from_json(a).map_err(|e| e.nested(&format!("arrays[{i}]"))))
+        .collect::<Result<Vec<ArrayDecl>, _>>()?;
+    let nests = as_array(field(v, "nests", "")?, "nests")?
+        .iter()
+        .enumerate()
+        .map(|(i, n)| nest_from_json(n).map_err(|e| e.nested(&format!("nests[{i}]"))))
+        .collect::<Result<Vec<LoopNest>, _>>()?;
+    for (ni, n) in nests.iter().enumerate() {
+        for (ri, r) in n.refs.iter().enumerate() {
+            if r.array >= arrays.len() {
+                return Err(WireError::new(
+                    format!("nests[{ni}].refs[{ri}].array"),
+                    format!(
+                        "references array {} but only {} arrays are declared",
+                        r.array,
+                        arrays.len()
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(Program::new(name, arrays, nests))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_program() -> Program {
+        let a = ArrayDecl::new("A", vec![64], 8);
+        let b = ArrayDecl::new("B", vec![8, 8], 4);
+        let space = IterationSpace::new(vec![
+            Loop::constant(0, 7),
+            Loop::new(AffineExpr::constant(0), AffineExpr::var(0)),
+        ]);
+        let refs = vec![
+            ArrayRef::read(0, vec![AffineExpr::var(1).with_mod(16)]),
+            ArrayRef::read(1, vec![AffineExpr::var(0), AffineExpr::var_plus(1, 0)]),
+            ArrayRef::write(0, vec![AffineExpr::new(vec![8, 1], 0)]),
+        ];
+        Program::new(
+            "wire-sample",
+            vec![a, b],
+            vec![LoopNest::new("tri", space, refs).with_compute_us(2.5)],
+        )
+    }
+
+    #[test]
+    fn program_round_trips_exactly() {
+        let p = sample_program();
+        let j = p.to_json();
+        let back = program_from_json(&j).unwrap();
+        assert_eq!(back, p);
+        // And through actual bytes.
+        let reparsed = cachemap_util::json::parse(&j.to_string_pretty()).unwrap();
+        assert_eq!(program_from_json(&reparsed).unwrap(), p);
+    }
+
+    #[test]
+    fn dangling_array_reference_is_a_typed_error() {
+        let p = sample_program();
+        let mut j = p.to_json();
+        if let Json::Object(pairs) = &mut j {
+            for (k, v) in pairs.iter_mut() {
+                if k == "arrays" {
+                    if let Json::Array(items) = v {
+                        items.pop();
+                    }
+                }
+            }
+        }
+        let err = program_from_json(&j).unwrap_err();
+        assert!(err.path.contains("array"), "{err}");
+    }
+
+    #[test]
+    fn bad_scalars_are_typed_errors() {
+        let mut j = sample_program().to_json();
+        if let Json::Object(pairs) = &mut j {
+            pairs.retain(|(k, _)| k != "name");
+        }
+        let err = program_from_json(&j).unwrap_err();
+        assert!(err.message.contains("name"), "{err}");
+
+        let bad = Json::object(vec![
+            ("coeffs", Json::Array(vec![Json::Int(1)])),
+            ("constant", Json::Int(0)),
+            ("mod", Json::Int(-3)),
+        ]);
+        assert!(affine_from_json(&bad).is_err());
+    }
+}

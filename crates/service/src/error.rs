@@ -1,0 +1,133 @@
+//! Typed rejection and failure errors for the mapping service.
+//!
+//! Every request that the service does not answer with a mapping is
+//! answered with a [`ServiceError`] — there is no silent drop path.
+//! The variants mirror the admission state machine (see DESIGN.md
+//! "Service layer"): malformed input is rejected at parse time, overload
+//! at admission time, lateness at dispatch or wait time, and teardown
+//! drains the queue with [`ServiceError::Shutdown`].
+
+use cachemap_polyhedral::wire::WireError;
+use cachemap_util::Json;
+use std::fmt;
+
+/// Why a request was not served with a mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The request was structurally invalid (JSON shape, unknown
+    /// version, inconsistent platform, dangling array reference…).
+    BadRequest {
+        /// Human-readable description, with a field path when known.
+        message: String,
+    },
+    /// The admission queue was full — backpressure, try again later.
+    QueueFull {
+        /// Queue depth observed at rejection.
+        depth: usize,
+        /// The configured admission limit.
+        limit: usize,
+    },
+    /// The request's deadline expired before a worker produced a result.
+    DeadlineExceeded {
+        /// The deadline budget the request ran with, in milliseconds.
+        budget_ms: u64,
+    },
+    /// The service is shutting down; queued work is drained with this.
+    Shutdown,
+    /// An unexpected internal failure (never the caller's fault).
+    Internal {
+        /// Description for the server log.
+        message: String,
+    },
+}
+
+impl ServiceError {
+    /// Stable machine-readable code for the wire protocol.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::BadRequest { .. } => "bad_request",
+            ServiceError::QueueFull { .. } => "queue_full",
+            ServiceError::DeadlineExceeded { .. } => "deadline_exceeded",
+            ServiceError::Shutdown => "shutdown",
+            ServiceError::Internal { .. } => "internal",
+        }
+    }
+
+    /// The `{"code":…,"message":…}` wire body.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("code", Json::Str(self.code().to_string())),
+            ("message", Json::Str(self.to_string())),
+        ])
+    }
+
+    /// Parses the error object of a wire response (client side).
+    pub fn from_response_json(v: &Json) -> Option<ServiceError> {
+        let code = v.get("code")?.as_str()?;
+        let message = v.get("message").and_then(Json::as_str).unwrap_or("");
+        Some(match code {
+            "bad_request" => ServiceError::BadRequest {
+                message: message.to_string(),
+            },
+            "queue_full" => ServiceError::QueueFull { depth: 0, limit: 0 },
+            "deadline_exceeded" => ServiceError::DeadlineExceeded { budget_ms: 0 },
+            "shutdown" => ServiceError::Shutdown,
+            "internal" => ServiceError::Internal {
+                message: message.to_string(),
+            },
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::BadRequest { message } => write!(f, "bad request: {message}"),
+            ServiceError::QueueFull { depth, limit } => {
+                write!(f, "admission queue full ({depth}/{limit})")
+            }
+            ServiceError::DeadlineExceeded { budget_ms } => {
+                write!(f, "deadline exceeded ({budget_ms} ms budget)")
+            }
+            ServiceError::Shutdown => write!(f, "service is shutting down"),
+            ServiceError::Internal { message } => write!(f, "internal error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<WireError> for ServiceError {
+    fn from(e: WireError) -> Self {
+        ServiceError::BadRequest {
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_distinct_and_round_trip() {
+        let errs = [
+            ServiceError::BadRequest {
+                message: "x".into(),
+            },
+            ServiceError::QueueFull { depth: 9, limit: 8 },
+            ServiceError::DeadlineExceeded { budget_ms: 5 },
+            ServiceError::Shutdown,
+            ServiceError::Internal {
+                message: "y".into(),
+            },
+        ];
+        let codes: std::collections::HashSet<&str> = errs.iter().map(|e| e.code()).collect();
+        assert_eq!(codes.len(), errs.len());
+        for e in &errs {
+            let back = ServiceError::from_response_json(&e.to_json()).unwrap();
+            assert_eq!(back.code(), e.code());
+        }
+    }
+}

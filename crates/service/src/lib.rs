@@ -1,0 +1,495 @@
+//! # cachemap-service — mapping as a service.
+//!
+//! The HPDC'10 pipeline computes one mapping per loop nest; the
+//! production system this workspace grows toward must answer *repeated*
+//! mapping queries from many tenants in microseconds. This crate turns
+//! the mapper into a long-lived, concurrent, cache-fronted service:
+//!
+//! * [`MapService`] — the in-process engine: a fixed worker thread pool
+//!   behind a **bounded admission queue** (reject-on-full backpressure,
+//!   per-request deadlines, typed [`ServiceError`] rejections — the
+//!   request-level analogue of the storage engine's `RequestPolicy`),
+//!   fronted by a sharded LRU **mapping cache** keyed by the canonical
+//!   content fingerprint of `(program, platform, params, version)`.
+//!   Because the pipeline is deterministic, a cache hit returns a
+//!   mapping byte-identical to a cold run — memoization is semantically
+//!   invisible (property-tested in `tests/service.rs`).
+//! * [`server::Server`] — the TCP front end: JSON-lines request/response
+//!   (see [`proto`]) plus a plain-HTTP `GET /metrics` Prometheus
+//!   endpoint on the same port, backed by an `obs::Registry`.
+//!
+//! ```no_run
+//! use cachemap_service::{MapService, ServiceConfig, server::Server};
+//! use std::sync::Arc;
+//!
+//! let service = Arc::new(MapService::start(ServiceConfig::default()));
+//! let server = Server::spawn("127.0.0.1:7411", Arc::clone(&service)).unwrap();
+//! println!("serving mappings on {}", server.addr());
+//! # server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod proto;
+pub mod server;
+
+pub use error::ServiceError;
+pub use proto::{MapRequest, MapResponse, Request};
+
+use cachemap_obs::Registry;
+use cachemap_polyhedral::DataSpace;
+use cachemap_storage::{HierarchyTree, MappedProgram};
+use cachemap_util::{Fingerprint, Json, ShardedLru};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Latency histogram bucket bounds, in seconds.
+const LATENCY_BUCKETS: [f64; 14] = [
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+];
+
+/// Service tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads draining the admission queue. `0` is permitted
+    /// (admit but never serve) and exists for backpressure tests.
+    pub workers: usize,
+    /// Maximum queued (admitted, not yet dispatched) requests; beyond
+    /// this, submissions are rejected with [`ServiceError::QueueFull`].
+    pub queue_limit: usize,
+    /// Number of independently locked cache shards.
+    pub cache_shards: usize,
+    /// Entries per cache shard (total capacity = shards × this).
+    pub cache_capacity_per_shard: usize,
+    /// Default per-request deadline in milliseconds when the request
+    /// does not carry one; `0` disables deadlines by default.
+    pub default_deadline_ms: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_limit: 64,
+            cache_shards: 8,
+            cache_capacity_per_shard: 128,
+            default_deadline_ms: 10_000,
+        }
+    }
+}
+
+/// A point-in-time snapshot of the service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Mapping-cache hits (submit fast path + worker in-flight hits).
+    pub hits: u64,
+    /// Mapping-cache misses (requests that ran the pipeline).
+    pub misses: u64,
+    /// Requests rejected with [`ServiceError::QueueFull`].
+    pub queue_full: u64,
+    /// Requests rejected with [`ServiceError::DeadlineExceeded`].
+    pub deadline_exceeded: u64,
+    /// Current mapping-cache entry count.
+    pub cache_entries: u64,
+    /// Current admission-queue depth.
+    pub queue_depth: u64,
+}
+
+impl ServiceStats {
+    /// Cache hit rate in `[0, 1]` (`0` before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// JSON body for the `stats` protocol op.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("hits", Json::UInt(self.hits)),
+            ("misses", Json::UInt(self.misses)),
+            ("queue_full", Json::UInt(self.queue_full)),
+            ("deadline_exceeded", Json::UInt(self.deadline_exceeded)),
+            ("cache_entries", Json::UInt(self.cache_entries)),
+            ("queue_depth", Json::UInt(self.queue_depth)),
+            ("hit_rate", Json::Float(self.hit_rate())),
+        ])
+    }
+}
+
+struct Job {
+    fp: Fingerprint,
+    req: MapRequest,
+    deadline: Option<Instant>,
+    budget_ms: u64,
+    reply: mpsc::SyncSender<Result<(Arc<MappedProgram>, bool), ServiceError>>,
+}
+
+struct Inner {
+    cfg: ServiceConfig,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    cache: ShardedLru<Fingerprint, Arc<MappedProgram>>,
+    metrics: Mutex<Registry>,
+    stopping: AtomicBool,
+}
+
+/// The in-process mapping service: worker pool + admission queue +
+/// fingerprint-keyed mapping cache. Cheap to share behind an [`Arc`];
+/// dropped services shut their workers down.
+pub struct MapService {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl MapService {
+    /// Starts the worker pool and returns the running service.
+    pub fn start(cfg: ServiceConfig) -> Self {
+        let inner = Arc::new(Inner {
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            cache: ShardedLru::new(cfg.cache_shards.max(1), cfg.cache_capacity_per_shard.max(1)),
+            metrics: Mutex::new(Registry::new()),
+            stopping: AtomicBool::new(false),
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("map-worker-{i}"))
+                    .spawn(move || inner.worker_loop())
+                    .expect("spawn mapping worker")
+            })
+            .collect();
+        MapService {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.cfg
+    }
+
+    /// Submits one mapping request and blocks until it is served,
+    /// rejected, or its deadline expires.
+    ///
+    /// The fast path — a fingerprint-cache hit — answers in O(hash +
+    /// shard lookup) without touching the queue. Misses are admitted to
+    /// the bounded queue (or rejected with a typed error) and computed
+    /// by the worker pool.
+    pub fn submit(&self, req: MapRequest) -> Result<MapResponse, ServiceError> {
+        self.inner.submit(req)
+    }
+
+    /// Renders the metric registry in Prometheus text format, with the
+    /// queue-depth and cache-entries gauges refreshed first.
+    pub fn metrics_text(&self) -> String {
+        self.inner.refresh_gauges();
+        self.inner
+            .metrics
+            .lock()
+            .expect("metrics poisoned")
+            .to_prometheus()
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.inner.stats()
+    }
+
+    /// Stops the worker pool: pending queue entries are answered with
+    /// [`ServiceError::Shutdown`], workers are joined. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.stopping.store(true, Ordering::SeqCst);
+        {
+            let mut q = self.inner.queue.lock().expect("queue poisoned");
+            for job in q.drain(..) {
+                let _ = job.reply.try_send(Err(ServiceError::Shutdown));
+            }
+        }
+        self.inner.available.notify_all();
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .expect("workers poisoned")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MapService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Inner {
+    fn submit(&self, req: MapRequest) -> Result<MapResponse, ServiceError> {
+        let start = Instant::now();
+        if self.stopping.load(Ordering::SeqCst) {
+            self.count_outcome("shutdown");
+            return Err(ServiceError::Shutdown);
+        }
+        req.platform
+            .validate()
+            .map_err(|e| self.reject_bad_request(format!("platform: {e}")))?;
+        let fp = cachemap_core::fingerprint(&req.program, &req.platform, &req.mapper, req.version);
+
+        // Fast path: O(lookup) on the sharded cache, no queueing.
+        if let Some(mapping) = self.cache.get(&fp) {
+            self.record_hit(start);
+            return Ok(MapResponse {
+                id: req.id,
+                cached: true,
+                fingerprint: fp,
+                mapping,
+                service_us: start.elapsed().as_micros() as u64,
+            });
+        }
+
+        let budget_ms = req.deadline_ms.unwrap_or(self.cfg.default_deadline_ms);
+        let deadline = if budget_ms == 0 && req.deadline_ms.is_some() {
+            // An explicit zero budget is an already-expired deadline.
+            self.count_outcome("deadline_exceeded");
+            self.observe_latency("rejected", start);
+            return Err(ServiceError::DeadlineExceeded { budget_ms });
+        } else if budget_ms == 0 {
+            None
+        } else {
+            Some(start + Duration::from_millis(budget_ms))
+        };
+
+        // Admission: bounded queue, reject-on-full backpressure.
+        let (tx, rx) = mpsc::sync_channel(1);
+        {
+            let mut q = self.queue.lock().expect("queue poisoned");
+            if self.stopping.load(Ordering::SeqCst) {
+                self.count_outcome("shutdown");
+                return Err(ServiceError::Shutdown);
+            }
+            if q.len() >= self.cfg.queue_limit {
+                let depth = q.len();
+                drop(q);
+                self.count_outcome("queue_full");
+                self.observe_latency("rejected", start);
+                return Err(ServiceError::QueueFull {
+                    depth,
+                    limit: self.cfg.queue_limit,
+                });
+            }
+            q.push_back(Job {
+                fp,
+                req: req.clone(),
+                deadline,
+                budget_ms,
+                reply: tx,
+            });
+        }
+        self.available.notify_one();
+
+        // Wait for the worker (or the deadline, whichever first).
+        let outcome = match deadline {
+            None => rx.recv().map_err(|_| ServiceError::Shutdown)?,
+            Some(d) => {
+                let budget = d.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(budget) {
+                    Ok(res) => res,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        self.count_outcome("deadline_exceeded");
+                        self.observe_latency("rejected", start);
+                        return Err(ServiceError::DeadlineExceeded { budget_ms });
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServiceError::Shutdown),
+                }
+            }
+        };
+        match outcome {
+            Ok((mapping, was_cached)) => {
+                let outcome_label = if was_cached {
+                    "ok_cached"
+                } else {
+                    "ok_computed"
+                };
+                self.count_outcome(outcome_label);
+                self.observe_latency(if was_cached { "hit" } else { "computed" }, start);
+                Ok(MapResponse {
+                    id: req.id,
+                    cached: was_cached,
+                    fingerprint: fp,
+                    mapping,
+                    service_us: start.elapsed().as_micros() as u64,
+                })
+            }
+            Err(e) => {
+                self.count_outcome(e.code());
+                self.observe_latency("rejected", start);
+                Err(e)
+            }
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock().expect("queue poisoned");
+                loop {
+                    if let Some(job) = q.pop_front() {
+                        break job;
+                    }
+                    if self.stopping.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    q = self.available.wait(q).expect("queue poisoned");
+                }
+            };
+
+            // Late at dispatch: answer with the typed rejection rather
+            // than burning a worker on a result nobody is waiting for.
+            if let Some(d) = job.deadline {
+                if Instant::now() > d {
+                    let _ = job.reply.try_send(Err(ServiceError::DeadlineExceeded {
+                        budget_ms: job.budget_ms,
+                    }));
+                    continue;
+                }
+            }
+
+            // In-flight duplicate: another worker may have filled the
+            // cache since admission.
+            if let Some(mapping) = self.cache.get(&job.fp) {
+                self.bump_counter("cachemap_service_cache_hits_total", "Mapping cache hits");
+                let _ = job.reply.try_send(Ok((mapping, true)));
+                continue;
+            }
+
+            let computed_at = Instant::now();
+            let result = self.compute(&job.req);
+            match result {
+                Ok(mapping) => {
+                    let mapping = Arc::new(mapping);
+                    self.cache.insert(job.fp, Arc::clone(&mapping));
+                    self.bump_counter(
+                        "cachemap_service_cache_misses_total",
+                        "Mapping cache misses (pipeline runs)",
+                    );
+                    {
+                        let mut m = self.metrics.lock().expect("metrics poisoned");
+                        m.histogram_observe(
+                            "cachemap_service_map_compute_seconds",
+                            "Cold mapping pipeline latency",
+                            &LATENCY_BUCKETS,
+                            &[],
+                            computed_at.elapsed().as_secs_f64(),
+                        );
+                    }
+                    let _ = job.reply.try_send(Ok((mapping, false)));
+                }
+                Err(e) => {
+                    let _ = job.reply.try_send(Err(e));
+                }
+            }
+        }
+    }
+
+    fn compute(&self, req: &MapRequest) -> Result<MappedProgram, ServiceError> {
+        let tree =
+            HierarchyTree::from_config(&req.platform).map_err(|e| ServiceError::BadRequest {
+                message: format!("platform: {e}"),
+            })?;
+        let data = DataSpace::new(&req.program.arrays, req.platform.chunk_bytes);
+        let mapper = cachemap_core::Mapper::new(req.mapper);
+        Ok(mapper.map(&req.program, &data, &req.platform, &tree, req.version))
+    }
+
+    fn reject_bad_request(&self, message: String) -> ServiceError {
+        self.count_outcome("bad_request");
+        ServiceError::BadRequest { message }
+    }
+
+    fn record_hit(&self, start: Instant) {
+        self.bump_counter("cachemap_service_cache_hits_total", "Mapping cache hits");
+        self.count_outcome("ok_cached");
+        self.observe_latency("hit", start);
+    }
+
+    fn bump_counter(&self, name: &str, help: &str) {
+        let mut m = self.metrics.lock().expect("metrics poisoned");
+        m.counter_add(name, help, &[], 1);
+    }
+
+    fn count_outcome(&self, outcome: &str) {
+        let mut m = self.metrics.lock().expect("metrics poisoned");
+        m.counter_add(
+            "cachemap_service_requests_total",
+            "Mapping requests by outcome",
+            &[("op", "map"), ("outcome", outcome)],
+            1,
+        );
+    }
+
+    fn observe_latency(&self, path: &str, start: Instant) {
+        let mut m = self.metrics.lock().expect("metrics poisoned");
+        m.histogram_observe(
+            "cachemap_service_request_latency_seconds",
+            "End-to-end service latency by path",
+            &LATENCY_BUCKETS,
+            &[("path", path)],
+            start.elapsed().as_secs_f64(),
+        );
+    }
+
+    fn refresh_gauges(&self) {
+        let depth = self.queue.lock().expect("queue poisoned").len();
+        let entries = self.cache.len();
+        let mut m = self.metrics.lock().expect("metrics poisoned");
+        m.gauge_set(
+            "cachemap_service_queue_depth",
+            "Current admission-queue depth",
+            &[],
+            depth as f64,
+        );
+        m.gauge_set(
+            "cachemap_service_cache_entries",
+            "Current mapping-cache entry count",
+            &[],
+            entries as f64,
+        );
+    }
+
+    fn stats(&self) -> ServiceStats {
+        let m = self.metrics.lock().expect("metrics poisoned");
+        let outcome = |o: &str| {
+            m.counter(
+                "cachemap_service_requests_total",
+                &[("op", "map"), ("outcome", o)],
+            )
+            .unwrap_or(0)
+        };
+        ServiceStats {
+            hits: m
+                .counter("cachemap_service_cache_hits_total", &[])
+                .unwrap_or(0),
+            misses: m
+                .counter("cachemap_service_cache_misses_total", &[])
+                .unwrap_or(0),
+            queue_full: outcome("queue_full"),
+            deadline_exceeded: outcome("deadline_exceeded"),
+            cache_entries: self.cache.len() as u64,
+            queue_depth: self.queue.lock().expect("queue poisoned").len() as u64,
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! The TCP front end: JSON-lines requests plus a plain-HTTP
+//! `GET /metrics` endpoint on the same port.
+//!
+//! Each accepted connection gets its own thread; lines are dispatched
+//! to the shared [`MapService`]. A connection whose first bytes look
+//! like an HTTP request line (`GET …`) is answered with one HTTP
+//! response (Prometheus text for `/metrics`, 404 otherwise) and closed,
+//! so ordinary scrapers need no special client.
+
+use crate::proto::{self, Request};
+use crate::MapService;
+use cachemap_util::ToJson;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running mapping server: an accept loop plus per-connection threads.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    service: Arc<MapService>,
+}
+
+impl Server {
+    /// Binds `bind` (e.g. `"127.0.0.1:7411"`, port 0 for ephemeral) and
+    /// starts accepting connections against `service`.
+    pub fn spawn<A: ToSocketAddrs>(bind: A, service: Arc<MapService>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_service = Arc::clone(&service);
+        let accept_thread = std::thread::Builder::new()
+            .name("map-server-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let svc = Arc::clone(&accept_service);
+                    let conn_stop = Arc::clone(&accept_stop);
+                    let _ = std::thread::Builder::new()
+                        .name("map-server-conn".into())
+                        .spawn(move || {
+                            let _ = serve_connection(stream, &svc, &conn_stop, addr);
+                        });
+                }
+            })?;
+        Ok(Server {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            service,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept loop. The
+    /// underlying [`MapService`] is left running (shut it down
+    /// separately if owned). Idempotent.
+    pub fn shutdown(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// The service this server fronts.
+    pub fn service(&self) -> &Arc<MapService> {
+        &self.service
+    }
+
+    /// Blocks until the server stops (an in-protocol `shutdown` request
+    /// or a [`Server::shutdown`] call from another thread).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    service: &MapService,
+    stop: &AtomicBool,
+    addr: SocketAddr,
+) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // peer closed
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        // HTTP scrape path: answer one response and close.
+        if line.starts_with("GET ") || line.starts_with("HEAD ") {
+            return serve_http(&line, &mut reader, &mut writer, service);
+        }
+        let reply = dispatch(&line, service, stop);
+        writer.write_all(reply.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if stop.load(Ordering::SeqCst) {
+            // Unblock the accept loop so `join` returns promptly.
+            let _ = TcpStream::connect(addr);
+            return Ok(());
+        }
+    }
+}
+
+fn dispatch(line: &str, service: &MapService, stop: &AtomicBool) -> String {
+    match proto::parse_request(line) {
+        Err(e) => proto::error_response_json(0, "unknown", &e).to_string_compact(),
+        Ok(Request::Ping { id }) => {
+            proto::ok_response_json(id, "ping", vec![("pong", cachemap_util::Json::Bool(true))])
+                .to_string_compact()
+        }
+        Ok(Request::Metrics { id }) => proto::ok_response_json(
+            id,
+            "metrics",
+            vec![(
+                "prometheus",
+                cachemap_util::Json::Str(service.metrics_text()),
+            )],
+        )
+        .to_string_compact(),
+        Ok(Request::Stats { id }) => {
+            proto::ok_response_json(id, "stats", vec![("stats", service.stats().to_json())])
+                .to_string_compact()
+        }
+        Ok(Request::Shutdown { id }) => {
+            stop.store(true, Ordering::SeqCst);
+            proto::ok_response_json(
+                id,
+                "shutdown",
+                vec![("stopping", cachemap_util::Json::Bool(true))],
+            )
+            .to_string_compact()
+        }
+        Ok(Request::Map(req)) => {
+            let id = req.id;
+            match service.submit(*req) {
+                Ok(resp) => resp.to_json().to_string_compact(),
+                Err(e) => proto::error_response_json(id, "map", &e).to_string_compact(),
+            }
+        }
+    }
+}
+
+fn serve_http(
+    request_line: &str,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    service: &MapService,
+) -> std::io::Result<()> {
+    // Drain the request headers so the peer's write isn't reset.
+    let mut header = String::new();
+    while reader.read_line(&mut header)? > 0 {
+        if header == "\r\n" || header == "\n" {
+            break;
+        }
+        header.clear();
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let (status, body) = if path == "/metrics" {
+        ("200 OK", service.metrics_text())
+    } else {
+        ("404 Not Found", "not found\n".to_string())
+    };
+    write!(
+        writer,
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    writer.flush()
+}

@@ -51,6 +51,7 @@ pub mod sim;
 pub mod supervisor;
 pub mod topology;
 pub mod trace;
+pub mod wire;
 
 pub use config::{ConfigError, PlatformConfig};
 pub use engine::{

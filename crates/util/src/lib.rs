@@ -16,6 +16,10 @@
 //!   experiment harness so every figure/table prints in a uniform format.
 //! * [`json`] — a dependency-free JSON value tree, writer, and parser with
 //!   deterministic output bytes (used for reports and fault plans).
+//! * [`fingerprint`] — stable 128-bit content fingerprints of canonical
+//!   JSON (the mapping service's memoization key).
+//! * [`lru`] — a sharded, thread-safe, exact-LRU cache (the mapping
+//!   service's memo store).
 //! * [`rng`] — a seeded xorshift64* generator for deterministic fault
 //!   sampling and test-input generation.
 //! * [`check`] — a miniature property-test harness built on [`rng`].
@@ -25,13 +29,17 @@
 
 pub mod bitset;
 pub mod check;
+pub mod fingerprint;
 pub mod hash;
 pub mod json;
+pub mod lru;
 pub mod rng;
 pub mod stats;
 pub mod table;
 
 pub use bitset::{BitSet, CountVec};
+pub use fingerprint::{canonical, fingerprint_json, Fingerprint};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use json::{Json, ToJson};
+pub use lru::ShardedLru;
 pub use rng::XorShift64;

@@ -1,0 +1,270 @@
+//! A sharded, thread-safe LRU cache.
+//!
+//! The mapping service keeps computed `Mapping`s keyed by request
+//! fingerprint; lookups must be cheap under concurrency, so the cache is
+//! split into independently locked shards (keyed by a stable hash of the
+//! key) and each shard maintains exact LRU order with an intrusive
+//! doubly-linked list over a slot arena — `get`, `insert`, and eviction
+//! are all O(1) plus one hash lookup.
+//!
+//! The cache is value-cloning (`V: Clone`); callers that hold large
+//! values (like a whole mapped program) wrap them in `Arc` so a hit is a
+//! reference-count bump, never a deep copy.
+
+use crate::hash::FxHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+const NIL: usize = usize::MAX;
+
+struct Slot<K, V> {
+    key: K,
+    val: V,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: an exact-LRU map of bounded capacity.
+struct Shard<K, V> {
+    map: crate::hash::FxHashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            map: crate::hash::FxHashMap::default(),
+            slots: Vec::with_capacity(capacity.min(64)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn get(&mut self, key: &K) -> Option<V> {
+        let &i = self.map.get(key)?;
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+        Some(self.slots[i].val.clone())
+    }
+
+    /// Returns `true` when the key was newly inserted (vs. replaced).
+    fn insert(&mut self, key: K, val: V) -> bool {
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].val = val;
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return false;
+        }
+        if self.map.len() >= self.capacity {
+            // Evict the least-recently-used entry.
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.unlink(victim);
+            let old_key = self.slots[victim].key.clone();
+            self.map.remove(&old_key);
+            self.free.push(victim);
+        }
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Slot {
+                    key: key.clone(),
+                    val,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.slots.push(Slot {
+                    key: key.clone(),
+                    val,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.push_front(i);
+        self.map.insert(key, i);
+        true
+    }
+}
+
+/// A sharded LRU cache: `shards` independent locks, each bounding its own
+/// entry count, for a total capacity of `shards × capacity_per_shard`.
+pub struct ShardedLru<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
+    /// Creates a cache with `shards` shards of `capacity_per_shard`
+    /// entries each. Both must be positive.
+    pub fn new(shards: usize, capacity_per_shard: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(capacity_per_shard > 0, "shard capacity must be positive");
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard::new(capacity_per_shard)))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Looks `key` up, promoting it to most-recently-used on a hit.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).lock().expect("lru shard poisoned").get(key)
+    }
+
+    /// Inserts (or refreshes) `key → val`; evicts the shard's LRU entry
+    /// when the shard is full. Returns `true` for a new key.
+    pub fn insert(&self, key: K, val: V) -> bool {
+        self.shard(&key)
+            .lock()
+            .expect("lru shard poisoned")
+            .insert(key, val)
+    }
+
+    /// Current number of entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("lru shard poisoned").map.len())
+            .sum()
+    }
+
+    /// True when no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total capacity (shards × per-shard capacity).
+    pub fn capacity(&self) -> usize {
+        self.shards.len()
+            * self
+                .shards
+                .first()
+                .map(|s| s.lock().expect("lru shard poisoned").capacity)
+                .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check;
+
+    #[test]
+    fn get_promotes_and_eviction_is_lru() {
+        let c: ShardedLru<u64, u64> = ShardedLru::new(1, 3);
+        for k in 0..3 {
+            assert!(c.insert(k, k * 10));
+        }
+        assert_eq!(c.get(&0), Some(0)); // promote 0; LRU is now 1
+        c.insert(3, 30); // evicts 1
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.get(&0), Some(0));
+        assert_eq!(c.get(&2), Some(20));
+        assert_eq!(c.get(&3), Some(30));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn insert_replaces_in_place() {
+        let c: ShardedLru<u64, &str> = ShardedLru::new(2, 4);
+        assert!(c.insert(7, "a"));
+        assert!(!c.insert(7, "b"));
+        assert_eq!(c.get(&7), Some("b"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn capacity_is_respected_per_shard() {
+        let c: ShardedLru<u64, u64> = ShardedLru::new(4, 2);
+        for k in 0..100 {
+            c.insert(k, k);
+        }
+        assert!(c.len() <= c.capacity());
+        assert_eq!(c.capacity(), 8);
+    }
+
+    /// Model check: a single-shard cache behaves exactly like a naive
+    /// Vec-based reference LRU over random op sequences.
+    #[test]
+    fn matches_reference_model() {
+        check::cases(0x11aa_22bb, 200, |g| {
+            let cap = g.usize_in(1, 6);
+            let cache: ShardedLru<u64, u64> = ShardedLru::new(1, cap);
+            // Reference: front = MRU.
+            let mut model: Vec<(u64, u64)> = Vec::new();
+            for _ in 0..g.usize_in(1, 120) {
+                let k = g.u64_in(0, 10);
+                if g.bool() {
+                    let v = g.u64_in(0, 1000);
+                    cache.insert(k, v);
+                    if let Some(pos) = model.iter().position(|e| e.0 == k) {
+                        model.remove(pos);
+                    } else if model.len() >= cap {
+                        model.pop();
+                    }
+                    model.insert(0, (k, v));
+                } else {
+                    let got = cache.get(&k);
+                    let want = model.iter().position(|e| e.0 == k).map(|pos| {
+                        let e = model.remove(pos);
+                        model.insert(0, e);
+                        e.1
+                    });
+                    assert_eq!(got, want);
+                }
+                assert_eq!(cache.len(), model.len());
+            }
+        });
+    }
+
+    #[test]
+    fn is_send_and_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<ShardedLru<u64, u64>>();
+    }
+}

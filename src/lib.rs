@@ -7,19 +7,11 @@
 //! system so that its multi-level cache hierarchy (client L1 → I/O-node
 //! L2 → storage-node L3) is shared *constructively*.
 //!
-//! This umbrella crate re-exports the workspace members:
-//!
-//! * [`polyhedral`] — loop nests, affine references, iteration spaces,
-//!   dependences, transformations (the compiler substrate);
-//! * [`storage`] — the deterministic storage-platform simulator
-//!   (cache tree, LRU caches, striped disks, discrete-event engine);
-//! * [`core`] — the paper's contribution: iteration tags, similarity
-//!   graph, hierarchical clustering, load balancing, local scheduling,
-//!   dependence handling, and the comparison baselines;
-//! * [`workloads`] — the eight-application evaluation suite;
-//! * [`obs`] — deterministic observability: mapper phase profiles,
-//!   engine metric time series, JSON/Prometheus export;
-//! * [`util`] — bitsets, hashing, statistics.
+//! This umbrella crate re-exports the workspace members —
+//! [`polyhedral`], [`storage`], [`core`], [`workloads`], [`obs`],
+//! [`service`], and [`util`]. The per-crate one-line tour lives in one
+//! place, the *Layout* table of `README.md`; each member's own crate
+//! docs cover the details.
 //!
 //! ## Quickstart
 //!
@@ -58,6 +50,7 @@
 pub use cachemap_core as core;
 pub use cachemap_obs as obs;
 pub use cachemap_polyhedral as polyhedral;
+pub use cachemap_service as service;
 pub use cachemap_storage as storage;
 pub use cachemap_util as util;
 pub use cachemap_workloads as workloads;
