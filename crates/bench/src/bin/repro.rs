@@ -123,6 +123,10 @@ fn usage() -> String {
      \x20 serve-bench[:<seed>[:<requests>]]\n\
      \x20                               closed-loop SLO load campaign\n\
      \x20                               (default seed 42, 1200 requests)\n\
+     parallel runtime:\n\
+     \x20 bench-cluster[:<seed>]        sequential vs parallel distribute\n\
+     \x20                               at paper scale (default seed 42);\n\
+     \x20                               CACHEMAP_THREADS caps pool workers\n\
      help:\n\
      \x20 help | --help | -h            this screen"
         .to_string()
@@ -618,6 +622,43 @@ fn main() {
                 );
                 server.join();
                 service.shutdown();
+            }
+            s if s == "bench-cluster" || s.starts_with("bench-cluster:") => {
+                let seed: u64 = s.strip_prefix("bench-cluster").map_or(42, |rest| {
+                    let rest = rest.strip_prefix(':').unwrap_or("");
+                    if rest.is_empty() {
+                        42
+                    } else {
+                        rest.parse()
+                            .unwrap_or_else(|_| panic!("bad bench-cluster seed: {rest}"))
+                    }
+                });
+                let cfg = if test_scale {
+                    cachemap_bench::cluster_bench::ClusterBenchConfig::smoke(seed)
+                } else {
+                    cachemap_bench::cluster_bench::ClusterBenchConfig::paper_scale(seed)
+                };
+                eprintln!(
+                    "[bench-cluster: seed {seed}, {} chunks on the {}x{}x{} hierarchy, pools {:?} \
+                     (set {} to cap workers) …]",
+                    cfg.t_steps * cfg.v,
+                    cfg.platform.num_clients,
+                    cfg.platform.num_io_nodes,
+                    cfg.platform.num_storage_nodes,
+                    cfg.pool_sizes,
+                    cachemap_par::THREADS_ENV,
+                );
+                let report = cachemap_bench::cluster_bench::run(&cfg);
+                println!("{}", report.render());
+                match std::fs::write("BENCH_cluster.json", report.to_json().to_string_pretty()) {
+                    Ok(()) => println!("   [raw numbers: BENCH_cluster.json]"),
+                    Err(e) => eprintln!("   [warning: could not write BENCH_cluster.json: {e}]"),
+                }
+                let scratch = format!("BENCH_cluster-{seed}");
+                match write_report(&scratch, &report) {
+                    Ok(path) => println!("   [scratch copy: {}]", path.display()),
+                    Err(e) => eprintln!("   [warning: could not write scratch copy: {e}]"),
+                }
             }
             s if s == "serve-bench" || s.starts_with("serve-bench:") => {
                 let mut parts = s.splitn(3, ':').skip(1);

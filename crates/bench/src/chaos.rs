@@ -27,6 +27,7 @@ use cachemap_core::cluster::{ClusterParams, Distribution};
 use cachemap_core::online::{plan_joint, run_online, written_chunks, OnlineConfig};
 use cachemap_core::schedule::ScheduleParams;
 use cachemap_core::tags::IterationChunk;
+use cachemap_par::Pool;
 use cachemap_polyhedral::{DataSpace, Program};
 use cachemap_storage::{
     DegradeLevel, FaultEvent, FaultPlan, HierarchyTree, MappedProgram, PlatformConfig, Simulator,
@@ -56,6 +57,12 @@ pub struct ChaosConfig {
     pub slowdown_factor: f64,
     /// Directory that receives `chaos_repro_*.json` files.
     pub repro_dir: PathBuf,
+    /// Worker pool for the per-plan invariant checks. Plans are
+    /// generated sequentially (the generator consumes one RNG stream)
+    /// and shrinking stays sequential; only the independent
+    /// [`check_plan`] evaluations fan out, so the campaign report is
+    /// byte-identical for any pool size.
+    pub pool: Pool,
 }
 
 impl ChaosConfig {
@@ -72,6 +79,7 @@ impl ChaosConfig {
             epochs: 4,
             slowdown_factor: 2.0,
             repro_dir: PathBuf::from("."),
+            pool: Pool::from_env(),
         }
     }
 }
@@ -481,11 +489,30 @@ pub fn run_campaign(cfg: &ChaosConfig, mut progress: impl FnMut(&PlanSummary)) -
         plans: Vec::with_capacity(cfg.plans),
         failures: Vec::new(),
     };
-    for index in 0..cfg.plans {
-        let ctx = &contexts[rng.usize_in(0, contexts.len())];
-        let plan = gen_plan(&mut rng, &cfg.platform, ctx.clean_ns);
-        debug_assert!(plan.validate(&cfg.platform).is_ok());
-        let violations = check_plan(ctx, &cfg.platform, &plan, cfg.epochs, cfg.slowdown_factor);
+    // Plan generation consumes one RNG stream, so it stays sequential
+    // (it is cheap); the expensive invariant checks are pure functions
+    // of (context, plan) and fan out onto the pool. Results come back
+    // in plan order, so progress logging, the report, and shrinking are
+    // byte-identical to a sequential campaign.
+    let planned: Vec<(usize, FaultPlan)> = (0..cfg.plans)
+        .map(|_| {
+            let ctx_index = rng.usize_in(0, contexts.len());
+            let plan = gen_plan(&mut rng, &cfg.platform, contexts[ctx_index].clean_ns);
+            debug_assert!(plan.validate(&cfg.platform).is_ok());
+            (ctx_index, plan)
+        })
+        .collect();
+    let checked: Vec<Vec<String>> = cfg.pool.map(&planned, |_, (ctx_index, plan)| {
+        check_plan(
+            &contexts[*ctx_index],
+            &cfg.platform,
+            plan,
+            cfg.epochs,
+            cfg.slowdown_factor,
+        )
+    });
+    for (index, ((ctx_index, plan), violations)) in planned.iter().zip(checked).enumerate() {
+        let ctx = &contexts[*ctx_index];
         let summary = PlanSummary {
             index,
             app: ctx.name.clone(),
@@ -497,7 +524,7 @@ pub fn run_campaign(cfg: &ChaosConfig, mut progress: impl FnMut(&PlanSummary)) -
         report.plans.push(summary);
         if !violations.is_empty() {
             let (shrunk, shrunk_violations) =
-                shrink(ctx, &cfg.platform, &plan, cfg.epochs, cfg.slowdown_factor);
+                shrink(ctx, &cfg.platform, plan, cfg.epochs, cfg.slowdown_factor);
             let mut failure = ChaosFailure {
                 plan_index: index,
                 app: ctx.name.clone(),

@@ -15,6 +15,7 @@ use cachemap_storage::{HierarchyTree, PlatformConfig, SimReport, Simulator};
 use cachemap_workloads::{Application, Scale};
 
 pub mod chaos;
+pub mod cluster_bench;
 pub mod experiments;
 pub mod obs;
 pub mod report;
@@ -77,38 +78,13 @@ pub fn run_suite(
         }
     }
 
-    let results: Vec<(usize, Version, SimReport)> = {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(cells.len().max(1));
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let out_slots: Vec<std::sync::Mutex<Option<(usize, Version, SimReport)>>> = (0..cells
-            .len())
-            .map(|_| std::sync::Mutex::new(None))
-            .collect();
-        std::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= cells.len() {
-                        break;
-                    }
-                    let (ai, v) = cells[i];
-                    let rep = run_cell(&apps[ai], platform, mapper_cfg, v);
-                    *out_slots[i].lock().expect("worker poisoned slot") = Some((ai, v, rep));
-                });
-            }
+    // One pool task per (app, version) cell; `CACHEMAP_THREADS`
+    // overrides the machine's available parallelism. Results come back
+    // in cell order, so the per-app tables below are deterministic.
+    let results: Vec<(usize, Version, SimReport)> = cachemap_par::Pool::from_env()
+        .map(&cells, |_, &(ai, v)| {
+            (ai, v, run_cell(&apps[ai], platform, mapper_cfg, v))
         });
-        out_slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("worker poisoned slot")
-                    .expect("cell completed")
-            })
-            .collect()
-    };
 
     let mut per_app: Vec<AppResults> = apps
         .iter()

@@ -17,6 +17,7 @@
 //! triple in everything but wall-clock timings.
 
 use cachemap_core::{Mapper, MapperConfig, Version};
+use cachemap_par::Pool;
 use cachemap_polyhedral::DataSpace;
 use cachemap_service::server::Server;
 use cachemap_service::{MapRequest, MapService, ServiceConfig};
@@ -348,8 +349,8 @@ pub fn scrape_metrics(addr: std::net::SocketAddr) -> Result<String, String> {
 /// metrics, aggregate. Panics on invariant violations (no-silent-drop,
 /// byte-identity, hit-rate floor).
 pub fn run(cfg: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
-    let templates = Arc::new(build_templates(cfg.apps));
-    let zipf = Arc::new(Zipf::new(templates.len()));
+    let templates = build_templates(cfg.apps);
+    let zipf = Zipf::new(templates.len());
     let service = Arc::new(MapService::start(ServiceConfig::default()));
     let server =
         Server::spawn("127.0.0.1:0", Arc::clone(&service)).map_err(|e| format!("bind: {e}"))?;
@@ -357,23 +358,26 @@ pub fn run(cfg: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
 
     let clients = cfg.clients.max(1);
     let t0 = Instant::now();
-    let handles: Vec<_> = (0..clients)
-        .map(|c| {
-            let templates = Arc::clone(&templates);
-            let zipf = Arc::clone(&zipf);
+    // The closed-loop load generator runs through the shared pool: one
+    // task per client, `CACHEMAP_THREADS` bounding how many drive the
+    // server at once (all of them by default). Tallies come back in
+    // client order, so the aggregation below is deterministic.
+    let client_ids: Vec<usize> = (0..clients).collect();
+    let tallies = Pool::from_env_or(clients)
+        .try_map(&client_ids, |_, &c| {
             // Spread the remainder so the totals add up exactly.
             let share = cfg.requests / clients + usize::from(c < cfg.requests % clients);
             let seed = cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (c as u64 + 1);
-            std::thread::spawn(move || drive_client(addr, &templates, &zipf, seed, share))
+            drive_client(addr, &templates, &zipf, seed, share)
         })
-        .collect();
+        .map_err(|e| format!("client worker panicked: {e}"))?;
 
     let mut hits = 0u64;
     let mut computed = 0u64;
     let mut rejections: BTreeMap<String, u64> = BTreeMap::new();
     let mut latencies: Vec<u64> = Vec::with_capacity(cfg.requests);
-    for h in handles {
-        let tally = h.join().map_err(|_| "client thread panicked")??;
+    for tally in tallies {
+        let tally = tally?;
         hits += tally.hits;
         computed += tally.computed;
         for (code, n) in tally.rejections {

@@ -21,8 +21,19 @@
 
 use crate::tags::IterationChunk;
 use cachemap_obs::Profile;
+use cachemap_par::Pool;
 use cachemap_storage::topology::{CacheLevel, HierarchyTree, NodeId};
 use cachemap_util::{BitSet, CountVec};
+
+/// Minimum cluster count before the pairwise similarity build and the
+/// initial best-partner scans go parallel; below this the spawn cost of
+/// a scoped fan-out exceeds the dot-product work. Results are identical
+/// either way — this is purely a work-size cutoff.
+const PAR_MIN_SIM_CLUSTERS: usize = 96;
+
+/// Minimum total item count at a tree node before its per-subtree
+/// recursion fans out onto the pool.
+const PAR_MIN_FANOUT_ITEMS: usize = 32;
 
 /// A contiguous slice of one iteration chunk's iterations.
 ///
@@ -186,17 +197,21 @@ pub fn distribute(
     distribute_profiled(chunks, tree, params, &mut Profile::disabled())
 }
 
-/// [`distribute`] with phase accounting: one span per hierarchy level
-/// (`level:root` → `level:storage` → `level:io`), each carrying the
-/// merge/split/balance-move counters for that level plus a
-/// `similarity-graph` child span for the pairwise dot-product build.
-/// Sibling subtrees at the same depth accumulate into one span, so the
-/// profile mirrors the levels of Figure 5, not the tree fan-out. With a
-/// disabled profile this is exactly [`distribute`].
-pub fn distribute_profiled(
+/// [`distribute_profiled`] on a worker pool: the pairwise similarity
+/// build, the initial best-partner scans, and the per-subtree recursion
+/// at each hierarchy level fan out onto `pool`.
+///
+/// The result — the distribution *and* every profile counter — is
+/// byte-identical to the sequential kernel for any pool size: work is
+/// split by item index, per-subtree profiles are absorbed in child
+/// order, and the greedy merge loop itself (inherently sequential)
+/// never moves off the calling thread. `Pool::sequential()` recovers
+/// [`distribute_profiled`] exactly.
+pub fn distribute_pooled(
     chunks: &[IterationChunk],
     tree: &HierarchyTree,
     params: &ClusterParams,
+    pool: &Pool,
     prof: &mut Profile,
 ) -> Distribution {
     let mut per_client: Vec<Vec<WorkItem>> = vec![Vec::new(); tree.num_clients()];
@@ -212,9 +227,26 @@ pub fn distribute_profiled(
         all_items,
         params,
         &mut per_client,
+        pool,
         prof,
     );
     Distribution { per_client }
+}
+
+/// [`distribute`] with phase accounting: one span per hierarchy level
+/// (`level:root` → `level:storage` → `level:io`), each carrying the
+/// merge/split/balance-move counters for that level plus a
+/// `similarity-graph` child span for the pairwise dot-product build.
+/// Sibling subtrees at the same depth accumulate into one span, so the
+/// profile mirrors the levels of Figure 5, not the tree fan-out. With a
+/// disabled profile this is exactly [`distribute`].
+pub fn distribute_profiled(
+    chunks: &[IterationChunk],
+    tree: &HierarchyTree,
+    params: &ClusterParams,
+    prof: &mut Profile,
+) -> Distribution {
+    distribute_pooled(chunks, tree, params, &Pool::sequential(), prof)
 }
 
 /// Span name for the clustering step performed *at* a node of `level`.
@@ -236,6 +268,7 @@ fn distribute_at_node(
     items: Vec<WorkItem>,
     params: &ClusterParams,
     per_client: &mut [Vec<WorkItem>],
+    pool: &Pool,
     prof: &mut Profile,
 ) {
     let tn = tree.node(node);
@@ -248,7 +281,7 @@ fn distribute_at_node(
     prof.push(level_span_name(tn.level));
     prof.count("items", items.len() as u64);
     let num_clusters = tn.children.len();
-    let mut clusters = partition_into(chunks, items, num_clusters, params, prof);
+    let mut clusters = partition_into(chunks, items, num_clusters, params, pool, prof);
     // Hand clusters to children in a deterministic order: by the
     // earliest iteration chunk each cluster contains (this also matches
     // the per-client assignment of the paper's worked example,
@@ -272,8 +305,58 @@ fn distribute_at_node(
     if weights.windows(2).any(|w| w[0] != w[1]) {
         balance_to_weights(&mut clusters, chunks, params, &weights, prof);
     }
-    for (cluster, &child) in clusters.into_iter().zip(&tn.children) {
-        distribute_at_node(chunks, tree, child, cluster.items, params, per_client, prof);
+    let total_items: usize = clusters.iter().map(|c| c.items.len()).sum();
+    if !pool.is_sequential() && tn.children.len() > 1 && total_items >= PAR_MIN_FANOUT_ITEMS {
+        // Subtrees are independent: fan them out, each task recursing
+        // into a fresh profile, then absorb the task profiles in child
+        // order so spans and counters match the sequential recursion.
+        let tasks: Vec<(Vec<WorkItem>, NodeId)> = clusters
+            .into_iter()
+            .zip(&tn.children)
+            .map(|(c, &child)| (c.items, child))
+            .collect();
+        let num_clients = per_client.len();
+        let prof_on = prof.is_enabled();
+        let results = pool.map(&tasks, |_, (task_items, child)| {
+            let mut local: Vec<Vec<WorkItem>> = vec![Vec::new(); num_clients];
+            let mut sub_prof = if prof_on {
+                Profile::enabled()
+            } else {
+                Profile::disabled()
+            };
+            distribute_at_node(
+                chunks,
+                tree,
+                *child,
+                task_items.clone(),
+                params,
+                &mut local,
+                pool,
+                &mut sub_prof,
+            );
+            (local, sub_prof)
+        });
+        for (local, sub_prof) in results {
+            for (client, assigned) in local.into_iter().enumerate() {
+                if !assigned.is_empty() {
+                    per_client[client] = assigned;
+                }
+            }
+            prof.absorb(&sub_prof);
+        }
+    } else {
+        for (cluster, &child) in clusters.into_iter().zip(&tn.children) {
+            distribute_at_node(
+                chunks,
+                tree,
+                child,
+                cluster.items,
+                params,
+                per_client,
+                pool,
+                prof,
+            );
+        }
     }
     prof.pop();
 }
@@ -286,6 +369,7 @@ fn partition_into(
     items: Vec<WorkItem>,
     num_clusters: usize,
     params: &ClusterParams,
+    pool: &Pool,
     prof: &mut Profile,
 ) -> Vec<Cluster> {
     let r = chunks.first().map_or(0, |c| c.tag.len());
@@ -296,7 +380,7 @@ fn partition_into(
         .collect();
 
     if clusters.len() > num_clusters {
-        merge_stage(&mut clusters, num_clusters, params.linkage, prof);
+        merge_stage(&mut clusters, num_clusters, params.linkage, pool, prof);
     }
     while clusters.len() < num_clusters {
         // "Select cαq such that S(cαq) is max; break it into two."
@@ -358,17 +442,49 @@ impl PairKey {
 ///   the merged pair (or beaten by the new cluster) are recomputed, so
 ///   a merge costs `O(n)` plus the occasional rescan instead of the
 ///   naive `O(n²)` full pair search.
-fn merge_stage(clusters: &mut Vec<Cluster>, target: usize, linkage: Linkage, prof: &mut Profile) {
+fn merge_stage(
+    clusters: &mut Vec<Cluster>,
+    target: usize,
+    linkage: Linkage,
+    pool: &Pool,
+    prof: &mut Profile,
+) {
     let n = clusters.len();
     let mut dots = vec![0u64; n * n];
+    let par = !pool.is_sequential() && n >= PAR_MIN_SIM_CLUSTERS;
     prof.scope("similarity-graph", |prof| {
         let mut nonzero = 0u64;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let d = clusters[i].tag.dot(&clusters[j].tag);
-                dots[i * n + j] = d;
-                dots[j * n + i] = d;
-                nonzero += u64::from(d > 0);
+        if par {
+            // Row i of the strict upper triangle is a pure function of
+            // the (immutable) cluster tags: build rows in parallel,
+            // then mirror them into the symmetric matrix in order.
+            let row_ids: Vec<usize> = (0..n).collect();
+            let rows: Vec<(Vec<u64>, u64)> = pool.map(&row_ids, |_, &i| {
+                let mut row = Vec::with_capacity(n - i - 1);
+                let mut row_nonzero = 0u64;
+                for j in (i + 1)..n {
+                    let d = clusters[i].tag.dot(&clusters[j].tag);
+                    row_nonzero += u64::from(d > 0);
+                    row.push(d);
+                }
+                (row, row_nonzero)
+            });
+            for (i, (row, row_nonzero)) in rows.into_iter().enumerate() {
+                for (off, d) in row.into_iter().enumerate() {
+                    let j = i + 1 + off;
+                    dots[i * n + j] = d;
+                    dots[j * n + i] = d;
+                }
+                nonzero += row_nonzero;
+            }
+        } else {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let d = clusters[i].tag.dot(&clusters[j].tag);
+                    dots[i * n + j] = d;
+                    dots[j * n + i] = d;
+                    nonzero += u64::from(d > 0);
+                }
             }
         }
         prof.count("pairs", (n * (n - 1) / 2) as u64);
@@ -396,16 +512,26 @@ fn merge_stage(clusters: &mut Vec<Cluster>, target: usize, linkage: Linkage, pro
         }
     };
 
-    // best[i] = the partner j maximizing key(i, j) over alive j ≠ i.
+    // best[i] = the partner j maximizing key(i, j) over alive j ≠ i
+    // with a **nonzero** dot, cached together with its key. A cached
+    // key only goes stale when one of its endpoints is merged — exactly
+    // the cases the repair rules below rescan — so the argmax loop can
+    // compare cached keys instead of recomputing them every round.
+    // Zero-dot pairs are never cached: they can't beat any nonzero pair
+    // under the key order, and once only zero pairs remain the loop
+    // hands off to `zero_phase_merges` (the same tie-break order).
     let scan_best = |dots: &[u64],
                      members: &[u64],
                      clusters: &[Cluster],
                      alive: &[bool],
                      i: usize|
-     -> Option<usize> {
+     -> Option<(usize, PairKey)> {
         let mut best: Option<(usize, PairKey)> = None;
         for (j, &alive_j) in alive.iter().enumerate() {
             if j == i || !alive_j {
+                continue;
+            }
+            if dots[i.min(j) * n + i.max(j)] == 0 {
                 continue;
             }
             let k = key(dots, members, clusters, i, j);
@@ -414,33 +540,42 @@ fn merge_stage(clusters: &mut Vec<Cluster>, target: usize, linkage: Linkage, pro
                 _ => best = Some((j, k)),
             }
         }
-        best.map(|(j, _)| j)
+        best
     };
 
-    let mut best: Vec<Option<usize>> = (0..n)
-        .map(|i| scan_best(&dots, &members, clusters, &alive, i))
-        .collect();
+    // The initial scans are independent per cluster (everything is
+    // still alive); `scan_best` itself is deterministic, so parallel
+    // and sequential builds of the cache are identical.
+    let mut best: Vec<Option<(usize, PairKey)>> = if par {
+        let ids: Vec<usize> = (0..n).collect();
+        pool.map(&ids, |_, &i| {
+            scan_best(&dots, &members, clusters, &alive, i)
+        })
+    } else {
+        (0..n)
+            .map(|i| scan_best(&dots, &members, clusters, &alive, i))
+            .collect()
+    };
 
     while alive_count > target {
-        // Global argmax over the per-cluster best partners.
+        // Global argmax over the per-cluster best partners (keys come
+        // from the cache, kept fresh by the repair rules below).
         let mut top: Option<PairKey> = None;
         for i in 0..n {
             if !alive[i] {
                 continue;
             }
-            if let Some(j) = best[i] {
-                let k = key(&dots, &members, clusters, i, j);
+            if let Some((_, k)) = &best[i] {
                 match &top {
                     Some(tk) if !k.better_than(tk) => {}
-                    _ => top = Some(k),
+                    _ => top = Some(*k),
                 }
             }
         }
         let Some(top) = top else {
-            // Invariant: alive_count > target ≥ 1 leaves at least two
-            // alive clusters, so a best partner always exists. Fall back
-            // to tie-break merges rather than aborting the distribution.
-            debug_assert!(false, "no merge candidate while above target");
+            // Every remaining alive pair has a zero dot product (the
+            // cache only holds nonzero-similarity partners), so the
+            // greedy order reduces to the size/index tie-break.
             zero_phase_merges(
                 clusters,
                 &mut members,
@@ -498,19 +633,22 @@ fn merge_stage(clusters: &mut Vec<Cluster>, target: usize, linkage: Linkage, pro
                 continue;
             }
             match best[i] {
-                Some(b) if b == p || b == q => {
+                Some((b, _)) if b == p || b == q => {
                     // The cached partner changed or died: full rescan.
                     best[i] = scan_best(&dots, &members, clusters, &alive, i);
                 }
-                Some(b) => {
-                    // Only pair (i, p) changed; adopt it if it now wins.
-                    let cur = key(&dots, &members, clusters, i, b);
+                // Only pair (i, p) changed; adopt it if it now wins. A
+                // zero dot can never beat the cached (nonzero) key.
+                Some((_, cur)) if dots[i.min(p) * n + i.max(p)] > 0 => {
                     let with_p = key(&dots, &members, clusters, i, p);
                     if with_p.better_than(&cur) {
-                        best[i] = Some(p);
+                        best[i] = Some((p, with_p));
                     }
                 }
-                None => best[i] = scan_best(&dots, &members, clusters, &alive, i),
+                Some(_) => {}
+                // An all-zero row stays all-zero: dot(p∪q, i) is the sum
+                // of two entries that were both zero, so nothing to do.
+                None => {}
             }
         }
     }
@@ -955,6 +1093,30 @@ pub fn remap_failed_profiled(
     params: &ClusterParams,
     prof: &mut Profile,
 ) -> Result<Distribution, RemapError> {
+    remap_failed_pooled(
+        dist,
+        chunks,
+        tree,
+        failed,
+        params,
+        &Pool::sequential(),
+        prof,
+    )
+}
+
+/// [`remap_failed_profiled`] on a worker pool: the re-clustering pass
+/// over the pruned tree runs through [`distribute_pooled`], with the
+/// same byte-identity guarantee for any pool size.
+#[allow(clippy::too_many_arguments)]
+pub fn remap_failed_pooled(
+    dist: &Distribution,
+    chunks: &[IterationChunk],
+    tree: &HierarchyTree,
+    failed: &[usize],
+    params: &ClusterParams,
+    pool: &Pool,
+    prof: &mut Profile,
+) -> Result<Distribution, RemapError> {
     if dist.per_client.len() != tree.num_clients() {
         return Err(RemapError::ClientCountMismatch {
             distribution_clients: dist.per_client.len(),
@@ -976,7 +1138,7 @@ pub fn remap_failed_profiled(
     }
     let (pruned, survivor_map) = tree.prune_clients(failed)?;
 
-    let sub_dist = distribute_profiled(chunks, &pruned, params, prof);
+    let sub_dist = distribute_pooled(chunks, &pruned, params, pool, prof);
     let mut out = Distribution {
         per_client: vec![Vec::new(); dist.per_client.len()],
     };

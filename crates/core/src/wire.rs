@@ -205,6 +205,72 @@ pub fn mapper_config_from_json(v: &Json) -> Result<MapperConfig, WireError> {
     Ok(cfg)
 }
 
+impl ToJson for crate::cluster::Distribution {
+    /// Canonical wire form of a distribution: one array per client, each
+    /// item as `[chunk, start, end]`. Compact and deterministic, so two
+    /// distributions are equal iff their serializations are
+    /// byte-identical — the comparison the parallel-kernel property
+    /// tests and `bench-cluster` rely on.
+    fn to_json(&self) -> Json {
+        Json::Array(
+            self.per_client
+                .iter()
+                .map(|items| {
+                    Json::Array(
+                        items
+                            .iter()
+                            .map(|it| {
+                                Json::Array(vec![
+                                    Json::UInt(it.chunk as u64),
+                                    Json::UInt(it.start as u64),
+                                    Json::UInt(it.end as u64),
+                                ])
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Parses the [`ToJson`] form of a [`crate::cluster::Distribution`].
+pub fn distribution_from_json(v: &Json) -> Result<crate::cluster::Distribution, WireError> {
+    let clients = v
+        .as_array()
+        .ok_or_else(|| WireError::new("distribution", "expected an array of client item lists"))?;
+    let mut per_client = Vec::with_capacity(clients.len());
+    for items in clients {
+        let items = items
+            .as_array()
+            .ok_or_else(|| WireError::new("distribution", "client entry: expected an array"))?;
+        let mut out = Vec::with_capacity(items.len());
+        for it in items {
+            let triple = it.as_array().filter(|a| a.len() == 3).ok_or_else(|| {
+                WireError::new("distribution", "item: expected [chunk,start,end]")
+            })?;
+            let mut f = [0usize; 3];
+            for (slot, x) in f.iter_mut().zip(triple) {
+                *slot = x
+                    .as_u64()
+                    .ok_or_else(|| WireError::new("distribution", "item field: expected a u64"))?
+                    as usize;
+            }
+            let item = crate::cluster::WorkItem {
+                chunk: f[0],
+                start: f[1],
+                end: f[2],
+            };
+            if item.start > item.end {
+                return Err(WireError::new("distribution", "item: start > end"));
+            }
+            out.push(item);
+        }
+        per_client.push(out);
+    }
+    Ok(crate::cluster::Distribution { per_client })
+}
+
 /// The canonical content fingerprint of one mapping request: the inputs
 /// that fully determine the pipeline's output.
 ///
@@ -257,6 +323,45 @@ mod tests {
     fn empty_object_is_the_default_config() {
         let cfg = mapper_config_from_json(&Json::Object(Vec::new())).unwrap();
         assert_eq!(cfg, MapperConfig::default());
+    }
+
+    #[test]
+    fn distribution_round_trips_byte_for_byte() {
+        use crate::cluster::{Distribution, WorkItem};
+        let dist = Distribution {
+            per_client: vec![
+                vec![
+                    WorkItem {
+                        chunk: 0,
+                        start: 0,
+                        end: 5,
+                    },
+                    WorkItem {
+                        chunk: 3,
+                        start: 2,
+                        end: 4,
+                    },
+                ],
+                vec![],
+                vec![WorkItem {
+                    chunk: 1,
+                    start: 0,
+                    end: 1,
+                }],
+            ],
+        };
+        let json = dist.to_json();
+        let back = distribution_from_json(&json).unwrap();
+        assert_eq!(back, dist);
+        assert_eq!(json.to_string_compact(), back.to_json().to_string_compact());
+        // Malformed shapes are rejected.
+        assert!(distribution_from_json(&Json::Bool(true)).is_err());
+        let bad = Json::Array(vec![Json::Array(vec![Json::Array(vec![
+            Json::UInt(0),
+            Json::UInt(9),
+            Json::UInt(3),
+        ])])]);
+        assert!(distribution_from_json(&bad).is_err(), "start > end");
     }
 
     #[test]

@@ -32,6 +32,18 @@ pub enum ServiceError {
         /// The deadline budget the request ran with, in milliseconds.
         budget_ms: u64,
     },
+    /// The TCP front end refused the connection at its concurrency cap.
+    ConnLimit {
+        /// Active connections observed at rejection.
+        active: usize,
+        /// The configured connection limit.
+        limit: usize,
+    },
+    /// The connection sat idle past the front end's read timeout.
+    ReadTimeout {
+        /// The idle budget the connection ran with, in milliseconds.
+        budget_ms: u64,
+    },
     /// The service is shutting down; queued work is drained with this.
     Shutdown,
     /// An unexpected internal failure (never the caller's fault).
@@ -48,6 +60,8 @@ impl ServiceError {
             ServiceError::BadRequest { .. } => "bad_request",
             ServiceError::QueueFull { .. } => "queue_full",
             ServiceError::DeadlineExceeded { .. } => "deadline_exceeded",
+            ServiceError::ConnLimit { .. } => "conn_limit",
+            ServiceError::ReadTimeout { .. } => "read_timeout",
             ServiceError::Shutdown => "shutdown",
             ServiceError::Internal { .. } => "internal",
         }
@@ -71,6 +85,11 @@ impl ServiceError {
             },
             "queue_full" => ServiceError::QueueFull { depth: 0, limit: 0 },
             "deadline_exceeded" => ServiceError::DeadlineExceeded { budget_ms: 0 },
+            "conn_limit" => ServiceError::ConnLimit {
+                active: 0,
+                limit: 0,
+            },
+            "read_timeout" => ServiceError::ReadTimeout { budget_ms: 0 },
             "shutdown" => ServiceError::Shutdown,
             "internal" => ServiceError::Internal {
                 message: message.to_string(),
@@ -89,6 +108,12 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::DeadlineExceeded { budget_ms } => {
                 write!(f, "deadline exceeded ({budget_ms} ms budget)")
+            }
+            ServiceError::ConnLimit { active, limit } => {
+                write!(f, "connection limit reached ({active}/{limit})")
+            }
+            ServiceError::ReadTimeout { budget_ms } => {
+                write!(f, "connection idle past read timeout ({budget_ms} ms)")
             }
             ServiceError::Shutdown => write!(f, "service is shutting down"),
             ServiceError::Internal { message } => write!(f, "internal error: {message}"),
@@ -118,6 +143,11 @@ mod tests {
             },
             ServiceError::QueueFull { depth: 9, limit: 8 },
             ServiceError::DeadlineExceeded { budget_ms: 5 },
+            ServiceError::ConnLimit {
+                active: 8,
+                limit: 8,
+            },
+            ServiceError::ReadTimeout { budget_ms: 100 },
             ServiceError::Shutdown,
             ServiceError::Internal {
                 message: "y".into(),

@@ -208,6 +208,31 @@ impl MapService {
         self.inner.stats()
     }
 
+    /// Records a transport-level rejection by the TCP front end — a
+    /// connection refused at the cap (`"conn_limit"`) or one that sat
+    /// idle past the read timeout (`"read_timeout"`) — so `/metrics`
+    /// shows drops that never became requests next to request outcomes.
+    pub fn count_front_end_rejection(&self, reason: &str) {
+        let mut m = self.inner.metrics.lock().expect("metrics poisoned");
+        m.counter_add(
+            "cachemap_service_front_end_rejections_total",
+            "Connections rejected by the TCP front end",
+            &[("reason", reason)],
+            1,
+        );
+    }
+
+    /// The current value of the front-end rejection counter for `reason`
+    /// (`0` before any rejection).
+    pub fn front_end_rejections(&self, reason: &str) -> u64 {
+        let m = self.inner.metrics.lock().expect("metrics poisoned");
+        m.counter(
+            "cachemap_service_front_end_rejections_total",
+            &[("reason", reason)],
+        )
+        .unwrap_or(0)
+    }
+
     /// Stops the worker pool: pending queue entries are answered with
     /// [`ServiceError::Shutdown`], workers are joined. Idempotent.
     pub fn shutdown(&self) {

@@ -8,13 +8,46 @@
 //! so ordinary scrapers need no special client.
 
 use crate::proto::{self, Request};
-use crate::MapService;
+use crate::{MapService, ServiceError};
 use cachemap_util::ToJson;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Front-end hardening knobs (see [`Server::spawn_with`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Per-connection idle read budget in milliseconds; a connection
+    /// that sends nothing for this long is answered with a typed
+    /// `read_timeout` error line and closed. `0` disables the timeout.
+    pub read_timeout_ms: u64,
+    /// Maximum concurrently served connections; beyond this, new
+    /// connections get one `conn_limit` error line and are closed
+    /// without ever reaching the admission queue.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            read_timeout_ms: 30_000,
+            max_connections: 256,
+        }
+    }
+}
+
+/// Decrements the active-connection gauge when a connection thread
+/// exits, however it exits.
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
 
 /// A running mapping server: an accept loop plus per-connection threads.
 pub struct Server {
@@ -26,11 +59,26 @@ pub struct Server {
 
 impl Server {
     /// Binds `bind` (e.g. `"127.0.0.1:7411"`, port 0 for ephemeral) and
-    /// starts accepting connections against `service`.
+    /// starts accepting connections against `service` with the default
+    /// [`ServerConfig`].
     pub fn spawn<A: ToSocketAddrs>(bind: A, service: Arc<MapService>) -> std::io::Result<Server> {
+        Self::spawn_with(bind, service, ServerConfig::default())
+    }
+
+    /// [`Server::spawn`] with explicit front-end limits. Connections
+    /// over `cfg.max_connections` are refused with a typed error line;
+    /// connections idle past `cfg.read_timeout_ms` are closed the same
+    /// way. Both rejections are counted on the service's metric
+    /// registry (`cachemap_service_front_end_rejections_total`).
+    pub fn spawn_with<A: ToSocketAddrs>(
+        bind: A,
+        service: Arc<MapService>,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
         let accept_stop = Arc::clone(&stop);
         let accept_service = Arc::clone(&service);
         let accept_thread = std::thread::Builder::new()
@@ -40,13 +88,31 @@ impl Server {
                     if accept_stop.load(Ordering::SeqCst) {
                         break;
                     }
-                    let Ok(stream) = conn else { continue };
+                    let Ok(mut stream) = conn else { continue };
+                    // Admission at the transport: claim a slot first so
+                    // exactly `max_connections` can ever hold one.
+                    let prev = active.fetch_add(1, Ordering::SeqCst);
+                    if prev >= cfg.max_connections {
+                        active.fetch_sub(1, Ordering::SeqCst);
+                        accept_service.count_front_end_rejection("conn_limit");
+                        let err = ServiceError::ConnLimit {
+                            active: prev,
+                            limit: cfg.max_connections,
+                        };
+                        let reply =
+                            proto::error_response_json(0, "connect", &err).to_string_compact();
+                        let _ = stream.write_all(reply.as_bytes());
+                        let _ = stream.write_all(b"\n");
+                        continue;
+                    }
+                    let guard = ConnGuard(Arc::clone(&active));
                     let svc = Arc::clone(&accept_service);
                     let conn_stop = Arc::clone(&accept_stop);
                     let _ = std::thread::Builder::new()
                         .name("map-server-conn".into())
                         .spawn(move || {
-                            let _ = serve_connection(stream, &svc, &conn_stop, addr);
+                            let _guard = guard;
+                            let _ = serve_connection(stream, &svc, &conn_stop, addr, cfg);
                         });
                 }
             })?;
@@ -102,14 +168,36 @@ fn serve_connection(
     service: &MapService,
     stop: &AtomicBool,
     addr: SocketAddr,
+    cfg: ServerConfig,
 ) -> std::io::Result<()> {
+    if cfg.read_timeout_ms > 0 {
+        stream.set_read_timeout(Some(Duration::from_millis(cfg.read_timeout_ms)))?;
+    }
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
         line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(()); // peer closed
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // peer closed
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle past the read budget: answer with the typed
+                // error so the client can tell a policy close from a
+                // crash, count it, and drop the connection.
+                service.count_front_end_rejection("read_timeout");
+                let err = ServiceError::ReadTimeout {
+                    budget_ms: cfg.read_timeout_ms,
+                };
+                let reply = proto::error_response_json(0, "read", &err).to_string_compact();
+                let _ = writer.write_all(reply.as_bytes());
+                let _ = writer.write_all(b"\n");
+                return Ok(());
+            }
+            Err(e) => return Err(e),
         }
         if line.trim().is_empty() {
             continue;

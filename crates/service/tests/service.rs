@@ -4,7 +4,7 @@
 
 use cachemap_core::{Mapper, MapperConfig, Version};
 use cachemap_polyhedral::DataSpace;
-use cachemap_service::server::Server;
+use cachemap_service::server::{Server, ServerConfig};
 use cachemap_service::{MapRequest, MapService, ServiceConfig, ServiceError};
 use cachemap_storage::{HierarchyTree, PlatformConfig};
 use cachemap_util::json::{self, Json};
@@ -319,6 +319,107 @@ fn tcp_round_trip_and_http_metrics() {
     assert!(body.contains("# TYPE cachemap_service_requests_total counter"));
     assert!(body.contains("cachemap_service_requests_total{op=\"map\",outcome=\"ok_cached\"}"));
     assert!(body.contains("cachemap_service_request_latency_seconds_bucket"));
+
+    server.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn connection_cap_rejects_with_typed_error_and_counts_it() {
+    let service = Arc::new(MapService::start(ServiceConfig::default()));
+    let server = Server::spawn_with(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        ServerConfig {
+            max_connections: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Fill both slots and prove they work.
+    let mut held = Vec::new();
+    for id in 1..=2u64 {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let pong = send_line(
+            &mut stream,
+            &mut reader,
+            &format!("{{\"op\":\"ping\",\"id\":{id}}}"),
+        );
+        assert_eq!(pong.get("status").and_then(Json::as_str), Some("ok"));
+        held.push((stream, reader));
+    }
+
+    // The third connection gets one conn_limit line and is closed.
+    let over = TcpStream::connect(addr).unwrap();
+    let mut reply = String::new();
+    BufReader::new(over).read_line(&mut reply).unwrap();
+    let err = json::parse(&reply).unwrap();
+    assert_eq!(err.get("status").and_then(Json::as_str), Some("error"));
+    assert_eq!(
+        err.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("conn_limit")
+    );
+    assert_eq!(service.front_end_rejections("conn_limit"), 1);
+
+    // Releasing a slot readmits new connections.
+    held.pop();
+    // The slot is freed by the connection thread observing the close;
+    // poll briefly rather than racing it.
+    let mut admitted = false;
+    for _ in 0..100 {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        stream.write_all(b"{\"op\":\"ping\",\"id\":9}\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp = json::parse(&line).unwrap();
+        if resp.get("status").and_then(Json::as_str) == Some("ok") {
+            admitted = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(admitted, "freed slot was never reused");
+
+    server.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn idle_connection_is_closed_with_read_timeout() {
+    let service = Arc::new(MapService::start(ServiceConfig::default()));
+    let server = Server::spawn_with(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        ServerConfig {
+            read_timeout_ms: 50,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    // Send nothing: the server must answer with read_timeout and close.
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    let err = json::parse(&reply).unwrap();
+    assert_eq!(err.get("status").and_then(Json::as_str), Some("error"));
+    assert_eq!(
+        err.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("read_timeout")
+    );
+    // And the stream really is closed (EOF, not a hang).
+    reply.clear();
+    assert_eq!(reader.read_line(&mut reply).unwrap(), 0);
+    assert_eq!(service.front_end_rejections("read_timeout"), 1);
 
     server.shutdown();
     service.shutdown();

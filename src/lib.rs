@@ -9,7 +9,7 @@
 //!
 //! This umbrella crate re-exports the workspace members —
 //! [`polyhedral`], [`storage`], [`core`], [`workloads`], [`obs`],
-//! [`service`], and [`util`]. The per-crate one-line tour lives in one
+//! [`service`], [`par`], and [`util`]. The per-crate one-line tour lives in one
 //! place, the *Layout* table of `README.md`; each member's own crate
 //! docs cover the details.
 //!
@@ -49,6 +49,7 @@
 
 pub use cachemap_core as core;
 pub use cachemap_obs as obs;
+pub use cachemap_par as par;
 pub use cachemap_polyhedral as polyhedral;
 pub use cachemap_service as service;
 pub use cachemap_storage as storage;
