@@ -102,6 +102,29 @@ fn worked_example() -> String {
     out
 }
 
+/// Updates one section of the committed `BENCH_service.json`, which
+/// holds `{"serve": {…}, "storm": {…}}`. A missing file or a pre-split
+/// single-report file starts a fresh two-section object.
+fn merge_bench_service(section: &str, value: cachemap_util::Json) -> std::io::Result<()> {
+    use cachemap_util::Json;
+    let path = "BENCH_service.json";
+    let mut pairs: Vec<(String, Json)> = match std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| cachemap_util::json::parse(&text).ok())
+    {
+        Some(Json::Object(pairs)) if pairs.iter().all(|(k, _)| k == "serve" || k == "storm") => {
+            pairs
+        }
+        _ => Vec::new(),
+    };
+    match pairs.iter_mut().find(|(k, _)| k == section) {
+        Some(slot) => slot.1 = value,
+        None => pairs.push((section.to_string(), value)),
+    }
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    std::fs::write(path, Json::Object(pairs).to_string_pretty())
+}
+
 fn usage() -> String {
     "usage: repro [--test-scale] <subcommand...>\n\
      \n\
@@ -119,10 +142,16 @@ fn usage() -> String {
      \x20 chaos-replay <file...>        re-run shrunk repro plans\n\
      mapping service:\n\
      \x20 serve[:<addr>]                long-running mapping server\n\
-     \x20                               (default 127.0.0.1:7411)\n\
+     \x20                               (default 127.0.0.1:7411;\n\
+     \x20                               CACHEMAP_L2_DIR enables the durable\n\
+     \x20                               L2 tier, CACHEMAP_L2_TTL_SECS its TTL)\n\
      \x20 serve-bench[:<seed>[:<requests>]]\n\
      \x20                               closed-loop SLO load campaign\n\
      \x20                               (default seed 42, 1200 requests)\n\
+     \x20 serve-storm[:<seed>]          robustness storm: hot-fingerprint\n\
+     \x20                               coalescing barrage, mid-campaign\n\
+     \x20                               kill + torn-tail restart, graceful\n\
+     \x20                               drain under load (default seed 42)\n\
      parallel runtime:\n\
      \x20 bench-cluster[:<seed>]        sequential vs parallel distribute\n\
      \x20                               at paper scale (default seed 42);\n\
@@ -606,9 +635,25 @@ fn main() {
             }
             s if s == "serve" || s.starts_with("serve:") => {
                 let addr = s.strip_prefix("serve:").unwrap_or("127.0.0.1:7411");
-                let service = std::sync::Arc::new(cachemap_service::MapService::start(
-                    cachemap_service::ServiceConfig::default(),
-                ));
+                let mut cfg = cachemap_service::ServiceConfig::default();
+                if let Ok(dir) = std::env::var("CACHEMAP_L2_DIR") {
+                    if !dir.is_empty() {
+                        cfg.l2_dir = Some(std::path::PathBuf::from(dir));
+                    }
+                }
+                if let Ok(ttl) = std::env::var("CACHEMAP_L2_TTL_SECS") {
+                    cfg.l2_ttl_secs = ttl
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad CACHEMAP_L2_TTL_SECS: {ttl}"));
+                }
+                if let Some(dir) = &cfg.l2_dir {
+                    println!(
+                        "durable L2 cache: {} (TTL {} s)",
+                        dir.display(),
+                        cfg.l2_ttl_secs
+                    );
+                }
+                let service = std::sync::Arc::new(cachemap_service::MapService::start(cfg));
                 let server =
                     cachemap_service::server::Server::spawn(addr, std::sync::Arc::clone(&service))
                         .unwrap_or_else(|e| {
@@ -682,11 +727,49 @@ fn main() {
                     std::process::exit(1);
                 });
                 println!("{}", cachemap_bench::serve::render(&report));
-                match std::fs::write("BENCH_service.json", report.to_json().to_string_pretty()) {
-                    Ok(()) => println!("   [raw numbers: BENCH_service.json]"),
+                match merge_bench_service("serve", report.to_json()) {
+                    Ok(()) => println!("   [raw numbers: BENCH_service.json, section \"serve\"]"),
                     Err(e) => eprintln!("   [warning: could not write BENCH_service.json: {e}]"),
                 }
                 let scratch = format!("BENCH_service-{}", cfg.seed);
+                match write_report(&scratch, &report) {
+                    Ok(path) => println!("   [scratch copy: {}]", path.display()),
+                    Err(e) => eprintln!("   [warning: could not write scratch copy: {e}]"),
+                }
+            }
+            s if s == "serve-storm" || s.starts_with("serve-storm:") => {
+                let seed: u64 = s.strip_prefix("serve-storm").map_or(42, |rest| {
+                    let rest = rest.strip_prefix(':').unwrap_or("");
+                    if rest.is_empty() {
+                        42
+                    } else {
+                        rest.parse()
+                            .unwrap_or_else(|_| panic!("bad serve-storm seed: {rest}"))
+                    }
+                });
+                let cfg = if test_scale {
+                    cachemap_bench::storm::StormConfig::smoke(seed)
+                } else {
+                    cachemap_bench::storm::StormConfig {
+                        seed,
+                        ..cachemap_bench::storm::StormConfig::default()
+                    }
+                };
+                eprintln!(
+                    "[serve-storm: seed {seed}, {} barrage connections, {} zipf requests, \
+                     kill + torn-tail restart + drain …]",
+                    cfg.storm_connections, cfg.zipf_requests
+                );
+                let report = cachemap_bench::storm::run(&cfg).unwrap_or_else(|e| {
+                    eprintln!("serve-storm failed: {e}");
+                    std::process::exit(1);
+                });
+                println!("{}", cachemap_bench::storm::render(&report));
+                match merge_bench_service("storm", report.to_json()) {
+                    Ok(()) => println!("   [raw numbers: BENCH_service.json, section \"storm\"]"),
+                    Err(e) => eprintln!("   [warning: could not write BENCH_service.json: {e}]"),
+                }
+                let scratch = format!("BENCH_service-storm-{seed}");
                 match write_report(&scratch, &report) {
                     Ok(path) => println!("   [scratch copy: {}]", path.display()),
                     Err(e) => eprintln!("   [warning: could not write scratch copy: {e}]"),

@@ -20,6 +20,7 @@ pub mod experiments;
 pub mod obs;
 pub mod report;
 pub mod serve;
+pub mod storm;
 pub mod timing;
 
 pub use obs::{render_artifact, run_cell_observed, write_obs_artifact};

@@ -114,14 +114,14 @@ impl ToJson for ServeBenchReport {
     }
 }
 
-struct Template {
-    line: String,
-    cold_bytes: String,
+pub(crate) struct Template {
+    pub(crate) line: String,
+    pub(crate) cold_bytes: String,
 }
 
 /// Builds the template pool: 8 apps × 2 versions × 2 mapper variants,
 /// with each template's cold-pipeline oracle bytes computed up front.
-fn build_templates(app_limit: usize) -> Vec<Template> {
+pub(crate) fn build_templates(app_limit: usize) -> Vec<Template> {
     let platform = PlatformConfig::tiny();
     let tree = HierarchyTree::from_config(&platform).expect("tiny config is valid");
     let mappers = [
@@ -151,6 +151,7 @@ fn build_templates(app_limit: usize) -> Vec<Template> {
                     mapper,
                     version,
                     deadline_ms: None,
+                    tenant: None,
                 };
                 out.push(Template {
                     line: req.to_json().to_string_compact(),
@@ -163,12 +164,12 @@ fn build_templates(app_limit: usize) -> Vec<Template> {
 }
 
 /// Zipf(s = 1.2) sampler over `n` ranks via inverse-CDF table lookup.
-struct Zipf {
+pub(crate) struct Zipf {
     cdf: Vec<f64>,
 }
 
 impl Zipf {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         let weights: Vec<f64> = (0..n).map(|r| 1.0 / ((r + 1) as f64).powf(1.2)).collect();
         let total: f64 = weights.iter().sum();
         let mut acc = 0.0;
@@ -182,7 +183,7 @@ impl Zipf {
         Zipf { cdf }
     }
 
-    fn sample(&self, g: &mut Gen) -> usize {
+    pub(crate) fn sample(&self, g: &mut Gen) -> usize {
         let u = g.f64();
         self.cdf
             .iter()
@@ -191,14 +192,14 @@ impl Zipf {
     }
 }
 
-struct ClientTally {
-    hits: u64,
-    computed: u64,
-    rejections: BTreeMap<String, u64>,
-    latencies_us: Vec<u64>,
+pub(crate) struct ClientTally {
+    pub(crate) hits: u64,
+    pub(crate) computed: u64,
+    pub(crate) rejections: BTreeMap<String, u64>,
+    pub(crate) latencies_us: Vec<u64>,
 }
 
-fn drive_client(
+pub(crate) fn drive_client(
     addr: std::net::SocketAddr,
     templates: &[Template],
     zipf: &Zipf,

@@ -1,0 +1,519 @@
+//! Robustness storm for the mapping service (`repro serve-storm`).
+//!
+//! Where `serve-bench` measures steady-state SLOs, this harness attacks
+//! the failure paths of the two-tier cache stack, in four phases over
+//! one live TCP server + crash-durable L2 directory:
+//!
+//! 1. **Hot-fingerprint barrage** — many connections fire the *same*
+//!    request simultaneously at a cold service. Exactly **one** reply
+//!    may report `cached: false` (single pipeline run, asserted both on
+//!    the wire and against the service's miss counter); every reply
+//!    must be byte-identical to the cold oracle.
+//! 2. **Pre-kill zipf campaign** — closed-loop clients replay a seeded
+//!    zipf mix; mid-campaign the service is **killed** (crash
+//!    simulation: workers stop, nothing is flushed) and every
+//!    still-queued request must come back with a typed error.
+//! 3. **Torn-tail restart** — the tail of the active L2 segment is
+//!    truncated (a partial final write), the service is restarted on
+//!    the same directory, and the zipf campaign re-runs. Recovery must
+//!    succeed and the warm hit rate must reach at least 80% of the
+//!    pre-kill rate.
+//! 4. **Drain under load** — with clients still hammering, a graceful
+//!    shutdown runs; every in-flight and queued request is answered
+//!    (mapping or typed error — zero untyped drops), and the drain
+//!    duration lands in the stats.
+
+use crate::serve::{build_templates, drive_client, scrape_metrics, validate_prometheus, Zipf};
+use cachemap_service::server::Server;
+use cachemap_service::{MapService, ServiceConfig};
+use cachemap_util::{json, Json, ToJson};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Storm-campaign knobs.
+#[derive(Debug, Clone)]
+pub struct StormConfig {
+    /// RNG seed for the zipf phases.
+    pub seed: u64,
+    /// Simultaneous connections in the hot-fingerprint barrage.
+    pub storm_connections: usize,
+    /// Requests per zipf phase (pre-kill and post-restart).
+    pub zipf_requests: usize,
+    /// Closed-loop client threads per zipf phase.
+    pub clients: usize,
+    /// Workload applications in the template pool (`0` = all eight).
+    pub apps: usize,
+    /// L2 cache directory; `None` uses a per-run temp directory that is
+    /// removed afterwards.
+    pub l2_dir: Option<PathBuf>,
+}
+
+impl Default for StormConfig {
+    fn default() -> Self {
+        StormConfig {
+            seed: 42,
+            storm_connections: 64,
+            zipf_requests: 800,
+            clients: 8,
+            apps: 0,
+            l2_dir: None,
+        }
+    }
+}
+
+impl StormConfig {
+    /// A small configuration for CI smoke runs and debug-build tests.
+    pub fn smoke(seed: u64) -> Self {
+        StormConfig {
+            seed,
+            storm_connections: 16,
+            zipf_requests: 120,
+            clients: 4,
+            apps: 2,
+            l2_dir: None,
+        }
+    }
+}
+
+/// Aggregated storm results.
+#[derive(Debug, Clone)]
+pub struct StormReport {
+    /// The seed the campaign ran with.
+    pub seed: u64,
+    /// Connections in the hot-fingerprint barrage.
+    pub storm_connections: usize,
+    /// Replies in the barrage that reported `cached: false` (must be 1).
+    pub storm_computes: u64,
+    /// Requests that attached to the in-flight computation.
+    pub storm_coalesced: u64,
+    /// Successful zipf replies before the kill.
+    pub prekill_served: u64,
+    /// Typed rejections during the kill window.
+    pub prekill_rejected: u64,
+    /// Cache hit rate over the pre-kill zipf phase.
+    pub prekill_hit_rate: f64,
+    /// Bytes torn off the active L2 segment before restart.
+    pub torn_bytes: u64,
+    /// L2 index entries recovered at restart.
+    pub recovered_entries: u64,
+    /// Cache hit rate over the post-restart zipf phase.
+    pub postrestart_hit_rate: f64,
+    /// `postrestart_hit_rate / prekill_hit_rate` (the ≥ 0.8 gate).
+    pub warm_ratio: f64,
+    /// Requests issued during the drain-under-load phase.
+    pub drain_requests: u64,
+    /// Of those, served with a mapping.
+    pub drain_served: u64,
+    /// Of those, rejected with a typed error code.
+    pub drain_rejected_typed: u64,
+    /// Duration of the graceful drain in seconds.
+    pub drain_seconds: f64,
+    /// Campaign wall-clock (ms).
+    pub elapsed_ms: f64,
+    /// Scraped `/metrics` passed the Prometheus schema check.
+    pub metrics_schema_ok: bool,
+}
+
+impl ToJson for StormReport {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("bench", Json::Str("serve-storm".into())),
+            ("seed", Json::UInt(self.seed)),
+            (
+                "storm_connections",
+                Json::UInt(self.storm_connections as u64),
+            ),
+            ("storm_computes", Json::UInt(self.storm_computes)),
+            ("storm_coalesced", Json::UInt(self.storm_coalesced)),
+            ("prekill_served", Json::UInt(self.prekill_served)),
+            ("prekill_rejected", Json::UInt(self.prekill_rejected)),
+            ("prekill_hit_rate", Json::Float(self.prekill_hit_rate)),
+            ("torn_bytes", Json::UInt(self.torn_bytes)),
+            ("recovered_entries", Json::UInt(self.recovered_entries)),
+            (
+                "postrestart_hit_rate",
+                Json::Float(self.postrestart_hit_rate),
+            ),
+            ("warm_ratio", Json::Float(self.warm_ratio)),
+            ("drain_requests", Json::UInt(self.drain_requests)),
+            ("drain_served", Json::UInt(self.drain_served)),
+            (
+                "drain_rejected_typed",
+                Json::UInt(self.drain_rejected_typed),
+            ),
+            ("drain_seconds", Json::Float(self.drain_seconds)),
+            ("elapsed_ms", Json::Float(self.elapsed_ms)),
+            ("metrics_schema_ok", Json::Bool(self.metrics_schema_ok)),
+        ])
+    }
+}
+
+fn service_config(dir: &Path) -> ServiceConfig {
+    ServiceConfig {
+        workers: 4,
+        l2_dir: Some(dir.to_path_buf()),
+        drain_limit_ms: 10_000,
+        ..ServiceConfig::default()
+    }
+}
+
+/// One barrage shooter: connect, wait for the barrier, fire the hot
+/// line once, parse the reply. Returns `cached` and checks bytes.
+fn fire_hot(
+    addr: std::net::SocketAddr,
+    barrier: &Barrier,
+    line: &str,
+    cold_bytes: &str,
+) -> Result<bool, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    barrier.wait();
+    writer
+        .write_all(line.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("write: {e}"))?;
+    let mut reply = String::new();
+    reader
+        .read_line(&mut reply)
+        .map_err(|e| format!("read: {e}"))?;
+    let v = json::parse(&reply).map_err(|e| format!("bad reply json: {e}"))?;
+    if v.get("status").and_then(Json::as_str) != Some("ok") {
+        return Err(format!("storm reply was not ok: {}", reply.trim()));
+    }
+    let got = v
+        .get("mapping")
+        .ok_or("ok reply without a mapping")?
+        .to_string_compact();
+    if got != cold_bytes {
+        return Err("storm mapping diverged from the cold oracle".into());
+    }
+    Ok(v.get("cached") == Some(&Json::Bool(true)))
+}
+
+/// The newest `seg-*.log` file in the L2 directory.
+fn last_segment(dir: &Path) -> Option<PathBuf> {
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .ok()?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("seg-") && n.ends_with(".log"))
+        })
+        .collect();
+    segs.sort();
+    segs.pop()
+}
+
+struct ZipfOutcome {
+    served: u64,
+    rejected: u64,
+    hit_rate: f64,
+    rejections: BTreeMap<String, u64>,
+}
+
+/// Answered-request total so far (all cache tiers + computes + waits).
+fn answered(svc: &MapService) -> u64 {
+    let s = svc.stats();
+    s.hits + s.l2_hits + s.misses + s.coalesced
+}
+
+/// Runs one closed-loop zipf campaign; optionally kills `victim` once
+/// roughly half the phase's requests have been answered.
+fn zipf_phase(
+    addr: std::net::SocketAddr,
+    templates: &[crate::serve::Template],
+    cfg: &StormConfig,
+    phase_seed: u64,
+    victim: Option<&Arc<MapService>>,
+) -> Result<ZipfOutcome, String> {
+    let zipf = Zipf::new(templates.len());
+    let clients = cfg.clients.max(1);
+    let killer = victim.map(|svc| {
+        let svc = Arc::clone(svc);
+        let half = (cfg.zipf_requests / 2) as u64;
+        let baseline = answered(&svc);
+        std::thread::spawn(move || {
+            // Kill mid-campaign (or after a hard 10s backstop, so a
+            // stall cannot hang the harness).
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while answered(&svc) - baseline < half && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            svc.kill();
+        })
+    });
+
+    // Scoped threads (not the shared pool): the kill must be able to
+    // land while clients are mid-flight.
+    let tallies: Vec<Result<crate::serve::ClientTally, String>> = std::thread::scope(|s| {
+        let joins: Vec<_> = (0..clients)
+            .map(|c| {
+                let share =
+                    cfg.zipf_requests / clients + usize::from(c < cfg.zipf_requests % clients);
+                let seed = phase_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (c as u64 + 1);
+                let zipf = &zipf;
+                s.spawn(move || drive_client(addr, templates, zipf, seed, share))
+            })
+            .collect();
+        joins
+            .into_iter()
+            .map(|j| {
+                j.join()
+                    .unwrap_or_else(|_| Err("zipf client panicked".into()))
+            })
+            .collect()
+    });
+    if let Some(k) = killer {
+        let _ = k.join();
+    }
+
+    let mut served = 0u64;
+    let mut hits = 0u64;
+    let mut rejections: BTreeMap<String, u64> = BTreeMap::new();
+    for tally in tallies {
+        let tally = tally?;
+        served += tally.hits + tally.computed;
+        hits += tally.hits;
+        for (code, n) in tally.rejections {
+            *rejections.entry(code).or_insert(0) += n;
+        }
+    }
+    let rejected: u64 = rejections.values().sum();
+    // Zero untyped drops: every request in the phase is accounted for.
+    if (served + rejected) as usize != cfg.zipf_requests {
+        return Err(format!(
+            "phase dropped requests silently: {served} served + {rejected} rejected != {}",
+            cfg.zipf_requests
+        ));
+    }
+    let hit_rate = if served == 0 {
+        0.0
+    } else {
+        hits as f64 / served as f64
+    };
+    Ok(ZipfOutcome {
+        served,
+        rejected,
+        hit_rate,
+        rejections,
+    })
+}
+
+/// Runs the full storm. Panics (via `Err`) on any violated invariant.
+pub fn run(cfg: &StormConfig) -> Result<StormReport, String> {
+    let t0 = Instant::now();
+    let own_dir = cfg.l2_dir.is_none();
+    let dir = cfg.l2_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!(
+            "cachemap-storm-{}-{}",
+            cfg.seed,
+            std::process::id()
+        ))
+    });
+    if own_dir {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let templates = build_templates(cfg.apps);
+
+    // ---- Phase 1 + 2: cold service, hot barrage, then zipf + kill.
+    let service = Arc::new(MapService::start(service_config(&dir)));
+    let server =
+        Server::spawn("127.0.0.1:0", Arc::clone(&service)).map_err(|e| format!("bind: {e}"))?;
+    let addr = server.addr();
+
+    let shooters = cfg.storm_connections.max(2);
+    let barrier = Arc::new(Barrier::new(shooters));
+    let hot_line = templates[0].line.clone();
+    let hot_cold = templates[0].cold_bytes.clone();
+    let storm_joins: Vec<_> = (0..shooters)
+        .map(|_| {
+            let b = Arc::clone(&barrier);
+            let line = hot_line.clone();
+            let cold = hot_cold.clone();
+            std::thread::spawn(move || fire_hot(addr, &b, &line, &cold))
+        })
+        .collect();
+    let mut storm_computes = 0u64;
+    for j in storm_joins {
+        let cached = j.join().map_err(|_| "storm shooter panicked")??;
+        if !cached {
+            storm_computes += 1;
+        }
+    }
+    let storm_stats = service.stats();
+    if storm_computes != 1 {
+        return Err(format!(
+            "hot barrage: expected exactly 1 computed reply, saw {storm_computes}"
+        ));
+    }
+    if storm_stats.misses != 1 {
+        return Err(format!(
+            "hot barrage: {} pipeline runs for one fingerprint",
+            storm_stats.misses
+        ));
+    }
+
+    let prekill = zipf_phase(addr, &templates, cfg, cfg.seed, Some(&service))?;
+    // The kill must not leave untyped wreckage: everything rejected
+    // during the window carried a code (zipf_phase already summed it).
+    server.shutdown();
+    drop(server);
+    drop(service);
+
+    // ---- Phase 3: tear the tail of the last segment, restart, re-run.
+    let torn_bytes = match last_segment(&dir) {
+        Some(seg) => {
+            let len = std::fs::metadata(&seg)
+                .map_err(|e| format!("stat: {e}"))?
+                .len();
+            let cut = len.min(23); // mid-record: forces tail truncation
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(&seg)
+                .and_then(|f| f.set_len(len - cut))
+                .map_err(|e| format!("tear: {e}"))?;
+            cut
+        }
+        None => 0,
+    };
+    let service2 = Arc::new(MapService::start(service_config(&dir)));
+    let recovered_entries = service2.l2_entries().unwrap_or(0) as u64;
+    let server2 =
+        Server::spawn("127.0.0.1:0", Arc::clone(&service2)).map_err(|e| format!("re-bind: {e}"))?;
+    let addr2 = server2.addr();
+
+    let post = zipf_phase(addr2, &templates, cfg, cfg.seed ^ 0x5a5a, None)?;
+    let warm_ratio = if prekill.hit_rate > 0.0 {
+        post.hit_rate / prekill.hit_rate
+    } else {
+        1.0
+    };
+    if prekill.hit_rate > 0.0 && warm_ratio < 0.8 {
+        return Err(format!(
+            "warm restart regressed: post-restart hit rate {:.3} < 80% of pre-kill {:.3}",
+            post.hit_rate, prekill.hit_rate
+        ));
+    }
+
+    // ---- Phase 4: graceful drain under live load.
+    let drain_requests = (cfg.zipf_requests / 2).max(cfg.clients.max(1)) as u64;
+    let drainer = {
+        let svc = Arc::clone(&service2);
+        let at_least = drain_requests / 4;
+        let baseline = answered(&svc);
+        std::thread::spawn(move || {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while answered(&svc) - baseline < at_least && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            svc.shutdown();
+        })
+    };
+    let drain_cfg = StormConfig {
+        zipf_requests: drain_requests as usize,
+        ..cfg.clone()
+    };
+    let drain = zipf_phase(addr2, &templates, &drain_cfg, cfg.seed ^ 0xd3a1, None)?;
+    let _ = drainer.join();
+    for code in drain.rejections.keys() {
+        if code.is_empty() {
+            return Err("drain produced an empty rejection code".into());
+        }
+    }
+    let drain_seconds = service2.stats().drain_seconds;
+    if drain_seconds <= 0.0 {
+        return Err("graceful drain did not record its duration".into());
+    }
+
+    let metrics = scrape_metrics(addr2)?;
+    validate_prometheus(&metrics)?;
+    for required in [
+        "cachemap_service_coalesced_total",
+        "cachemap_service_l2_hits_total",
+        "cachemap_service_l2_promotions_total",
+        "cachemap_service_drain_seconds",
+    ] {
+        if !metrics.contains(required) {
+            return Err(format!("metrics scrape is missing {required}"));
+        }
+    }
+
+    server2.shutdown();
+    drop(server2);
+    drop(service2);
+    if own_dir {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    Ok(StormReport {
+        seed: cfg.seed,
+        storm_connections: shooters,
+        storm_computes,
+        storm_coalesced: storm_stats.coalesced,
+        prekill_served: prekill.served,
+        prekill_rejected: prekill.rejected,
+        prekill_hit_rate: prekill.hit_rate,
+        torn_bytes,
+        recovered_entries,
+        postrestart_hit_rate: post.hit_rate,
+        warm_ratio,
+        drain_requests,
+        drain_served: drain.served,
+        drain_rejected_typed: drain.rejected,
+        drain_seconds,
+        elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+        metrics_schema_ok: true,
+    })
+}
+
+/// Renders the human-readable storm summary.
+pub fn render(report: &StormReport) -> String {
+    format!(
+        "== serve-storm — seed {} ==\n\
+         barrage       {:>8} connections, {} compute, {} coalesced\n\
+         pre-kill      {:>8} served + {} typed rejections (hit rate {:.1}%)\n\
+         torn tail     {:>8} bytes cut; {} L2 entries recovered\n\
+         post-restart  hit rate {:.1}%  (warm ratio {:.2}, gate ≥ 0.80)\n\
+         drain         {:>8} requests: {} served, {} typed, 0 untyped drops\n\
+         drain time    {:>8.3} s\n\
+         wall clock    {:>8.1} ms\n\
+         metrics       Prometheus schema OK",
+        report.seed,
+        report.storm_connections,
+        report.storm_computes,
+        report.storm_coalesced,
+        report.prekill_served,
+        report.prekill_rejected,
+        report.prekill_hit_rate * 100.0,
+        report.torn_bytes,
+        report.recovered_entries,
+        report.postrestart_hit_rate * 100.0,
+        report.warm_ratio,
+        report.drain_requests,
+        report.drain_served,
+        report.drain_rejected_typed,
+        report.drain_seconds,
+        report.elapsed_ms,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_storm_meets_all_invariants() {
+        let report = run(&StormConfig::smoke(7)).unwrap();
+        assert_eq!(report.storm_computes, 1);
+        assert!(report.warm_ratio >= 0.8);
+        assert!(report.drain_seconds > 0.0);
+        assert!(report.metrics_schema_ok);
+    }
+}

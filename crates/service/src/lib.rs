@@ -6,17 +6,27 @@
 //! the mapper into a long-lived, concurrent, cache-fronted service:
 //!
 //! * [`MapService`] — the in-process engine: a fixed worker thread pool
-//!   behind a **bounded admission queue** (reject-on-full backpressure,
-//!   per-request deadlines, typed [`ServiceError`] rejections — the
-//!   request-level analogue of the storage engine's `RequestPolicy`),
-//!   fronted by a sharded LRU **mapping cache** keyed by the canonical
-//!   content fingerprint of `(program, platform, params, version)`.
-//!   Because the pipeline is deterministic, a cache hit returns a
-//!   mapping byte-identical to a cold run — memoization is semantically
-//!   invisible (property-tested in `tests/service.rs`).
+//!   behind a **weighted-fair admission queue** (per-tenant quotas and
+//!   lanes, reject-on-full backpressure, per-request deadlines, typed
+//!   [`ServiceError`] rejections), fronted by a two-tier mapping cache
+//!   keyed by the canonical content fingerprint of `(program, platform,
+//!   params, version)`: a sharded in-memory LRU (L1) over an optional
+//!   crash-durable disk store (L2, see `cachemap_storage::L2Store`).
+//!   Concurrent misses on one fingerprint are **coalesced** (see
+//!   `cachemap_util::CoalesceMap`): exactly one pipeline run, everyone
+//!   inherits the result. Because the pipeline is deterministic, a
+//!   cache hit at either tier returns a mapping byte-identical to a
+//!   cold run — memoization is semantically invisible (property-tested
+//!   in `tests/service.rs`).
 //! * [`server::Server`] — the TCP front end: JSON-lines request/response
 //!   (see [`proto`]) plus a plain-HTTP `GET /metrics` Prometheus
 //!   endpoint on the same port, backed by an `obs::Registry`.
+//!
+//! Shutdown is a **graceful drain**: new submissions are rejected with
+//! a typed `shutdown` error, queued work is finished (or
+//! deadline-rejected) within `drain_limit_ms`, dirty L2 segments are
+//! flushed and sealed, then workers are joined. [`MapService::kill`]
+//! simulates a crash (no flush) for recovery testing.
 //!
 //! ```no_run
 //! use cachemap_service::{MapService, ServiceConfig, server::Server};
@@ -33,6 +43,7 @@
 
 pub mod error;
 pub mod proto;
+pub mod queue;
 pub mod server;
 
 pub use error::ServiceError;
@@ -40,13 +51,15 @@ pub use proto::{MapRequest, MapResponse, Request};
 
 use cachemap_obs::Registry;
 use cachemap_polyhedral::DataSpace;
-use cachemap_storage::{HierarchyTree, MappedProgram};
-use cachemap_util::{Fingerprint, Json, ShardedLru};
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use cachemap_storage::wire::mapped_program_from_json;
+use cachemap_storage::{HierarchyTree, L2Config, L2Store, MappedProgram};
+use cachemap_util::{fingerprint_json, CoalesceMap, Fingerprint, Json, ShardedLru, ToJson};
+use queue::{FairQueue, PushError};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
 /// Latency histogram bucket bounds, in seconds.
 const LATENCY_BUCKETS: [f64; 14] = [
@@ -54,7 +67,7 @@ const LATENCY_BUCKETS: [f64; 14] = [
 ];
 
 /// Service tuning knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceConfig {
     /// Worker threads draining the admission queue. `0` is permitted
     /// (admit but never serve) and exists for backpressure tests.
@@ -69,6 +82,23 @@ pub struct ServiceConfig {
     /// Default per-request deadline in milliseconds when the request
     /// does not carry one; `0` disables deadlines by default.
     pub default_deadline_ms: u64,
+    /// Maximum queued requests per tenant; `0` disables the quota.
+    /// A tenant at quota is rejected with a typed `quota_exceeded`
+    /// even when the shared queue has room.
+    pub tenant_quota: usize,
+    /// Explicit per-tenant dequeue weights for the weighted-fair
+    /// admission queue; tenants not listed get weight 1.
+    pub tenant_weights: Vec<(String, u32)>,
+    /// Directory for the crash-durable L2 mapping store; `None`
+    /// disables the disk tier entirely.
+    pub l2_dir: Option<PathBuf>,
+    /// L2 entry time-to-live in seconds; `0` disables expiry.
+    pub l2_ttl_secs: u64,
+    /// L2 segment roll size in bytes.
+    pub l2_segment_bytes: u64,
+    /// How long a graceful [`MapService::shutdown`] waits for queued
+    /// work to finish before deadline-rejecting the remainder.
+    pub drain_limit_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -79,35 +109,55 @@ impl Default for ServiceConfig {
             cache_shards: 8,
             cache_capacity_per_shard: 128,
             default_deadline_ms: 10_000,
+            tenant_quota: 0,
+            tenant_weights: Vec::new(),
+            l2_dir: None,
+            l2_ttl_secs: 86_400,
+            l2_segment_bytes: 8 << 20,
+            drain_limit_ms: 5_000,
         }
     }
 }
 
 /// A point-in-time snapshot of the service counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ServiceStats {
-    /// Mapping-cache hits (submit fast path + worker in-flight hits).
+    /// L1 mapping-cache hits (submit fast path + worker in-flight hits).
     pub hits: u64,
     /// Mapping-cache misses (requests that ran the pipeline).
     pub misses: u64,
+    /// Requests that attached to an already in-flight computation of
+    /// the same fingerprint instead of queueing their own.
+    pub coalesced: u64,
+    /// Disk-tier (L2) hits served without running the pipeline.
+    pub l2_hits: u64,
+    /// L2 entries promoted into the in-memory L1 on a hit.
+    pub l2_promotions: u64,
     /// Requests rejected with [`ServiceError::QueueFull`].
     pub queue_full: u64,
+    /// Requests rejected with [`ServiceError::QuotaExceeded`].
+    pub quota_exceeded: u64,
     /// Requests rejected with [`ServiceError::DeadlineExceeded`].
     pub deadline_exceeded: u64,
     /// Current mapping-cache entry count.
     pub cache_entries: u64,
     /// Current admission-queue depth.
     pub queue_depth: u64,
+    /// Duration of the last graceful drain in seconds (`0` before one).
+    pub drain_seconds: f64,
 }
 
 impl ServiceStats {
-    /// Cache hit rate in `[0, 1]` (`0` before any lookup).
+    /// Cache hit rate in `[0, 1]` over both tiers (`0` before any
+    /// lookup). Coalesced waits count as neither hit nor miss: exactly
+    /// one of the coalesced callers records the underlying outcome.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let served = self.hits + self.l2_hits;
+        let total = served + self.misses;
         if total == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            served as f64 / total as f64
         }
     }
 
@@ -116,17 +166,32 @@ impl ServiceStats {
         Json::object(vec![
             ("hits", Json::UInt(self.hits)),
             ("misses", Json::UInt(self.misses)),
+            ("coalesced", Json::UInt(self.coalesced)),
+            ("l2_hits", Json::UInt(self.l2_hits)),
+            ("l2_promotions", Json::UInt(self.l2_promotions)),
             ("queue_full", Json::UInt(self.queue_full)),
+            ("quota_exceeded", Json::UInt(self.quota_exceeded)),
             ("deadline_exceeded", Json::UInt(self.deadline_exceeded)),
             ("cache_entries", Json::UInt(self.cache_entries)),
             ("queue_depth", Json::UInt(self.queue_depth)),
+            ("drain_seconds", Json::Float(self.drain_seconds)),
             ("hit_rate", Json::Float(self.hit_rate())),
         ])
     }
 }
 
+/// An L1 entry: the mapping plus the platform/version scope fingerprint
+/// it was computed under, so [`MapService::invalidate_scope`] can sweep
+/// every mapping for a retired platform in one call.
+#[derive(Clone)]
+struct CachedEntry {
+    scope: Fingerprint,
+    mapping: Arc<MappedProgram>,
+}
+
 struct Job {
     fp: Fingerprint,
+    scope: Fingerprint,
     req: MapRequest,
     deadline: Option<Instant>,
     budget_ms: u64,
@@ -135,33 +200,75 @@ struct Job {
 
 struct Inner {
     cfg: ServiceConfig,
-    queue: Mutex<VecDeque<Job>>,
+    queue: Mutex<FairQueue<Job>>,
     available: Condvar,
-    cache: ShardedLru<Fingerprint, Arc<MappedProgram>>,
+    /// Signalled by the last worker to see the queue empty while
+    /// draining; [`MapService::shutdown`] waits on it.
+    drained: Condvar,
+    cache: ShardedLru<Fingerprint, CachedEntry>,
+    coalesce: CoalesceMap<Fingerprint, Arc<MappedProgram>, ServiceError>,
+    l2: Option<Mutex<L2Store>>,
     metrics: Mutex<Registry>,
+    /// Hard stop: workers exit even with queued work (kill / post-drain).
     stopping: AtomicBool,
+    /// Soft stop: submissions rejected, workers finish the queue.
+    draining: AtomicBool,
+    /// Bit pattern of the last drain duration (f64), since the metric
+    /// registry has no gauge read-back.
+    drain_seconds_bits: AtomicU64,
 }
 
-/// The in-process mapping service: worker pool + admission queue +
-/// fingerprint-keyed mapping cache. Cheap to share behind an [`Arc`];
-/// dropped services shut their workers down.
+/// Seconds since the Unix epoch, for L2 TTL bookkeeping.
+fn unix_now() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// The in-process mapping service: worker pool + weighted-fair
+/// admission queue + two-tier fingerprint-keyed mapping cache. Cheap to
+/// share behind an [`Arc`]; dropped services shut their workers down.
 pub struct MapService {
     inner: Arc<Inner>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl MapService {
-    /// Starts the worker pool and returns the running service.
+    /// Starts the worker pool (and, when configured, opens or recovers
+    /// the L2 store) and returns the running service.
+    ///
+    /// An L2 directory that fails to open is a startup panic: a service
+    /// silently running without its durable tier would violate the
+    /// warm-restart contract.
     pub fn start(cfg: ServiceConfig) -> Self {
+        let l2 = cfg.l2_dir.clone().map(|dir| {
+            let l2cfg = L2Config {
+                dir,
+                ttl_secs: cfg.l2_ttl_secs,
+                segment_bytes: cfg.l2_segment_bytes.max(1),
+            };
+            Mutex::new(L2Store::open(l2cfg, unix_now()).expect("open L2 mapping store"))
+        });
         let inner = Arc::new(Inner {
-            cfg,
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(FairQueue::new(
+                cfg.queue_limit,
+                cfg.tenant_quota,
+                cfg.tenant_weights.clone(),
+            )),
             available: Condvar::new(),
+            drained: Condvar::new(),
             cache: ShardedLru::new(cfg.cache_shards.max(1), cfg.cache_capacity_per_shard.max(1)),
+            coalesce: CoalesceMap::new(),
+            l2,
             metrics: Mutex::new(Registry::new()),
             stopping: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            drain_seconds_bits: AtomicU64::new(0f64.to_bits()),
+            cfg,
         });
-        let workers = (0..cfg.workers)
+        inner.preregister_metrics();
+        let workers = (0..inner.cfg.workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
@@ -184,10 +291,10 @@ impl MapService {
     /// Submits one mapping request and blocks until it is served,
     /// rejected, or its deadline expires.
     ///
-    /// The fast path — a fingerprint-cache hit — answers in O(hash +
-    /// shard lookup) without touching the queue. Misses are admitted to
-    /// the bounded queue (or rejected with a typed error) and computed
-    /// by the worker pool.
+    /// Lookup order: L1 (O(hash + shard lookup), no queueing) → L2
+    /// (one disk read + promotion to L1) → coalesce with any in-flight
+    /// computation of the same fingerprint → admit to the weighted-fair
+    /// queue (or reject typed) and compute on the worker pool.
     pub fn submit(&self, req: MapRequest) -> Result<MapResponse, ServiceError> {
         self.inner.submit(req)
     }
@@ -206,6 +313,50 @@ impl MapService {
     /// A snapshot of the service counters.
     pub fn stats(&self) -> ServiceStats {
         self.inner.stats()
+    }
+
+    /// Drops one fingerprint from both cache tiers (durably in L2: a
+    /// tombstone record survives restart).
+    pub fn invalidate_fingerprint(&self, fp: Fingerprint) -> std::io::Result<()> {
+        self.inner.cache.remove(&fp);
+        if let Some(l2) = &self.inner.l2 {
+            l2.lock().expect("l2 poisoned").invalidate(fp, unix_now())?;
+        }
+        Ok(())
+    }
+
+    /// Drops every cached mapping computed under `(platform, version)`
+    /// — e.g. after a platform is reconfigured — from both tiers, with
+    /// one durable scope tombstone in L2.
+    pub fn invalidate_scope(&self, scope: Fingerprint) -> std::io::Result<()> {
+        self.inner.cache.retain(|_, e| e.scope != scope);
+        if let Some(l2) = &self.inner.l2 {
+            l2.lock()
+                .expect("l2 poisoned")
+                .invalidate_scope(scope, unix_now())?;
+        }
+        Ok(())
+    }
+
+    /// The scope fingerprint for [`MapService::invalidate_scope`]: the
+    /// canonical content fingerprint of `(platform, version)`.
+    pub fn scope_fingerprint(
+        platform: &cachemap_storage::PlatformConfig,
+        version: cachemap_core::Version,
+    ) -> Fingerprint {
+        fingerprint_json(&Json::object(vec![
+            ("platform", platform.to_json()),
+            ("version", version.to_json()),
+        ]))
+    }
+
+    /// Number of live entries in the durable L2 index (`None` when the
+    /// disk tier is disabled) — recovery visibility for harnesses.
+    pub fn l2_entries(&self) -> Option<usize> {
+        self.inner
+            .l2
+            .as_ref()
+            .map(|l2| l2.lock().expect("l2 poisoned").len())
     }
 
     /// Records a transport-level rejection by the TCP front end — a
@@ -233,17 +384,86 @@ impl MapService {
         .unwrap_or(0)
     }
 
-    /// Stops the worker pool: pending queue entries are answered with
-    /// [`ServiceError::Shutdown`], workers are joined. Idempotent.
+    /// Gracefully drains and stops the service. Idempotent. In order:
+    ///
+    /// 1. new submissions are rejected with a typed `shutdown` error;
+    /// 2. workers finish the queued backlog, up to `drain_limit_ms`;
+    /// 3. anything still queued is answered typed (`deadline_exceeded`
+    ///    if its deadline passed while queued, `shutdown` otherwise) —
+    ///    never silently dropped;
+    /// 4. workers are joined, dirty L2 segments are flushed and sealed;
+    /// 5. the drain duration lands in `cachemap_service_drain_seconds`.
     pub fn shutdown(&self) {
-        self.inner.stopping.store(true, Ordering::SeqCst);
-        {
+        if self.inner.draining.swap(true, Ordering::SeqCst) {
+            return; // already drained (or killed)
+        }
+        let start = Instant::now();
+        self.inner.available.notify_all();
+
+        // Let the workers finish the backlog, bounded by the drain
+        // budget. With no workers there is nobody to wait for.
+        if self.inner.cfg.workers > 0 {
+            let limit = Duration::from_millis(self.inner.cfg.drain_limit_ms);
             let mut q = self.inner.queue.lock().expect("queue poisoned");
-            for job in q.drain(..) {
-                let _ = job.reply.try_send(Err(ServiceError::Shutdown));
+            while !q.is_empty() && start.elapsed() < limit {
+                let left = limit.saturating_sub(start.elapsed());
+                let (guard, _) = self
+                    .inner
+                    .drained
+                    .wait_timeout(q, left)
+                    .expect("queue poisoned");
+                q = guard;
             }
         }
+
+        // Hard stop: reject whatever the budget did not cover.
+        self.inner.stopping.store(true, Ordering::SeqCst);
+        let leftovers = {
+            let mut q = self.inner.queue.lock().expect("queue poisoned");
+            q.drain_all()
+        };
         self.inner.available.notify_all();
+        let now = Instant::now();
+        for job in leftovers {
+            let err = match job.deadline {
+                Some(d) if now > d => ServiceError::DeadlineExceeded {
+                    budget_ms: job.budget_ms,
+                },
+                _ => ServiceError::Shutdown,
+            };
+            self.inner.count_outcome(err.code());
+            let _ = job.reply.try_send(Err(err));
+        }
+        self.join_workers();
+        if let Some(l2) = &self.inner.l2 {
+            let mut l2 = l2.lock().expect("l2 poisoned");
+            let _ = l2.seal();
+        }
+        self.inner.record_drain(start.elapsed().as_secs_f64());
+    }
+
+    /// Simulates a crash for recovery testing: workers stop and queued
+    /// work is rejected as on [`MapService::shutdown`], but the L2
+    /// store is **not** flushed or sealed — exactly what a power cut
+    /// after the last kernel write-back would leave on disk.
+    pub fn kill(&self) {
+        if self.inner.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.inner.stopping.store(true, Ordering::SeqCst);
+        let leftovers = {
+            let mut q = self.inner.queue.lock().expect("queue poisoned");
+            q.drain_all()
+        };
+        self.inner.available.notify_all();
+        for job in leftovers {
+            self.inner.count_outcome("shutdown");
+            let _ = job.reply.try_send(Err(ServiceError::Shutdown));
+        }
+        self.join_workers();
+    }
+
+    fn join_workers(&self) {
         let handles: Vec<_> = self
             .workers
             .lock()
@@ -265,7 +485,7 @@ impl Drop for MapService {
 impl Inner {
     fn submit(&self, req: MapRequest) -> Result<MapResponse, ServiceError> {
         let start = Instant::now();
-        if self.stopping.load(Ordering::SeqCst) {
+        if self.draining.load(Ordering::SeqCst) || self.stopping.load(Ordering::SeqCst) {
             self.count_outcome("shutdown");
             return Err(ServiceError::Shutdown);
         }
@@ -273,17 +493,18 @@ impl Inner {
             .validate()
             .map_err(|e| self.reject_bad_request(format!("platform: {e}")))?;
         let fp = cachemap_core::fingerprint(&req.program, &req.platform, &req.mapper, req.version);
+        let scope = MapService::scope_fingerprint(&req.platform, req.version);
 
-        // Fast path: O(lookup) on the sharded cache, no queueing.
-        if let Some(mapping) = self.cache.get(&fp) {
+        // L1: O(lookup) on the sharded cache, no queueing.
+        if let Some(entry) = self.cache.get(&fp) {
             self.record_hit(start);
-            return Ok(MapResponse {
-                id: req.id,
-                cached: true,
-                fingerprint: fp,
-                mapping,
-                service_us: start.elapsed().as_micros() as u64,
-            });
+            return Ok(self.respond(&req, fp, entry.mapping, true, start));
+        }
+
+        // L2: one disk read; a hit is promoted so the next lookup is L1.
+        if let Some(mapping) = self.l2_lookup(&fp, scope) {
+            self.record_l2_hit(start);
+            return Ok(self.respond(&req, fp, mapping, true, start));
         }
 
         let budget_ms = req.deadline_ms.unwrap_or(self.cfg.default_deadline_ms);
@@ -298,66 +519,45 @@ impl Inner {
             Some(start + Duration::from_millis(budget_ms))
         };
 
-        // Admission: bounded queue, reject-on-full backpressure.
-        let (tx, rx) = mpsc::sync_channel(1);
-        {
-            let mut q = self.queue.lock().expect("queue poisoned");
-            if self.stopping.load(Ordering::SeqCst) {
-                self.count_outcome("shutdown");
-                return Err(ServiceError::Shutdown);
+        // Coalesce: one computation per fingerprint, however many
+        // concurrent callers miss on it. `inherited` marks followers,
+        // whose responses report `cached: true` — they were served
+        // without a pipeline run of their own.
+        let (outcome, inherited) = match self.coalesce.join(fp, deadline) {
+            cachemap_util::coalesce::Join::Leader(leader) => {
+                let outcome = self.queue_and_wait(fp, scope, &req, deadline, budget_ms);
+                leader.complete(outcome.clone());
+                (outcome, false)
             }
-            if q.len() >= self.cfg.queue_limit {
-                let depth = q.len();
-                drop(q);
-                self.count_outcome("queue_full");
-                self.observe_latency("rejected", start);
-                return Err(ServiceError::QueueFull {
-                    depth,
-                    limit: self.cfg.queue_limit,
-                });
+            cachemap_util::coalesce::Join::Done(result) => {
+                self.count_coalesced();
+                (result, true)
             }
-            q.push_back(Job {
-                fp,
-                req: req.clone(),
-                deadline,
-                budget_ms,
-                reply: tx,
-            });
-        }
-        self.available.notify_one();
-
-        // Wait for the worker (or the deadline, whichever first).
-        let outcome = match deadline {
-            None => rx.recv().map_err(|_| ServiceError::Shutdown)?,
-            Some(d) => {
-                let budget = d.saturating_duration_since(Instant::now());
-                match rx.recv_timeout(budget) {
-                    Ok(res) => res,
-                    Err(mpsc::RecvTimeoutError::Timeout) => {
-                        self.count_outcome("deadline_exceeded");
-                        self.observe_latency("rejected", start);
-                        return Err(ServiceError::DeadlineExceeded { budget_ms });
-                    }
-                    Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServiceError::Shutdown),
-                }
+            cachemap_util::coalesce::Join::LeaderFailed => {
+                self.count_coalesced();
+                (
+                    Err(ServiceError::Internal {
+                        message: "coalesced computation failed without a result".into(),
+                    }),
+                    true,
+                )
+            }
+            cachemap_util::coalesce::Join::TimedOut => {
+                self.count_coalesced();
+                (Err(ServiceError::DeadlineExceeded { budget_ms }), true)
             }
         };
+
         match outcome {
-            Ok((mapping, was_cached)) => {
-                let outcome_label = if was_cached {
-                    "ok_cached"
+            Ok(mapping) => {
+                if inherited {
+                    self.count_outcome("ok_coalesced");
+                    self.observe_latency("coalesced", start);
                 } else {
-                    "ok_computed"
-                };
-                self.count_outcome(outcome_label);
-                self.observe_latency(if was_cached { "hit" } else { "computed" }, start);
-                Ok(MapResponse {
-                    id: req.id,
-                    cached: was_cached,
-                    fingerprint: fp,
-                    mapping,
-                    service_us: start.elapsed().as_micros() as u64,
-                })
+                    self.count_outcome("ok_computed");
+                    self.observe_latency("computed", start);
+                }
+                Ok(self.respond(&req, fp, mapping, inherited, start))
             }
             Err(e) => {
                 self.count_outcome(e.code());
@@ -367,15 +567,117 @@ impl Inner {
         }
     }
 
+    fn count_coalesced(&self) {
+        self.bump_counter(
+            "cachemap_service_coalesced_total",
+            "Requests coalesced onto an in-flight computation",
+        );
+    }
+
+    /// The queue-admission + worker-wait leg of a cold miss (run only
+    /// by the coalescing leader).
+    fn queue_and_wait(
+        &self,
+        fp: Fingerprint,
+        scope: Fingerprint,
+        req: &MapRequest,
+        deadline: Option<Instant>,
+        budget_ms: u64,
+    ) -> Result<Arc<MappedProgram>, ServiceError> {
+        let tenant = req.tenant.clone().unwrap_or_default();
+        let (tx, rx) = mpsc::sync_channel(1);
+        {
+            let mut q = self.queue.lock().expect("queue poisoned");
+            if self.draining.load(Ordering::SeqCst) || self.stopping.load(Ordering::SeqCst) {
+                return Err(ServiceError::Shutdown);
+            }
+            let job = Job {
+                fp,
+                scope,
+                req: req.clone(),
+                deadline,
+                budget_ms,
+                reply: tx,
+            };
+            q.push(&tenant, job).map_err(|e| match e {
+                PushError::Full { depth, limit } => ServiceError::QueueFull { depth, limit },
+                PushError::Quota { tenant, quota } => ServiceError::QuotaExceeded { tenant, quota },
+            })?;
+        }
+        self.available.notify_one();
+
+        // Wait for the worker (or the deadline, whichever first).
+        match deadline {
+            None => rx.recv().map_err(|_| ServiceError::Shutdown)?,
+            Some(d) => {
+                let budget = d.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(budget) {
+                    Ok(res) => res,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        return Err(ServiceError::DeadlineExceeded { budget_ms })
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServiceError::Shutdown),
+                }
+            }
+        }
+        .map(|(mapping, _was_cached)| mapping)
+    }
+
+    /// Reads `fp` from the disk tier, re-hydrates the mapping, and
+    /// promotes it into L1. Any L2 problem (disabled tier, expired or
+    /// invalidated entry, checksum miss, parse failure) is a miss.
+    fn l2_lookup(&self, fp: &Fingerprint, scope: Fingerprint) -> Option<Arc<MappedProgram>> {
+        let l2 = self.l2.as_ref()?;
+        let bytes = l2.lock().expect("l2 poisoned").get(fp, unix_now())?;
+        let text = std::str::from_utf8(&bytes).ok()?;
+        let json = cachemap_util::json::parse(text).ok()?;
+        let mapping = Arc::new(mapped_program_from_json(&json).ok()?);
+        self.cache.insert(
+            *fp,
+            CachedEntry {
+                scope,
+                mapping: Arc::clone(&mapping),
+            },
+        );
+        self.bump_counter(
+            "cachemap_service_l2_promotions_total",
+            "L2 entries promoted into the in-memory L1",
+        );
+        Some(mapping)
+    }
+
+    fn respond(
+        &self,
+        req: &MapRequest,
+        fp: Fingerprint,
+        mapping: Arc<MappedProgram>,
+        cached: bool,
+        start: Instant,
+    ) -> MapResponse {
+        MapResponse {
+            id: req.id,
+            cached,
+            fingerprint: fp,
+            mapping,
+            service_us: start.elapsed().as_micros() as u64,
+        }
+    }
+
     fn worker_loop(&self) {
         loop {
             let job = {
                 let mut q = self.queue.lock().expect("queue poisoned");
                 loop {
-                    if let Some(job) = q.pop_front() {
+                    if let Some(job) = q.pop() {
                         break job;
                     }
                     if self.stopping.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if self.draining.load(Ordering::SeqCst) {
+                        // Queue is empty and we are draining: the
+                        // backlog is done, tell shutdown() so.
+                        self.drained.notify_all();
                         return;
                     }
                     q = self.available.wait(q).expect("queue poisoned");
@@ -389,15 +691,17 @@ impl Inner {
                     let _ = job.reply.try_send(Err(ServiceError::DeadlineExceeded {
                         budget_ms: job.budget_ms,
                     }));
+                    self.note_drain_progress();
                     continue;
                 }
             }
 
             // In-flight duplicate: another worker may have filled the
             // cache since admission.
-            if let Some(mapping) = self.cache.get(&job.fp) {
+            if let Some(entry) = self.cache.get(&job.fp) {
                 self.bump_counter("cachemap_service_cache_hits_total", "Mapping cache hits");
-                let _ = job.reply.try_send(Ok((mapping, true)));
+                let _ = job.reply.try_send(Ok((entry.mapping, true)));
+                self.note_drain_progress();
                 continue;
             }
 
@@ -406,7 +710,14 @@ impl Inner {
             match result {
                 Ok(mapping) => {
                     let mapping = Arc::new(mapping);
-                    self.cache.insert(job.fp, Arc::clone(&mapping));
+                    self.cache.insert(
+                        job.fp,
+                        CachedEntry {
+                            scope: job.scope,
+                            mapping: Arc::clone(&mapping),
+                        },
+                    );
+                    self.l2_write(job.fp, job.scope, &mapping);
                     self.bump_counter(
                         "cachemap_service_cache_misses_total",
                         "Mapping cache misses (pipeline runs)",
@@ -427,6 +738,34 @@ impl Inner {
                     let _ = job.reply.try_send(Err(e));
                 }
             }
+            self.note_drain_progress();
+        }
+    }
+
+    /// Wakes a draining `shutdown()` when the backlog empties.
+    fn note_drain_progress(&self) {
+        if self.draining.load(Ordering::SeqCst)
+            && self.queue.lock().expect("queue poisoned").is_empty()
+        {
+            self.drained.notify_all();
+        }
+    }
+
+    /// Appends a freshly computed mapping to the durable tier. Write
+    /// errors are counted, not fatal: the mapping was already served
+    /// and L1-cached; losing the disk copy only costs a warm restart.
+    fn l2_write(&self, fp: Fingerprint, scope: Fingerprint, mapping: &MappedProgram) {
+        let Some(l2) = &self.l2 else { return };
+        let bytes = mapping.to_json().to_string_compact();
+        let res = l2
+            .lock()
+            .expect("l2 poisoned")
+            .put(fp, scope, bytes.as_bytes(), unix_now());
+        if res.is_err() {
+            self.bump_counter(
+                "cachemap_service_l2_write_errors_total",
+                "Failed appends to the L2 mapping store",
+            );
         }
     }
 
@@ -449,6 +788,57 @@ impl Inner {
         self.bump_counter("cachemap_service_cache_hits_total", "Mapping cache hits");
         self.count_outcome("ok_cached");
         self.observe_latency("hit", start);
+    }
+
+    fn record_l2_hit(&self, start: Instant) {
+        self.bump_counter(
+            "cachemap_service_l2_hits_total",
+            "Disk-tier (L2) mapping cache hits",
+        );
+        self.count_outcome("ok_l2");
+        self.observe_latency("l2_hit", start);
+    }
+
+    fn record_drain(&self, seconds: f64) {
+        self.drain_seconds_bits
+            .store(seconds.to_bits(), Ordering::SeqCst);
+        let mut m = self.metrics.lock().expect("metrics poisoned");
+        m.gauge_set(
+            "cachemap_service_drain_seconds",
+            "Duration of the last graceful drain",
+            &[],
+            seconds,
+        );
+    }
+
+    /// Registers the robustness metrics at zero so every scrape shows
+    /// them, storm or no storm.
+    fn preregister_metrics(&self) {
+        let mut m = self.metrics.lock().expect("metrics poisoned");
+        m.counter_add(
+            "cachemap_service_coalesced_total",
+            "Requests coalesced onto an in-flight computation",
+            &[],
+            0,
+        );
+        m.counter_add(
+            "cachemap_service_l2_hits_total",
+            "Disk-tier (L2) mapping cache hits",
+            &[],
+            0,
+        );
+        m.counter_add(
+            "cachemap_service_l2_promotions_total",
+            "L2 entries promoted into the in-memory L1",
+            &[],
+            0,
+        );
+        m.gauge_set(
+            "cachemap_service_drain_seconds",
+            "Duration of the last graceful drain",
+            &[],
+            0.0,
+        );
     }
 
     fn bump_counter(&self, name: &str, help: &str) {
@@ -504,17 +894,19 @@ impl Inner {
             )
             .unwrap_or(0)
         };
+        let plain = |name: &str| m.counter(name, &[]).unwrap_or(0);
         ServiceStats {
-            hits: m
-                .counter("cachemap_service_cache_hits_total", &[])
-                .unwrap_or(0),
-            misses: m
-                .counter("cachemap_service_cache_misses_total", &[])
-                .unwrap_or(0),
+            hits: plain("cachemap_service_cache_hits_total"),
+            misses: plain("cachemap_service_cache_misses_total"),
+            coalesced: plain("cachemap_service_coalesced_total"),
+            l2_hits: plain("cachemap_service_l2_hits_total"),
+            l2_promotions: plain("cachemap_service_l2_promotions_total"),
             queue_full: outcome("queue_full"),
+            quota_exceeded: outcome("quota_exceeded"),
             deadline_exceeded: outcome("deadline_exceeded"),
             cache_entries: self.cache.len() as u64,
             queue_depth: self.queue.lock().expect("queue poisoned").len() as u64,
+            drain_seconds: f64::from_bits(self.drain_seconds_bits.load(Ordering::SeqCst)),
         }
     }
 }

@@ -46,6 +46,11 @@ pub struct MapRequest {
     /// default, `Some(0)` is an already-expired deadline (rejected at
     /// admission — useful for probes and tests).
     pub deadline_ms: Option<u64>,
+    /// Tenant for quota accounting and weighted-fair admission; `None`
+    /// is the shared anonymous tenant. Deliberately **not** part of the
+    /// content fingerprint: identical problems coalesce and share cache
+    /// entries across tenants.
+    pub tenant: Option<String>,
 }
 
 impl ToJson for MapRequest {
@@ -60,6 +65,9 @@ impl ToJson for MapRequest {
         ];
         if let Some(ms) = self.deadline_ms {
             pairs.push(("deadline_ms", Json::UInt(ms)));
+        }
+        if let Some(t) = &self.tenant {
+            pairs.push(("tenant", Json::Str(t.clone())));
         }
         Json::object(pairs)
     }
@@ -137,6 +145,16 @@ pub fn request_from_json(v: &Json) -> Result<Request, ServiceError> {
                     message: "deadline_ms: expected a non-negative integer".into(),
                 })?),
             };
+            let tenant = match v.get("tenant") {
+                None | Some(Json::Null) => None,
+                Some(t) => Some(
+                    t.as_str()
+                        .ok_or_else(|| ServiceError::BadRequest {
+                            message: "tenant: expected a string".into(),
+                        })?
+                        .to_string(),
+                ),
+            };
             Ok(Request::Map(Box::new(MapRequest {
                 id,
                 program,
@@ -144,6 +162,7 @@ pub fn request_from_json(v: &Json) -> Result<Request, ServiceError> {
                 mapper,
                 version,
                 deadline_ms,
+                tenant,
             })))
         }
         other => Err(ServiceError::BadRequest {
@@ -225,6 +244,7 @@ mod tests {
             mapper: MapperConfig::default(),
             version: Version::InterProcessor,
             deadline_ms: Some(2000),
+            tenant: Some("acme".into()),
         }
     }
 
@@ -240,6 +260,7 @@ mod tests {
                 assert_eq!(back.mapper, req.mapper);
                 assert_eq!(back.version, req.version);
                 assert_eq!(back.deadline_ms, Some(2000));
+                assert_eq!(back.tenant.as_deref(), Some("acme"));
             }
             other => panic!("expected a map request, got {other:?}"),
         }

@@ -54,6 +54,7 @@ pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    active: Arc<AtomicUsize>,
     service: Arc<MapService>,
 }
 
@@ -80,6 +81,7 @@ impl Server {
         let stop = Arc::new(AtomicBool::new(false));
         let active = Arc::new(AtomicUsize::new(0));
         let accept_stop = Arc::clone(&stop);
+        let accept_active = Arc::clone(&active);
         let accept_service = Arc::clone(&service);
         let accept_thread = std::thread::Builder::new()
             .name("map-server-accept".into())
@@ -91,9 +93,9 @@ impl Server {
                     let Ok(mut stream) = conn else { continue };
                     // Admission at the transport: claim a slot first so
                     // exactly `max_connections` can ever hold one.
-                    let prev = active.fetch_add(1, Ordering::SeqCst);
+                    let prev = accept_active.fetch_add(1, Ordering::SeqCst);
                     if prev >= cfg.max_connections {
-                        active.fetch_sub(1, Ordering::SeqCst);
+                        accept_active.fetch_sub(1, Ordering::SeqCst);
                         accept_service.count_front_end_rejection("conn_limit");
                         let err = ServiceError::ConnLimit {
                             active: prev,
@@ -105,7 +107,7 @@ impl Server {
                         let _ = stream.write_all(b"\n");
                         continue;
                     }
-                    let guard = ConnGuard(Arc::clone(&active));
+                    let guard = ConnGuard(Arc::clone(&accept_active));
                     let svc = Arc::clone(&accept_service);
                     let conn_stop = Arc::clone(&accept_stop);
                     let _ = std::thread::Builder::new()
@@ -120,6 +122,7 @@ impl Server {
             addr,
             stop,
             accept_thread: Some(accept_thread),
+            active,
             service,
         })
     }
@@ -156,9 +159,20 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
+        // Teardown order matters: stop admitting connections and join
+        // the accept loop *before* the `service` field can drop. The
+        // last service reference triggers its graceful drain, and a
+        // still-running accept loop would feed it requests mid-drain.
         self.shutdown();
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
+        }
+        // Connection threads are detached but hold their own service
+        // references; give their in-flight dispatches a bounded window
+        // to finish writing typed replies before teardown proceeds.
+        let deadline = std::time::Instant::now() + Duration::from_millis(500);
+        while self.active.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
         }
     }
 }

@@ -12,7 +12,21 @@ use cachemap_util::{check, fingerprint_json, ToJson};
 use cachemap_workloads::{suite, Scale};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cachemap-svc-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
 
 fn request(app_idx: usize, version: Version, id: u64) -> MapRequest {
     let apps = suite(Scale::Test);
@@ -24,6 +38,7 @@ fn request(app_idx: usize, version: Version, id: u64) -> MapRequest {
         mapper: MapperConfig::default(),
         version,
         deadline_ms: None,
+        tenant: None,
     }
 }
 
@@ -232,6 +247,219 @@ fn invalid_platform_is_a_bad_request() {
         other => panic!("expected BadRequest, got {other:?}"),
     }
     service.shutdown();
+}
+
+#[test]
+fn concurrent_misses_coalesce_to_one_compute() {
+    let service = Arc::new(MapService::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    }));
+    let req = request(0, Version::InterProcessor, 0);
+    let cold = cold_mapping_bytes(&req);
+
+    const STORM: usize = 64;
+    let barrier = Arc::new(Barrier::new(STORM));
+    let handles: Vec<_> = (0..STORM)
+        .map(|i| {
+            let svc = Arc::clone(&service);
+            let b = Arc::clone(&barrier);
+            let mut r = req.clone();
+            r.id = i as u64;
+            std::thread::spawn(move || {
+                b.wait();
+                svc.submit(r)
+            })
+        })
+        .collect();
+    for h in handles {
+        let resp = h.join().unwrap().unwrap();
+        assert_eq!(
+            resp.mapping.to_json().to_string_compact(),
+            cold,
+            "a coalesced result diverged from the cold pipeline"
+        );
+    }
+
+    let stats = service.stats();
+    assert_eq!(
+        stats.misses, 1,
+        "{STORM} concurrent misses must run the pipeline exactly once"
+    );
+    // Every caller is accounted for: one leader (the miss), the rest
+    // either coalesced onto its flight or hit the cache it filled.
+    assert_eq!(stats.hits + stats.coalesced + stats.misses, STORM as u64);
+    service.shutdown();
+}
+
+#[test]
+fn tenant_quota_rejects_typed_and_is_counted() {
+    let service = Arc::new(MapService::start(ServiceConfig {
+        workers: 0, // nothing dequeues: the first request stays queued
+        queue_limit: 8,
+        tenant_quota: 1,
+        ..ServiceConfig::default()
+    }));
+    let svc = Arc::clone(&service);
+    let occupant = std::thread::spawn(move || {
+        let mut r = request(0, Version::InterProcessor, 1);
+        r.tenant = Some("acme".into());
+        r.deadline_ms = Some(2_000);
+        svc.submit(r)
+    });
+    // Wait until the occupant is actually queued.
+    for _ in 0..400 {
+        if service.stats().queue_depth >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(service.stats().queue_depth, 1, "occupant never queued");
+
+    // Same tenant, different fingerprint: rejected at its quota.
+    let mut r = request(1, Version::InterProcessor, 2);
+    r.tenant = Some("acme".into());
+    match service.submit(r) {
+        Err(ServiceError::QuotaExceeded { tenant, quota: 1 }) => assert_eq!(tenant, "acme"),
+        other => panic!("expected QuotaExceeded, got {other:?}"),
+    }
+    assert_eq!(service.stats().quota_exceeded, 1);
+
+    match occupant.join().unwrap() {
+        Err(ServiceError::DeadlineExceeded { .. }) | Err(ServiceError::Shutdown) => {}
+        other => panic!("occupant should time out or be drained, got {other:?}"),
+    }
+}
+
+#[test]
+fn graceful_drain_rejects_queued_work_typed() {
+    // No workers: the drain cannot serve the backlog, so shutdown must
+    // answer it with a typed shutdown rejection — never a silent drop
+    // or a raced channel disconnect.
+    let service = Arc::new(MapService::start(ServiceConfig {
+        workers: 0,
+        queue_limit: 4,
+        drain_limit_ms: 50,
+        ..ServiceConfig::default()
+    }));
+    let svc = Arc::clone(&service);
+    let queued = std::thread::spawn(move || {
+        let mut r = request(0, Version::InterProcessor, 1);
+        r.deadline_ms = Some(30_000);
+        svc.submit(r)
+    });
+    for _ in 0..400 {
+        if service.stats().queue_depth >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    service.shutdown();
+    match queued.join().unwrap() {
+        Err(ServiceError::Shutdown) => {}
+        other => panic!("expected a typed Shutdown rejection, got {other:?}"),
+    }
+    assert!(
+        service.stats().drain_seconds > 0.0,
+        "the drain duration must be recorded"
+    );
+}
+
+#[test]
+fn graceful_drain_finishes_in_flight_work() {
+    // With workers, a drain serves what was already admitted.
+    let service = Arc::new(MapService::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    }));
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let svc = Arc::clone(&service);
+            std::thread::spawn(move || svc.submit(request(i, Version::InterProcessor, i as u64)))
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(5));
+    service.shutdown();
+    for h in handles {
+        match h.join().unwrap() {
+            Ok(_) | Err(ServiceError::Shutdown) | Err(ServiceError::DeadlineExceeded { .. }) => {}
+            other => panic!("drain produced an untyped outcome: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn l2_store_survives_restart_and_promotes_to_l1() {
+    let dir = temp_dir("warm");
+    let cfg = ServiceConfig {
+        workers: 2,
+        l2_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    };
+    let req = request(0, Version::InterProcessor, 1);
+    let cold = cold_mapping_bytes(&req);
+
+    {
+        let service = MapService::start(cfg.clone());
+        let first = service.submit(req.clone()).unwrap();
+        assert!(!first.cached, "cold run must miss");
+        service.shutdown(); // flushes and seals the L2 segments
+    }
+
+    let service = MapService::start(cfg);
+    let warm = service.submit(req.clone()).unwrap();
+    assert!(warm.cached, "a restarted service must hit its L2 store");
+    assert_eq!(
+        warm.mapping.to_json().to_string_compact(),
+        cold,
+        "the L2 round trip must be byte-identical to the cold pipeline"
+    );
+    let stats = service.stats();
+    assert_eq!(stats.l2_hits, 1);
+    assert_eq!(stats.l2_promotions, 1);
+
+    // The promotion means the next lookup is a pure L1 hit.
+    let l1 = service.submit(req).unwrap();
+    assert!(l1.cached);
+    assert_eq!(service.stats().hits, 1);
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scope_invalidation_sweeps_both_tiers_durably() {
+    let dir = temp_dir("scope");
+    let cfg = ServiceConfig {
+        workers: 2,
+        l2_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    };
+    let req = request(0, Version::InterProcessor, 1);
+    let scope = MapService::scope_fingerprint(&req.platform, req.version);
+
+    {
+        let service = MapService::start(cfg.clone());
+        assert!(!service.submit(req.clone()).unwrap().cached);
+        service.invalidate_scope(scope).unwrap();
+        // L1 was swept: the same request recomputes.
+        assert!(
+            !service.submit(req.clone()).unwrap().cached,
+            "scope invalidation must evict the L1 entry"
+        );
+        // Invalidate again and shut down with the tombstone as the
+        // last durable word.
+        service.invalidate_scope(scope).unwrap();
+        service.shutdown();
+    }
+
+    // The tombstone survives restart: no warm hit.
+    let service = MapService::start(cfg);
+    assert!(
+        !service.submit(req).unwrap().cached,
+        "a durable scope tombstone must survive restart"
+    );
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 fn send_line(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> Json {

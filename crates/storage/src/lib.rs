@@ -27,6 +27,9 @@
 //! * [`faults`] — a serializable fault-injection plan (node crashes,
 //!   disk/cache degradation, seeded transient errors) applied inside the
 //!   engine's global clock so degraded runs stay reproducible;
+//! * [`l2store`] — a crash-durable, append-only fingerprint→bytes store
+//!   with per-record checksums, torn-tail-tolerant recovery, TTL, and
+//!   durable (tombstoned) invalidation — the mapping service's disk L2;
 //! * [`sim`] — the top-level [`sim::Simulator`] producing a
 //!   [`sim::SimReport`] with per-level hit/miss statistics, I/O latency,
 //!   execution time — exactly the three result types Section 5.1
@@ -46,6 +49,7 @@ pub mod config;
 pub mod disk;
 pub mod engine;
 pub mod faults;
+pub mod l2store;
 pub mod net;
 pub mod sim;
 pub mod supervisor;
@@ -60,6 +64,7 @@ pub use engine::{
 pub use faults::{
     DegradeLevel, FaultEvent, FaultPlan, FaultPlanError, FaultStats, TransientFaults,
 };
+pub use l2store::{L2Config, L2Store, RecoveryStats};
 pub use sim::{SimError, SimReport, Simulator};
 pub use supervisor::{Checkpoint, Detection, DetectorConfig, EpochOptions, Verdict};
 pub use topology::{CacheLevel, HierarchyTree, NodeId, PruneError};

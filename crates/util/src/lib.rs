@@ -20,6 +20,8 @@
 //!   JSON (the mapping service's memoization key).
 //! * [`lru`] — a sharded, thread-safe, exact-LRU cache (the mapping
 //!   service's memo store).
+//! * [`coalesce`] — request coalescing (stampede protection): concurrent
+//!   misses on one key rendezvous so exactly one caller computes.
 //! * [`rng`] — a seeded xorshift64* generator for deterministic fault
 //!   sampling and test-input generation.
 //! * [`check`] — a miniature property-test harness built on [`rng`].
@@ -29,6 +31,7 @@
 
 pub mod bitset;
 pub mod check;
+pub mod coalesce;
 pub mod fingerprint;
 pub mod hash;
 pub mod json;
@@ -38,6 +41,7 @@ pub mod stats;
 pub mod table;
 
 pub use bitset::{BitSet, CountVec};
+pub use coalesce::CoalesceMap;
 pub use fingerprint::{canonical, fingerprint_json, Fingerprint};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use json::{Json, ToJson};

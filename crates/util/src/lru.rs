@@ -81,6 +81,27 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
         Some(self.slots[i].val.clone())
     }
 
+    fn remove(&mut self, key: &K) -> Option<V> {
+        let i = self.map.remove(key)?;
+        self.unlink(i);
+        self.free.push(i);
+        Some(self.slots[i].val.clone())
+    }
+
+    fn retain<F: FnMut(&K, &V) -> bool>(&mut self, f: &mut F) {
+        let victims: Vec<K> = {
+            let slots = &self.slots;
+            self.map
+                .iter()
+                .filter(|&(_, &i)| !f(&slots[i].key, &slots[i].val))
+                .map(|(k, _)| k.clone())
+                .collect()
+        };
+        for k in victims {
+            self.remove(&k);
+        }
+    }
+
     /// Returns `true` when the key was newly inserted (vs. replaced).
     fn insert(&mut self, key: K, val: V) -> bool {
         if let Some(&i) = self.map.get(&key) {
@@ -163,6 +184,23 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
             .lock()
             .expect("lru shard poisoned")
             .insert(key, val)
+    }
+
+    /// Removes `key`, returning its value when present.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.shard(key)
+            .lock()
+            .expect("lru shard poisoned")
+            .remove(key)
+    }
+
+    /// Keeps only the entries for which `f` returns `true`. O(entries);
+    /// intended for explicit invalidation sweeps, not hot paths. The
+    /// relative LRU order of survivors is preserved.
+    pub fn retain<F: FnMut(&K, &V) -> bool>(&self, mut f: F) {
+        for shard in &self.shards {
+            shard.lock().expect("lru shard poisoned").retain(&mut f);
+        }
     }
 
     /// Current number of entries across all shards.
@@ -260,6 +298,30 @@ mod tests {
                 assert_eq!(cache.len(), model.len());
             }
         });
+    }
+
+    #[test]
+    fn remove_and_retain_keep_the_list_consistent() {
+        let c: ShardedLru<u64, u64> = ShardedLru::new(1, 4);
+        for k in 0..4 {
+            c.insert(k, k * 10);
+        }
+        assert_eq!(c.remove(&2), Some(20));
+        assert_eq!(c.remove(&2), None);
+        assert_eq!(c.len(), 3);
+        // The freed slot is reusable and order survives the removal.
+        c.insert(9, 90);
+        assert_eq!(c.len(), 4);
+        c.retain(|_, v| *v >= 30);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&3), Some(30));
+        assert_eq!(c.get(&9), Some(90));
+        assert_eq!(c.get(&0), None);
+        // Eviction still works after surgery.
+        for k in 100..110 {
+            c.insert(k, k);
+        }
+        assert!(c.len() <= c.capacity());
     }
 
     #[test]
