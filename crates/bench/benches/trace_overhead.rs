@@ -1,0 +1,103 @@
+//! Guard for the free-when-off request-tracing contract: a mapping
+//! service with tracing disabled must serve the L1 hit path at about
+//! the cost of the untraced service (the instrumented path is one
+//! branch per stage), and with tracing *on* the full pipeline — stage
+//! timestamps, trace finalization, flight-recorder ring write — must
+//! stay under 1.5× of the disabled path. The disabled path's response
+//! must also be byte-identical to the untraced wire format.
+
+use cachemap_core::{MapperConfig, Version};
+use cachemap_polyhedral::{AffineExpr, ArrayDecl, ArrayRef, IterationSpace, LoopNest, Program};
+use cachemap_service::{MapRequest, MapService, ServiceConfig};
+use cachemap_storage::PlatformConfig;
+use cachemap_util::ToJson;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn tiny_request() -> MapRequest {
+    let a = ArrayDecl::new("A", vec![256], 8);
+    let space = IterationSpace::rectangular(&[256]);
+    let nest = LoopNest::new(
+        "axpy",
+        space,
+        vec![
+            ArrayRef::read(0, vec![AffineExpr::var(0)]),
+            ArrayRef::write(0, vec![AffineExpr::var(0)]),
+        ],
+    );
+    MapRequest {
+        id: 1,
+        program: Program::new("axpy", vec![a], vec![nest]),
+        platform: PlatformConfig::tiny(),
+        mapper: MapperConfig::default(),
+        version: Version::InterProcessor,
+        deadline_ms: None,
+        tenant: None,
+    }
+}
+
+fn median_ns<R, F: FnMut() -> R>(warmup: usize, iters: usize, mut f: F) -> u128 {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut samples: Vec<u128> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let off = MapService::start(ServiceConfig {
+        tracing: false,
+        ..ServiceConfig::default()
+    });
+    let on = MapService::start(ServiceConfig {
+        tracing: true,
+        ..ServiceConfig::default()
+    });
+    let req = tiny_request();
+
+    // Warm both L1 caches so the measured path is the pure hit path.
+    let cold_off = off.submit(req.clone()).expect("off service maps");
+    let cold_on = on.submit_traced(req.clone(), 0).expect("on service maps");
+    assert_eq!(
+        cold_off.mapping.to_json().to_string_compact(),
+        cold_on.mapping.to_json().to_string_compact(),
+        "both services must serve identical mappings"
+    );
+
+    // Disabled tracing leaves no trace anywhere on the response.
+    let hit = off.submit(req.clone()).expect("off hit");
+    assert!(
+        hit.trace.is_none(),
+        "tracing off must not attach a trace to responses"
+    );
+
+    const WARMUP: usize = 200;
+    const ITERS: usize = 2000;
+    let t_off = median_ns(WARMUP, ITERS, || {
+        off.submit(req.clone()).expect("off hit path")
+    });
+    let t_on = median_ns(WARMUP, ITERS, || {
+        let mut resp = on.submit_traced(req.clone(), 3).expect("on hit path");
+        if let Some(pending) = resp.trace.take() {
+            black_box(on.finalize_trace(pending, Duration::from_micros(1)));
+        }
+        resp
+    });
+
+    let ratio = t_on as f64 / t_off as f64;
+    println!("hit path off: {t_off} ns  on: {t_on} ns  overhead: {ratio:.3}x");
+    assert!(
+        ratio < 1.5,
+        "tracing overhead on the hit path must stay under 1.5x (got {ratio:.3}x)"
+    );
+
+    on.shutdown();
+    off.shutdown();
+}

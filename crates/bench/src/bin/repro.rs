@@ -137,6 +137,9 @@ fn usage() -> String {
      observability:\n\
      \x20 obs <artifact.obs.json...>    render exported artifacts\n\
      \x20 obs-export[:<app>]            capture one observed run\n\
+     \x20 trace <file...>               render request traces / flight\n\
+     \x20                               dumps (flight-*.json, trace-op\n\
+     \x20                               replies, map response lines)\n\
      fault injection:\n\
      \x20 chaos[:<seed>[:<plans>]]      seeded fault-plan campaign\n\
      \x20 chaos-replay <file...>        re-run shrunk repro plans\n\
@@ -144,7 +147,9 @@ fn usage() -> String {
      \x20 serve[:<addr>]                long-running mapping server\n\
      \x20                               (default 127.0.0.1:7411;\n\
      \x20                               CACHEMAP_L2_DIR enables the durable\n\
-     \x20                               L2 tier, CACHEMAP_L2_TTL_SECS its TTL)\n\
+     \x20                               L2 tier, CACHEMAP_L2_TTL_SECS its TTL,\n\
+     \x20                               CACHEMAP_TRACING=off disables request\n\
+     \x20                               tracing + the flight recorder)\n\
      \x20 serve-bench[:<seed>[:<requests>]]\n\
      \x20                               closed-loop SLO load campaign\n\
      \x20                               (default seed 42, 1200 requests)\n\
@@ -194,6 +199,33 @@ fn main() {
             });
             match cachemap_obs::ObsArtifact::parse(&text) {
                 Ok(a) => println!("{}", cachemap_bench::render_artifact(&a)),
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        return;
+    }
+    // `repro trace <path...>` renders request traces and flight-recorder
+    // dumps; the remaining arguments are file paths. (The colon form
+    // `trace:<app>` below is the unrelated reuse-distance diagnostic.)
+    if wanted[0] == "trace" {
+        if wanted.len() < 2 {
+            eprintln!("usage: repro trace <flight-*.json | trace.json ...>");
+            std::process::exit(2);
+        }
+        for path in &wanted[1..] {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            let parsed = cachemap_util::json::parse(&text).unwrap_or_else(|e| {
+                eprintln!("{path}: not JSON: {e}");
+                std::process::exit(2);
+            });
+            match cachemap_bench::tracefmt::render(&parsed) {
+                Ok(rendered) => println!("{rendered}"),
                 Err(e) => {
                     eprintln!("{path}: {e}");
                     std::process::exit(2);
@@ -640,6 +672,16 @@ fn main() {
                     if !dir.is_empty() {
                         cfg.l2_dir = Some(std::path::PathBuf::from(dir));
                     }
+                }
+                if let Ok(t) = std::env::var("CACHEMAP_TRACING") {
+                    cfg.tracing = !matches!(t.as_str(), "" | "0" | "off" | "false");
+                }
+                if cfg.tracing {
+                    println!(
+                        "request tracing: on (per-request trace in map responses, \
+                         {{\"op\":\"trace\"}} lookups, flight dumps in {})",
+                        cfg.flight_dir.display()
+                    );
                 }
                 if let Ok(ttl) = std::env::var("CACHEMAP_L2_TTL_SECS") {
                     cfg.l2_ttl_secs = ttl

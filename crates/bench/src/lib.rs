@@ -22,6 +22,7 @@ pub mod report;
 pub mod serve;
 pub mod storm;
 pub mod timing;
+pub mod tracefmt;
 
 pub use obs::{render_artifact, run_cell_observed, write_obs_artifact};
 

@@ -15,6 +15,18 @@
 //!
 //! The harness is deterministic for a given `(seed, requests, clients)`
 //! triple in everything but wall-clock timings.
+//!
+//! With `tracing` enabled (the default) every reply carries the
+//! service's per-request trace; the harness aggregates the per-stage
+//! durations around the median request into attribution columns
+//! (`queue_wait_us`, `coalesce_us`, `l2_us`, `compute_us`,
+//! `serialize_us`, …) whose sum must land within 10% of the
+//! service-observed p50 (the median trace total) — a standing check
+//! that the trace timeline actually tiles the latency it claims to
+//! explain. The client-measured p50 is reported alongside; the gap
+//! between the two is the wire: writing megabyte request/response
+//! lines and the client's own parse + byte-identity check, none of
+//! which the server can attribute.
 
 use cachemap_core::{Mapper, MapperConfig, Version};
 use cachemap_par::Pool;
@@ -32,7 +44,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Load-campaign knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeBenchConfig {
     /// RNG seed for the zipf template sequence.
     pub seed: u64,
@@ -44,6 +56,12 @@ pub struct ServeBenchConfig {
     /// (`0` = the full eight-application suite); debug-build tests use
     /// a small pool to keep the cold-oracle phase fast.
     pub apps: usize,
+    /// Run the service with request tracing on and report per-stage
+    /// latency attribution (off measures the trace-free wire format).
+    pub tracing: bool,
+    /// Flight-recorder dump directory override; `None` keeps the
+    /// service default (`reports/`). Tests point this at a temp dir.
+    pub flight_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeBenchConfig {
@@ -53,6 +71,8 @@ impl Default for ServeBenchConfig {
             requests: 1200,
             clients: 8,
             apps: 0,
+            tracing: true,
+            flight_dir: None,
         }
     }
 }
@@ -80,6 +100,21 @@ pub struct ServeBenchReport {
     pub p50_us: u64,
     /// 99th-percentile end-to-end latency (µs).
     pub p99_us: u64,
+    /// 99.9th-percentile end-to-end latency (µs).
+    pub p999_us: u64,
+    /// Successful replies that carried a trace object.
+    pub traced: u64,
+    /// Median service-side total (µs) over all traces — the latency
+    /// the server itself observed, parse through serialize. The gap to
+    /// `p50_us` is wire transfer plus client-side parse.
+    pub service_p50_us: u64,
+    /// Per-stage latency attribution (µs), averaged over the traces
+    /// whose total sits in the middle decile around the median — so the
+    /// stage values sum to (about) the median request's timeline.
+    pub stages: BTreeMap<String, u64>,
+    /// Sum of the attribution columns (µs); checked against
+    /// `service_p50_us`.
+    pub stage_sum_us: u64,
     /// Campaign wall-clock (ms).
     pub elapsed_ms: f64,
     /// Scraped `/metrics` passed the Prometheus schema check.
@@ -88,15 +123,15 @@ pub struct ServeBenchReport {
 
 impl ToJson for ServeBenchReport {
     fn to_json(&self) -> Json {
-        Json::object(vec![
-            ("bench", Json::Str("serve".into())),
-            ("seed", Json::UInt(self.seed)),
-            ("requests", Json::UInt(self.requests as u64)),
-            ("templates", Json::UInt(self.templates as u64)),
-            ("hits", Json::UInt(self.hits)),
-            ("computed", Json::UInt(self.computed)),
+        let mut pairs: Vec<(String, Json)> = vec![
+            ("bench".into(), Json::Str("serve".into())),
+            ("seed".into(), Json::UInt(self.seed)),
+            ("requests".into(), Json::UInt(self.requests as u64)),
+            ("templates".into(), Json::UInt(self.templates as u64)),
+            ("hits".into(), Json::UInt(self.hits)),
+            ("computed".into(), Json::UInt(self.computed)),
             (
-                "rejections",
+                "rejections".into(),
                 Json::Object(
                     self.rejections
                         .iter()
@@ -104,13 +139,28 @@ impl ToJson for ServeBenchReport {
                         .collect(),
                 ),
             ),
-            ("hit_rate", Json::Float(self.hit_rate)),
-            ("throughput_rps", Json::Float(self.throughput_rps)),
-            ("p50_us", Json::UInt(self.p50_us)),
-            ("p99_us", Json::UInt(self.p99_us)),
-            ("elapsed_ms", Json::Float(self.elapsed_ms)),
-            ("metrics_schema_ok", Json::Bool(self.metrics_schema_ok)),
-        ])
+            ("hit_rate".into(), Json::Float(self.hit_rate)),
+            ("throughput_rps".into(), Json::Float(self.throughput_rps)),
+            ("p50_us".into(), Json::UInt(self.p50_us)),
+            ("p99_us".into(), Json::UInt(self.p99_us)),
+            ("p999_us".into(), Json::UInt(self.p999_us)),
+            ("traced".into(), Json::UInt(self.traced)),
+            ("service_p50_us".into(), Json::UInt(self.service_p50_us)),
+        ];
+        // Per-stage attribution columns, one `<stage>_us` key each, in
+        // the trace's stage order.
+        for stage in cachemap_service::TRACE_STAGES {
+            if let Some(us) = self.stages.get(stage) {
+                pairs.push((format!("{stage}_us"), Json::UInt(*us)));
+            }
+        }
+        pairs.push(("stage_sum_us".into(), Json::UInt(self.stage_sum_us)));
+        pairs.push(("elapsed_ms".into(), Json::Float(self.elapsed_ms)));
+        pairs.push((
+            "metrics_schema_ok".into(),
+            Json::Bool(self.metrics_schema_ok),
+        ));
+        Json::Object(pairs)
     }
 }
 
@@ -197,6 +247,27 @@ pub(crate) struct ClientTally {
     pub(crate) computed: u64,
     pub(crate) rejections: BTreeMap<String, u64>,
     pub(crate) latencies_us: Vec<u64>,
+    /// Per traced reply: `(trace total_us, per-stage duration sums)`.
+    pub(crate) traces: Vec<(u64, BTreeMap<String, u64>)>,
+    /// Traced replies whose coalesce stage was tagged `follower`.
+    pub(crate) follower_spans: u64,
+}
+
+/// Pulls `(total_us, per-stage sums)` out of a reply's `trace` object,
+/// plus whether the request waited on another request's computation.
+fn digest_trace(trace: &Json) -> Option<(u64, BTreeMap<String, u64>, bool)> {
+    let total = trace.get("total_us").and_then(Json::as_u64)?;
+    let mut stages: BTreeMap<String, u64> = BTreeMap::new();
+    let mut follower = false;
+    for s in trace.get("stages").and_then(Json::as_array)? {
+        let name = s.get("name").and_then(Json::as_str)?;
+        let dur = s.get("dur_us").and_then(Json::as_u64)?;
+        *stages.entry(name.to_string()).or_insert(0) += dur;
+        if name == "coalesce" && s.get("role").and_then(Json::as_str) == Some("follower") {
+            follower = true;
+        }
+    }
+    Some((total, stages, follower))
 }
 
 pub(crate) fn drive_client(
@@ -215,6 +286,8 @@ pub(crate) fn drive_client(
         computed: 0,
         rejections: BTreeMap::new(),
         latencies_us: Vec::with_capacity(requests),
+        traces: Vec::new(),
+        follower_spans: 0,
     };
     let mut reply = String::new();
     for k in 0..requests {
@@ -253,6 +326,10 @@ pub(crate) fn drive_client(
                     tally.hits += 1;
                 } else {
                     tally.computed += 1;
+                }
+                if let Some((total, stages, follower)) = v.get("trace").and_then(digest_trace) {
+                    tally.traces.push((total, stages));
+                    tally.follower_spans += u64::from(follower);
                 }
             }
             Some("error") => {
@@ -352,7 +429,14 @@ pub fn scrape_metrics(addr: std::net::SocketAddr) -> Result<String, String> {
 pub fn run(cfg: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
     let templates = build_templates(cfg.apps);
     let zipf = Zipf::new(templates.len());
-    let service = Arc::new(MapService::start(ServiceConfig::default()));
+    let mut svc_cfg = ServiceConfig {
+        tracing: cfg.tracing,
+        ..ServiceConfig::default()
+    };
+    if let Some(dir) = &cfg.flight_dir {
+        svc_cfg.flight_dir = dir.clone();
+    }
+    let service = Arc::new(MapService::start(svc_cfg));
     let server =
         Server::spawn("127.0.0.1:0", Arc::clone(&service)).map_err(|e| format!("bind: {e}"))?;
     let addr = server.addr();
@@ -377,6 +461,7 @@ pub fn run(cfg: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
     let mut computed = 0u64;
     let mut rejections: BTreeMap<String, u64> = BTreeMap::new();
     let mut latencies: Vec<u64> = Vec::with_capacity(cfg.requests);
+    let mut traces: Vec<(u64, BTreeMap<String, u64>)> = Vec::new();
     for tally in tallies {
         let tally = tally?;
         hits += tally.hits;
@@ -385,6 +470,7 @@ pub fn run(cfg: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
             *rejections.entry(code).or_insert(0) += n;
         }
         latencies.extend(tally.latencies_us);
+        traces.extend(tally.traces);
     }
     let elapsed = t0.elapsed();
 
@@ -425,6 +511,58 @@ pub fn run(cfg: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
             latencies[idx]
         }
     };
+
+    // Tracing coverage: every successful reply must carry a trace.
+    let traced = traces.len() as u64;
+    if cfg.tracing {
+        assert_eq!(
+            traced,
+            served,
+            "tracing was on but {} of {served} served replies had no trace",
+            served - traced
+        );
+    } else {
+        assert_eq!(traced, 0, "tracing was off but replies carried traces");
+    }
+
+    // Per-stage attribution: average the traces whose total sits in the
+    // middle decile around the median, so the columns describe the
+    // median request's timeline (and therefore sum to ≈ the service-
+    // observed p50).
+    traces.sort_by_key(|(total, _)| *total);
+    let service_p50_us = traces.get(traces.len() / 2).map_or(0, |(t, _)| *t);
+    let (stages, stage_sum_us) = if traces.is_empty() {
+        (BTreeMap::new(), 0)
+    } else {
+        let lo = traces.len() * 45 / 100;
+        let hi = (traces.len() * 55 / 100 + 1).min(traces.len());
+        let window = &traces[lo..hi];
+        let mut sums: BTreeMap<String, u64> = BTreeMap::new();
+        for (_, per_stage) in window {
+            for (name, us) in per_stage {
+                *sums.entry(name.clone()).or_insert(0) += us;
+            }
+        }
+        let n = window.len() as u64;
+        let stages: BTreeMap<String, u64> = sums.into_iter().map(|(k, v)| (k, v / n)).collect();
+        let sum = stages.values().sum();
+        (stages, sum)
+    };
+    // The attribution must explain the latency it claims to: at real
+    // campaign sizes the stage sum lands within 10% of the service-
+    // observed p50. (The client p50 is not the baseline — it also
+    // carries wire transfer and the client's parse + byte-identity
+    // check, which no server-side trace can see.)
+    if cfg.tracing && cfg.requests >= 400 {
+        let p50 = service_p50_us as f64;
+        let sum = stage_sum_us as f64;
+        assert!(
+            (sum - p50).abs() <= 0.10 * p50.max(1.0),
+            "stage attribution sum {stage_sum_us} µs strays more than 10% \
+             from the service p50 {service_p50_us} µs"
+        );
+    }
+
     let report = ServeBenchReport {
         seed: cfg.seed,
         requests: cfg.requests,
@@ -436,6 +574,11 @@ pub fn run(cfg: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
         throughput_rps: cfg.requests as f64 / elapsed.as_secs_f64(),
         p50_us: pct(0.50),
         p99_us: pct(0.99),
+        p999_us: pct(0.999),
+        traced,
+        service_p50_us,
+        stages,
+        stage_sum_us,
         elapsed_ms: elapsed.as_secs_f64() * 1e3,
         metrics_schema_ok: true,
     };
@@ -448,15 +591,13 @@ pub fn run(cfg: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
 /// Renders the human-readable campaign summary.
 pub fn render(report: &ServeBenchReport) -> String {
     let rej: u64 = report.rejections.values().sum();
-    format!(
+    let mut out = format!(
         "== serve-bench — seed {} ==\n\
          requests      {:>8}   ({} templates, {} clients closed-loop)\n\
          served        {:>8}   ({} cached + {} computed, hit rate {:.1}%)\n\
          rejected      {:>8}   (all with typed ServiceError codes)\n\
          throughput    {:>8.0} req/s\n\
-         latency       p50 {} µs, p99 {} µs\n\
-         wall clock    {:>8.1} ms\n\
-         metrics       Prometheus schema OK",
+         latency       p50 {} µs, p99 {} µs, p99.9 {} µs",
         report.seed,
         report.requests,
         report.templates,
@@ -469,8 +610,28 @@ pub fn render(report: &ServeBenchReport) -> String {
         report.throughput_rps,
         report.p50_us,
         report.p99_us,
+        report.p999_us,
+    );
+    if !report.stages.is_empty() {
+        let cols: Vec<String> = cachemap_service::TRACE_STAGES
+            .iter()
+            .filter_map(|s| report.stages.get(*s).map(|us| format!("{s} {us}")))
+            .collect();
+        out.push_str(&format!(
+            "\nattribution   {} µs  (Σ {} µs ≈ service p50 {} µs over {} traces;\n\
+             \x20             client p50 − service p50 = wire + client parse)",
+            cols.join(" | "),
+            report.stage_sum_us,
+            report.service_p50_us,
+            report.traced,
+        ));
+    }
+    out.push_str(&format!(
+        "\nwall clock    {:>8.1} ms\n\
+         metrics       Prometheus schema OK",
         report.elapsed_ms,
-    )
+    ));
+    out
 }
 
 #[cfg(test)]
@@ -509,16 +670,60 @@ mod tests {
     fn tiny_campaign_meets_all_invariants() {
         // Two apps keep the cold-oracle phase fast in debug builds; the
         // full eight-app pool runs under `repro serve-bench` in release.
+        let flight = std::env::temp_dir().join(format!("cachemap-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&flight);
         let report = run(&ServeBenchConfig {
             seed: 7,
             requests: 64,
             clients: 4,
             apps: 2,
+            tracing: true,
+            flight_dir: Some(flight.clone()),
         })
         .unwrap();
         assert_eq!(report.requests, 64);
         assert_eq!(report.templates, 8);
         assert!(report.hit_rate >= 0.5);
         assert!(report.metrics_schema_ok);
+        // Tracing: every served reply carried a trace and the stage
+        // columns aggregated into a non-empty attribution.
+        assert_eq!(report.traced, report.hits + report.computed);
+        assert!(report.stage_sum_us > 0, "empty stage attribution");
+        assert!(report.service_p50_us > 0, "no service-side p50");
+        assert!(
+            report.stages.contains_key("fingerprint"),
+            "every trace starts with the fingerprint stage"
+        );
+        // The graceful shutdown dumped a drain flight record.
+        let drains: Vec<_> = std::fs::read_dir(&flight)
+            .expect("flight dir exists")
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                e.file_name()
+                    .to_str()
+                    .is_some_and(|n| n.starts_with("flight-drain-") && n.ends_with(".json"))
+            })
+            .collect();
+        assert_eq!(drains.len(), 1, "expected exactly one drain dump");
+        let dump = std::fs::read_to_string(drains[0].path()).unwrap();
+        cachemap_obs::validate_flight_record(&json::parse(&dump).unwrap())
+            .expect("drain dump matches the flight-record schema");
+        let _ = std::fs::remove_dir_all(&flight);
+    }
+
+    #[test]
+    fn untraced_campaign_has_no_trace_fields() {
+        let report = run(&ServeBenchConfig {
+            seed: 11,
+            requests: 24,
+            clients: 2,
+            apps: 1,
+            tracing: false,
+            flight_dir: None,
+        })
+        .unwrap();
+        assert_eq!(report.traced, 0);
+        assert!(report.stages.is_empty());
+        assert_eq!(report.stage_sum_us, 0);
     }
 }

@@ -90,6 +90,16 @@ pub struct StormReport {
     pub storm_computes: u64,
     /// Requests that attached to the in-flight computation.
     pub storm_coalesced: u64,
+    /// Barrage replies whose trace carried a `follower` coalesce span —
+    /// must equal `storm_coalesced`: every waiter can point at the
+    /// in-flight computation it waited on.
+    pub storm_follower_spans: u64,
+    /// `flight-slow_request-*.json` dumps left behind by the campaign.
+    pub slow_dumps: u64,
+    /// `flight-recovery-*.json` dumps from the torn-tail restart.
+    pub recovery_dumps: u64,
+    /// `flight-drain-*.json` dumps from the graceful shutdown.
+    pub drain_dumps: u64,
     /// Successful zipf replies before the kill.
     pub prekill_served: u64,
     /// Typed rejections during the kill window.
@@ -129,6 +139,13 @@ impl ToJson for StormReport {
             ),
             ("storm_computes", Json::UInt(self.storm_computes)),
             ("storm_coalesced", Json::UInt(self.storm_coalesced)),
+            (
+                "storm_follower_spans",
+                Json::UInt(self.storm_follower_spans),
+            ),
+            ("slow_dumps", Json::UInt(self.slow_dumps)),
+            ("recovery_dumps", Json::UInt(self.recovery_dumps)),
+            ("drain_dumps", Json::UInt(self.drain_dumps)),
             ("prekill_served", Json::UInt(self.prekill_served)),
             ("prekill_rejected", Json::UInt(self.prekill_rejected)),
             ("prekill_hit_rate", Json::Float(self.prekill_hit_rate)),
@@ -157,18 +174,42 @@ fn service_config(dir: &Path) -> ServiceConfig {
         workers: 4,
         l2_dir: Some(dir.to_path_buf()),
         drain_limit_ms: 10_000,
+        // Tracing on with a 1 ms slow-request threshold: the storm is
+        // built out of anomalies, so it must leave flight dumps behind
+        // (slow coalesce waits, the torn-tail recovery, the drain).
+        tracing: true,
+        slow_trace_ms: 1,
+        flight_dir: dir.join("flight"),
         ..ServiceConfig::default()
     }
 }
 
+/// Counts `flight-<trigger>-*.json` dumps in the flight directory.
+fn count_dumps(dir: &Path, trigger: &str) -> u64 {
+    let prefix = format!("flight-{trigger}-");
+    std::fs::read_dir(dir.join("flight"))
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .filter(|e| {
+                    e.file_name()
+                        .to_str()
+                        .is_some_and(|n| n.starts_with(&prefix) && n.ends_with(".json"))
+                })
+                .count() as u64
+        })
+        .unwrap_or(0)
+}
+
 /// One barrage shooter: connect, wait for the barrier, fire the hot
-/// line once, parse the reply. Returns `cached` and checks bytes.
+/// line once, parse the reply. Returns `(cached, follower)` — whether
+/// the reply came from cache, and whether its trace carries a coalesce
+/// span tagged `follower` (the request waited on the leader's compute).
 fn fire_hot(
     addr: std::net::SocketAddr,
     barrier: &Barrier,
     line: &str,
     cold_bytes: &str,
-) -> Result<bool, String> {
+) -> Result<(bool, bool), String> {
     let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
     let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
     let mut reader = BufReader::new(stream);
@@ -193,7 +234,17 @@ fn fire_hot(
     if got != cold_bytes {
         return Err("storm mapping diverged from the cold oracle".into());
     }
-    Ok(v.get("cached") == Some(&Json::Bool(true)))
+    let follower = v
+        .get("trace")
+        .and_then(|t| t.get("stages"))
+        .and_then(Json::as_array)
+        .is_some_and(|stages| {
+            stages.iter().any(|s| {
+                s.get("name").and_then(Json::as_str) == Some("coalesce")
+                    && s.get("role").and_then(Json::as_str) == Some("follower")
+            })
+        });
+    Ok((v.get("cached") == Some(&Json::Bool(true)), follower))
 }
 
 /// The newest `seg-*.log` file in the L2 directory.
@@ -341,11 +392,13 @@ pub fn run(cfg: &StormConfig) -> Result<StormReport, String> {
         })
         .collect();
     let mut storm_computes = 0u64;
+    let mut storm_follower_spans = 0u64;
     for j in storm_joins {
-        let cached = j.join().map_err(|_| "storm shooter panicked")??;
+        let (cached, follower) = j.join().map_err(|_| "storm shooter panicked")??;
         if !cached {
             storm_computes += 1;
         }
+        storm_follower_spans += u64::from(follower);
     }
     let storm_stats = service.stats();
     if storm_computes != 1 {
@@ -357,6 +410,14 @@ pub fn run(cfg: &StormConfig) -> Result<StormReport, String> {
         return Err(format!(
             "hot barrage: {} pipeline runs for one fingerprint",
             storm_stats.misses
+        ));
+    }
+    // Attribution invariant: every coalesced waiter's trace points at
+    // the computation it waited on — a `follower` span per attach.
+    if storm_follower_spans != storm_stats.coalesced {
+        return Err(format!(
+            "hot barrage: {} follower spans but {} coalesce attaches",
+            storm_follower_spans, storm_stats.coalesced
         ));
     }
 
@@ -448,6 +509,22 @@ pub fn run(cfg: &StormConfig) -> Result<StormReport, String> {
     server2.shutdown();
     drop(server2);
     drop(service2);
+
+    // Anomaly forensics: the campaign must leave flight dumps behind —
+    // slow coalesce waits during the phases, the torn-tail recovery at
+    // restart, and the graceful drain.
+    let slow_dumps = count_dumps(&dir, "slow_request");
+    let recovery_dumps = count_dumps(&dir, "recovery");
+    let drain_dumps = count_dumps(&dir, "drain");
+    if slow_dumps == 0 {
+        return Err("no slow_request flight dump despite coalesce waits over 1 ms".into());
+    }
+    if torn_bytes > 0 && recovery_dumps == 0 {
+        return Err("torn-tail restart left no recovery flight dump".into());
+    }
+    if drain_dumps == 0 {
+        return Err("graceful drain left no drain flight dump".into());
+    }
     if own_dir {
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -457,6 +534,10 @@ pub fn run(cfg: &StormConfig) -> Result<StormReport, String> {
         storm_connections: shooters,
         storm_computes,
         storm_coalesced: storm_stats.coalesced,
+        storm_follower_spans,
+        slow_dumps,
+        recovery_dumps,
+        drain_dumps,
         prekill_served: prekill.served,
         prekill_rejected: prekill.rejected,
         prekill_hit_rate: prekill.hit_rate,
@@ -478,17 +559,20 @@ pub fn render(report: &StormReport) -> String {
     format!(
         "== serve-storm — seed {} ==\n\
          barrage       {:>8} connections, {} compute, {} coalesced\n\
+         attribution   {:>8} follower spans (one per coalesce attach)\n\
          pre-kill      {:>8} served + {} typed rejections (hit rate {:.1}%)\n\
          torn tail     {:>8} bytes cut; {} L2 entries recovered\n\
          post-restart  hit rate {:.1}%  (warm ratio {:.2}, gate ≥ 0.80)\n\
          drain         {:>8} requests: {} served, {} typed, 0 untyped drops\n\
          drain time    {:>8.3} s\n\
+         flight dumps  {:>8} slow_request, {} recovery, {} drain\n\
          wall clock    {:>8.1} ms\n\
          metrics       Prometheus schema OK",
         report.seed,
         report.storm_connections,
         report.storm_computes,
         report.storm_coalesced,
+        report.storm_follower_spans,
         report.prekill_served,
         report.prekill_rejected,
         report.prekill_hit_rate * 100.0,
@@ -500,6 +584,9 @@ pub fn render(report: &StormReport) -> String {
         report.drain_served,
         report.drain_rejected_typed,
         report.drain_seconds,
+        report.slow_dumps,
+        report.recovery_dumps,
+        report.drain_dumps,
         report.elapsed_ms,
     )
 }
@@ -512,8 +599,12 @@ mod tests {
     fn smoke_storm_meets_all_invariants() {
         let report = run(&StormConfig::smoke(7)).unwrap();
         assert_eq!(report.storm_computes, 1);
+        assert_eq!(report.storm_follower_spans, report.storm_coalesced);
         assert!(report.warm_ratio >= 0.8);
         assert!(report.drain_seconds > 0.0);
+        assert!(report.slow_dumps >= 1);
+        assert!(report.drain_dumps >= 1);
+        assert!(report.torn_bytes == 0 || report.recovery_dumps >= 1);
         assert!(report.metrics_schema_ok);
     }
 }

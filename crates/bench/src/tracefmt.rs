@@ -1,0 +1,276 @@
+//! Rendering for request traces and flight-recorder dumps
+//! (`repro trace <file...>`).
+//!
+//! Accepts three artifact shapes and renders each as text:
+//!
+//! * a bare trace record (as returned by the `trace` protocol op or
+//!   found inside a flight dump's `traces` array);
+//! * a map response line that carries a `"trace"` field;
+//! * a `flight-record/v1` dump written by the service's flight
+//!   recorder on an anomaly trigger.
+//!
+//! A trace renders as a **waterfall** — one bar per stage, offset and
+//! scaled against the request's total — followed by a per-stage
+//! **attribution table** (duration and share of the total, with any
+//! unattributed remainder called out). A flight dump renders its
+//! header and context, a one-line summary per recorded trace, and the
+//! full waterfall of the slowest trace in the ring.
+
+use cachemap_util::Json;
+
+/// Character width of the waterfall column.
+const BAR_WIDTH: usize = 48;
+
+/// Renders any trace-bearing artifact (see module docs).
+pub fn render(v: &Json) -> Result<String, String> {
+    if v.get("schema").and_then(Json::as_str) == Some(cachemap_obs::FLIGHT_SCHEMA) {
+        return render_flight(v);
+    }
+    if v.get("trace_id").is_some() && v.get("stages").is_some() {
+        return render_trace(v);
+    }
+    if let Some(t) = v.get("trace") {
+        // A map response line (or a `trace` op reply) wrapping the record.
+        return render(t);
+    }
+    Err(
+        "not a trace artifact: expected a trace record, a response with a \
+         'trace' field, or a flight-record dump"
+            .to_string(),
+    )
+}
+
+/// One stage row pulled out of a trace's `stages` array.
+struct StageRow {
+    name: String,
+    role: Option<String>,
+    start_us: u64,
+    dur_us: u64,
+    profile_spans: usize,
+}
+
+fn stage_rows(trace: &Json) -> Vec<StageRow> {
+    trace
+        .get("stages")
+        .and_then(Json::as_array)
+        .map(|stages| {
+            stages
+                .iter()
+                .filter_map(|s| {
+                    Some(StageRow {
+                        name: s.get("name").and_then(Json::as_str)?.to_string(),
+                        role: s
+                            .get("role")
+                            .and_then(Json::as_str)
+                            .map(std::string::ToString::to_string),
+                        start_us: s.get("start_us").and_then(Json::as_u64)?,
+                        dur_us: s.get("dur_us").and_then(Json::as_u64)?,
+                        profile_spans: s
+                            .get("profile")
+                            .and_then(|p| p.get("spans"))
+                            .and_then(Json::as_array)
+                            .map_or(0, <[Json]>::len),
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// `[  ▕███▏   ]`-style bar: `dur` placed at `start` on a `total` axis.
+fn bar(start_us: u64, dur_us: u64, total_us: u64) -> String {
+    let total = total_us.max(1);
+    let lead = (start_us.min(total) as usize * BAR_WIDTH) / total as usize;
+    let lead = lead.min(BAR_WIDTH.saturating_sub(1));
+    let len = ((dur_us as usize * BAR_WIDTH) / total as usize).max(1);
+    let len = len.min(BAR_WIDTH - lead);
+    let mut out = String::with_capacity(BAR_WIDTH * 3);
+    out.push_str(&"·".repeat(lead));
+    out.push_str(&"█".repeat(len));
+    out.push_str(&" ".repeat(BAR_WIDTH - lead - len));
+    out
+}
+
+/// Renders one trace record: header, waterfall, attribution table.
+pub fn render_trace(trace: &Json) -> Result<String, String> {
+    cachemap_obs::validate_trace(trace)
+        .map_err(|errs| format!("invalid trace record: {}", errs.join("; ")))?;
+    let id = trace.get("trace_id").and_then(Json::as_str).unwrap_or("?");
+    let tenant = trace.get("tenant").and_then(Json::as_str).unwrap_or("?");
+    let outcome = trace.get("outcome").and_then(Json::as_str).unwrap_or("?");
+    let seq = trace.get("seq").and_then(Json::as_u64).unwrap_or(0);
+    let cached = trace.get("cached") == Some(&Json::Bool(true));
+    let total_us = trace.get("total_us").and_then(Json::as_u64).unwrap_or(0);
+    let rows = stage_rows(trace);
+
+    let mut out = format!(
+        "trace {id}  seq {seq}  tenant {tenant}  outcome {outcome}  \
+         cached {cached}  total {total_us} µs\n"
+    );
+    for r in &rows {
+        let label = match &r.role {
+            Some(role) => format!("{} ({role})", r.name),
+            None => r.name.clone(),
+        };
+        let extra = if r.profile_spans > 0 {
+            format!("  [{} profile spans]", r.profile_spans)
+        } else {
+            String::new()
+        };
+        out.push_str(&format!(
+            "  {label:<20} |{}| {:>9} µs @ {:>9}{extra}\n",
+            bar(r.start_us, r.dur_us, total_us),
+            r.dur_us,
+            r.start_us,
+        ));
+    }
+
+    out.push_str("  attribution:\n");
+    let sum: u64 = rows.iter().map(|r| r.dur_us).sum();
+    for r in &rows {
+        let share = r.dur_us as f64 / total_us.max(1) as f64 * 100.0;
+        out.push_str(&format!(
+            "    {:<20} {:>9} µs  {share:>5.1}%\n",
+            r.name, r.dur_us
+        ));
+    }
+    if total_us > sum {
+        let rem = total_us - sum;
+        out.push_str(&format!(
+            "    {:<20} {rem:>9} µs  {:>5.1}%\n",
+            "(unattributed)",
+            rem as f64 / total_us.max(1) as f64 * 100.0
+        ));
+    }
+    out.push_str(&format!("    {:<20} {sum:>9} µs  of {total_us} µs\n", "Σ"));
+    Ok(out)
+}
+
+/// Renders one flight-recorder dump: header, ring summary, and the
+/// slowest trace's waterfall.
+pub fn render_flight(record: &Json) -> Result<String, String> {
+    cachemap_obs::validate_flight_record(record)
+        .map_err(|errs| format!("invalid flight record: {}", errs.join("; ")))?;
+    let trigger = record.get("trigger").and_then(Json::as_str).unwrap_or("?");
+    let dump_seq = record.get("dump_seq").and_then(Json::as_u64).unwrap_or(0);
+    let recorded = record
+        .get("recorded_total")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let traces = record
+        .get("traces")
+        .and_then(Json::as_array)
+        .unwrap_or_default();
+
+    let mut out = format!(
+        "== flight record — trigger {trigger}, dump {dump_seq}, \
+         {} of {recorded} recorded traces in the ring ==\n",
+        traces.len()
+    );
+    // Context: every scalar field beyond the schema's fixed header.
+    if let Json::Object(pairs) = record {
+        for (k, v) in pairs {
+            if matches!(
+                k.as_str(),
+                "schema" | "trigger" | "dump_seq" | "recorded_total" | "traces"
+            ) {
+                continue;
+            }
+            out.push_str(&format!("   {k}: {}\n", v.to_string_compact()));
+        }
+    }
+
+    let mut slowest: Option<&Json> = None;
+    for t in traces {
+        let total = t.get("total_us").and_then(Json::as_u64).unwrap_or(0);
+        out.push_str(&format!(
+            "   {:<18} seq {:>6}  {:<14} {:<12} {:>9} µs\n",
+            t.get("trace_id").and_then(Json::as_str).unwrap_or("?"),
+            t.get("seq").and_then(Json::as_u64).unwrap_or(0),
+            t.get("outcome").and_then(Json::as_str).unwrap_or("?"),
+            t.get("tenant").and_then(Json::as_str).unwrap_or("?"),
+            total,
+        ));
+        if slowest
+            .and_then(|s| s.get("total_us"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            <= total
+        {
+            slowest = Some(t);
+        }
+    }
+    if let Some(s) = slowest {
+        out.push_str("slowest trace:\n");
+        out.push_str(&render_trace(s)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachemap_obs::{TraceId, TraceRecord};
+
+    fn sample_trace() -> Json {
+        let mut r = TraceRecord::new(TraceId::derive(7, 3), 3, "00ff".into(), "acme".into());
+        r.push_stage("fingerprint", 0, 10);
+        r.push_stage("l1", 10, 5);
+        r.push_tagged("coalesce", 15, 900, "follower");
+        r.push_stage("serialize", 915, 60);
+        r.outcome = "ok_coalesced".into();
+        r.cached = true;
+        r.total_us = 1000;
+        r.to_json()
+    }
+
+    #[test]
+    fn trace_waterfall_renders_all_stages_and_sums() {
+        let text = render(&sample_trace()).unwrap();
+        for needle in [
+            "fingerprint",
+            "coalesce (follower)",
+            "serialize",
+            "tenant acme",
+            "outcome ok_coalesced",
+            "(unattributed)",
+            "total 1000 µs",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn response_wrapper_and_flight_record_both_render() {
+        let wrapped = Json::object(vec![
+            ("id", Json::UInt(1)),
+            ("status", Json::Str("ok".into())),
+            ("trace", sample_trace()),
+        ]);
+        assert!(render(&wrapped).unwrap().contains("outcome ok_coalesced"));
+
+        let flight = Json::object(vec![
+            ("schema", Json::Str(cachemap_obs::FLIGHT_SCHEMA.into())),
+            ("trigger", Json::Str("slow_request".into())),
+            ("dump_seq", Json::UInt(0)),
+            ("recorded_total", Json::UInt(1)),
+            ("queue_depth", Json::UInt(4)),
+            ("traces", Json::Array(vec![sample_trace()])),
+        ]);
+        let text = render(&flight).unwrap();
+        assert!(text.contains("trigger slow_request"));
+        assert!(text.contains("queue_depth: 4"));
+        assert!(text.contains("slowest trace:"));
+    }
+
+    #[test]
+    fn junk_is_rejected_with_a_reason() {
+        let junk = Json::object(vec![("hello", Json::UInt(1))]);
+        assert!(render(&junk).is_err());
+        let bad_flight = Json::object(vec![
+            ("schema", Json::Str(cachemap_obs::FLIGHT_SCHEMA.into())),
+            ("trigger", Json::Str(String::new())),
+        ]);
+        assert!(render(&bad_flight).unwrap_err().contains("invalid flight"));
+    }
+}

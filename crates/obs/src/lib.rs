@@ -17,6 +17,9 @@
 //!   `client`).
 //! * [`artifact`] — the `*.obs.json` container tying a mapper profile
 //!   and an engine snapshot together; [`schema`] validates it in CI.
+//! * [`trace`] — request-scoped service-path traces (deterministic ids,
+//!   per-stage latency attribution) and a bounded flight recorder that
+//!   dumps recent traces to disk on anomaly triggers.
 //!
 //! The default [`Recorder`] is disabled and drops everything through an
 //! inlined `None` check, so instrumented code paths cost one branch per
@@ -31,6 +34,7 @@ pub mod metrics;
 pub mod schema;
 pub mod series;
 pub mod span;
+pub mod trace;
 
 pub use artifact::{ArtifactMeta, ObsArtifact, SCHEMA_VERSION};
 pub use metrics::{MetricKind, Registry};
@@ -39,3 +43,7 @@ pub use series::{
     BucketStats, ClientBucketStats, EngineObs, Level, LinkHop, ObsEvent, Recorder, HOT_CHUNKS_CAP,
 };
 pub use span::{Profile, SpanNode};
+pub use trace::{
+    validate_flight_record, validate_trace, FlightRecorder, Stage, TraceId, TraceRecord,
+    FLIGHT_SCHEMA,
+};

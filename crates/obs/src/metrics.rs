@@ -174,6 +174,22 @@ impl Registry {
         }
     }
 
+    /// Preregisters the histogram `name{labels}` with all-zero buckets
+    /// so the first scrape already exposes the full family schema
+    /// (observations later reuse the declared bounds).
+    pub fn histogram_declare(
+        &mut self,
+        name: &str,
+        help: &str,
+        bounds: &[f64],
+        labels: &[(&str, &str)],
+    ) {
+        let fam = self.family(name, help, MetricKind::Histogram);
+        fam.samples
+            .entry(canon_labels(labels))
+            .or_insert_with(|| Sample::Histogram(Histogram::new(bounds)));
+    }
+
     /// Reads a counter back (for tests and assertions).
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
         let fam = self.families.get(name)?;

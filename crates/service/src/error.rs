@@ -51,6 +51,12 @@ pub enum ServiceError {
         /// The idle budget the connection ran with, in milliseconds.
         budget_ms: u64,
     },
+    /// A lookup op referenced something the service does not hold
+    /// (e.g. a `trace` id that fell out of the flight-recorder ring).
+    NotFound {
+        /// What was looked up, for the error message.
+        what: String,
+    },
     /// The service is shutting down; queued work is drained with this.
     Shutdown,
     /// An unexpected internal failure (never the caller's fault).
@@ -70,6 +76,7 @@ impl ServiceError {
             ServiceError::QuotaExceeded { .. } => "quota_exceeded",
             ServiceError::ConnLimit { .. } => "conn_limit",
             ServiceError::ReadTimeout { .. } => "read_timeout",
+            ServiceError::NotFound { .. } => "not_found",
             ServiceError::Shutdown => "shutdown",
             ServiceError::Internal { .. } => "internal",
         }
@@ -102,6 +109,9 @@ impl ServiceError {
                 limit: 0,
             },
             "read_timeout" => ServiceError::ReadTimeout { budget_ms: 0 },
+            "not_found" => ServiceError::NotFound {
+                what: message.to_string(),
+            },
             "shutdown" => ServiceError::Shutdown,
             "internal" => ServiceError::Internal {
                 message: message.to_string(),
@@ -138,6 +148,7 @@ impl fmt::Display for ServiceError {
             ServiceError::ReadTimeout { budget_ms } => {
                 write!(f, "connection idle past read timeout ({budget_ms} ms)")
             }
+            ServiceError::NotFound { what } => write!(f, "not found: {what}"),
             ServiceError::Shutdown => write!(f, "service is shutting down"),
             ServiceError::Internal { message } => write!(f, "internal error: {message}"),
         }
@@ -175,6 +186,9 @@ mod tests {
                 limit: 8,
             },
             ServiceError::ReadTimeout { budget_ms: 100 },
+            ServiceError::NotFound {
+                what: "trace feedbeef".into(),
+            },
             ServiceError::Shutdown,
             ServiceError::Internal {
                 message: "y".into(),

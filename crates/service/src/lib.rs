@@ -22,6 +22,18 @@
 //!   (see [`proto`]) plus a plain-HTTP `GET /metrics` Prometheus
 //!   endpoint on the same port, backed by an `obs::Registry`.
 //!
+//! When [`ServiceConfig::tracing`] is on, every request additionally
+//! carries a deterministic per-request trace — stage-by-stage latency
+//! attribution from wire parse to response serialization, with the
+//! mapper's `Profile` span tree linked under the compute stage — and a
+//! bounded flight recorder keeps the most recent traces in memory,
+//! dumping them to `flight-*.json` on anomalies (slow request,
+//! rejection burst, drain, crash recovery). Per-tenant SLO latency
+//! histograms and burn-rate gauges ride on the same registry whether or
+//! not tracing is enabled. Tracing is free when off: responses are
+//! byte-identical and the instrumented paths cost one branch each
+//! (guarded by `benches/trace_overhead.rs`).
+//!
 //! Shutdown is a **graceful drain**: new submissions are rejected with
 //! a typed `shutdown` error, queued work is finished (or
 //! deadline-rejected) within `drain_limit_ms`, dirty L2 segments are
@@ -49,12 +61,13 @@ pub mod server;
 pub use error::ServiceError;
 pub use proto::{MapRequest, MapResponse, Request};
 
-use cachemap_obs::Registry;
+use cachemap_obs::{FlightRecorder, Profile, Registry, TraceId, TraceRecord};
 use cachemap_polyhedral::DataSpace;
 use cachemap_storage::wire::mapped_program_from_json;
 use cachemap_storage::{HierarchyTree, L2Config, L2Store, MappedProgram};
 use cachemap_util::{fingerprint_json, CoalesceMap, Fingerprint, Json, ShardedLru, ToJson};
 use queue::{FairQueue, PushError};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -66,8 +79,30 @@ const LATENCY_BUCKETS: [f64; 14] = [
     0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
 ];
 
+/// Stage names of the request-trace taxonomy, in service-path order.
+/// `parse` only appears when the front end reports an ingress duration;
+/// `serialize` is appended at finalization by the front end.
+pub const TRACE_STAGES: [&str; 9] = [
+    "parse",
+    "fingerprint",
+    "l1",
+    "l2",
+    "l2_parse",
+    "coalesce",
+    "queue_wait",
+    "compute",
+    "serialize",
+];
+
+/// Flight-recorder dump trigger names (the `trigger` metric label and
+/// the `flight-<trigger>-*.json` file-name component).
+pub const FLIGHT_TRIGGERS: [&str; 4] = ["slow_request", "rejection_burst", "drain", "recovery"];
+
+/// Latency-path labels used on the per-tenant SLO histograms.
+const LATENCY_PATHS: [&str; 5] = ["hit", "l2_hit", "computed", "coalesced", "rejected"];
+
 /// Service tuning knobs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServiceConfig {
     /// Worker threads draining the admission queue. `0` is permitted
     /// (admit but never serve) and exists for backpressure tests.
@@ -99,6 +134,25 @@ pub struct ServiceConfig {
     /// How long a graceful [`MapService::shutdown`] waits for queued
     /// work to finish before deadline-rejecting the remainder.
     pub drain_limit_ms: u64,
+    /// Per-request tracing. When `false` (the default) no trace context
+    /// is allocated, responses are byte-identical to an untraced build,
+    /// and the instrumented paths cost one branch each.
+    pub tracing: bool,
+    /// Flight-recorder ring capacity (recent trace summaries held in
+    /// memory for `trace` lookups and anomaly dumps).
+    pub flight_capacity: usize,
+    /// Traced requests slower than this trigger a `slow_request` flight
+    /// dump; `0` disables the trigger.
+    pub slow_trace_ms: u64,
+    /// Directory flight-recorder dumps are written into.
+    pub flight_dir: PathBuf,
+    /// Per-tenant SLO latency objective in milliseconds: requests over
+    /// it (or rejected) count against the tenant's error budget.
+    pub slo_latency_ms: u64,
+    /// Fraction of requests allowed to miss the SLO; the burn-rate
+    /// gauge is `bad_fraction / slo_error_budget` (1.0 = burning the
+    /// budget exactly as fast as allowed).
+    pub slo_error_budget: f64,
 }
 
 impl Default for ServiceConfig {
@@ -115,6 +169,12 @@ impl Default for ServiceConfig {
             l2_ttl_secs: 86_400,
             l2_segment_bytes: 8 << 20,
             drain_limit_ms: 5_000,
+            tracing: false,
+            flight_capacity: 256,
+            slow_trace_ms: 1_000,
+            flight_dir: PathBuf::from("reports"),
+            slo_latency_ms: 250,
+            slo_error_budget: 0.01,
         }
     }
 }
@@ -189,13 +249,59 @@ struct CachedEntry {
     mapping: Arc<MappedProgram>,
 }
 
+/// A request trace captured through `submit` but still missing its
+/// final stage: response serialization happens in the caller (the TCP
+/// front end), which times it and hands the duration to
+/// [`MapService::finalize_trace`] — closing the chicken-and-egg between
+/// "the trace rides in the response" and "serializing the response is
+/// itself a traced stage".
+#[derive(Debug, Clone)]
+pub struct PendingTrace {
+    record: TraceRecord,
+    started: Instant,
+    ingress_us: u64,
+}
+
+impl PendingTrace {
+    /// Offset of `t0` from the (ingress-adjusted) request arrival.
+    fn offset(&self, t0: Instant) -> u64 {
+        self.ingress_us + t0.saturating_duration_since(self.started).as_micros() as u64
+    }
+
+    /// Records a stage that began at `t0` and ends now.
+    fn stage(&mut self, name: &str, t0: Instant) {
+        let off = self.offset(t0);
+        self.record
+            .push_stage(name, off, t0.elapsed().as_micros() as u64);
+    }
+
+    /// The deterministic trace id, in wire (hex) form.
+    pub fn trace_id(&self) -> String {
+        self.record.trace_id.to_hex()
+    }
+}
+
+/// Worker-side timing for one queued job, returned over the reply
+/// channel so the submitting thread can attribute queue wait and
+/// compute time in its trace.
+struct WorkerTrace {
+    queue_wait_us: u64,
+    compute_us: u64,
+    profile: Option<Json>,
+}
+
+type JobReply = Result<(Arc<MappedProgram>, bool, Option<WorkerTrace>), ServiceError>;
+
 struct Job {
     fp: Fingerprint,
     scope: Fingerprint,
     req: MapRequest,
     deadline: Option<Instant>,
     budget_ms: u64,
-    reply: mpsc::SyncSender<Result<(Arc<MappedProgram>, bool), ServiceError>>,
+    /// Push timestamp, set only for traced requests: the worker
+    /// measures queue wait from it.
+    enqueued: Option<Instant>,
+    reply: mpsc::SyncSender<JobReply>,
 }
 
 struct Inner {
@@ -216,6 +322,12 @@ struct Inner {
     /// Bit pattern of the last drain duration (f64), since the metric
     /// registry has no gauge read-back.
     drain_seconds_bits: AtomicU64,
+    /// Admission sequence for deterministic trace ids.
+    trace_seq: AtomicU64,
+    /// Ring of recent trace summaries; `Some` iff tracing is enabled.
+    flight: Option<FlightRecorder>,
+    /// Per-tenant SLO accounting: tenant → (bad requests, total).
+    slo: Mutex<BTreeMap<String, (u64, u64)>>,
 }
 
 /// Seconds since the Unix epoch, for L2 TTL bookkeeping.
@@ -265,9 +377,34 @@ impl MapService {
             stopping: AtomicBool::new(false),
             draining: AtomicBool::new(false),
             drain_seconds_bits: AtomicU64::new(0f64.to_bits()),
+            trace_seq: AtomicU64::new(0),
+            flight: cfg
+                .tracing
+                .then(|| FlightRecorder::new(cfg.flight_capacity.max(1))),
+            slo: Mutex::new(BTreeMap::new()),
             cfg,
         });
         inner.preregister_metrics();
+        // Crash-recovery anomaly: a restart that had to truncate a torn
+        // L2 tail (or replay segments) is itself a flight-worthy event —
+        // dump the (empty) ring with the recovery stats attached so the
+        // incident is on disk before the first request lands.
+        if inner.flight.is_some() {
+            if let Some(l2) = &inner.l2 {
+                let rs = l2.lock().expect("l2 poisoned").recovery_stats();
+                if rs.segments_truncated > 0 || rs.bytes_truncated > 0 {
+                    inner.flight_dump(
+                        "recovery",
+                        vec![
+                            ("records_replayed", Json::UInt(rs.records_replayed)),
+                            ("segments_truncated", Json::UInt(rs.segments_truncated)),
+                            ("bytes_truncated", Json::UInt(rs.bytes_truncated)),
+                            ("entries_expired", Json::UInt(rs.entries_expired)),
+                        ],
+                    );
+                }
+            }
+        }
         let workers = (0..inner.cfg.workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
@@ -296,7 +433,42 @@ impl MapService {
     /// computation of the same fingerprint → admit to the weighted-fair
     /// queue (or reject typed) and compute on the worker pool.
     pub fn submit(&self, req: MapRequest) -> Result<MapResponse, ServiceError> {
-        self.inner.submit(req)
+        self.inner.submit(req, 0)
+    }
+
+    /// [`MapService::submit`] with the front end's ingress (read +
+    /// parse) duration, so the trace timeline starts at the wire rather
+    /// than at admission. With tracing disabled this is `submit`.
+    pub fn submit_traced(
+        &self,
+        req: MapRequest,
+        ingress_us: u64,
+    ) -> Result<MapResponse, ServiceError> {
+        self.inner.submit(req, ingress_us)
+    }
+
+    /// Closes a [`PendingTrace`] taken off a [`MapResponse`]: appends
+    /// the `serialize` stage (measured by the caller), observes the
+    /// per-stage latency metrics, records the trace into the flight
+    /// recorder, fires any anomaly triggers, and returns the trace
+    /// JSON for the wire.
+    // Takes the box because that is what callers hold: the trace rides
+    // `MapResponse` boxed so untraced responses stay pointer-sized.
+    #[allow(clippy::boxed_local)]
+    pub fn finalize_trace(&self, pending: Box<PendingTrace>, serialize: Duration) -> Json {
+        self.inner.finalize_trace(*pending, serialize)
+    }
+
+    /// Looks a recent trace up in the flight recorder by hex id
+    /// (`"last"` returns the most recent). `None` when tracing is off
+    /// or the id fell out of the ring.
+    pub fn trace_lookup(&self, trace_id: &str) -> Option<Json> {
+        let fl = self.inner.flight.as_ref()?;
+        if trace_id == "last" {
+            fl.last()
+        } else {
+            fl.find(trace_id)
+        }
     }
 
     /// Renders the metric registry in Prometheus text format, with the
@@ -440,6 +612,17 @@ impl MapService {
             let _ = l2.seal();
         }
         self.inner.record_drain(start.elapsed().as_secs_f64());
+        // A drain is always flight-worthy: preserve the ring (what the
+        // service was doing on its way out) next to the drain numbers.
+        self.inner.flight_dump(
+            "drain",
+            vec![(
+                "drain_seconds",
+                Json::Float(f64::from_bits(
+                    self.inner.drain_seconds_bits.load(Ordering::SeqCst),
+                )),
+            )],
+        );
     }
 
     /// Simulates a crash for recovery testing: workers stop and queued
@@ -482,8 +665,17 @@ impl Drop for MapService {
     }
 }
 
+/// The tenant label for metrics: the request's tenant, or `anonymous`
+/// for unlabelled (or empty-labelled) requests.
+fn tenant_label(req: &MapRequest) -> &str {
+    match req.tenant.as_deref() {
+        Some(t) if !t.is_empty() => t,
+        _ => "anonymous",
+    }
+}
+
 impl Inner {
-    fn submit(&self, req: MapRequest) -> Result<MapResponse, ServiceError> {
+    fn submit(&self, req: MapRequest, ingress_us: u64) -> Result<MapResponse, ServiceError> {
         let start = Instant::now();
         if self.draining.load(Ordering::SeqCst) || self.stopping.load(Ordering::SeqCst) {
             self.count_outcome("shutdown");
@@ -495,23 +687,59 @@ impl Inner {
         let fp = cachemap_core::fingerprint(&req.program, &req.platform, &req.mapper, req.version);
         let scope = MapService::scope_fingerprint(&req.platform, req.version);
 
+        // Trace context: allocated only when tracing is on — the
+        // disabled path costs this one branch. Validation and
+        // fingerprinting ran since `start`, so they tile the timeline
+        // as the `fingerprint` stage.
+        let mut tctx: Option<PendingTrace> = if self.flight.is_some() {
+            let seq = self.trace_seq.fetch_add(1, Ordering::SeqCst);
+            let mut record = TraceRecord::new(
+                TraceId::derive(fp.0, seq),
+                seq,
+                fp.to_hex(),
+                tenant_label(&req).to_string(),
+            );
+            if ingress_us > 0 {
+                record.push_stage("parse", 0, ingress_us);
+            }
+            record.push_stage(
+                "fingerprint",
+                ingress_us,
+                start.elapsed().as_micros() as u64,
+            );
+            Some(PendingTrace {
+                record,
+                started: start,
+                ingress_us,
+            })
+        } else {
+            None
+        };
+        let tenant = tenant_label(&req).to_string();
+
         // L1: O(lookup) on the sharded cache, no queueing.
-        if let Some(entry) = self.cache.get(&fp) {
-            self.record_hit(start);
-            return Ok(self.respond(&req, fp, entry.mapping, true, start));
+        let l1_t0 = tctx.as_ref().map(|_| Instant::now());
+        let l1 = self.cache.get(&fp);
+        if let (Some(t0), Some(t)) = (l1_t0, tctx.as_mut()) {
+            t.stage("l1", t0);
+        }
+        if let Some(entry) = l1 {
+            self.record_hit(&tenant, start);
+            return Ok(self.respond(&req, fp, entry.mapping, true, start, tctx, "ok_cached"));
         }
 
         // L2: one disk read; a hit is promoted so the next lookup is L1.
-        if let Some(mapping) = self.l2_lookup(&fp, scope) {
-            self.record_l2_hit(start);
-            return Ok(self.respond(&req, fp, mapping, true, start));
+        if let Some(mapping) = self.l2_lookup(&fp, scope, &mut tctx) {
+            self.record_l2_hit(&tenant, start);
+            return Ok(self.respond(&req, fp, mapping, true, start, tctx, "ok_l2"));
         }
 
         let budget_ms = req.deadline_ms.unwrap_or(self.cfg.default_deadline_ms);
         let deadline = if budget_ms == 0 && req.deadline_ms.is_some() {
             // An explicit zero budget is an already-expired deadline.
             self.count_outcome("deadline_exceeded");
-            self.observe_latency("rejected", start);
+            self.observe_latency("rejected", &tenant, start, true);
+            self.finalize_rejected(tctx, "deadline_exceeded");
             return Err(ServiceError::DeadlineExceeded { budget_ms });
         } else if budget_ms == 0 {
             None
@@ -522,10 +750,24 @@ impl Inner {
         // Coalesce: one computation per fingerprint, however many
         // concurrent callers miss on it. `inherited` marks followers,
         // whose responses report `cached: true` — they were served
-        // without a pipeline run of their own.
-        let (outcome, inherited) = match self.coalesce.join(fp, deadline) {
+        // without a pipeline run of their own. The rendezvous is a
+        // trace stage tagged with this caller's role: the leader never
+        // blocks here (its time goes to queue_wait/compute), followers
+        // attribute their whole wait to the coalescing.
+        let join_t0 = tctx.as_ref().map(|_| Instant::now());
+        let (join, wait_ns) = self.coalesce.join_timed(fp, deadline);
+        if let (Some(t0), Some(t)) = (join_t0, tctx.as_mut()) {
+            let off = t.offset(t0);
+            let role = if matches!(join, cachemap_util::coalesce::Join::Leader(_)) {
+                "leader"
+            } else {
+                "follower"
+            };
+            t.record.push_tagged("coalesce", off, wait_ns / 1_000, role);
+        }
+        let (outcome, inherited) = match join {
             cachemap_util::coalesce::Join::Leader(leader) => {
-                let outcome = self.queue_and_wait(fp, scope, &req, deadline, budget_ms);
+                let outcome = self.queue_and_wait(fp, scope, &req, deadline, budget_ms, &mut tctx);
                 leader.complete(outcome.clone());
                 (outcome, false)
             }
@@ -550,18 +792,21 @@ impl Inner {
 
         match outcome {
             Ok(mapping) => {
-                if inherited {
+                let outcome_name = if inherited {
                     self.count_outcome("ok_coalesced");
-                    self.observe_latency("coalesced", start);
+                    self.observe_latency("coalesced", &tenant, start, false);
+                    "ok_coalesced"
                 } else {
                     self.count_outcome("ok_computed");
-                    self.observe_latency("computed", start);
-                }
-                Ok(self.respond(&req, fp, mapping, inherited, start))
+                    self.observe_latency("computed", &tenant, start, false);
+                    "ok_computed"
+                };
+                Ok(self.respond(&req, fp, mapping, inherited, start, tctx, outcome_name))
             }
             Err(e) => {
                 self.count_outcome(e.code());
-                self.observe_latency("rejected", start);
+                self.observe_latency("rejected", &tenant, start, true);
+                self.finalize_rejected(tctx, e.code());
                 Err(e)
             }
         }
@@ -583,9 +828,11 @@ impl Inner {
         req: &MapRequest,
         deadline: Option<Instant>,
         budget_ms: u64,
+        tctx: &mut Option<PendingTrace>,
     ) -> Result<Arc<MappedProgram>, ServiceError> {
         let tenant = req.tenant.clone().unwrap_or_default();
         let (tx, rx) = mpsc::sync_channel(1);
+        let t_push = tctx.as_ref().map(|_| Instant::now());
         {
             let mut q = self.queue.lock().expect("queue poisoned");
             if self.draining.load(Ordering::SeqCst) || self.stopping.load(Ordering::SeqCst) {
@@ -597,6 +844,7 @@ impl Inner {
                 req: req.clone(),
                 deadline,
                 budget_ms,
+                enqueued: t_push,
                 reply: tx,
             };
             q.push(&tenant, job).map_err(|e| match e {
@@ -607,7 +855,7 @@ impl Inner {
         self.available.notify_one();
 
         // Wait for the worker (or the deadline, whichever first).
-        match deadline {
+        let (mapping, _was_cached, wtrace) = match deadline {
             None => rx.recv().map_err(|_| ServiceError::Shutdown)?,
             Some(d) => {
                 let budget = d.saturating_duration_since(Instant::now());
@@ -619,19 +867,56 @@ impl Inner {
                     Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServiceError::Shutdown),
                 }
             }
+        }?;
+        // Splice the worker-side measurements into this request's
+        // timeline: queue wait from the push timestamp, then compute
+        // (carrying the mapper's profile span tree as a child).
+        if let (Some(t0), Some(t), Some(w)) = (t_push, tctx.as_mut(), wtrace) {
+            let off = t.offset(t0);
+            t.record.push_stage("queue_wait", off, w.queue_wait_us);
+            t.record
+                .push_profiled("compute", off + w.queue_wait_us, w.compute_us, w.profile);
         }
-        .map(|(mapping, _was_cached)| mapping)
+        Ok(mapping)
     }
 
     /// Reads `fp` from the disk tier, re-hydrates the mapping, and
     /// promotes it into L1. Any L2 problem (disabled tier, expired or
     /// invalidated entry, checksum miss, parse failure) is a miss.
-    fn l2_lookup(&self, fp: &Fingerprint, scope: Fingerprint) -> Option<Arc<MappedProgram>> {
+    fn l2_lookup(
+        &self,
+        fp: &Fingerprint,
+        scope: Fingerprint,
+        tctx: &mut Option<PendingTrace>,
+    ) -> Option<Arc<MappedProgram>> {
         let l2 = self.l2.as_ref()?;
-        let bytes = l2.lock().expect("l2 poisoned").get(fp, unix_now())?;
-        let text = std::str::from_utf8(&bytes).ok()?;
-        let json = cachemap_util::json::parse(text).ok()?;
-        let mapping = Arc::new(mapped_program_from_json(&json).ok()?);
+        // Traced path: `get_timed` reports the pure lookup cost (index
+        // probe + disk read + checksum), recorded at the offset the leg
+        // began — the mutex wait, if any, shows up as the gap.
+        let bytes = if let Some(t) = tctx.as_mut() {
+            let t0 = Instant::now();
+            let (bytes, lookup_ns) = l2.lock().expect("l2 poisoned").get_timed(fp, unix_now());
+            let off = t.offset(t0);
+            t.record.push_stage("l2", off, lookup_ns / 1_000);
+            bytes?
+        } else {
+            l2.lock().expect("l2 poisoned").get(fp, unix_now())?
+        };
+        let parse_t0 = tctx.as_ref().map(|_| Instant::now());
+        let parsed = (|| {
+            let text = std::str::from_utf8(&bytes).ok()?;
+            let json = cachemap_util::json::parse(text).ok()?;
+            Some(Arc::new(mapped_program_from_json(&json).ok()?))
+        })();
+        let mapping = match parsed {
+            Some(m) => m,
+            None => {
+                if let (Some(t0), Some(t)) = (parse_t0, tctx.as_mut()) {
+                    t.stage("l2_parse", t0);
+                }
+                return None;
+            }
+        };
         self.cache.insert(
             *fp,
             CachedEntry {
@@ -639,6 +924,10 @@ impl Inner {
                 mapping: Arc::clone(&mapping),
             },
         );
+        if let (Some(t0), Some(t)) = (parse_t0, tctx.as_mut()) {
+            // Parse + promotion into L1, as one stage.
+            t.stage("l2_parse", t0);
+        }
         self.bump_counter(
             "cachemap_service_l2_promotions_total",
             "L2 entries promoted into the in-memory L1",
@@ -646,6 +935,7 @@ impl Inner {
         Some(mapping)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn respond(
         &self,
         req: &MapRequest,
@@ -653,13 +943,21 @@ impl Inner {
         mapping: Arc<MappedProgram>,
         cached: bool,
         start: Instant,
+        tctx: Option<PendingTrace>,
+        outcome: &str,
     ) -> MapResponse {
+        let trace = tctx.map(|mut t| {
+            t.record.outcome = outcome.to_string();
+            t.record.cached = cached;
+            Box::new(t)
+        });
         MapResponse {
             id: req.id,
             cached,
             fingerprint: fp,
             mapping,
             service_us: start.elapsed().as_micros() as u64,
+            trace,
         }
     }
 
@@ -696,17 +994,36 @@ impl Inner {
                 }
             }
 
+            let queue_wait_us = job.enqueued.map(|t| t.elapsed().as_micros() as u64);
+
             // In-flight duplicate: another worker may have filled the
             // cache since admission.
             if let Some(entry) = self.cache.get(&job.fp) {
                 self.bump_counter("cachemap_service_cache_hits_total", "Mapping cache hits");
-                let _ = job.reply.try_send(Ok((entry.mapping, true)));
+                let wtrace = queue_wait_us.map(|q| WorkerTrace {
+                    queue_wait_us: q,
+                    compute_us: 0,
+                    profile: None,
+                });
+                let _ = job.reply.try_send(Ok((entry.mapping, true, wtrace)));
                 self.note_drain_progress();
                 continue;
             }
 
             let computed_at = Instant::now();
-            let result = self.compute(&job.req);
+            // Traced jobs run the pipeline with profiling enabled: the
+            // span tree rides back as the compute stage's child. The
+            // profile records wall-clock around the mapping, never into
+            // it, so the mapping bytes are identical either way
+            // (property-tested since the profiling PR).
+            let (result, profile) = if queue_wait_us.is_some() {
+                let mut prof = Profile::enabled();
+                let r = self.compute_profiled(&job.req, &mut prof);
+                (r, Some(prof.to_json()))
+            } else {
+                (self.compute(&job.req), None)
+            };
+            let compute_us = computed_at.elapsed().as_micros() as u64;
             match result {
                 Ok(mapping) => {
                     let mapping = Arc::new(mapping);
@@ -732,7 +1049,12 @@ impl Inner {
                             computed_at.elapsed().as_secs_f64(),
                         );
                     }
-                    let _ = job.reply.try_send(Ok((mapping, false)));
+                    let wtrace = queue_wait_us.map(|q| WorkerTrace {
+                        queue_wait_us: q,
+                        compute_us,
+                        profile,
+                    });
+                    let _ = job.reply.try_send(Ok((mapping, false, wtrace)));
                 }
                 Err(e) => {
                     let _ = job.reply.try_send(Err(e));
@@ -770,13 +1092,21 @@ impl Inner {
     }
 
     fn compute(&self, req: &MapRequest) -> Result<MappedProgram, ServiceError> {
+        self.compute_profiled(req, &mut Profile::disabled())
+    }
+
+    fn compute_profiled(
+        &self,
+        req: &MapRequest,
+        prof: &mut Profile,
+    ) -> Result<MappedProgram, ServiceError> {
         let tree =
             HierarchyTree::from_config(&req.platform).map_err(|e| ServiceError::BadRequest {
                 message: format!("platform: {e}"),
             })?;
         let data = DataSpace::new(&req.program.arrays, req.platform.chunk_bytes);
         let mapper = cachemap_core::Mapper::new(req.mapper);
-        Ok(mapper.map(&req.program, &data, &req.platform, &tree, req.version))
+        Ok(mapper.map_profiled(&req.program, &data, &req.platform, &tree, req.version, prof))
     }
 
     fn reject_bad_request(&self, message: String) -> ServiceError {
@@ -784,19 +1114,19 @@ impl Inner {
         ServiceError::BadRequest { message }
     }
 
-    fn record_hit(&self, start: Instant) {
+    fn record_hit(&self, tenant: &str, start: Instant) {
         self.bump_counter("cachemap_service_cache_hits_total", "Mapping cache hits");
         self.count_outcome("ok_cached");
-        self.observe_latency("hit", start);
+        self.observe_latency("hit", tenant, start, false);
     }
 
-    fn record_l2_hit(&self, start: Instant) {
+    fn record_l2_hit(&self, tenant: &str, start: Instant) {
         self.bump_counter(
             "cachemap_service_l2_hits_total",
             "Disk-tier (L2) mapping cache hits",
         );
         self.count_outcome("ok_l2");
-        self.observe_latency("l2_hit", start);
+        self.observe_latency("l2_hit", tenant, start, false);
     }
 
     fn record_drain(&self, seconds: f64) {
@@ -811,10 +1141,54 @@ impl Inner {
         );
     }
 
-    /// Registers the robustness metrics at zero so every scrape shows
-    /// them, storm or no storm.
+    /// Registers the robustness, tracing, and SLO metric families at
+    /// zero so the first scrape already carries the full schema.
     fn preregister_metrics(&self) {
         let mut m = self.metrics.lock().expect("metrics poisoned");
+        // Per-tenant SLO families: every configured tenant plus the
+        // anonymous lane, across every outcome path.
+        let mut tenants: Vec<&str> = vec!["anonymous"];
+        tenants.extend(self.cfg.tenant_weights.iter().map(|(t, _)| t.as_str()));
+        for tenant in tenants.drain(..) {
+            for path in LATENCY_PATHS {
+                m.histogram_declare(
+                    "cachemap_service_tenant_latency_seconds",
+                    "Per-tenant end-to-end service latency by outcome path",
+                    &LATENCY_BUCKETS,
+                    &[("outcome", path), ("tenant", tenant)],
+                );
+            }
+            m.gauge_set(
+                "cachemap_service_slo_burn_rate",
+                "Per-tenant SLO burn rate (bad-request fraction over error budget)",
+                &[("tenant", tenant)],
+                0.0,
+            );
+        }
+        // Tracing families, present whether or not tracing is enabled
+        // so a scrape schema does not depend on the tracing knob.
+        for stage in TRACE_STAGES {
+            m.histogram_declare(
+                "cachemap_service_stage_seconds",
+                "Per-request time spent in each service-path stage",
+                &LATENCY_BUCKETS,
+                &[("stage", stage)],
+            );
+        }
+        m.counter_add(
+            "cachemap_service_traces_recorded_total",
+            "Request traces recorded by the flight recorder",
+            &[],
+            0,
+        );
+        for trigger in FLIGHT_TRIGGERS {
+            m.counter_add(
+                "cachemap_service_flight_dumps_total",
+                "Flight-recorder dumps by anomaly trigger",
+                &[("trigger", trigger)],
+                0,
+            );
+        }
         m.counter_add(
             "cachemap_service_coalesced_total",
             "Requests coalesced onto an in-flight computation",
@@ -856,15 +1230,152 @@ impl Inner {
         );
     }
 
-    fn observe_latency(&self, path: &str, start: Instant) {
+    /// Observes one finished request's latency on the shared per-path
+    /// histogram, the per-tenant SLO histogram, and the tenant's
+    /// burn-rate gauge. A request is "bad" for SLO purposes when it was
+    /// rejected or ran past `slo_latency_ms`.
+    fn observe_latency(&self, path: &str, tenant: &str, start: Instant, rejected: bool) {
+        let secs = start.elapsed().as_secs_f64();
+        let bad = rejected || secs > self.cfg.slo_latency_ms as f64 / 1_000.0;
+        let burn = {
+            let mut slo = self.slo.lock().expect("slo poisoned");
+            let entry = slo.entry(tenant.to_string()).or_insert((0, 0));
+            entry.1 += 1;
+            if bad {
+                entry.0 += 1;
+            }
+            (entry.0 as f64 / entry.1 as f64) / self.cfg.slo_error_budget.max(f64::EPSILON)
+        };
         let mut m = self.metrics.lock().expect("metrics poisoned");
         m.histogram_observe(
             "cachemap_service_request_latency_seconds",
             "End-to-end service latency by path",
             &LATENCY_BUCKETS,
             &[("path", path)],
-            start.elapsed().as_secs_f64(),
+            secs,
         );
+        m.histogram_observe(
+            "cachemap_service_tenant_latency_seconds",
+            "Per-tenant end-to-end service latency by outcome path",
+            &LATENCY_BUCKETS,
+            &[("outcome", path), ("tenant", tenant)],
+            secs,
+        );
+        m.gauge_set(
+            "cachemap_service_slo_burn_rate",
+            "Per-tenant SLO burn rate (bad-request fraction over error budget)",
+            &[("tenant", tenant)],
+            burn,
+        );
+    }
+
+    /// Closes a trace: appends the `serialize` stage (its duration is
+    /// measured by the caller, ending now), stamps the total, observes
+    /// the per-stage metrics, records the trace into the flight ring,
+    /// and fires the slow-request / rejection-burst triggers.
+    fn finalize_trace(&self, mut p: PendingTrace, serialize: Duration) -> Json {
+        let ser_us = serialize.as_micros() as u64;
+        let now_off = p.offset(Instant::now());
+        if ser_us > 0 {
+            p.record
+                .push_stage("serialize", now_off.saturating_sub(ser_us), ser_us);
+        }
+        p.record.total_us = now_off;
+        self.commit_trace(p.record)
+    }
+
+    /// Closes a rejected request's trace internally (errors carry no
+    /// response for the front end to finalize): no serialize stage, the
+    /// total ends now. With tracing off (`tctx` None) this is a no-op.
+    fn finalize_rejected(&self, tctx: Option<PendingTrace>, code: &str) {
+        if let Some(mut p) = tctx {
+            p.record.outcome = code.to_string();
+            p.record.total_us = p.offset(Instant::now());
+            self.commit_trace(p.record);
+        }
+    }
+
+    /// Metrics + ring + anomaly triggers for one finished trace.
+    fn commit_trace(&self, record: TraceRecord) -> Json {
+        {
+            let mut m = self.metrics.lock().expect("metrics poisoned");
+            for s in &record.stages {
+                m.histogram_observe(
+                    "cachemap_service_stage_seconds",
+                    "Per-request time spent in each service-path stage",
+                    &LATENCY_BUCKETS,
+                    &[("stage", s.name.as_str())],
+                    s.dur_us as f64 / 1e6,
+                );
+            }
+            m.counter_add(
+                "cachemap_service_traces_recorded_total",
+                "Request traces recorded by the flight recorder",
+                &[],
+                1,
+            );
+        }
+        let rejected = !record.outcome.starts_with("ok");
+        let total_us = record.total_us;
+        let json = record.to_json();
+        if let Some(fl) = &self.flight {
+            fl.record(json.clone(), rejected);
+            if self.cfg.slow_trace_ms > 0 && total_us > self.cfg.slow_trace_ms.saturating_mul(1_000)
+            {
+                self.flight_dump(
+                    "slow_request",
+                    vec![("slow_total_us", Json::UInt(total_us))],
+                );
+            }
+            if rejected && fl.rejection_burst(16, 8) {
+                self.flight_dump("rejection_burst", Vec::new());
+            }
+        }
+        json
+    }
+
+    /// Dumps the flight ring for `trigger` with queue context attached.
+    /// Dump errors are counted, never fatal — losing a dump must not
+    /// take a request down with it.
+    fn flight_dump(&self, trigger: &str, mut extra: Vec<(&str, Json)>) {
+        let Some(fl) = &self.flight else { return };
+        let depths = {
+            let q = self.queue.lock().expect("queue poisoned");
+            (q.len(), q.depths())
+        };
+        extra.push(("queue_depth", Json::UInt(depths.0 as u64)));
+        extra.push((
+            "tenant_depths",
+            Json::object(
+                depths
+                    .1
+                    .iter()
+                    .map(|(t, d)| (t.as_str(), Json::UInt(*d as u64)))
+                    .collect(),
+            ),
+        ));
+        let cooldown = (self.cfg.flight_capacity as u64 / 2).max(1);
+        match fl.dump(&self.cfg.flight_dir, trigger, cooldown, extra) {
+            Ok(Some(_)) => {
+                let mut m = self.metrics.lock().expect("metrics poisoned");
+                m.counter_add(
+                    "cachemap_service_flight_dumps_total",
+                    "Flight-recorder dumps by anomaly trigger",
+                    &[("trigger", trigger)],
+                    1,
+                );
+            }
+            Ok(None) => {} // within the trigger's cooldown window
+            Err(_) => {
+                let mut m = self.metrics.lock().expect("metrics poisoned");
+                m.counter_add(
+                    "cachemap_service_flight_dump_errors_total",
+                    "Flight-recorder dumps that failed to write",
+                    &[("trigger", trigger)],
+                    1,
+                );
+            }
+        }
     }
 
     fn refresh_gauges(&self) {

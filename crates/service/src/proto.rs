@@ -9,8 +9,16 @@
 //! {"op":"ping","id":1}                                  → liveness echo
 //! {"op":"metrics","id":2}                               → Prometheus text
 //! {"op":"stats","id":3}                                 → cache/queue counters
+//! {"op":"trace","id":5,"trace_id":"9f2c…"}              → flight-recorder trace
 //! {"op":"shutdown","id":4}                              → stop accepting
 //! ```
+//!
+//! When request tracing is enabled (`ServiceConfig::tracing`), map
+//! responses additionally carry a `"trace"` object — the per-stage
+//! latency attribution of that request — and `trace` looks a recent
+//! trace up again by id (`"last"`, the default, returns the most
+//! recent). With tracing off, map responses are byte-identical to the
+//! untraced protocol and `trace` answers `not_found`.
 //!
 //! `mapper` and `deadline_ms` are optional (paper defaults / the
 //! service's default deadline). Responses always carry `id` (0 when the
@@ -93,6 +101,13 @@ pub enum Request {
         /// Correlation id.
         id: u64,
     },
+    /// Look up a recent request trace in the flight recorder.
+    Trace {
+        /// Correlation id.
+        id: u64,
+        /// Hex trace id, or `"last"` for the most recent trace.
+        trace_id: String,
+    },
     /// Ask the server to stop accepting connections.
     Shutdown {
         /// Correlation id.
@@ -121,6 +136,18 @@ pub fn request_from_json(v: &Json) -> Result<Request, ServiceError> {
         "ping" => Ok(Request::Ping { id }),
         "metrics" => Ok(Request::Metrics { id }),
         "stats" => Ok(Request::Stats { id }),
+        "trace" => {
+            let trace_id = match v.get("trace_id") {
+                None | Some(Json::Null) => "last".to_string(),
+                Some(t) => t
+                    .as_str()
+                    .ok_or_else(|| ServiceError::BadRequest {
+                        message: "trace_id: expected a string".into(),
+                    })?
+                    .to_string(),
+            };
+            Ok(Request::Trace { id, trace_id })
+        }
         "shutdown" => Ok(Request::Shutdown { id }),
         "map" => {
             let program =
@@ -184,6 +211,11 @@ pub struct MapResponse {
     pub mapping: Arc<MappedProgram>,
     /// Service-side latency in microseconds (admission to reply).
     pub service_us: u64,
+    /// The request's trace, pending its serialization stage (`None`
+    /// with tracing disabled). Not part of [`ToJson`]: the server
+    /// serializes the base response first (timing it), then appends the
+    /// finalized trace — see `MapService::finalize_trace`.
+    pub trace: Option<Box<crate::PendingTrace>>,
 }
 
 impl ToJson for MapResponse {
@@ -272,6 +304,7 @@ mod tests {
             ("ping", "ping"),
             ("metrics", "metrics"),
             ("stats", "stats"),
+            ("trace", "trace"),
             ("shutdown", "shutdown"),
         ] {
             let line = format!("{{\"op\":\"{op}\",\"id\":9}}");
@@ -280,10 +313,21 @@ mod tests {
                 Request::Ping { id } => ("ping", id),
                 Request::Metrics { id } => ("metrics", id),
                 Request::Stats { id } => ("stats", id),
+                Request::Trace { id, ref trace_id } => {
+                    assert_eq!(trace_id, "last", "trace_id defaults to last");
+                    ("trace", id)
+                }
                 Request::Shutdown { id } => ("shutdown", id),
                 Request::Map(_) => panic!("not a map"),
             };
             assert_eq!(got, (want, 9));
+        }
+        // An explicit id is carried through.
+        match parse_request("{\"op\":\"trace\",\"id\":1,\"trace_id\":\"00ff00ff00ff00ff\"}")
+            .unwrap()
+        {
+            Request::Trace { trace_id, .. } => assert_eq!(trace_id, "00ff00ff00ff00ff"),
+            other => panic!("expected trace, got {other:?}"),
         }
     }
 

@@ -157,6 +157,15 @@ impl<T> FairQueue<T> {
         }
     }
 
+    /// Per-tenant queued-job counts for every lane seen so far, in lane
+    /// rotation order — context attached to flight-recorder dumps.
+    pub fn depths(&self) -> Vec<(String, usize)> {
+        self.lanes
+            .iter()
+            .map(|l| (l.tenant.clone(), l.jobs.len()))
+            .collect()
+    }
+
     /// Removes and returns everything still queued (drain-time sweep).
     pub fn drain_all(&mut self) -> Vec<T> {
         let mut out = Vec::with_capacity(self.len);

@@ -233,7 +233,12 @@ fn serve_connection(
 }
 
 fn dispatch(line: &str, service: &MapService, stop: &AtomicBool) -> String {
-    match proto::parse_request(line) {
+    // Ingress timing: the parse duration is handed to the service so a
+    // request's trace timeline starts at the wire, not at admission.
+    let parse_t0 = std::time::Instant::now();
+    let parsed = proto::parse_request(line);
+    let ingress_us = parse_t0.elapsed().as_micros() as u64;
+    match parsed {
         Err(e) => proto::error_response_json(0, "unknown", &e).to_string_compact(),
         Ok(Request::Ping { id }) => {
             proto::ok_response_json(id, "ping", vec![("pong", cachemap_util::Json::Bool(true))])
@@ -261,10 +266,41 @@ fn dispatch(line: &str, service: &MapService, stop: &AtomicBool) -> String {
             )
             .to_string_compact()
         }
+        Ok(Request::Trace { id, trace_id }) => match service.trace_lookup(&trace_id) {
+            Some(trace) => {
+                proto::ok_response_json(id, "trace", vec![("trace", trace)]).to_string_compact()
+            }
+            None => proto::error_response_json(
+                id,
+                "trace",
+                &ServiceError::NotFound {
+                    what: format!("trace {trace_id}"),
+                },
+            )
+            .to_string_compact(),
+        },
         Ok(Request::Map(req)) => {
             let id = req.id;
-            match service.submit(*req) {
-                Ok(resp) => resp.to_json().to_string_compact(),
+            match service.submit_traced(*req, ingress_us) {
+                Ok(mut resp) => match resp.trace.take() {
+                    // Tracing off: exactly the untraced wire bytes.
+                    None => resp.to_json().to_string_compact(),
+                    // Tracing on: serialize the base response (that IS
+                    // the serialize stage), finalize the trace with the
+                    // measured duration, and splice it in as the last
+                    // field — the only way the serialize stage can
+                    // describe the serialization it rides in.
+                    Some(pending) => {
+                        let ser_t0 = std::time::Instant::now();
+                        let base = resp.to_json().to_string_compact();
+                        let trace = service.finalize_trace(pending, ser_t0.elapsed());
+                        format!(
+                            "{},\"trace\":{}}}",
+                            &base[..base.len() - 1],
+                            trace.to_string_compact()
+                        )
+                    }
+                },
                 Err(e) => proto::error_response_json(id, "map", &e).to_string_compact(),
             }
         }
