@@ -1,0 +1,47 @@
+use cachemap_obs::{FlightRecorder, TraceId, TraceRecord};
+
+fn trace_json(seq: u64, outcome: &str) -> cachemap_util::Json {
+    let mut rec = TraceRecord::new(
+        TraceId::derive(0xfeed, seq),
+        seq,
+        format!("{:032x}", 0xfeedu128),
+        "anonymous".into(),
+    );
+    rec.outcome = outcome.to_string();
+    rec.total_us = 50;
+    rec.to_json()
+}
+
+#[test]
+fn partial_ring_burst_detection() {
+    // capacity 10, only 7 records so far: 3 ok then 4 rejections.
+    // The most recent 4 records are ALL rejections -> burst(4,4) must be true.
+    let fl = FlightRecorder::new(10);
+    for seq in 0..3 {
+        fl.record(trace_json(seq, "ok_cached"), false);
+    }
+    for seq in 3..7 {
+        fl.record(trace_json(seq, "queue_full"), true);
+    }
+    assert!(
+        fl.rejection_burst(4, 4),
+        "most recent 4 are all rejections but burst not detected"
+    );
+}
+
+#[test]
+fn partial_ring_no_false_burst() {
+    // capacity 10, 7 records: 4 rejections first, then 3 ok.
+    // The most recent 4 contain only 1 rejection -> burst(4,4) must be false.
+    let fl = FlightRecorder::new(10);
+    for seq in 0..4 {
+        fl.record(trace_json(seq, "queue_full"), true);
+    }
+    for seq in 4..7 {
+        fl.record(trace_json(seq, "ok_cached"), false);
+    }
+    assert!(
+        !fl.rejection_burst(4, 4),
+        "recent window has 1 rejection but burst fired"
+    );
+}
