@@ -103,8 +103,8 @@ fn worked_example() -> String {
 }
 
 /// Updates one section of the committed `BENCH_service.json`, which
-/// holds `{"serve": {…}, "storm": {…}}`. A missing file or a pre-split
-/// single-report file starts a fresh two-section object.
+/// holds `{"router": {…}, "serve": {…}, "storm": {…}}`. A missing file
+/// or a pre-split single-report file starts a fresh sectioned object.
 fn merge_bench_service(section: &str, value: cachemap_util::Json) -> std::io::Result<()> {
     use cachemap_util::Json;
     let path = "BENCH_service.json";
@@ -112,7 +112,11 @@ fn merge_bench_service(section: &str, value: cachemap_util::Json) -> std::io::Re
         .ok()
         .and_then(|text| cachemap_util::json::parse(&text).ok())
     {
-        Some(Json::Object(pairs)) if pairs.iter().all(|(k, _)| k == "serve" || k == "storm") => {
+        Some(Json::Object(pairs))
+            if pairs
+                .iter()
+                .all(|(k, _)| k == "serve" || k == "storm" || k == "router") =>
+        {
             pairs
         }
         _ => Vec::new(),
@@ -157,6 +161,11 @@ fn usage() -> String {
      \x20                               coalescing barrage, mid-campaign\n\
      \x20                               kill + torn-tail restart, graceful\n\
      \x20                               drain under load (default seed 42)\n\
+     \x20 router-storm[:<seed>]         replica-fleet failover storm:\n\
+     \x20                               3-replica consistent-hash router\n\
+     \x20                               under network faults, mid-campaign\n\
+     \x20                               kill + cold restart, run twice for\n\
+     \x20                               reproducibility (default seed 42)\n\
      parallel runtime:\n\
      \x20 bench-cluster[:<seed>]        sequential vs parallel distribute\n\
      \x20                               at paper scale (default seed 42);\n\
@@ -812,6 +821,44 @@ fn main() {
                     Err(e) => eprintln!("   [warning: could not write BENCH_service.json: {e}]"),
                 }
                 let scratch = format!("BENCH_service-storm-{seed}");
+                match write_report(&scratch, &report) {
+                    Ok(path) => println!("   [scratch copy: {}]", path.display()),
+                    Err(e) => eprintln!("   [warning: could not write scratch copy: {e}]"),
+                }
+            }
+            s if s == "router-storm" || s.starts_with("router-storm:") => {
+                let seed: u64 = s.strip_prefix("router-storm").map_or(42, |rest| {
+                    let rest = rest.strip_prefix(':').unwrap_or("");
+                    if rest.is_empty() {
+                        42
+                    } else {
+                        rest.parse()
+                            .unwrap_or_else(|_| panic!("bad router-storm seed: {rest}"))
+                    }
+                });
+                let cfg = if test_scale {
+                    cachemap_bench::router_storm::RouterStormConfig::smoke(seed)
+                } else {
+                    cachemap_bench::router_storm::RouterStormConfig {
+                        seed,
+                        ..cachemap_bench::router_storm::RouterStormConfig::default()
+                    }
+                };
+                eprintln!(
+                    "[router-storm: seed {seed}, {} replicas, {} requests, \
+                     netfaults + kill + cold restart, run twice …]",
+                    cfg.replicas, cfg.requests
+                );
+                let report = cachemap_bench::router_storm::run(&cfg).unwrap_or_else(|e| {
+                    eprintln!("router-storm failed: {e}");
+                    std::process::exit(1);
+                });
+                println!("{}", cachemap_bench::router_storm::render(&report));
+                match merge_bench_service("router", report.to_json()) {
+                    Ok(()) => println!("   [raw numbers: BENCH_service.json, section \"router\"]"),
+                    Err(e) => eprintln!("   [warning: could not write BENCH_service.json: {e}]"),
+                }
+                let scratch = format!("BENCH_service-router-{seed}");
                 match write_report(&scratch, &report) {
                     Ok(path) => println!("   [scratch copy: {}]", path.display()),
                     Err(e) => eprintln!("   [warning: could not write scratch copy: {e}]"),

@@ -19,6 +19,7 @@ pub mod cluster_bench;
 pub mod experiments;
 pub mod obs;
 pub mod report;
+pub mod router_storm;
 pub mod serve;
 pub mod storm;
 pub mod timing;

@@ -434,8 +434,15 @@ impl FlightRecorder {
         let window = window.min(n);
         let mut hits = 0usize;
         for i in 0..window {
-            let idx = (r.next + self.capacity.max(n) - 1 - i) % n.max(1);
-            if r.rejected[idx.min(n - 1)] {
+            // Until the ring is full, records live at 0..n in order and
+            // the newest is at n-1; once full, the newest is just
+            // behind the write cursor.
+            let idx = if n < self.capacity {
+                n - 1 - i
+            } else {
+                (r.next + n - 1 - i) % n
+            };
+            if r.rejected[idx] {
                 hits += 1;
             }
         }

@@ -64,6 +64,26 @@ pub enum ServiceError {
         /// Description for the server log.
         message: String,
     },
+    /// Every replica that could own the key is health-checked down
+    /// (router front end; see DESIGN.md "Replica fleet").
+    ReplicaDown {
+        /// The replica (or replica set summary) the router gave up on.
+        replica: String,
+    },
+    /// The router exhausted its per-backend retry budgets on every
+    /// eligible replica without a successful call.
+    RetriesExhausted {
+        /// Total call attempts across the failover chain.
+        attempts: u32,
+        /// Stable code of the last underlying failure.
+        last: String,
+    },
+    /// Every eligible replica's circuit breaker is open — the fleet is
+    /// shedding load while backends cool down.
+    BreakerOpen {
+        /// The replica whose breaker refused the primary route.
+        replica: String,
+    },
 }
 
 impl ServiceError {
@@ -79,6 +99,9 @@ impl ServiceError {
             ServiceError::NotFound { .. } => "not_found",
             ServiceError::Shutdown => "shutdown",
             ServiceError::Internal { .. } => "internal",
+            ServiceError::ReplicaDown { .. } => "replica_down",
+            ServiceError::RetriesExhausted { .. } => "retries_exhausted",
+            ServiceError::BreakerOpen { .. } => "breaker_open",
         }
     }
 
@@ -116,6 +139,16 @@ impl ServiceError {
             "internal" => ServiceError::Internal {
                 message: message.to_string(),
             },
+            "replica_down" => ServiceError::ReplicaDown {
+                replica: message.to_string(),
+            },
+            "retries_exhausted" => ServiceError::RetriesExhausted {
+                attempts: 0,
+                last: message.to_string(),
+            },
+            "breaker_open" => ServiceError::BreakerOpen {
+                replica: message.to_string(),
+            },
             _ => return None,
         })
     }
@@ -151,6 +184,18 @@ impl fmt::Display for ServiceError {
             ServiceError::NotFound { what } => write!(f, "not found: {what}"),
             ServiceError::Shutdown => write!(f, "service is shutting down"),
             ServiceError::Internal { message } => write!(f, "internal error: {message}"),
+            ServiceError::ReplicaDown { replica } => {
+                write!(f, "replica down: {replica}")
+            }
+            ServiceError::RetriesExhausted { attempts, last } => {
+                write!(
+                    f,
+                    "retries exhausted after {attempts} attempts (last: {last})"
+                )
+            }
+            ServiceError::BreakerOpen { replica } => {
+                write!(f, "circuit breaker open for replica {replica}")
+            }
         }
     }
 }
@@ -192,6 +237,16 @@ mod tests {
             ServiceError::Shutdown,
             ServiceError::Internal {
                 message: "y".into(),
+            },
+            ServiceError::ReplicaDown {
+                replica: "replica-1".into(),
+            },
+            ServiceError::RetriesExhausted {
+                attempts: 6,
+                last: "shutdown".into(),
+            },
+            ServiceError::BreakerOpen {
+                replica: "replica-2".into(),
             },
         ];
         let codes: std::collections::HashSet<&str> = errs.iter().map(|e| e.code()).collect();

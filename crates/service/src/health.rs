@@ -1,0 +1,246 @@
+//! Active health checking: a K-of-M ping state machine per replica.
+//!
+//! The router pings every backend on a fixed cadence (each ping bounded
+//! by a deadline) and feeds the outcomes into a [`HealthTracker`], a
+//! four-state machine:
+//!
+//! ```text
+//!             k consecutive ping failures          m more failures
+//!   HEALTHY ────────────────────────────▶ SUSPECT ───────────────▶ DOWN
+//!      ▲                                    │                       │
+//!      │ one success                        │ one success           │ first success
+//!      │◀───────────────────────────────────┘                       ▼
+//!      │                 r consecutive successes                 PROBING
+//!      └◀────────────────────────────────────────────────────────────┘
+//!                          (any failure ⇒ back to DOWN)
+//! ```
+//!
+//! `Suspect` replicas still take traffic (the breaker handles per-call
+//! shedding); `Down` replicas are skipped in ring order entirely, and
+//! `Probing` replicas take traffic again while they re-earn `Healthy`.
+//! The tracker is a pure state machine — no clock, no I/O — so the
+//! simulated-time harness drives it deterministically.
+
+/// Health-check thresholds (the K-of-M knobs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Consecutive ping failures before a healthy replica is suspect.
+    pub suspect_after: u32,
+    /// Consecutive ping failures (total) before a suspect replica is
+    /// declared down.
+    pub down_after: u32,
+    /// Consecutive ping successes a probing replica needs to be
+    /// declared healthy again.
+    pub up_after: u32,
+    /// Per-ping deadline in milliseconds (TCP backends set this as the
+    /// read timeout; in-process pings answer immediately).
+    pub ping_deadline_ms: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            suspect_after: 1,
+            down_after: 3,
+            up_after: 2,
+            ping_deadline_ms: 250,
+        }
+    }
+}
+
+/// Replica health as seen by the router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Pings answer; full traffic.
+    Healthy,
+    /// Recent ping failures; traffic continues, watched closely.
+    Suspect,
+    /// Ping-dead; skipped in ring order.
+    Down,
+    /// Answering again after `Down`; earning back `Healthy`.
+    Probing,
+}
+
+impl HealthState {
+    /// Stable lowercase label for metrics and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Suspect => "suspect",
+            HealthState::Down => "down",
+            HealthState::Probing => "probing",
+        }
+    }
+
+    /// Whether the router should route requests to this replica.
+    pub fn takes_traffic(&self) -> bool {
+        !matches!(self, HealthState::Down)
+    }
+}
+
+/// Per-replica health state machine; see the module docs.
+#[derive(Debug, Clone)]
+pub struct HealthTracker {
+    cfg: HealthConfig,
+    state: HealthState,
+    fail_streak: u32,
+    ok_streak: u32,
+}
+
+impl HealthTracker {
+    /// A tracker that assumes the replica starts healthy.
+    pub fn new(cfg: HealthConfig) -> HealthTracker {
+        HealthTracker {
+            cfg,
+            state: HealthState::Healthy,
+            fail_streak: 0,
+            ok_streak: 0,
+        }
+    }
+
+    /// Feeds one ping outcome; returns `Some(new_state)` on transition.
+    pub fn record_ping(&mut self, ok: bool) -> Option<HealthState> {
+        let before = self.state;
+        if ok {
+            self.fail_streak = 0;
+            self.ok_streak += 1;
+        } else {
+            self.ok_streak = 0;
+            self.fail_streak += 1;
+        }
+        self.state = match self.state {
+            HealthState::Healthy => {
+                if !ok && self.fail_streak >= self.cfg.suspect_after.max(1) {
+                    HealthState::Suspect
+                } else {
+                    HealthState::Healthy
+                }
+            }
+            HealthState::Suspect => {
+                if ok {
+                    HealthState::Healthy
+                } else if self.fail_streak >= self.cfg.down_after.max(1) {
+                    HealthState::Down
+                } else {
+                    HealthState::Suspect
+                }
+            }
+            HealthState::Down => {
+                if ok {
+                    if self.ok_streak >= self.cfg.up_after.max(1) {
+                        HealthState::Healthy
+                    } else {
+                        HealthState::Probing
+                    }
+                } else {
+                    HealthState::Down
+                }
+            }
+            HealthState::Probing => {
+                if !ok {
+                    HealthState::Down
+                } else if self.ok_streak >= self.cfg.up_after.max(1) {
+                    HealthState::Healthy
+                } else {
+                    HealthState::Probing
+                }
+            }
+        };
+        (self.state != before).then_some(self.state)
+    }
+
+    /// Current health state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HealthConfig {
+        HealthConfig {
+            suspect_after: 1,
+            down_after: 3,
+            up_after: 2,
+            ping_deadline_ms: 100,
+        }
+    }
+
+    /// Replays a ping sequence and returns every transition.
+    fn replay(outcomes: &[bool]) -> Vec<HealthState> {
+        let mut t = HealthTracker::new(cfg());
+        outcomes
+            .iter()
+            .filter_map(|&ok| t.record_ping(ok))
+            .collect()
+    }
+
+    #[test]
+    fn healthy_to_suspect_to_down_on_failure_streak() {
+        assert_eq!(
+            replay(&[true, false, false, false]),
+            vec![HealthState::Suspect, HealthState::Down]
+        );
+    }
+
+    #[test]
+    fn one_success_rescues_a_suspect() {
+        assert_eq!(
+            replay(&[false, true]),
+            vec![HealthState::Suspect, HealthState::Healthy]
+        );
+    }
+
+    #[test]
+    fn down_recovers_through_probing() {
+        assert_eq!(
+            replay(&[false, false, false, true, true]),
+            vec![
+                HealthState::Suspect,
+                HealthState::Down,
+                HealthState::Probing,
+                HealthState::Healthy
+            ]
+        );
+    }
+
+    #[test]
+    fn a_probing_failure_falls_back_to_down() {
+        assert_eq!(
+            replay(&[false, false, false, true, false, true, true]),
+            vec![
+                HealthState::Suspect,
+                HealthState::Down,
+                HealthState::Probing,
+                HealthState::Down,
+                HealthState::Probing,
+                HealthState::Healthy
+            ]
+        );
+    }
+
+    #[test]
+    fn flapping_never_reaches_down_with_intervening_successes() {
+        let mut t = HealthTracker::new(cfg());
+        for _ in 0..10 {
+            t.record_ping(false);
+            t.record_ping(true);
+        }
+        assert_eq!(t.state(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn up_after_one_promotes_straight_to_healthy() {
+        let mut t = HealthTracker::new(HealthConfig {
+            up_after: 1,
+            ..cfg()
+        });
+        for _ in 0..3 {
+            t.record_ping(false);
+        }
+        assert_eq!(t.state(), HealthState::Down);
+        assert_eq!(t.record_ping(true), Some(HealthState::Healthy));
+    }
+}

@@ -54,12 +54,18 @@
 #![forbid(unsafe_code)]
 
 pub mod error;
+pub mod health;
+pub mod netfault;
 pub mod proto;
 pub mod queue;
+pub mod router;
 pub mod server;
 
 pub use error::ServiceError;
+pub use health::{HealthConfig, HealthState, HealthTracker};
+pub use netfault::NetFaultPlan;
 pub use proto::{MapRequest, MapResponse, Request};
+pub use router::{Router, RouterConfig};
 
 use cachemap_obs::{FlightRecorder, Profile, Registry, TraceId, TraceRecord};
 use cachemap_polyhedral::DataSpace;
@@ -95,8 +101,16 @@ pub const TRACE_STAGES: [&str; 9] = [
 ];
 
 /// Flight-recorder dump trigger names (the `trigger` metric label and
-/// the `flight-<trigger>-*.json` file-name component).
-pub const FLIGHT_TRIGGERS: [&str; 4] = ["slow_request", "rejection_burst", "drain", "recovery"];
+/// the `flight-<trigger>-*.json` file-name component). `replica_down`
+/// is fired by the [`router::Router`] front end rather than the service
+/// itself, when a replica's health check declares it dead.
+pub const FLIGHT_TRIGGERS: [&str; 5] = [
+    "slow_request",
+    "rejection_burst",
+    "drain",
+    "recovery",
+    "replica_down",
+];
 
 /// Latency-path labels used on the per-tenant SLO histograms.
 const LATENCY_PATHS: [&str; 5] = ["hit", "l2_hit", "computed", "coalesced", "rejected"];
@@ -423,6 +437,14 @@ impl MapService {
     /// The active configuration.
     pub fn config(&self) -> &ServiceConfig {
         &self.inner.cfg
+    }
+
+    /// Liveness probe: `true` while the service accepts work (neither
+    /// draining nor killed). The router's active health checks use this
+    /// for in-process replicas; the TCP `ping` op answers for remote
+    /// ones.
+    pub fn ping(&self) -> bool {
+        !self.inner.draining.load(Ordering::SeqCst)
     }
 
     /// Submits one mapping request and blocks until it is served,

@@ -1,0 +1,259 @@
+//! Seeded network-fault injection for router backends.
+//!
+//! A [`NetFaultPlan`] describes, in parts-per-million, how often a
+//! backend call is hit by one of four transport faults:
+//!
+//! * **refuse** — the connection is refused outright (the call never
+//!   reaches the backend);
+//! * **stall** — the read stalls for `stall_ns` and then fails, as a
+//!   peer that accepted the connection but never answers;
+//! * **slow** — the reply arrives, but `slow_ns` late;
+//! * **truncate** — the backend processes the request but the reply
+//!   frame is cut mid-line, so the bytes never parse client-side.
+//!
+//! [`FaultedBackend`] wraps any [`Backend`](crate::router::Backend) and
+//! draws **one** fault decision per call from a per-backend seeded
+//! generator, in call order — under the router-storm harness's
+//! single-threaded driver the whole fault schedule is a pure function
+//! of `(seed, backend, call index)`, which is what makes failover runs
+//! byte-for-byte reproducible. Stall and slow delays are charged to the
+//! router's [`Clock`](crate::router::Clock): on the simulated path they
+//! advance the virtual clock and never sleep.
+
+use crate::router::{Backend, BackendError, Clock};
+use crate::{MapRequest, MapResponse};
+use cachemap_util::{Json, ToJson, XorShift64};
+use std::sync::{Arc, Mutex};
+
+/// Per-million rates and delays for the four transport fault kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetFaultPlan {
+    /// Seed for the fault schedule (each backend derives its own
+    /// stream from this and its index).
+    pub seed: u64,
+    /// Connection-refused rate, parts per million of calls.
+    pub refuse_ppm: u32,
+    /// Read-stall rate, parts per million of calls.
+    pub stall_ppm: u32,
+    /// Slow-reply rate, parts per million of calls.
+    pub slow_ppm: u32,
+    /// Mid-frame truncation rate, parts per million of calls.
+    pub truncate_ppm: u32,
+    /// How long a stalled read hangs before failing, in nanoseconds.
+    pub stall_ns: u64,
+    /// Extra latency of a slow reply, in nanoseconds.
+    pub slow_ns: u64,
+}
+
+impl NetFaultPlan {
+    /// A plan that injects nothing (all rates zero).
+    pub fn quiet(seed: u64) -> NetFaultPlan {
+        NetFaultPlan {
+            seed,
+            refuse_ppm: 0,
+            stall_ppm: 0,
+            slow_ppm: 0,
+            truncate_ppm: 0,
+            stall_ns: 0,
+            slow_ns: 0,
+        }
+    }
+
+    /// Total injection rate, clamped to one million ppm.
+    pub fn total_ppm(&self) -> u32 {
+        (self.refuse_ppm as u64
+            + self.stall_ppm as u64
+            + self.slow_ppm as u64
+            + self.truncate_ppm as u64)
+            .min(1_000_000) as u32
+    }
+}
+
+impl ToJson for NetFaultPlan {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("seed", Json::UInt(self.seed)),
+            ("refuse_ppm", Json::UInt(self.refuse_ppm as u64)),
+            ("stall_ppm", Json::UInt(self.stall_ppm as u64)),
+            ("slow_ppm", Json::UInt(self.slow_ppm as u64)),
+            ("truncate_ppm", Json::UInt(self.truncate_ppm as u64)),
+            ("stall_ns", Json::UInt(self.stall_ns)),
+            ("slow_ns", Json::UInt(self.slow_ns)),
+        ])
+    }
+}
+
+/// The fault kinds a call can draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NetFault {
+    Refuse,
+    Stall,
+    Slow,
+    Truncate,
+}
+
+/// A [`Backend`] wrapper that injects transport faults per the plan.
+pub struct FaultedBackend {
+    inner: Box<dyn Backend>,
+    plan: NetFaultPlan,
+    clock: Arc<Clock>,
+    rng: Mutex<XorShift64>,
+}
+
+impl FaultedBackend {
+    /// Wraps `inner`, deriving this backend's fault stream from the
+    /// plan seed and `backend_index` so each replica sees its own
+    /// schedule.
+    pub fn new(
+        inner: Box<dyn Backend>,
+        plan: NetFaultPlan,
+        backend_index: usize,
+        clock: Arc<Clock>,
+    ) -> FaultedBackend {
+        let seed = plan
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(backend_index as u64 + 1);
+        FaultedBackend {
+            inner,
+            plan,
+            clock,
+            rng: Mutex::new(XorShift64::new(seed)),
+        }
+    }
+
+    /// Draws at most one fault for the next call.
+    fn draw(&self) -> Option<NetFault> {
+        let mut rng = self.rng.lock().expect("netfault rng poisoned");
+        let roll = rng.next_below(1_000_000) as u32;
+        let mut edge = self.plan.refuse_ppm;
+        if roll < edge {
+            return Some(NetFault::Refuse);
+        }
+        edge = edge.saturating_add(self.plan.stall_ppm);
+        if roll < edge {
+            return Some(NetFault::Stall);
+        }
+        edge = edge.saturating_add(self.plan.slow_ppm);
+        if roll < edge {
+            return Some(NetFault::Slow);
+        }
+        edge = edge.saturating_add(self.plan.truncate_ppm);
+        if roll < edge {
+            return Some(NetFault::Truncate);
+        }
+        None
+    }
+}
+
+impl Backend for FaultedBackend {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn call(&self, req: &MapRequest) -> Result<MapResponse, BackendError> {
+        match self.draw() {
+            Some(NetFault::Refuse) => Err(BackendError::Unavailable(
+                "injected: connection refused".into(),
+            )),
+            Some(NetFault::Stall) => {
+                self.clock.sleep_ns(self.plan.stall_ns);
+                Err(BackendError::Unavailable(
+                    "injected: read stalled past deadline".into(),
+                ))
+            }
+            Some(NetFault::Slow) => {
+                let resp = self.inner.call(req);
+                self.clock.sleep_ns(self.plan.slow_ns);
+                resp
+            }
+            Some(NetFault::Truncate) => {
+                // The backend did the work — the reply frame is what got
+                // cut. Warms the replica's cache, loses the bytes.
+                let _ = self.inner.call(req);
+                Err(BackendError::Unavailable(
+                    "injected: response truncated mid-frame".into(),
+                ))
+            }
+            None => self.inner.call(req),
+        }
+    }
+
+    fn ping(&self, deadline_ms: u64) -> bool {
+        // Health checks ride the same faulty transport: refuse and
+        // stall fail the ping, slow and truncate let it through (a
+        // ping's one-byte reply has nothing left to truncate).
+        match self.draw() {
+            Some(NetFault::Refuse) => false,
+            Some(NetFault::Stall) => {
+                self.clock.sleep_ns(self.plan.stall_ns);
+                false
+            }
+            Some(NetFault::Slow) => {
+                self.clock.sleep_ns(self.plan.slow_ns);
+                self.inner.ping(deadline_ms)
+            }
+            _ => self.inner.ping(deadline_ms),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_plan_injects_nothing() {
+        let plan = NetFaultPlan::quiet(7);
+        assert_eq!(plan.total_ppm(), 0);
+        let clock = Arc::new(Clock::simulated());
+        let fb = FaultedBackend::new(Box::new(crate::router::NullBackend), plan, 0, clock);
+        for _ in 0..100 {
+            assert!(fb.draw().is_none());
+        }
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_per_backend() {
+        let plan = NetFaultPlan {
+            refuse_ppm: 100_000,
+            stall_ppm: 100_000,
+            slow_ppm: 100_000,
+            truncate_ppm: 100_000,
+            ..NetFaultPlan::quiet(42)
+        };
+        let clock = Arc::new(Clock::simulated());
+        let draws = |idx: usize| {
+            let fb = FaultedBackend::new(
+                Box::new(crate::router::NullBackend),
+                plan,
+                idx,
+                Arc::clone(&clock),
+            );
+            (0..200).map(|_| fb.draw()).collect::<Vec<_>>()
+        };
+        assert_eq!(draws(0), draws(0), "same backend index replays");
+        assert_ne!(draws(0), draws(1), "backends draw distinct streams");
+        let n_faults = draws(0).iter().filter(|d| d.is_some()).count();
+        // 40% total rate over 200 draws: expect faults, not all faults.
+        assert!((20..=140).contains(&n_faults), "got {n_faults} faults");
+    }
+
+    #[test]
+    fn stall_charges_the_simulated_clock() {
+        let plan = NetFaultPlan {
+            stall_ppm: 1_000_000,
+            stall_ns: 5_000,
+            ..NetFaultPlan::quiet(1)
+        };
+        let clock = Arc::new(Clock::simulated());
+        let fb = FaultedBackend::new(
+            Box::new(crate::router::NullBackend),
+            plan,
+            0,
+            Arc::clone(&clock),
+        );
+        assert!(!fb.ping(100));
+        assert_eq!(clock.now_ns(), 5_000);
+    }
+}

@@ -149,10 +149,28 @@ impl Server {
     }
 
     /// Blocks until the server stops (an in-protocol `shutdown` request
-    /// or a [`Server::shutdown`] call from another thread).
+    /// or a [`Server::shutdown`] call from another thread), then drains
+    /// active connections through the same bounded-wait path as `Drop`
+    /// — so a `map` in flight when the shutdown arrived still gets its
+    /// typed reply written before the caller proceeds to teardown.
     pub fn join(mut self) {
+        self.drain_connections();
+    }
+
+    /// Joins the accept loop (blocking until it exits) and then gives
+    /// detached connection threads a bounded window to finish writing
+    /// their in-flight replies. Shared by [`Server::join`] and `Drop` so
+    /// both teardown orderings are identical. Idempotent.
+    fn drain_connections(&mut self) {
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
+        }
+        // Connection threads are detached but hold their own service
+        // references; give their in-flight dispatches a bounded window
+        // to finish writing typed replies before teardown proceeds.
+        let deadline = std::time::Instant::now() + Duration::from_millis(500);
+        while self.active.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
         }
     }
 }
@@ -164,16 +182,7 @@ impl Drop for Server {
         // last service reference triggers its graceful drain, and a
         // still-running accept loop would feed it requests mid-drain.
         self.shutdown();
-        if let Some(h) = self.accept_thread.take() {
-            let _ = h.join();
-        }
-        // Connection threads are detached but hold their own service
-        // references; give their in-flight dispatches a bounded window
-        // to finish writing typed replies before teardown proceeds.
-        let deadline = std::time::Instant::now() + Duration::from_millis(500);
-        while self.active.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(5));
-        }
+        self.drain_connections();
     }
 }
 

@@ -653,4 +653,61 @@ fn idle_connection_is_closed_with_read_timeout() {
     service.shutdown();
 }
 
+#[test]
+fn map_in_flight_during_protocol_shutdown_gets_typed_reply() {
+    // Regression: `join()` after an in-protocol shutdown must drain
+    // active connections through the same bounded-wait path as `Drop`,
+    // so a map racing the shutdown is answered typed — never a closed
+    // socket.
+    let service = Arc::new(MapService::start(ServiceConfig::default()));
+    let server = Server::spawn("127.0.0.1:0", Arc::clone(&service)).unwrap();
+    let addr = server.addr();
+
+    let mapper = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let req = request(2, Version::InterProcessor, 77);
+        let line = req.to_json().to_string_compact();
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        stream.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        reply
+    });
+
+    // Concurrently, a second client asks the server to stop.
+    std::thread::sleep(Duration::from_millis(5));
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let bye = send_line(&mut stream, &mut reader, "{\"op\":\"shutdown\",\"id\":9}");
+    assert_eq!(bye.get("status").and_then(Json::as_str), Some("ok"));
+
+    // Blocks until the accept loop exits, then waits out the in-flight
+    // connection — the drain path under test.
+    server.join();
+
+    let reply = mapper.join().unwrap();
+    assert!(
+        !reply.trim().is_empty(),
+        "in-flight map must get a reply line, not EOF"
+    );
+    let v = json::parse(reply.trim()).unwrap();
+    match v.get("status").and_then(Json::as_str) {
+        Some("ok") => {
+            assert!(v.get("mapping").is_some(), "ok reply carries the mapping");
+        }
+        Some("error") => {
+            let code = v
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str)
+                .unwrap_or("");
+            assert!(!code.is_empty(), "error reply must be typed: {reply}");
+        }
+        other => panic!("reply neither ok nor typed error: {other:?} in {reply}"),
+    }
+    service.shutdown();
+}
+
 use std::io::Read;

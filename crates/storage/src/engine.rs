@@ -33,7 +33,7 @@ use crate::topology::HierarchyTree;
 use crate::trace::{ServedBy, Trace, TraceEvent};
 use cachemap_obs::{Level as ObsLevel, LinkHop, Recorder};
 use cachemap_util::stats::HitMiss;
-use cachemap_util::{FxHashMap, XorShift64};
+use cachemap_util::{Backoff, FxHashMap, XorShift64};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
@@ -911,11 +911,14 @@ impl<'a> Engine<'a> {
         let Some(rng) = f.transient_rng.as_mut() else {
             return t;
         };
-        let mut backoff = base;
+        // Deterministic (un-jittered) schedule: the delays are charged
+        // to simulated time, so jitter would only blur reproducibility.
+        let mut schedule = Backoff::exponential(base, base * MAX_BACKOFF_FACTOR);
         for _ in 0..MAX_TRANSIENT_RETRIES {
             if !rng.chance(f.transient_rate_ppm, 1_000_000) {
                 break;
             }
+            let backoff = schedule.next().unwrap_or(base);
             f.stats.transient_errors += 1;
             f.stats.retries += 1;
             f.stats.retry_backoff_ns += backoff;
@@ -923,7 +926,6 @@ impl<'a> Engine<'a> {
                 o.event(t, "retry", c as i64);
             }
             t += backoff;
-            backoff = (backoff * 2).min(base * MAX_BACKOFF_FACTOR);
         }
         t
     }

@@ -1,0 +1,344 @@
+//! A deterministic circuit breaker with a sliding outcome window.
+//!
+//! Classic three-state breaker (closed → open → half-open) driven
+//! entirely by a caller-supplied clock (`now_ns`), so simulated-time
+//! harnesses replay transitions byte-for-byte:
+//!
+//! * **Closed** — calls flow; outcomes are recorded in a sliding window
+//!   of the last `window` calls. When at least `min_samples` outcomes
+//!   are present and the failure fraction reaches `failure_ratio`, the
+//!   breaker opens.
+//! * **Open** — calls are refused ([`CircuitBreaker::allow`] returns
+//!   `false`) until `open_ns` has elapsed, then the breaker moves to
+//!   half-open.
+//! * **HalfOpen** — exactly one probe call is admitted. Success closes
+//!   the breaker (window reset); failure re-opens it and restarts the
+//!   cool-down timer.
+//!
+//! The breaker records its transition history (bounded) so harnesses
+//! can assert the exact open → half-open → closed recovery sequence.
+
+use std::collections::VecDeque;
+
+/// Breaker thresholds; see the module docs for semantics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Sliding window length, in call outcomes.
+    pub window: usize,
+    /// Minimum outcomes in the window before the breaker may trip.
+    pub min_samples: usize,
+    /// Failure fraction (0..=1) at which a closed breaker opens.
+    pub failure_ratio: f64,
+    /// Cool-down before an open breaker admits a half-open probe.
+    pub open_ns: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 16,
+            min_samples: 8,
+            failure_ratio: 0.5,
+            open_ns: 50_000_000, // 50 ms
+        }
+    }
+}
+
+/// Breaker state, in the order transitions normally occur.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow normally.
+    Closed,
+    /// Calls are refused while the backend cools down.
+    Open,
+    /// One probe call is admitted to test recovery.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase label for metrics and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// Most transition-history entries kept; old entries are dropped first.
+const HISTORY_CAP: usize = 64;
+
+/// A per-backend circuit breaker. Not internally synchronized: callers
+/// wrap it in their own lock alongside the rest of the backend state.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    /// Outcomes in window order, `true` = success.
+    outcomes: VecDeque<bool>,
+    failures: usize,
+    opened_at_ns: u64,
+    probe_in_flight: bool,
+    history: VecDeque<BreakerState>,
+    transitions: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds.
+    pub fn new(cfg: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            outcomes: VecDeque::with_capacity(cfg.window.max(1)),
+            failures: 0,
+            opened_at_ns: 0,
+            probe_in_flight: false,
+            history: VecDeque::new(),
+            transitions: 0,
+        }
+    }
+
+    fn transition(&mut self, to: BreakerState) {
+        if self.state == to {
+            return;
+        }
+        self.state = to;
+        self.transitions += 1;
+        if self.history.len() == HISTORY_CAP {
+            self.history.pop_front();
+        }
+        self.history.push_back(to);
+    }
+
+    fn push_outcome(&mut self, ok: bool) {
+        if self.cfg.window == 0 {
+            return;
+        }
+        if self.outcomes.len() == self.cfg.window {
+            if let Some(old) = self.outcomes.pop_front() {
+                if !old {
+                    self.failures -= 1;
+                }
+            }
+        }
+        self.outcomes.push_back(ok);
+        if !ok {
+            self.failures += 1;
+        }
+    }
+
+    fn reset_window(&mut self) {
+        self.outcomes.clear();
+        self.failures = 0;
+    }
+
+    /// Applies any time-based transition (open → half-open) and returns
+    /// the state as of `now_ns`, without consuming the half-open probe.
+    pub fn poll(&mut self, now_ns: u64) -> BreakerState {
+        if self.state == BreakerState::Open
+            && now_ns.saturating_sub(self.opened_at_ns) >= self.cfg.open_ns
+        {
+            self.probe_in_flight = false;
+            self.transition(BreakerState::HalfOpen);
+        }
+        self.state
+    }
+
+    /// Whether a call may proceed now. In half-open state this consumes
+    /// the single probe slot: the first caller gets `true`, subsequent
+    /// callers `false` until the probe's outcome is recorded.
+    pub fn allow(&mut self, now_ns: u64) -> bool {
+        match self.poll(now_ns) {
+            BreakerState::Closed => true,
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => {
+                if self.probe_in_flight {
+                    false
+                } else {
+                    self.probe_in_flight = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Records a successful call outcome.
+    pub fn record_success(&mut self, now_ns: u64) {
+        match self.poll(now_ns) {
+            BreakerState::HalfOpen => {
+                self.probe_in_flight = false;
+                self.reset_window();
+                self.transition(BreakerState::Closed);
+            }
+            _ => self.push_outcome(true),
+        }
+    }
+
+    /// Records a failed call outcome, tripping the breaker when the
+    /// window's failure fraction reaches the threshold.
+    pub fn record_failure(&mut self, now_ns: u64) {
+        match self.poll(now_ns) {
+            BreakerState::HalfOpen => {
+                self.probe_in_flight = false;
+                self.opened_at_ns = now_ns;
+                self.transition(BreakerState::Open);
+            }
+            BreakerState::Open => {}
+            BreakerState::Closed => {
+                self.push_outcome(false);
+                let n = self.outcomes.len();
+                if n >= self.cfg.min_samples.max(1)
+                    && (self.failures as f64) >= self.cfg.failure_ratio * n as f64
+                {
+                    self.reset_window();
+                    self.opened_at_ns = now_ns;
+                    self.transition(BreakerState::Open);
+                }
+            }
+        }
+    }
+
+    /// Current state without applying time-based transitions.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Number of state transitions so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Recent transition history, oldest first (initial `Closed` state
+    /// is implicit and not recorded).
+    pub fn history(&self) -> impl Iterator<Item = BreakerState> + '_ {
+        self.history.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            window: 8,
+            min_samples: 4,
+            failure_ratio: 0.5,
+            open_ns: 1_000,
+        }
+    }
+
+    #[test]
+    fn stays_closed_below_threshold() {
+        let mut b = CircuitBreaker::new(cfg());
+        for t in 0..20 {
+            b.record_success(t);
+            assert!(b.allow(t));
+        }
+        // One failure in a window of 8 is 12.5% — below 50%.
+        b.record_failure(21);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn trips_at_failure_ratio_and_refuses_while_open() {
+        let mut b = CircuitBreaker::new(cfg());
+        b.record_success(0);
+        b.record_success(1);
+        b.record_failure(2);
+        assert_eq!(b.state(), BreakerState::Closed, "3 samples < min 4");
+        b.record_failure(3);
+        assert_eq!(b.state(), BreakerState::Open, "2/4 failures hits 50%");
+        assert!(!b.allow(4));
+        assert!(!b.allow(500), "still cooling down");
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe() {
+        let mut b = CircuitBreaker::new(cfg());
+        for t in 0..4 {
+            b.record_failure(t);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.allow(3 + 1_000), "cool-down elapsed: probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow(3 + 1_001), "second probe refused");
+        b.record_success(3 + 1_002);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow(3 + 1_003));
+    }
+
+    #[test]
+    fn failed_probe_reopens_and_restarts_the_timer() {
+        let mut b = CircuitBreaker::new(cfg());
+        for t in 0..4 {
+            b.record_failure(t);
+        }
+        assert!(b.allow(2_000));
+        b.record_failure(2_100);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(2_999), "timer restarted at the probe failure");
+        assert!(b.allow(3_100), "new cool-down elapsed");
+    }
+
+    #[test]
+    fn recovery_history_reads_open_half_open_closed() {
+        let mut b = CircuitBreaker::new(cfg());
+        for t in 0..4 {
+            b.record_failure(t);
+        }
+        assert!(b.allow(5_000));
+        b.record_success(5_001);
+        let got: Vec<BreakerState> = b.history().collect();
+        assert_eq!(
+            got,
+            vec![
+                BreakerState::Open,
+                BreakerState::HalfOpen,
+                BreakerState::Closed
+            ]
+        );
+        assert_eq!(b.transitions(), 3);
+    }
+
+    #[test]
+    fn window_reset_on_close_forgets_old_failures() {
+        let mut b = CircuitBreaker::new(cfg());
+        for t in 0..4 {
+            b.record_failure(t);
+        }
+        assert!(b.allow(2_000));
+        b.record_success(2_001);
+        // The pre-open failures must not count toward a fresh trip.
+        b.record_failure(2_002);
+        b.record_failure(2_003);
+        b.record_failure(2_004);
+        assert_eq!(b.state(), BreakerState::Closed, "only 3 samples so far");
+        b.record_failure(2_005);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let drive = |b: &mut CircuitBreaker| {
+            let mut log = Vec::new();
+            for t in 0..40u64 {
+                let now = t * 100;
+                let allowed = b.allow(now);
+                log.push((allowed, b.state().label()));
+                if allowed {
+                    if t % 3 == 0 {
+                        b.record_failure(now + 1);
+                    } else {
+                        b.record_success(now + 1);
+                    }
+                }
+            }
+            log
+        };
+        let mut a = CircuitBreaker::new(cfg());
+        let mut b = CircuitBreaker::new(cfg());
+        assert_eq!(drive(&mut a), drive(&mut b));
+    }
+}

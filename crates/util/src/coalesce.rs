@@ -325,6 +325,72 @@ mod tests {
     }
 
     #[test]
+    fn leader_completion_survives_departed_followers() {
+        // Several followers join with short deadlines while the leader
+        // is still computing; every one of them times out and departs.
+        // Completing the flight afterwards must neither panic nor leak
+        // the flight — the departed followers simply never see the
+        // result.
+        let map = Arc::new(Map::new());
+        let Join::Leader(leader) = map.join(11, None) else {
+            panic!("first join must lead");
+        };
+        let followers: Vec<_> = (0..4)
+            .map(|_| {
+                let map = Arc::clone(&map);
+                std::thread::spawn(move || {
+                    let deadline = Some(Instant::now() + Duration::from_millis(10));
+                    matches!(map.join(11, deadline), Join::TimedOut)
+                })
+            })
+            .collect();
+        for f in followers {
+            assert!(f.join().unwrap(), "every follower must time out typed");
+        }
+        assert_eq!(map.in_flight(), 1, "departures leave the flight alone");
+        // The leader finishes long after everyone left.
+        leader.complete(Ok(99));
+        assert_eq!(map.in_flight(), 0);
+        // The key is reusable afterwards: a fresh join leads again.
+        assert!(matches!(map.join(11, None), Join::Leader(_)));
+    }
+
+    #[test]
+    fn late_follower_still_inherits_when_others_departed() {
+        // One follower departs on deadline, one keeps waiting: the
+        // waiter inherits the result even though the condvar saw a
+        // departure first.
+        let map = Arc::new(Map::new());
+        let Join::Leader(leader) = map.join(13, None) else {
+            panic!("first join must lead");
+        };
+        let quitter = {
+            let map = Arc::clone(&map);
+            std::thread::spawn(move || {
+                let deadline = Some(Instant::now() + Duration::from_millis(5));
+                matches!(map.join(13, deadline), Join::TimedOut)
+            })
+        };
+        let waiter = {
+            let map = Arc::clone(&map);
+            std::thread::spawn(move || {
+                let deadline = Some(Instant::now() + Duration::from_secs(10));
+                match map.join(13, deadline) {
+                    Join::Done(Ok(v)) => v,
+                    Join::Done(Err(_)) => panic!("waiter saw an error result"),
+                    Join::Leader(_) => panic!("waiter became leader"),
+                    Join::LeaderFailed => panic!("waiter saw a failed leader"),
+                    Join::TimedOut => panic!("waiter timed out"),
+                }
+            })
+        };
+        assert!(quitter.join().unwrap());
+        std::thread::sleep(Duration::from_millis(20));
+        leader.complete(Ok(77));
+        assert_eq!(waiter.join().unwrap(), 77);
+    }
+
+    #[test]
     fn join_timed_attributes_follower_wait_but_not_leader() {
         let map = Arc::new(Map::new());
         let (join, leader_ns) = map.join_timed(11, None);

@@ -25,25 +25,37 @@
 //! * [`rng`] — a seeded xorshift64* generator for deterministic fault
 //!   sampling and test-input generation.
 //! * [`check`] — a miniature property-test harness built on [`rng`].
+//! * [`backoff`] — capped exponential backoff schedules (deterministic
+//!   or full-jitter) shared by the storage retry loop and the router.
+//! * [`breaker`] — a clock-driven circuit breaker (closed → open →
+//!   half-open) for per-backend failure shedding.
+//! * [`ring`] — an FNV consistent-hash ring with virtual nodes, the
+//!   replica-placement map of the service router.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backoff;
 pub mod bitset;
+pub mod breaker;
 pub mod check;
 pub mod coalesce;
 pub mod fingerprint;
 pub mod hash;
 pub mod json;
 pub mod lru;
+pub mod ring;
 pub mod rng;
 pub mod stats;
 pub mod table;
 
+pub use backoff::Backoff;
 pub use bitset::{BitSet, CountVec};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use coalesce::CoalesceMap;
 pub use fingerprint::{canonical, fingerprint_json, Fingerprint};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use json::{Json, ToJson};
 pub use lru::ShardedLru;
+pub use ring::HashRing;
 pub use rng::XorShift64;

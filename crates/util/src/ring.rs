@@ -1,0 +1,179 @@
+//! A consistent-hash ring with virtual nodes.
+//!
+//! Routes a 64-bit key (the service hashes its 128-bit content
+//! fingerprint down) to one of N replicas. Each replica owns
+//! `vnodes` points on the ring, placed by FNV-1a hashing of the pair
+//! `(replica, vnode)` — fully deterministic from the configuration, so
+//! two fleets built with the same `(replicas, vnodes)` route every key
+//! identically. A key maps to the replica owning the first point at or
+//! clockwise after the key's own hash; [`HashRing::successors`] walks
+//! onward from there, yielding each distinct replica once, which is the
+//! failover order when the primary is down or its breaker is open.
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice. Public because harnesses reuse it for
+/// cheap deterministic digests (e.g. the router-storm reproducibility
+/// gate), keeping the workspace dependency-free.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A consistent-hash ring over `replicas` backends.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, replica)` sorted by point, then replica for ties.
+    points: Vec<(u64, usize)>,
+    replicas: usize,
+}
+
+impl HashRing {
+    /// Builds a ring with `vnodes` virtual nodes per replica.
+    ///
+    /// # Panics
+    /// When `replicas` or `vnodes` is zero — an empty ring cannot route.
+    pub fn new(replicas: usize, vnodes: usize) -> HashRing {
+        assert!(replicas > 0, "ring needs at least one replica");
+        assert!(vnodes > 0, "ring needs at least one vnode per replica");
+        let mut points = Vec::with_capacity(replicas * vnodes);
+        for r in 0..replicas {
+            for v in 0..vnodes {
+                let mut bytes = [0u8; 16];
+                bytes[..8].copy_from_slice(&(r as u64).to_le_bytes());
+                bytes[8..].copy_from_slice(&(v as u64).to_le_bytes());
+                points.push((fnv1a(&bytes), r));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, replicas }
+    }
+
+    /// Hashes a 128-bit content fingerprint down to a ring key.
+    pub fn key_of(fingerprint: u128) -> u64 {
+        fnv1a(&fingerprint.to_le_bytes())
+    }
+
+    /// Number of replicas on the ring.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Index of the first ring point at or after `key` (wrapping).
+    fn start(&self, key: u64) -> usize {
+        match self.points.binary_search(&(key, 0)) {
+            Ok(i) => i,
+            Err(i) if i == self.points.len() => 0,
+            Err(i) => i,
+        }
+    }
+
+    /// The replica owning `key`.
+    pub fn primary(&self, key: u64) -> usize {
+        self.points[self.start(key)].1
+    }
+
+    /// Every replica in ring-walk order from `key`, each exactly once:
+    /// the primary first, then failover successors.
+    pub fn successors(&self, key: u64) -> Vec<usize> {
+        let mut seen = vec![false; self.replicas];
+        let mut order = Vec::with_capacity(self.replicas);
+        let start = self.start(key);
+        for off in 0..self.points.len() {
+            let (_, r) = self.points[(start + off) % self.points.len()];
+            if !seen[r] {
+                seen[r] = true;
+                order.push(r);
+                if order.len() == self.replicas {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check;
+
+    #[test]
+    fn identical_configs_route_identically() {
+        let a = HashRing::new(5, 64);
+        let b = HashRing::new(5, 64);
+        for k in 0..1_000u64 {
+            let key = HashRing::key_of(k as u128 * 0x1234_5678_9abc_def1);
+            assert_eq!(a.primary(key), b.primary(key));
+            assert_eq!(a.successors(key), b.successors(key));
+        }
+    }
+
+    #[test]
+    fn successors_enumerate_every_replica_once() {
+        check::cases(0x21A6, 50, |g| {
+            let n = g.usize_in(1, 9);
+            let ring = HashRing::new(n, 16);
+            let key = g.u64_in(0, u64::MAX - 1);
+            let order = ring.successors(key);
+            assert_eq!(order.len(), n);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), n, "duplicate replica in {order:?}");
+            assert_eq!(order[0], ring.primary(key));
+        });
+    }
+
+    #[test]
+    fn vnodes_spread_load_across_replicas() {
+        let ring = HashRing::new(3, 64);
+        let mut counts = [0usize; 3];
+        for k in 0..30_000u64 {
+            counts[ring.primary(HashRing::key_of(k as u128))] += 1;
+        }
+        for (r, &c) in counts.iter().enumerate() {
+            // With 64 vnodes each replica should land within a loose
+            // band of the fair share (10k): no replica starved or
+            // dominant.
+            assert!(
+                (4_000..=18_000).contains(&c),
+                "replica {r} got {c} of 30000 keys: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn losing_a_replica_only_moves_its_own_keys() {
+        // Consistent-hashing property: a key whose primary survives
+        // keeps that primary; keys of a dead replica fail over to their
+        // next ring successor (which skipping in the caller preserves).
+        let ring = HashRing::new(4, 64);
+        let dead = 2usize;
+        for k in 0..2_000u64 {
+            let key = HashRing::key_of(k as u128 * 7 + 3);
+            let order = ring.successors(key);
+            let routed = *order.iter().find(|&&r| r != dead).unwrap();
+            if order[0] != dead {
+                assert_eq!(routed, order[0], "surviving primaries keep their keys");
+            } else {
+                assert_eq!(routed, order[1], "dead primary's keys move to successor");
+            }
+        }
+    }
+
+    #[test]
+    fn wraps_past_the_highest_point() {
+        let ring = HashRing::new(3, 8);
+        // u64::MAX is ≥ every point, so the search wraps to index 0.
+        let first = ring.points[0].1;
+        assert_eq!(ring.primary(u64::MAX), first);
+    }
+}
