@@ -1,0 +1,170 @@
+//! Safe readiness polling: [`Poller`] (an epoll instance) and
+//! [`Waker`] (a cross-thread wake channel).
+//!
+//! The poller is level-triggered on purpose: a connection with bytes
+//! still buffered keeps reporting readable, so the loop never needs
+//! the re-arm bookkeeping edge-triggered modes demand, and a missed
+//! event is re-delivered on the next wait instead of lost. Interest is
+//! per-fd `(readable, writable)`; the `token` travels through the
+//! kernel untouched and comes back in each [`Event`].
+
+use crate::sys;
+use std::io;
+use std::os::fd::{AsRawFd, OwnedFd, RawFd};
+use std::sync::Arc;
+
+/// Reserved token delivered when the [`Waker`] fires.
+pub const WAKE_TOKEN: u64 = u64::MAX;
+
+/// One readiness notification.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token registered with the fd.
+    pub token: u64,
+    /// Readable (or a peer hang-up, which also unblocks reads).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error or hang-up condition; the fd should be torn down after
+    /// draining whatever still reads.
+    pub closed: bool,
+}
+
+/// A level-triggered epoll instance.
+pub struct Poller {
+    epfd: OwnedFd,
+    buf: Vec<sys::EpollEvent>,
+}
+
+impl Poller {
+    /// A new poller with room for `capacity` events per wait.
+    pub fn new(capacity: usize) -> io::Result<Poller> {
+        Ok(Poller {
+            epfd: sys::epoll_create()?,
+            buf: vec![sys::EpollEvent { events: 0, data: 0 }; capacity.max(8)],
+        })
+    }
+
+    fn mask(readable: bool, writable: bool) -> u32 {
+        let mut m = sys::EPOLLRDHUP;
+        if readable {
+            m |= sys::EPOLLIN;
+        }
+        if writable {
+            m |= sys::EPOLLOUT;
+        }
+        m
+    }
+
+    /// Registers `fd` with the given interest under `token`.
+    pub fn add(&self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        sys::epoll_ctl_op(
+            &self.epfd,
+            sys::EPOLL_CTL_ADD,
+            fd,
+            Self::mask(readable, writable),
+            token,
+        )
+    }
+
+    /// Replaces `fd`'s interest set.
+    pub fn modify(&self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        sys::epoll_ctl_op(
+            &self.epfd,
+            sys::EPOLL_CTL_MOD,
+            fd,
+            Self::mask(readable, writable),
+            token,
+        )
+    }
+
+    /// Deregisters `fd`. Best-effort (teardown path).
+    pub fn remove(&self, fd: RawFd) {
+        sys::epoll_del(&self.epfd, fd);
+    }
+
+    /// Waits up to `timeout_ms` (`-1` = forever) and appends readiness
+    /// events to `out`. Returns the number appended.
+    pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+        let n = sys::epoll_wait_events(&self.epfd, &mut self.buf, timeout_ms)?;
+        for raw in &self.buf[..n] {
+            let bits = { raw.events };
+            out.push(Event {
+                token: { raw.data },
+                readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP) != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+                closed: bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+            });
+        }
+        Ok(n)
+    }
+}
+
+/// A clonable cross-thread wake channel for one [`Poller`].
+///
+/// Created by [`Waker::register`], which parks an eventfd in the
+/// poller under [`WAKE_TOKEN`]; any thread may then call
+/// [`Waker::wake`] to make a blocked `wait` return. Wakes coalesce —
+/// a thousand `wake` calls cost one readiness event.
+#[derive(Clone)]
+pub struct Waker {
+    fd: Arc<OwnedFd>,
+}
+
+impl Waker {
+    /// Creates the eventfd and registers it with `poller`.
+    pub fn register(poller: &Poller) -> io::Result<Waker> {
+        let fd = sys::eventfd_new()?;
+        poller.add(fd.as_raw_fd(), WAKE_TOKEN, true, false)?;
+        Ok(Waker { fd: Arc::new(fd) })
+    }
+
+    /// Makes the poller's current (or next) `wait` return.
+    pub fn wake(&self) {
+        sys::eventfd_signal(&self.fd);
+    }
+
+    /// Drains pending wake signals; the loop calls this when it sees
+    /// [`WAKE_TOKEN`] so the level-triggered fd goes quiet.
+    pub fn drain(&self) {
+        sys::eventfd_drain(&self.fd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waker_unblocks_wait_from_another_thread() {
+        let mut poller = Poller::new(8).unwrap();
+        let waker = Waker::register(&poller).unwrap();
+        let remote = waker.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            remote.wake();
+        });
+        let mut events = Vec::new();
+        let t0 = std::time::Instant::now();
+        poller.wait(&mut events, 5_000).unwrap();
+        assert!(t0.elapsed() < std::time::Duration::from_secs(2));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, WAKE_TOKEN);
+        waker.drain();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn listener_readable_on_pending_accept() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new(8).unwrap();
+        poller.add(listener.as_raw_fd(), 7, true, false).unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "no pending connection yet");
+        let _client = std::net::TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        poller.wait(&mut events, 2_000).unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+    }
+}

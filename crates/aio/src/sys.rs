@@ -1,0 +1,217 @@
+//! The crate's only `unsafe` surface: raw Linux syscall bindings.
+//!
+//! The workspace is dependency-free, so instead of the `libc` crate
+//! this module declares the handful of symbols the event loop needs —
+//! `epoll_*`, `eventfd`, `read`/`write` on raw fds, `listen`, and
+//! `getrlimit`/`setrlimit` — as `extern "C"` imports. `std` already
+//! links the platform C library, so the symbols resolve without any
+//! build-script work. Everything exported from here is a safe wrapper
+//! returning `io::Result`; fd lifetimes ride on [`OwnedFd`] so a
+//! dropped poller or waker cannot leak descriptors.
+//!
+//! Linux-only by construction (epoll, eventfd). The constants below
+//! are the x86-64/aarch64 generic-ABI values from the kernel headers.
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+
+/// `epoll_ctl` op: register a new fd.
+pub const EPOLL_CTL_ADD: i32 = 1;
+/// `epoll_ctl` op: deregister an fd.
+pub const EPOLL_CTL_DEL: i32 = 2;
+/// `epoll_ctl` op: replace an fd's interest set.
+pub const EPOLL_CTL_MOD: i32 = 3;
+
+/// Readable.
+pub const EPOLLIN: u32 = 0x1;
+/// Writable.
+pub const EPOLLOUT: u32 = 0x4;
+/// Error condition.
+pub const EPOLLERR: u32 = 0x8;
+/// Hang-up (both directions down).
+pub const EPOLLHUP: u32 = 0x10;
+/// Peer closed its write side (half-close).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CLOEXEC: i32 = 0x80000;
+const EFD_CLOEXEC: i32 = 0x80000;
+const EFD_NONBLOCK: i32 = 0x800;
+const RLIMIT_NOFILE: i32 = 7;
+
+/// One readiness record, kernel layout (`struct epoll_event`).
+///
+/// Packed: on x86-64 the kernel ABI has no padding between the 32-bit
+/// event mask and the 64-bit user datum.
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// `EPOLLIN | EPOLLOUT | …` readiness bits.
+    pub events: u32,
+    /// Caller-owned token (the connection slot, or a reserved value).
+    pub data: u64,
+}
+
+#[repr(C)]
+struct Rlimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn listen(sockfd: i32, backlog: i32) -> i32;
+    fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+    fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// A new close-on-exec epoll instance.
+pub fn epoll_create() -> io::Result<OwnedFd> {
+    // SAFETY: plain syscall; on success the kernel hands us a fresh fd
+    // we immediately take unique ownership of.
+    let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+    Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+}
+
+/// Registers (`EPOLL_CTL_ADD`) or re-targets (`EPOLL_CTL_MOD`) `fd`'s
+/// interest set; `op` is one of the `EPOLL_CTL_*` constants.
+pub fn epoll_ctl_op(epfd: &OwnedFd, op: i32, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+    let mut ev = EpollEvent { events, data };
+    // SAFETY: `ev` outlives the call; the kernel copies it.
+    cvt(unsafe { epoll_ctl(epfd.as_raw_fd(), op, fd, &mut ev) })?;
+    Ok(())
+}
+
+/// Removes `fd` from the interest set. Best-effort: ENOENT (already
+/// gone) is not an error worth surfacing during teardown.
+pub fn epoll_del(epfd: &OwnedFd, fd: RawFd) {
+    let mut ev = EpollEvent { events: 0, data: 0 };
+    // SAFETY: as above; a null event pointer is only required pre-2.6.9.
+    let _ = unsafe { epoll_ctl(epfd.as_raw_fd(), EPOLL_CTL_DEL, fd, &mut ev) };
+}
+
+/// Waits for readiness, filling `events` from the front. Returns the
+/// number of records written. Retries `EINTR` internally; a `timeout`
+/// of `-1` blocks indefinitely, `0` polls.
+pub fn epoll_wait_events(
+    epfd: &OwnedFd,
+    events: &mut [EpollEvent],
+    timeout_ms: i32,
+) -> io::Result<usize> {
+    loop {
+        // SAFETY: `events` is a live, writable slice; `maxevents`
+        // matches its length.
+        let n = unsafe {
+            epoll_wait(
+                epfd.as_raw_fd(),
+                events.as_mut_ptr(),
+                events.len() as i32,
+                timeout_ms,
+            )
+        };
+        if n >= 0 {
+            return Ok(n as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// A non-blocking close-on-exec eventfd (the loop's wake channel).
+pub fn eventfd_new() -> io::Result<OwnedFd> {
+    // SAFETY: plain syscall returning a fresh fd.
+    let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+    Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+}
+
+/// Posts one wake-up. `EAGAIN` (counter already saturated — the loop
+/// has a pending wake) is success.
+pub fn eventfd_signal(fd: &OwnedFd) {
+    let one: u64 = 1;
+    // SAFETY: 8 initialized bytes, the eventfd write unit.
+    let _ = unsafe { write(fd.as_raw_fd(), (&one as *const u64).cast(), 8) };
+}
+
+/// Drains all pending wake-ups so a level-triggered poll goes quiet.
+pub fn eventfd_drain(fd: &OwnedFd) {
+    let mut buf: u64 = 0;
+    // SAFETY: 8 writable bytes, the eventfd read unit.
+    let _ = unsafe { read(fd.as_raw_fd(), (&mut buf as *mut u64).cast(), 8) };
+}
+
+/// Re-issues `listen(2)` with a deeper `backlog` on an already-bound,
+/// already-listening socket. `std::net::TcpListener` hardcodes a
+/// backlog of 128, which a 10k-connection storm overflows; calling
+/// `listen` again on Linux just updates the queue depth.
+pub fn relisten(fd: RawFd, backlog: i32) -> io::Result<()> {
+    // SAFETY: plain syscall on a caller-owned socket fd.
+    cvt(unsafe { listen(fd, backlog) })?;
+    Ok(())
+}
+
+/// Raises the soft `RLIMIT_NOFILE` to the hard limit (the server holds
+/// one fd per connection). Returns `(soft, hard)` after the attempt;
+/// failure to raise is reported through the unchanged soft value, not
+/// an error — the caller can still run, just with fewer connections.
+pub fn raise_nofile_limit() -> io::Result<(u64, u64)> {
+    let mut lim = Rlimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    // SAFETY: `lim` is a live out-param of the kernel's expected shape.
+    cvt(unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) })?;
+    if lim.rlim_cur < lim.rlim_max {
+        let want = Rlimit {
+            rlim_cur: lim.rlim_max,
+            rlim_max: lim.rlim_max,
+        };
+        // SAFETY: passing a fully initialized struct by pointer.
+        if unsafe { setrlimit(RLIMIT_NOFILE, &want) } == 0 {
+            lim.rlim_cur = lim.rlim_max;
+        }
+    }
+    Ok((lim.rlim_cur, lim.rlim_max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eventfd_round_trip_wakes_epoll() {
+        let ep = epoll_create().unwrap();
+        let ev = eventfd_new().unwrap();
+        epoll_ctl_op(&ep, EPOLL_CTL_ADD, ev.as_raw_fd(), EPOLLIN, 42).unwrap();
+        let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+        // Nothing pending: a zero-timeout wait returns empty.
+        assert_eq!(epoll_wait_events(&ep, &mut events, 0).unwrap(), 0);
+        eventfd_signal(&ev);
+        eventfd_signal(&ev); // coalesces, still one readiness record
+        let n = epoll_wait_events(&ep, &mut events, 1_000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!({ events[0].data }, 42);
+        assert_ne!({ events[0].events } & EPOLLIN, 0);
+        eventfd_drain(&ev);
+        assert_eq!(epoll_wait_events(&ep, &mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn nofile_limit_is_queryable() {
+        let (soft, hard) = raise_nofile_limit().unwrap();
+        assert!(soft > 0 && hard >= soft);
+    }
+}

@@ -115,7 +115,7 @@ fn merge_bench_service(section: &str, value: cachemap_util::Json) -> std::io::Re
         Some(Json::Object(pairs))
             if pairs
                 .iter()
-                .all(|(k, _)| k == "serve" || k == "storm" || k == "router") =>
+                .all(|(k, _)| k == "serve" || k == "storm" || k == "router" || k == "open") =>
         {
             pairs
         }
@@ -154,9 +154,17 @@ fn usage() -> String {
      \x20                               L2 tier, CACHEMAP_L2_TTL_SECS its TTL,\n\
      \x20                               CACHEMAP_TRACING=off disables request\n\
      \x20                               tracing + the flight recorder)\n\
+     \x20 serve-async[:<addr>]          long-running epoll/batching server\n\
+     \x20                               (default 127.0.0.1:7412; same\n\
+     \x20                               JSON-lines protocol as serve)\n\
      \x20 serve-bench[:<seed>[:<requests>]]\n\
      \x20                               closed-loop SLO load campaign\n\
      \x20                               (default seed 42, 1200 requests)\n\
+     \x20 serve-open[:<rps>[:<secs>]]   open-loop Poisson campaign against\n\
+     \x20                               the async server: offered vs\n\
+     \x20                               achieved RPS, p99 gate, 10k idle\n\
+     \x20                               connections parked (default\n\
+     \x20                               1200 req/s for 8 s, seed 42)\n\
      \x20 serve-storm[:<seed>]          robustness storm: hot-fingerprint\n\
      \x20                               coalescing barrage, mid-campaign\n\
      \x20                               kill + torn-tail restart, graceful\n\
@@ -672,6 +680,90 @@ fn main() {
                         .collect();
                     let firsts: Vec<usize> = chunks.iter().step_by(5).copied().take(30).collect();
                     println!("  trace client {c}: {firsts:?}");
+                }
+            }
+            // Hidden: the idle-fleet holder `serve-open` spawns so its
+            // thousands of parked client fds live in their own process.
+            s if s.starts_with("idle-hold:") => {
+                let rest = &s["idle-hold:".len()..];
+                let (addr, count) = rest
+                    .rsplit_once(':')
+                    .unwrap_or_else(|| panic!("bad idle-hold spec: {rest}"));
+                let count: usize = count
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad idle-hold count: {count}"));
+                if let Err(e) = cachemap_bench::open_loop::idle_hold(addr, count) {
+                    eprintln!("idle-hold: {e}");
+                    std::process::exit(1);
+                }
+            }
+            s if s == "serve-async" || s.starts_with("serve-async:") => {
+                let addr = s.strip_prefix("serve-async:").unwrap_or("127.0.0.1:7412");
+                let mut cfg = cachemap_service::ServiceConfig::default();
+                if let Ok(t) = std::env::var("CACHEMAP_TRACING") {
+                    cfg.tracing = !matches!(t.as_str(), "" | "0" | "off" | "false");
+                }
+                let service = std::sync::Arc::new(cachemap_service::MapService::start(cfg));
+                let server = cachemap_service::aserver::AsyncServer::spawn(
+                    addr,
+                    std::sync::Arc::clone(&service),
+                )
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot bind {addr}: {e}");
+                    std::process::exit(2);
+                });
+                println!(
+                    "async mapping service listening on {} (epoll event loop, batching\n\
+                     dispatch; JSON-lines; GET /metrics for Prometheus;\n\
+                     send {{\"op\":\"shutdown\",\"id\":0}} to stop)",
+                    server.addr()
+                );
+                server.join();
+                service.shutdown();
+            }
+            s if s == "serve-open" || s.starts_with("serve-open:") => {
+                let mut parts = s.splitn(3, ':').skip(1);
+                let mut cfg = cachemap_bench::open_loop::OpenLoopConfig::default();
+                if let Some(p) = parts.next() {
+                    cfg.offered_rps = p
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad serve-open rate: {p}"));
+                }
+                if let Some(p) = parts.next() {
+                    cfg.duration_secs = p
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad serve-open duration: {p}"));
+                }
+                if test_scale {
+                    cfg = cachemap_bench::open_loop::OpenLoopConfig::smoke(cfg.seed);
+                }
+                // The parked fleet rides in a child `repro idle-hold`.
+                cfg.idle_hold_exe = std::env::current_exe().ok();
+                eprintln!(
+                    "[serve-open: seed {}, {:.0} req/s offered for {:.0} s, {} conns, \
+                     {} idle conns parked …]",
+                    cfg.seed, cfg.offered_rps, cfg.duration_secs, cfg.conns, cfg.idle_conns
+                );
+                let report = cachemap_bench::open_loop::run(&cfg).unwrap_or_else(|e| {
+                    eprintln!("serve-open failed: {e}");
+                    std::process::exit(1);
+                });
+                println!("{}", cachemap_bench::open_loop::render(&report));
+                match merge_bench_service("open", report.to_json()) {
+                    Ok(()) => println!("   [raw numbers: BENCH_service.json, section \"open\"]"),
+                    Err(e) => eprintln!("   [warning: could not write BENCH_service.json: {e}]"),
+                }
+                let scratch = format!("BENCH_service-open-{}", cfg.seed);
+                match write_report(&scratch, &report) {
+                    Ok(path) => println!("   [scratch copy: {}]", path.display()),
+                    Err(e) => eprintln!("   [warning: could not write scratch copy: {e}]"),
+                }
+                if !report.gates_ok {
+                    eprintln!(
+                        "serve-open: gates failed: {}",
+                        report.gate_failures.join("; ")
+                    );
+                    std::process::exit(1);
                 }
             }
             s if s == "serve" || s.starts_with("serve:") => {

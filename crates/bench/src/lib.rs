@@ -18,6 +18,7 @@ pub mod chaos;
 pub mod cluster_bench;
 pub mod experiments;
 pub mod obs;
+pub mod open_loop;
 pub mod report;
 pub mod router_storm;
 pub mod serve;

@@ -125,6 +125,11 @@ impl ToJson for ServeBenchReport {
     fn to_json(&self) -> Json {
         let mut pairs: Vec<(String, Json)> = vec![
             ("bench".into(), Json::Str("serve".into())),
+            // Closed-loop: clients wait for each reply before sending
+            // again, so `throughput_rps` tracks round-trip latency, not
+            // offered load — compare with the `open` section's
+            // offered/achieved split before quoting it.
+            ("loop".into(), Json::Str("closed".into())),
             ("seed".into(), Json::UInt(self.seed)),
             ("requests".into(), Json::UInt(self.requests as u64)),
             ("templates".into(), Json::UInt(self.templates as u64)),

@@ -1,0 +1,502 @@
+//! The event-loop front end: [`AsyncServer`] serves the same protocol
+//! as [`crate::server::Server`] on a `cachemap-aio` event loop.
+//!
+//! One `aio` thread owns every socket (10k+ connections on a few MB
+//! instead of 10k thread stacks); decoded frames arrive in **batches**
+//! at a small dispatcher pool which (1) dedups byte-identical request
+//! lines inside each batch — the same-fingerprint case, answered once
+//! and fanned out verbatim — and (2) runs the shared
+//! [`crate::dispatch`] protocol module, so the two front ends cannot
+//! disagree about a single reply byte. Replies flow back through the
+//! loop's completion queue; a stale connection generation drops the
+//! reply instead of writing into a recycled slot.
+//!
+//! Loop-level health is exported on the *service's* metric registry
+//! (`cachemap_aio_*`, preregistered at zero so the first scrape
+//! carries the schema), and an accept-loop stall — the loop thread
+//! overrunning its poll deadline past the grace — fires the service
+//! flight recorder's `accept_stall` trigger while the evidence is
+//! fresh.
+
+use crate::dispatch;
+use crate::MapService;
+use cachemap_aio as aio;
+use cachemap_aio::{Completion, CompletionQueue, Dispatch, FaultPlan, Frame, Inbound, LoopStats};
+use cachemap_util::{Clock, Json};
+use std::collections::VecDeque;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Batch-size histogram buckets (requests per dispatched batch).
+const BATCH_BUCKETS: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+
+/// Async front-end tuning knobs.
+#[derive(Debug, Clone)]
+pub struct AsyncServerConfig {
+    /// Connection slots (10k-connection serving is the point).
+    pub max_connections: usize,
+    /// Idle read budget per connection, ms (`0` disables).
+    pub idle_timeout_ms: u64,
+    /// Batch window in microseconds (`0` = same-poll-cycle batching).
+    pub batch_window_us: u64,
+    /// Dispatch a batch once it holds this many frames.
+    pub batch_max: usize,
+    /// Dispatcher threads running protocol work (each may block on the
+    /// service's admission queue, so more than one overlaps waits).
+    pub dispatchers: usize,
+    /// Maximum bytes of a single request frame.
+    pub max_frame_bytes: usize,
+    /// Per-connection write-buffer cap before reads pause.
+    pub write_buf_limit: usize,
+    /// Time source for deadlines (simulated in tests).
+    pub clock: Arc<Clock>,
+    /// Connection-level fault injection (tests only; off by default).
+    pub faults: FaultPlan,
+    /// Poll-cycle overrun that counts as an accept-loop stall, ms.
+    pub stall_grace_ms: u64,
+}
+
+impl Default for AsyncServerConfig {
+    fn default() -> Self {
+        AsyncServerConfig {
+            max_connections: 10_240,
+            idle_timeout_ms: 30_000,
+            batch_window_us: 1_000,
+            batch_max: 64,
+            dispatchers: 4,
+            max_frame_bytes: 1 << 20,
+            write_buf_limit: 256 << 10,
+            clock: Arc::new(Clock::real()),
+            faults: FaultPlan::none(),
+            stall_grace_ms: 250,
+        }
+    }
+}
+
+/// Last-exported loop-counter values, for delta export into the
+/// service registry (counters must only ever grow).
+#[derive(Default)]
+struct StatCursor {
+    wakeups: u64,
+    backpressure: u64,
+    accepted: u64,
+    rejected: u64,
+    frames: u64,
+    batches: u64,
+    idle_timeouts: u64,
+    stalls: u64,
+}
+
+/// The [`Dispatch`] implementation: a bounded handoff queue feeding a
+/// small worker pool.
+struct Batcher {
+    service: Arc<MapService>,
+    queue: Mutex<VecDeque<(Vec<Inbound>, Arc<CompletionQueue>)>>,
+    available: Condvar,
+    stop: AtomicBool,
+    /// Loop stats, wired after the loop spawns (the loop owns them).
+    loop_stats: OnceLock<Arc<LoopStats>>,
+    cursor: Mutex<StatCursor>,
+}
+
+impl Batcher {
+    /// Folds the loop's atomic counters into the service registry as
+    /// deltas (and the connection gauge as a level). Runs before each
+    /// batch, so a `metrics`/`GET /metrics` request in the batch
+    /// scrapes fresh values.
+    fn sync_metrics(&self) {
+        let Some(stats) = self.loop_stats.get() else {
+            return;
+        };
+        let mut cur = self.cursor.lock().expect("stat cursor poisoned");
+        let mut m = self.service.inner.metrics.lock().expect("metrics poisoned");
+        m.gauge_set(
+            "cachemap_aio_connections",
+            "Open connections on the async front end",
+            &[],
+            stats.connections.load(Ordering::Relaxed) as f64,
+        );
+        let counter =
+            |m: &mut cachemap_obs::Registry, name: &str, help: &str, last: &mut u64, now: u64| {
+                m.counter_add(name, help, &[], now.saturating_sub(*last));
+                *last = now;
+            };
+        counter(
+            &mut m,
+            "cachemap_aio_wakeups_total",
+            "Event-loop poll returns",
+            &mut cur.wakeups,
+            stats.wakeups_total.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut m,
+            "cachemap_aio_backpressure_total",
+            "Connections paused for unread reply backlog",
+            &mut cur.backpressure,
+            stats.backpressure_total.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut m,
+            "cachemap_aio_accepted_total",
+            "Connections accepted by the async front end",
+            &mut cur.accepted,
+            stats.accepted_total.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut m,
+            "cachemap_aio_rejected_total",
+            "Connections rejected at the async front end's capacity cap",
+            &mut cur.rejected,
+            stats.rejected_capacity_total.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut m,
+            "cachemap_aio_frames_total",
+            "Request frames decoded by the async front end",
+            &mut cur.frames,
+            stats.frames_total.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut m,
+            "cachemap_aio_batches_total",
+            "Frame batches dispatched to the worker pool",
+            &mut cur.batches,
+            stats.batches_total.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut m,
+            "cachemap_aio_idle_timeouts_total",
+            "Connections closed at the idle read deadline",
+            &mut cur.idle_timeouts,
+            stats.idle_timeouts_total.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut m,
+            "cachemap_aio_stalls_total",
+            "Accept-loop poll cycles that overran the stall grace",
+            &mut cur.stalls,
+            stats.stalls_total.load(Ordering::Relaxed),
+        );
+    }
+
+    /// Declares every `cachemap_aio_*` family at zero so the first
+    /// scrape already carries the schema.
+    fn preregister(&self) {
+        self.sync_metrics_zero();
+    }
+
+    fn sync_metrics_zero(&self) {
+        let mut m = self.service.inner.metrics.lock().expect("metrics poisoned");
+        m.gauge_set(
+            "cachemap_aio_connections",
+            "Open connections on the async front end",
+            &[],
+            0.0,
+        );
+        for (name, help) in [
+            ("cachemap_aio_wakeups_total", "Event-loop poll returns"),
+            (
+                "cachemap_aio_backpressure_total",
+                "Connections paused for unread reply backlog",
+            ),
+            (
+                "cachemap_aio_accepted_total",
+                "Connections accepted by the async front end",
+            ),
+            (
+                "cachemap_aio_rejected_total",
+                "Connections rejected at the async front end's capacity cap",
+            ),
+            (
+                "cachemap_aio_frames_total",
+                "Request frames decoded by the async front end",
+            ),
+            (
+                "cachemap_aio_batches_total",
+                "Frame batches dispatched to the worker pool",
+            ),
+            (
+                "cachemap_aio_idle_timeouts_total",
+                "Connections closed at the idle read deadline",
+            ),
+            (
+                "cachemap_aio_stalls_total",
+                "Accept-loop poll cycles that overran the stall grace",
+            ),
+        ] {
+            m.counter_add(name, help, &[], 0);
+        }
+        m.histogram_declare(
+            "cachemap_aio_batch_size",
+            "Requests per dispatched batch",
+            &BATCH_BUCKETS,
+            &[],
+        );
+    }
+
+    /// One dispatcher thread: drain batches, dedup identical lines,
+    /// run the shared protocol dispatch, fan replies out.
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock().expect("batch queue poisoned");
+                loop {
+                    if let Some(job) = q.pop_front() {
+                        break Some(job);
+                    }
+                    if self.stop.load(Ordering::SeqCst) {
+                        break None;
+                    }
+                    let (guard, _) = self
+                        .available
+                        .wait_timeout(q, std::time::Duration::from_millis(100))
+                        .expect("batch queue poisoned");
+                    q = guard;
+                }
+            };
+            let Some((batch, done)) = job else { return };
+            self.sync_metrics();
+            {
+                let mut m = self.service.inner.metrics.lock().expect("metrics poisoned");
+                m.histogram_observe(
+                    "cachemap_aio_batch_size",
+                    "Requests per dispatched batch",
+                    &BATCH_BUCKETS,
+                    &[],
+                    batch.len() as f64,
+                );
+            }
+            self.run_batch(batch, &done);
+        }
+    }
+
+    fn run_batch(&self, batch: Vec<Inbound>, done: &Arc<CompletionQueue>) {
+        // Group byte-identical JSON lines: the service coalesces
+        // concurrent same-fingerprint *computes*; this dedups the
+        // parse/lookup/serialize around them too, answering once and
+        // fanning the reply bytes out verbatim. (Identical lines imply
+        // identical fingerprints — the conservative approximation that
+        // needs no parsing.)
+        // Completions must still be *emitted* in arrival order: the
+        // loop writes them to each connection as they land, and a
+        // client pipelining A,B,A expects its replies in that order —
+        // answering group-by-group would reorder them.
+        fn line_of(frame: &Frame) -> Option<&str> {
+            match frame {
+                Frame::Line(l) => Some(l.as_str()),
+                Frame::Http(_) => None,
+            }
+        }
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (i, inb) in batch.iter().enumerate() {
+            if let Some(line) = line_of(&inb.frame) {
+                match groups
+                    .iter_mut()
+                    .find(|m| line_of(&batch[m[0]].frame) == Some(line))
+                {
+                    Some(members) => members.push(i),
+                    None => groups.push(vec![i]),
+                }
+            }
+        }
+        let mut results: Vec<Option<(Vec<u8>, bool)>> = (0..batch.len()).map(|_| None).collect();
+        for members in groups {
+            let line = line_of(&batch[members[0]].frame).expect("groups hold lines");
+            let out = dispatch::dispatch_line(&self.service, line);
+            let mut bytes = out.reply.into_bytes();
+            bytes.push(b'\n');
+            let last = members.len() - 1;
+            for (k, &i) in members.iter().enumerate() {
+                let fanned = if k == last {
+                    std::mem::take(&mut bytes)
+                } else {
+                    bytes.clone()
+                };
+                results[i] = Some((fanned, out.shutdown));
+            }
+        }
+        for (i, inb) in batch.into_iter().enumerate() {
+            match inb.frame {
+                Frame::Http(request_line) => {
+                    let reply = dispatch::http_response(&self.service, &request_line);
+                    done.complete(Completion {
+                        token: inb.token,
+                        gen: inb.gen,
+                        seq: inb.seq,
+                        bytes: reply.into_bytes(),
+                        close_after: true,
+                        shutdown: false,
+                    });
+                }
+                Frame::Line(_) => {
+                    let Some((bytes, shutdown)) = results[i].take() else {
+                        continue;
+                    };
+                    done.complete(Completion {
+                        token: inb.token,
+                        gen: inb.gen,
+                        seq: inb.seq,
+                        bytes,
+                        close_after: false,
+                        shutdown,
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl Dispatch for Batcher {
+    fn dispatch(&self, batch: Vec<Inbound>, done: &Arc<CompletionQueue>) {
+        let mut q = self.queue.lock().expect("batch queue poisoned");
+        q.push_back((batch, Arc::clone(done)));
+        drop(q);
+        self.available.notify_one();
+    }
+
+    fn on_stall(&self, gap_ns: u64) {
+        // The loop thread missed its own deadline: capture the service
+        // state while the cause is still in the flight ring.
+        self.service.inner.flight_dump(
+            "accept_stall",
+            vec![("gap_ms", Json::UInt(gap_ns / 1_000_000))],
+        );
+    }
+
+    fn on_idle_timeout(&self) {
+        self.service.count_front_end_rejection("read_timeout");
+    }
+}
+
+/// A running async front end. Dropping it shuts it down and joins its
+/// threads; the fronted [`MapService`] is left running.
+pub struct AsyncServer {
+    handle: aio::Handle,
+    service: Arc<MapService>,
+    batcher: Arc<Batcher>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl AsyncServer {
+    /// Binds `bind` (port 0 for ephemeral) and starts the loop plus
+    /// dispatcher pool with default tuning.
+    pub fn spawn(bind: &str, service: Arc<MapService>) -> io::Result<AsyncServer> {
+        Self::spawn_with(bind, service, AsyncServerConfig::default())
+    }
+
+    /// [`AsyncServer::spawn`] with explicit tuning.
+    pub fn spawn_with(
+        bind: &str,
+        service: Arc<MapService>,
+        cfg: AsyncServerConfig,
+    ) -> io::Result<AsyncServer> {
+        let batcher = Arc::new(Batcher {
+            service: Arc::clone(&service),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            stop: AtomicBool::new(false),
+            loop_stats: OnceLock::new(),
+            cursor: Mutex::new(StatCursor::default()),
+        });
+        batcher.preregister();
+        let loop_cfg = aio::EventLoopConfig {
+            bind: bind.to_string(),
+            max_connections: cfg.max_connections,
+            idle_timeout_ms: cfg.idle_timeout_ms,
+            batch_window_us: cfg.batch_window_us,
+            batch_max: cfg.batch_max,
+            max_frame_bytes: cfg.max_frame_bytes,
+            write_buf_limit: cfg.write_buf_limit,
+            clock: Arc::clone(&cfg.clock),
+            faults: cfg.faults,
+            stall_grace_ms: cfg.stall_grace_ms,
+            over_capacity_reply: dispatch::conn_limit_reply(
+                cfg.max_connections,
+                cfg.max_connections,
+            ),
+            idle_timeout_reply: dispatch::read_timeout_reply(cfg.idle_timeout_ms),
+            frame_too_large_reply: crate::proto::error_response_json(
+                0,
+                "read",
+                &crate::ServiceError::BadRequest {
+                    message: format!("frame exceeds {} bytes", cfg.max_frame_bytes),
+                },
+            )
+            .to_string_compact(),
+        };
+        let handle = aio::spawn(loop_cfg, Arc::clone(&batcher) as Arc<dyn Dispatch>)?;
+        let _ = batcher.loop_stats.set(Arc::clone(handle.stats()));
+        let mut workers = Vec::with_capacity(cfg.dispatchers.max(1));
+        for i in 0..cfg.dispatchers.max(1) {
+            let b = Arc::clone(&batcher);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("aserver-dispatch-{i}"))
+                    .spawn(move || b.worker_loop())?,
+            );
+        }
+        Ok(AsyncServer {
+            handle,
+            service,
+            batcher,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.handle.addr()
+    }
+
+    /// The service this front end serves.
+    pub fn service(&self) -> &Arc<MapService> {
+        &self.service
+    }
+
+    /// Live loop counters (connections, batches, stalls…).
+    pub fn loop_stats(&self) -> &Arc<LoopStats> {
+        self.handle.stats()
+    }
+
+    /// Advances a simulated clock and re-evaluates deadlines; no-op on
+    /// a real clock. Lets timeout tests run without sleeping.
+    pub fn advance_clock(&self, ns: u64) {
+        self.handle.advance_clock(ns);
+    }
+
+    /// Graceful stop: no new connections, in-flight requests answered
+    /// and written, then threads exit. Idempotent; does not block.
+    pub fn shutdown(&self) {
+        self.handle.shutdown();
+    }
+
+    /// Immediate stop: sockets torn down mid-write. For crash tests.
+    pub fn kill(&self) {
+        self.handle.kill();
+    }
+
+    /// Blocks until the loop and dispatcher pool have exited (after a
+    /// [`AsyncServer::shutdown`], [`AsyncServer::kill`], or an
+    /// in-protocol `shutdown` request).
+    pub fn join(&self) {
+        self.handle.join();
+        self.batcher.stop.store(true, Ordering::SeqCst);
+        self.batcher.available.notify_all();
+        let mut workers = self.workers.lock().expect("workers poisoned");
+        for w in workers.drain(..) {
+            let _ = w.join();
+        }
+        // Export the final counter values so a post-shutdown scrape of
+        // the service registry reflects everything the loop did.
+        self.batcher.sync_metrics();
+    }
+}
+
+impl Drop for AsyncServer {
+    fn drop(&mut self) {
+        self.shutdown();
+        self.join();
+    }
+}

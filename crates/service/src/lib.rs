@@ -53,6 +53,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod aserver;
+pub mod dispatch;
 pub mod error;
 pub mod health;
 pub mod netfault;
@@ -103,13 +105,16 @@ pub const TRACE_STAGES: [&str; 9] = [
 /// Flight-recorder dump trigger names (the `trigger` metric label and
 /// the `flight-<trigger>-*.json` file-name component). `replica_down`
 /// is fired by the [`router::Router`] front end rather than the service
-/// itself, when a replica's health check declares it dead.
-pub const FLIGHT_TRIGGERS: [&str; 5] = [
+/// itself, when a replica's health check declares it dead;
+/// `accept_stall` is fired by the [`aserver::AsyncServer`] when its
+/// event loop misses a poll deadline by more than the stall grace.
+pub const FLIGHT_TRIGGERS: [&str; 6] = [
     "slow_request",
     "rejection_burst",
     "drain",
     "recovery",
     "replica_down",
+    "accept_stall",
 ];
 
 /// Latency-path labels used on the per-tenant SLO histograms.

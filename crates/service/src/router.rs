@@ -99,58 +99,11 @@ impl<B: Backend + ?Sized> Backend for Arc<B> {
     }
 }
 
-/// The router's clock: real time, or a virtual nanosecond counter for
-/// deterministic robustness harnesses (backoff and fault delays then
-/// advance the counter instead of sleeping).
-#[derive(Debug)]
-pub enum Clock {
-    /// `std::time` + real `thread::sleep`.
-    Real {
-        /// Process-start anchor for `now_ns`.
-        epoch: std::time::Instant,
-    },
-    /// A virtual nanosecond counter; `sleep_ns` advances it instantly.
-    Simulated(AtomicU64),
-}
-
-impl Clock {
-    /// A real-time clock.
-    pub fn real() -> Clock {
-        Clock::Real {
-            epoch: std::time::Instant::now(),
-        }
-    }
-
-    /// A simulated clock starting at zero.
-    pub fn simulated() -> Clock {
-        Clock::Simulated(AtomicU64::new(0))
-    }
-
-    /// Nanoseconds since the clock's epoch.
-    pub fn now_ns(&self) -> u64 {
-        match self {
-            Clock::Real { epoch } => epoch.elapsed().as_nanos() as u64,
-            Clock::Simulated(t) => t.load(Ordering::SeqCst),
-        }
-    }
-
-    /// Sleeps (real) or advances virtual time (simulated) by `ns`.
-    pub fn sleep_ns(&self, ns: u64) {
-        match self {
-            Clock::Real { .. } => std::thread::sleep(Duration::from_nanos(ns)),
-            Clock::Simulated(t) => {
-                t.fetch_add(ns, Ordering::SeqCst);
-            }
-        }
-    }
-
-    /// Advances a simulated clock by `ns`; no-op on a real clock.
-    pub fn advance_ns(&self, ns: u64) {
-        if let Clock::Simulated(t) = self {
-            t.fetch_add(ns, Ordering::SeqCst);
-        }
-    }
-}
+/// The router's clock — now the workspace-wide [`cachemap_util::Clock`]
+/// (re-exported here so `crate::router::Clock` paths keep working);
+/// real time, or a virtual nanosecond counter for deterministic
+/// robustness harnesses.
+pub use cachemap_util::Clock;
 
 /// An in-process replica: an `Arc<MapService>` slot that [`kill`] can
 /// empty (calls then fail like a refused connection) and [`restart`]

@@ -7,9 +7,8 @@
 //! response (Prometheus text for `/metrics`, 404 otherwise) and closed,
 //! so ordinary scrapers need no special client.
 
-use crate::proto::{self, Request};
-use crate::{MapService, ServiceError};
-use cachemap_util::ToJson;
+use crate::dispatch;
+use crate::MapService;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -97,12 +96,7 @@ impl Server {
                     if prev >= cfg.max_connections {
                         accept_active.fetch_sub(1, Ordering::SeqCst);
                         accept_service.count_front_end_rejection("conn_limit");
-                        let err = ServiceError::ConnLimit {
-                            active: prev,
-                            limit: cfg.max_connections,
-                        };
-                        let reply =
-                            proto::error_response_json(0, "connect", &err).to_string_compact();
+                        let reply = dispatch::conn_limit_reply(prev, cfg.max_connections);
                         let _ = stream.write_all(reply.as_bytes());
                         let _ = stream.write_all(b"\n");
                         continue;
@@ -212,10 +206,7 @@ fn serve_connection(
                 // error so the client can tell a policy close from a
                 // crash, count it, and drop the connection.
                 service.count_front_end_rejection("read_timeout");
-                let err = ServiceError::ReadTimeout {
-                    budget_ms: cfg.read_timeout_ms,
-                };
-                let reply = proto::error_response_json(0, "read", &err).to_string_compact();
+                let reply = dispatch::read_timeout_reply(cfg.read_timeout_ms);
                 let _ = writer.write_all(reply.as_bytes());
                 let _ = writer.write_all(b"\n");
                 return Ok(());
@@ -226,92 +217,20 @@ fn serve_connection(
             continue;
         }
         // HTTP scrape path: answer one response and close.
-        if line.starts_with("GET ") || line.starts_with("HEAD ") {
+        if dispatch::is_http_request_line(&line) {
             return serve_http(&line, &mut reader, &mut writer, service);
         }
-        let reply = dispatch(&line, service, stop);
-        writer.write_all(reply.as_bytes())?;
+        let done = dispatch::dispatch_line(service, &line);
+        writer.write_all(done.reply.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
+        if done.shutdown {
+            stop.store(true, Ordering::SeqCst);
+        }
         if stop.load(Ordering::SeqCst) {
             // Unblock the accept loop so `join` returns promptly.
             let _ = TcpStream::connect(addr);
             return Ok(());
-        }
-    }
-}
-
-fn dispatch(line: &str, service: &MapService, stop: &AtomicBool) -> String {
-    // Ingress timing: the parse duration is handed to the service so a
-    // request's trace timeline starts at the wire, not at admission.
-    let parse_t0 = std::time::Instant::now();
-    let parsed = proto::parse_request(line);
-    let ingress_us = parse_t0.elapsed().as_micros() as u64;
-    match parsed {
-        Err(e) => proto::error_response_json(0, "unknown", &e).to_string_compact(),
-        Ok(Request::Ping { id }) => {
-            proto::ok_response_json(id, "ping", vec![("pong", cachemap_util::Json::Bool(true))])
-                .to_string_compact()
-        }
-        Ok(Request::Metrics { id }) => proto::ok_response_json(
-            id,
-            "metrics",
-            vec![(
-                "prometheus",
-                cachemap_util::Json::Str(service.metrics_text()),
-            )],
-        )
-        .to_string_compact(),
-        Ok(Request::Stats { id }) => {
-            proto::ok_response_json(id, "stats", vec![("stats", service.stats().to_json())])
-                .to_string_compact()
-        }
-        Ok(Request::Shutdown { id }) => {
-            stop.store(true, Ordering::SeqCst);
-            proto::ok_response_json(
-                id,
-                "shutdown",
-                vec![("stopping", cachemap_util::Json::Bool(true))],
-            )
-            .to_string_compact()
-        }
-        Ok(Request::Trace { id, trace_id }) => match service.trace_lookup(&trace_id) {
-            Some(trace) => {
-                proto::ok_response_json(id, "trace", vec![("trace", trace)]).to_string_compact()
-            }
-            None => proto::error_response_json(
-                id,
-                "trace",
-                &ServiceError::NotFound {
-                    what: format!("trace {trace_id}"),
-                },
-            )
-            .to_string_compact(),
-        },
-        Ok(Request::Map(req)) => {
-            let id = req.id;
-            match service.submit_traced(*req, ingress_us) {
-                Ok(mut resp) => match resp.trace.take() {
-                    // Tracing off: exactly the untraced wire bytes.
-                    None => resp.to_json().to_string_compact(),
-                    // Tracing on: serialize the base response (that IS
-                    // the serialize stage), finalize the trace with the
-                    // measured duration, and splice it in as the last
-                    // field — the only way the serialize stage can
-                    // describe the serialization it rides in.
-                    Some(pending) => {
-                        let ser_t0 = std::time::Instant::now();
-                        let base = resp.to_json().to_string_compact();
-                        let trace = service.finalize_trace(pending, ser_t0.elapsed());
-                        format!(
-                            "{},\"trace\":{}}}",
-                            &base[..base.len() - 1],
-                            trace.to_string_compact()
-                        )
-                    }
-                },
-                Err(e) => proto::error_response_json(id, "map", &e).to_string_compact(),
-            }
         }
     }
 }
@@ -330,16 +249,7 @@ fn serve_http(
         }
         header.clear();
     }
-    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
-    let (status, body) = if path == "/metrics" {
-        ("200 OK", service.metrics_text())
-    } else {
-        ("404 Not Found", "not found\n".to_string())
-    };
-    write!(
-        writer,
-        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    )?;
+    let response = dispatch::http_response(service, request_line);
+    writer.write_all(response.as_bytes())?;
     writer.flush()
 }

@@ -1,0 +1,350 @@
+//! Async front-end integration tests: wire compatibility with the
+//! threaded server, batching/dedup, fault injection (slow-loris,
+//! truncated and dripped writes), capacity limits, simulated-clock
+//! deadlines, and metric preregistration.
+
+use cachemap_aio::FaultPlan;
+use cachemap_core::{Mapper, MapperConfig, Version};
+use cachemap_polyhedral::DataSpace;
+use cachemap_service::aserver::{AsyncServer, AsyncServerConfig};
+use cachemap_service::server::Server;
+use cachemap_service::{MapRequest, MapService, ServiceConfig};
+use cachemap_storage::{HierarchyTree, PlatformConfig};
+use cachemap_util::{Clock, ToJson};
+use cachemap_workloads::{suite, Scale};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn service() -> Arc<MapService> {
+    Arc::new(MapService::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    }))
+}
+
+fn request(app_idx: usize, version: Version, id: u64) -> MapRequest {
+    let apps = suite(Scale::Test);
+    let app = &apps[app_idx % apps.len()];
+    MapRequest {
+        id,
+        program: app.program.clone(),
+        platform: PlatformConfig::tiny(),
+        mapper: MapperConfig::default(),
+        version,
+        deadline_ms: None,
+        tenant: None,
+    }
+}
+
+fn cold_mapping_bytes(req: &MapRequest) -> String {
+    let tree = HierarchyTree::from_config(&req.platform).unwrap();
+    let data = DataSpace::new(&req.program.arrays, req.platform.chunk_bytes);
+    Mapper::new(req.mapper)
+        .map(&req.program, &data, &req.platform, &tree, req.version)
+        .to_json()
+        .to_string_compact()
+}
+
+fn round_trip(addr: std::net::SocketAddr, line: &str) -> String {
+    let mut c = TcpStream::connect(addr).unwrap();
+    c.write_all(line.as_bytes()).unwrap();
+    c.write_all(b"\n").unwrap();
+    let mut r = BufReader::new(c);
+    let mut reply = String::new();
+    r.read_line(&mut reply).unwrap();
+    reply
+}
+
+#[test]
+fn replies_are_byte_identical_to_the_threaded_server() {
+    let svc = service();
+    let threaded = Server::spawn("127.0.0.1:0", Arc::clone(&svc)).unwrap();
+    let async_srv = AsyncServer::spawn("127.0.0.1:0", Arc::clone(&svc)).unwrap();
+
+    for (idx, version) in [(0, Version::InterProcessor), (1, Version::IntraProcessor)] {
+        let req = request(idx, version, 7 + idx as u64);
+        let line = req.to_json().to_string_compact();
+        let a = round_trip(threaded.addr(), &line);
+        let b = round_trip(async_srv.addr(), &line);
+        // Map replies embed per-submission fields (`service_us`,
+        // `cached`), so whole-line equality cannot hold across two
+        // submissions; the payload that must agree — byte for byte —
+        // is the mapping itself, and both must match the cold oracle.
+        let oracle = format!("\"mapping\":{}", cold_mapping_bytes(&req));
+        assert!(a.contains(&oracle), "threaded reply lacks the cold mapping");
+        assert!(b.contains(&oracle), "async reply lacks the cold mapping");
+        for reply in [&a, &b] {
+            assert!(reply.contains("\"status\":\"ok\""), "{reply}");
+            assert!(reply.contains(&format!("\"id\":{}", req.id)), "{reply}");
+        }
+    }
+    // Control-plane ops agree too (ping here; stats/metrics answers
+    // embed live counters, so byte comparison would race the other
+    // front end's own traffic).
+    let ping = "{\"id\":3,\"op\":\"ping\"}";
+    assert_eq!(
+        round_trip(threaded.addr(), ping),
+        round_trip(async_srv.addr(), ping)
+    );
+    threaded.shutdown();
+}
+
+#[test]
+fn http_metrics_scrape_works_and_preregisters_aio_schema() {
+    let svc = service();
+    let async_srv = AsyncServer::spawn("127.0.0.1:0", Arc::clone(&svc)).unwrap();
+    // Preregistration: the families exist (at zero) before any traffic.
+    let text = svc.metrics_text();
+    for family in [
+        "cachemap_aio_connections",
+        "cachemap_aio_wakeups_total",
+        "cachemap_aio_batch_size",
+        "cachemap_aio_backpressure_total",
+        "cachemap_aio_rejected_total",
+        "cachemap_aio_stalls_total",
+    ] {
+        assert!(text.contains(family), "missing preregistered {family}");
+    }
+    // Plain HTTP scrape against the async port.
+    let mut c = TcpStream::connect(async_srv.addr()).unwrap();
+    c.write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let mut body = String::new();
+    c.read_to_string(&mut body).unwrap();
+    assert!(body.starts_with("HTTP/1.1 200 OK"), "{body}");
+    assert!(
+        body.contains("cachemap_aio_connections"),
+        "scrape lacks aio gauge"
+    );
+    assert!(body.contains("text/plain; version=0.0.4"));
+}
+
+#[test]
+fn identical_lines_in_one_batch_are_deduped_before_admission() {
+    let svc = service();
+    let cfg = AsyncServerConfig {
+        // A wide window so one pipelined burst lands in one batch.
+        batch_window_us: 200_000,
+        batch_max: 64,
+        ..AsyncServerConfig::default()
+    };
+    let async_srv = AsyncServer::spawn_with("127.0.0.1:0", Arc::clone(&svc), cfg).unwrap();
+    let req = request(0, Version::InterProcessor, 1);
+    let line = req.to_json().to_string_compact();
+    let burst: String = (0..10).map(|_| format!("{line}\n")).collect();
+    let mut c = TcpStream::connect(async_srv.addr()).unwrap();
+    c.write_all(burst.as_bytes()).unwrap();
+    let mut r = BufReader::new(c);
+    let mut replies = Vec::new();
+    for _ in 0..10 {
+        let mut reply = String::new();
+        r.read_line(&mut reply).unwrap();
+        replies.push(reply);
+    }
+    assert!(replies.iter().all(|x| x == &replies[0]), "fan-out differs");
+    assert!(replies[0].contains("\"status\":\"ok\""), "{}", replies[0]);
+    let stats = svc.stats();
+    assert_eq!(
+        stats.hits + stats.misses + stats.coalesced,
+        1,
+        "10 identical lines should reach admission once (dedup)"
+    );
+}
+
+#[test]
+fn slow_loris_hits_idle_deadline_with_typed_error_and_no_sleeping() {
+    let svc = service();
+    let clock = Arc::new(Clock::simulated());
+    let cfg = AsyncServerConfig {
+        idle_timeout_ms: 30_000,
+        clock: Arc::clone(&clock),
+        // Swallow every byte: frames never complete, like a drip-feed
+        // attacker or a stalled NIC.
+        faults: FaultPlan {
+            seed: 1,
+            stall_read_ppm: 1_000_000,
+            ..FaultPlan::none()
+        },
+        ..AsyncServerConfig::default()
+    };
+    let async_srv = AsyncServer::spawn_with("127.0.0.1:0", Arc::clone(&svc), cfg).unwrap();
+    let mut c = TcpStream::connect(async_srv.addr()).unwrap();
+    c.write_all(b"{\"id\":1,\"op\":\"ping\"}\n").unwrap(); // swallowed
+    std::thread::sleep(Duration::from_millis(60)); // let the loop register + read
+    let t0 = std::time::Instant::now();
+    async_srv.advance_clock(31_000_000_000);
+    let mut r = BufReader::new(c);
+    let mut reply = String::new();
+    r.read_line(&mut reply).unwrap();
+    assert!(reply.contains("read_timeout"), "{reply}");
+    assert!(reply.contains("\"status\":\"error\""), "{reply}");
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "30 virtual seconds must not cost real time"
+    );
+    assert_eq!(svc.front_end_rejections("read_timeout"), 1);
+}
+
+#[test]
+fn truncate_fault_tears_the_response_mid_frame() {
+    let svc = service();
+    let cfg = AsyncServerConfig {
+        faults: FaultPlan {
+            seed: 2,
+            truncate_write_ppm: 1_000_000,
+            truncate_after_bytes: 10,
+            ..FaultPlan::none()
+        },
+        ..AsyncServerConfig::default()
+    };
+    let async_srv = AsyncServer::spawn_with("127.0.0.1:0", Arc::clone(&svc), cfg).unwrap();
+    let mut c = TcpStream::connect(async_srv.addr()).unwrap();
+    c.write_all(b"{\"id\":9,\"op\":\"ping\"}\n").unwrap();
+    let mut got = Vec::new();
+    c.read_to_end(&mut got).unwrap(); // EOF after the cut
+    assert_eq!(got.len(), 10, "response torn at the configured offset");
+    assert!(!got.ends_with(b"\n"), "the frame must be half-written");
+}
+
+#[test]
+fn drip_fault_still_delivers_the_reply() {
+    let svc = service();
+    let cfg = AsyncServerConfig {
+        faults: FaultPlan {
+            seed: 3,
+            drip_write_ppm: 1_000_000,
+            ..FaultPlan::none()
+        },
+        ..AsyncServerConfig::default()
+    };
+    let async_srv = AsyncServer::spawn_with("127.0.0.1:0", Arc::clone(&svc), cfg).unwrap();
+    let reply = round_trip(async_srv.addr(), "{\"id\":4,\"op\":\"ping\"}");
+    assert!(reply.contains("\"pong\":true"), "{reply}");
+}
+
+#[test]
+fn over_capacity_connection_gets_typed_conn_limit() {
+    let svc = service();
+    let cfg = AsyncServerConfig {
+        max_connections: 2,
+        ..AsyncServerConfig::default()
+    };
+    let async_srv = AsyncServer::spawn_with("127.0.0.1:0", Arc::clone(&svc), cfg).unwrap();
+    let _a = TcpStream::connect(async_srv.addr()).unwrap();
+    let _b = TcpStream::connect(async_srv.addr()).unwrap();
+    std::thread::sleep(Duration::from_millis(80)); // let both register
+    let third = TcpStream::connect(async_srv.addr()).unwrap();
+    let mut r = BufReader::new(third);
+    let mut line = String::new();
+    r.read_line(&mut line).unwrap();
+    assert!(line.contains("conn_limit"), "{line}");
+    assert!(line.contains("\"status\":\"error\""), "{line}");
+}
+
+#[test]
+fn idle_connection_fleet_is_held_under_the_cap() {
+    let svc = service();
+    let cfg = AsyncServerConfig {
+        max_connections: 600,
+        idle_timeout_ms: 0, // hold them open
+        ..AsyncServerConfig::default()
+    };
+    let async_srv = AsyncServer::spawn_with("127.0.0.1:0", Arc::clone(&svc), cfg).unwrap();
+    let mut held = Vec::new();
+    for _ in 0..512 {
+        held.push(TcpStream::connect(async_srv.addr()).unwrap());
+    }
+    // Wait for the loop to register all of them.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let n = async_srv
+            .loop_stats()
+            .connections
+            .load(std::sync::atomic::Ordering::Relaxed);
+        if n >= 512 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "only {n}/512 registered"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // The fleet being parked must not break request service.
+    let reply = round_trip(async_srv.addr(), "{\"id\":5,\"op\":\"ping\"}");
+    assert!(reply.contains("\"pong\":true"), "{reply}");
+}
+
+#[test]
+fn chunked_writes_reassemble_into_one_frame() {
+    let svc = service();
+    let async_srv = AsyncServer::spawn("127.0.0.1:0", Arc::clone(&svc)).unwrap();
+    let req = request(2, Version::InterProcessor, 11);
+    let mut line = req.to_json().to_string_compact();
+    line.push('\n');
+    let mut c = TcpStream::connect(async_srv.addr()).unwrap();
+    for chunk in line.as_bytes().chunks(7) {
+        c.write_all(chunk).unwrap();
+        c.flush().unwrap();
+    }
+    let mut r = BufReader::new(c);
+    let mut reply = String::new();
+    r.read_line(&mut reply).unwrap();
+    assert!(reply.contains("\"status\":\"ok\""), "{reply}");
+    assert!(
+        reply.contains(&format!("\"mapping\":{}", cold_mapping_bytes(&req))),
+        "chunked request must map identically"
+    );
+}
+
+#[test]
+fn in_protocol_shutdown_answers_then_drains() {
+    let svc = service();
+    let async_srv = AsyncServer::spawn("127.0.0.1:0", Arc::clone(&svc)).unwrap();
+    let req = request(3, Version::IntraProcessor, 21);
+    let mut c = TcpStream::connect(async_srv.addr()).unwrap();
+    // A map and a shutdown pipelined together: the map in flight when
+    // the shutdown lands must still get its reply.
+    let burst = format!(
+        "{}\n{{\"id\":22,\"op\":\"shutdown\"}}\n",
+        req.to_json().to_string_compact()
+    );
+    c.write_all(burst.as_bytes()).unwrap();
+    let mut r = BufReader::new(c);
+    let mut map_reply = String::new();
+    r.read_line(&mut map_reply).unwrap();
+    let mut shutdown_reply = String::new();
+    r.read_line(&mut shutdown_reply).unwrap();
+    let both = format!("{map_reply}{shutdown_reply}");
+    assert!(both.contains("\"mapping\":"), "map reply missing: {both}");
+    assert!(both.contains("\"stopping\":true"), "{both}");
+    async_srv.join(); // exits on its own from the in-protocol shutdown
+                      // New connections are refused once the loop is gone.
+    assert!(
+        TcpStream::connect(async_srv.addr())
+            .map(|mut s| {
+                let mut buf = [0u8; 1];
+                matches!(s.read(&mut buf), Ok(0) | Err(_))
+            })
+            .unwrap_or(true),
+        "listener should be closed after shutdown"
+    );
+}
+
+#[test]
+fn frame_too_large_is_rejected_with_typed_error() {
+    let svc = service();
+    let cfg = AsyncServerConfig {
+        max_frame_bytes: 1024,
+        ..AsyncServerConfig::default()
+    };
+    let async_srv = AsyncServer::spawn_with("127.0.0.1:0", Arc::clone(&svc), cfg).unwrap();
+    let mut c = TcpStream::connect(async_srv.addr()).unwrap();
+    c.write_all(&vec![b'x'; 4096]).unwrap(); // no terminator
+    let mut r = BufReader::new(c);
+    let mut line = String::new();
+    r.read_line(&mut line).unwrap();
+    assert!(line.contains("bad_request"), "{line}");
+}

@@ -1,0 +1,101 @@
+//! A reusable byte-buffer pool.
+//!
+//! The async front end churns through read buffers at connection rate;
+//! allocating (and faulting in) a fresh `Vec<u8>` per connection is
+//! avoidable garbage. A [`BufferPool`] keeps up to `max_pooled` cleared
+//! buffers around; [`BufferPool::get`] hands one out (or allocates) and
+//! [`BufferPool::put`] returns it. Buffers that grew past
+//! `max_buf_bytes` are dropped instead of pooled so one megabyte frame
+//! cannot pin megabytes of idle capacity forever.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A bounded pool of reusable `Vec<u8>` buffers. Cheap to share behind
+/// an `Arc`; all methods take `&self`.
+pub struct BufferPool {
+    free: Mutex<Vec<Vec<u8>>>,
+    max_pooled: usize,
+    max_buf_bytes: usize,
+    reused: AtomicU64,
+    allocated: AtomicU64,
+}
+
+impl BufferPool {
+    /// A pool keeping at most `max_pooled` buffers, each recycled only
+    /// while its capacity is at most `max_buf_bytes`.
+    pub fn new(max_pooled: usize, max_buf_bytes: usize) -> BufferPool {
+        BufferPool {
+            free: Mutex::new(Vec::new()),
+            max_pooled,
+            max_buf_bytes: max_buf_bytes.max(1),
+            reused: AtomicU64::new(0),
+            allocated: AtomicU64::new(0),
+        }
+    }
+
+    /// An empty buffer: pooled if available, freshly allocated otherwise.
+    pub fn get(&self) -> Vec<u8> {
+        let pooled = self.free.lock().expect("buffer pool poisoned").pop();
+        match pooled {
+            Some(b) => {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                b
+            }
+            None => {
+                self.allocated.fetch_add(1, Ordering::Relaxed);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool (cleared). Oversized or surplus
+    /// buffers are dropped.
+    pub fn put(&self, mut buf: Vec<u8>) {
+        if buf.capacity() > self.max_buf_bytes {
+            return;
+        }
+        buf.clear();
+        let mut free = self.free.lock().expect("buffer pool poisoned");
+        if free.len() < self.max_pooled {
+            free.push(buf);
+        }
+    }
+
+    /// `(reused, allocated)` counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.reused.load(Ordering::Relaxed),
+            self.allocated.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_reused_and_cleared() {
+        let p = BufferPool::new(2, 1 << 20);
+        let mut a = p.get();
+        a.extend_from_slice(b"hello");
+        let cap = a.capacity();
+        p.put(a);
+        let b = p.get();
+        assert!(b.is_empty(), "pooled buffers come back cleared");
+        assert_eq!(b.capacity(), cap, "same allocation came back");
+        assert_eq!(p.stats(), (1, 1));
+    }
+
+    #[test]
+    fn pool_is_bounded_and_drops_oversized() {
+        let p = BufferPool::new(1, 16);
+        p.put(Vec::with_capacity(8));
+        p.put(Vec::with_capacity(8)); // over max_pooled: dropped
+        assert_eq!(p.free.lock().unwrap().len(), 1);
+        let p2 = BufferPool::new(4, 16);
+        p2.put(Vec::with_capacity(64)); // over max_buf_bytes: dropped
+        assert_eq!(p2.free.lock().unwrap().len(), 0);
+    }
+}

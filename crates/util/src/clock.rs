@@ -1,0 +1,100 @@
+//! Real or simulated time behind one handle.
+//!
+//! Harnesses that exercise deadline and backoff logic must not sleep:
+//! a [`Clock::simulated`] advances a virtual nanosecond counter instead,
+//! so "wait 30 seconds" is one atomic add. Production paths use
+//! [`Clock::real`], which anchors `now_ns` at construction and really
+//! sleeps. The handle is shared (`Arc<Clock>`) between the component
+//! under test and the test driving it; the router's health checker, the
+//! circuit breaker, the async front end's timer wheel, and the netfault
+//! shims all tick off the same instance.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A clock: real time, or a virtual nanosecond counter for
+/// deterministic robustness harnesses (backoff and fault delays then
+/// advance the counter instead of sleeping).
+#[derive(Debug)]
+pub enum Clock {
+    /// `std::time` + real `thread::sleep`.
+    Real {
+        /// Process-start anchor for `now_ns`.
+        epoch: std::time::Instant,
+    },
+    /// A virtual nanosecond counter; `sleep_ns` advances it instantly.
+    Simulated(AtomicU64),
+}
+
+impl Clock {
+    /// A real-time clock.
+    pub fn real() -> Clock {
+        Clock::Real {
+            epoch: std::time::Instant::now(),
+        }
+    }
+
+    /// A simulated clock starting at zero.
+    pub fn simulated() -> Clock {
+        Clock::Simulated(AtomicU64::new(0))
+    }
+
+    /// `true` for a [`Clock::simulated`] instance.
+    pub fn is_simulated(&self) -> bool {
+        matches!(self, Clock::Simulated(_))
+    }
+
+    /// Nanoseconds since the clock's epoch.
+    pub fn now_ns(&self) -> u64 {
+        match self {
+            Clock::Real { epoch } => epoch.elapsed().as_nanos() as u64,
+            Clock::Simulated(t) => t.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Sleeps (real) or advances virtual time (simulated) by `ns`.
+    pub fn sleep_ns(&self, ns: u64) {
+        match self {
+            Clock::Real { .. } => std::thread::sleep(Duration::from_nanos(ns)),
+            Clock::Simulated(t) => {
+                t.fetch_add(ns, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Advances a simulated clock by `ns`; no-op on a real clock.
+    pub fn advance_ns(&self, ns: u64) {
+        if let Clock::Simulated(t) = self {
+            t.fetch_add(ns, Ordering::SeqCst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulated_clock_never_sleeps() {
+        let c = Clock::simulated();
+        assert!(c.is_simulated());
+        assert_eq!(c.now_ns(), 0);
+        let t0 = std::time::Instant::now();
+        c.sleep_ns(30_000_000_000); // "30 seconds"
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        assert_eq!(c.now_ns(), 30_000_000_000);
+        c.advance_ns(5);
+        assert_eq!(c.now_ns(), 30_000_000_005);
+    }
+
+    #[test]
+    fn real_clock_monotone() {
+        let c = Clock::real();
+        assert!(!c.is_simulated());
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+        c.advance_ns(1_000_000_000); // no-op on real clocks
+        assert!(c.now_ns() < 60_000_000_000);
+    }
+}

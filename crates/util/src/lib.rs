@@ -31,6 +31,13 @@
 //!   half-open) for per-backend failure shedding.
 //! * [`ring`] — an FNV consistent-hash ring with virtual nodes, the
 //!   replica-placement map of the service router.
+//! * [`clock`] — real or simulated time behind one `Arc<Clock>` handle,
+//!   shared by the router's health checks, the circuit breaker, and the
+//!   async front end's deadlines (simulated tests never sleep).
+//! * [`timer`] — a hashed timing wheel (O(1) schedule/cancel) for the
+//!   async front end's idle/read deadlines and batch windows.
+//! * [`bufpool`] — a bounded pool of reusable byte buffers for the
+//!   async front end's per-connection read buffers.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -38,7 +45,9 @@
 pub mod backoff;
 pub mod bitset;
 pub mod breaker;
+pub mod bufpool;
 pub mod check;
+pub mod clock;
 pub mod coalesce;
 pub mod fingerprint;
 pub mod hash;
@@ -48,10 +57,13 @@ pub mod ring;
 pub mod rng;
 pub mod stats;
 pub mod table;
+pub mod timer;
 
 pub use backoff::Backoff;
 pub use bitset::{BitSet, CountVec};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use bufpool::BufferPool;
+pub use clock::Clock;
 pub use coalesce::CoalesceMap;
 pub use fingerprint::{canonical, fingerprint_json, Fingerprint};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
@@ -59,3 +71,4 @@ pub use json::{Json, ToJson};
 pub use lru::ShardedLru;
 pub use ring::HashRing;
 pub use rng::XorShift64;
+pub use timer::{TimerId, TimerWheel};

@@ -9,9 +9,9 @@
 //!
 //! This umbrella crate re-exports the workspace members —
 //! [`polyhedral`], [`storage`], [`core`], [`workloads`], [`obs`],
-//! [`service`], [`par`], and [`util`]. The per-crate one-line tour lives in one
-//! place, the *Layout* table of `README.md`; each member's own crate
-//! docs cover the details.
+//! [`service`], [`aio`], [`par`], and [`util`]. The per-crate one-line
+//! tour lives in one place, the *Layout* table of `README.md`; each
+//! member's own crate docs cover the details.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +47,7 @@
 //! # }
 //! ```
 
+pub use cachemap_aio as aio;
 pub use cachemap_core as core;
 pub use cachemap_obs as obs;
 pub use cachemap_par as par;
