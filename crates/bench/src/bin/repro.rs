@@ -178,6 +178,14 @@ fn usage() -> String {
      \x20 bench-cluster[:<seed>]        sequential vs parallel distribute\n\
      \x20                               at paper scale (default seed 42);\n\
      \x20                               CACHEMAP_THREADS caps pool workers\n\
+     policy zoo:\n\
+     \x20 advisor[:<seed>]              per-(workload, level) eviction-policy\n\
+     \x20                               sweep over the adversarial scenarios\n\
+     \x20                               + hf/contour; writes the crossover\n\
+     \x20                               table to BENCH_policies.json\n\
+     \x20                               (default seed 42; deterministic)\n\
+     \x20 advisor-check <file...>       validate advisor reports against\n\
+     \x20                               the BENCH_policies.json schema\n\
      help:\n\
      \x20 help | --help | -h            this screen"
         .to_string()
@@ -246,6 +254,32 @@ fn main() {
                 Err(e) => {
                     eprintln!("{path}: {e}");
                     std::process::exit(2);
+                }
+            }
+        }
+        return;
+    }
+    // `repro advisor-check <path...>` validates advisor reports; the
+    // remaining arguments are file paths, not experiment names.
+    if wanted[0] == "advisor-check" {
+        if wanted.len() < 2 {
+            eprintln!("usage: repro advisor-check <BENCH_policies.json...>");
+            std::process::exit(2);
+        }
+        for path in &wanted[1..] {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            let parsed = cachemap_util::json::parse(&text).unwrap_or_else(|e| {
+                eprintln!("{path}: not JSON: {e}");
+                std::process::exit(1);
+            });
+            match cachemap_bench::advisor::validate_report(&parsed) {
+                Ok(()) => println!("{path}: valid advisor report"),
+                Err(e) => {
+                    eprintln!("{path}: schema violation: {e}");
+                    std::process::exit(1);
                 }
             }
         }
@@ -810,6 +844,33 @@ fn main() {
                 );
                 server.join();
                 service.shutdown();
+            }
+            s if s == "advisor" || s.starts_with("advisor:") => {
+                let seed: u64 = s.strip_prefix("advisor").map_or(42, |rest| {
+                    let rest = rest.strip_prefix(':').unwrap_or("");
+                    if rest.is_empty() {
+                        42
+                    } else {
+                        rest.parse()
+                            .unwrap_or_else(|_| panic!("bad advisor seed: {rest}"))
+                    }
+                });
+                eprintln!(
+                    "[advisor: seed {seed}, {} workloads × 3 levels × {} policies …]",
+                    cachemap_bench::advisor::advisor_workloads(scale).len(),
+                    cachemap_storage::PolicyKind::ALL.len(),
+                );
+                let report = cachemap_bench::advisor::run_advisor(scale, &platform, seed);
+                println!("{}", cachemap_bench::advisor::render(&report));
+                match std::fs::write("BENCH_policies.json", report.to_json().to_string_pretty()) {
+                    Ok(()) => println!("   [raw numbers: BENCH_policies.json]"),
+                    Err(e) => eprintln!("   [warning: could not write BENCH_policies.json: {e}]"),
+                }
+                let scratch = format!("BENCH_policies-{seed}");
+                match write_report(&scratch, &report) {
+                    Ok(path) => println!("   [scratch copy: {}]", path.display()),
+                    Err(e) => eprintln!("   [warning: could not write scratch copy: {e}]"),
+                }
             }
             s if s == "bench-cluster" || s.starts_with("bench-cluster:") => {
                 let seed: u64 = s.strip_prefix("bench-cluster").map_or(42, |rest| {

@@ -618,9 +618,11 @@ pub fn policy_ablation(scale: Scale, platform: &PlatformConfig) -> Matrix {
         ("LRU (paper)", PolicyKind::Lru),
         ("FIFO", PolicyKind::Fifo),
         ("LFU", PolicyKind::Lfu),
+        ("SLRU", PolicyKind::Slru),
+        ("LFUDA", PolicyKind::Lfuda),
+        ("GDSF", PolicyKind::Gdsf),
     ] {
-        let mut p = platform.clone();
-        p.policy = policy;
+        let p = platform.clone().with_policy(policy);
         let runs = run_suite(
             scale,
             &p,

@@ -14,6 +14,7 @@ use cachemap_polyhedral::DataSpace;
 use cachemap_storage::{HierarchyTree, PlatformConfig, SimReport, Simulator};
 use cachemap_workloads::{Application, Scale};
 
+pub mod advisor;
 pub mod chaos;
 pub mod cluster_bench;
 pub mod experiments;

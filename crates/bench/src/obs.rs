@@ -34,6 +34,7 @@ pub fn pick_bucket_ns(exec_ns: u64) -> u64 {
 }
 
 fn artifact_meta(platform: &PlatformConfig, label: &str) -> ArtifactMeta {
+    let policy = |i: usize| platform.policies[i].label().to_string();
     ArtifactMeta {
         schema_version: SCHEMA_VERSION,
         label: label.to_string(),
@@ -41,6 +42,7 @@ fn artifact_meta(platform: &PlatformConfig, label: &str) -> ArtifactMeta {
         io_nodes: platform.num_io_nodes,
         storage_nodes: platform.num_storage_nodes,
         chunk_bytes: platform.chunk_bytes,
+        policies: [policy(0), policy(1), policy(2)],
     }
 }
 
@@ -231,8 +233,16 @@ fn render_level_table(out: &mut String, obs: &EngineObs, level: Level, max_b: u6
 pub fn render_artifact(artifact: &ObsArtifact) -> String {
     let meta = &artifact.meta;
     let mut out = format!(
-        "== obs — {} ==\nplatform: {} clients / {} I/O nodes / {} storage nodes, {} B chunks\n",
-        meta.label, meta.clients, meta.io_nodes, meta.storage_nodes, meta.chunk_bytes
+        "== obs — {} ==\nplatform: {} clients / {} I/O nodes / {} storage nodes, {} B chunks\n\
+         eviction policies: L1 {} / L2 {} / L3 {}\n",
+        meta.label,
+        meta.clients,
+        meta.io_nodes,
+        meta.storage_nodes,
+        meta.chunk_bytes,
+        meta.policies[0],
+        meta.policies[1],
+        meta.policies[2]
     );
 
     match &artifact.mapper {

@@ -424,4 +424,39 @@ mod tests {
             )
         );
     }
+
+    #[test]
+    fn fingerprint_sees_every_levels_eviction_policy() {
+        // Service-cache correctness for the policy zoo: flipping any
+        // single level's policy must move the fingerprint, while the
+        // uniform default must keep the exact pre-zoo fingerprint bytes
+        // (its wire encoding is the legacy single string).
+        use cachemap_storage::config::PolicyKind;
+        let (program, _) = crate::tags::tests::figure6_program(4);
+        let platform = PlatformConfig::tiny();
+        let cfg = MapperConfig::default();
+        let base = fingerprint(&program, &platform, &cfg, Version::InterProcessor);
+        let mut seen = vec![base];
+        for level in 0..3 {
+            let mut p = platform.clone();
+            p.policies[level] = PolicyKind::Slru;
+            let fp = fingerprint(&program, &p, &cfg, Version::InterProcessor);
+            assert!(
+                !seen.contains(&fp),
+                "changing level {level}'s policy must change the fingerprint"
+            );
+            seen.push(fp);
+        }
+        // Uniform sweeps change it too (each policy is distinct).
+        for kind in PolicyKind::ALL {
+            let p = platform.clone().with_policy(kind);
+            let fp = fingerprint(&program, &p, &cfg, Version::InterProcessor);
+            if kind == PolicyKind::Lru {
+                assert_eq!(fp, base, "all-LRU is the default and must not move");
+            } else {
+                assert!(!seen.contains(&fp), "{kind:?}");
+                seen.push(fp);
+            }
+        }
+    }
 }

@@ -25,6 +25,26 @@ pub struct ArtifactMeta {
     pub storage_nodes: usize,
     /// Chunk size in bytes.
     pub chunk_bytes: u64,
+    /// Eviction-policy labels per cache level, indexed `[L1, L2, L3]`
+    /// (e.g. `"lru"`, `"slru"`); stamps the per-level Prometheus series.
+    pub policies: [String; 3],
+}
+
+impl ArtifactMeta {
+    /// The paper's all-LRU policy vector (also the parse default for
+    /// artifacts written before policies were recorded).
+    pub fn lru_policies() -> [String; 3] {
+        ["lru".to_string(), "lru".to_string(), "lru".to_string()]
+    }
+
+    /// The recorded policy label at one cache level.
+    pub fn policy_for(&self, level: crate::series::Level) -> &str {
+        match level {
+            crate::series::Level::L1 => &self.policies[0],
+            crate::series::Level::L2 => &self.policies[1],
+            crate::series::Level::L3 => &self.policies[2],
+        }
+    }
 }
 
 impl ToJson for ArtifactMeta {
@@ -36,6 +56,10 @@ impl ToJson for ArtifactMeta {
             ("io_nodes", Json::UInt(self.io_nodes as u64)),
             ("storage_nodes", Json::UInt(self.storage_nodes as u64)),
             ("chunk_bytes", Json::UInt(self.chunk_bytes)),
+            (
+                "policies",
+                Json::Array(self.policies.iter().map(|p| Json::Str(p.clone())).collect()),
+            ),
         ])
     }
 }
@@ -46,6 +70,21 @@ impl ArtifactMeta {
             json.get(k)
                 .and_then(Json::as_u64)
                 .ok_or_else(|| format!("meta: missing \"{k}\""))
+        };
+        // Pre-zoo artifacts carry no policy vector; they were all LRU.
+        let policies = match json.get("policies") {
+            None => ArtifactMeta::lru_policies(),
+            Some(Json::Array(items)) if items.len() == 3 => {
+                let mut out = ArtifactMeta::lru_policies();
+                for (slot, item) in out.iter_mut().zip(items) {
+                    *slot = item
+                        .as_str()
+                        .ok_or("meta: policies entries must be strings")?
+                        .to_string();
+                }
+                out
+            }
+            Some(_) => return Err("meta: \"policies\" must be an array of 3 strings".into()),
         };
         Ok(ArtifactMeta {
             schema_version: u("schema_version")?,
@@ -58,6 +97,7 @@ impl ArtifactMeta {
             io_nodes: u("io_nodes")? as usize,
             storage_nodes: u("storage_nodes")? as usize,
             chunk_bytes: u("chunk_bytes")?,
+            policies,
         })
     }
 }
@@ -116,6 +156,14 @@ impl ObsArtifact {
         for ((level, node), series) in &engine.nodes {
             let node_s = node.to_string();
             let labels = [("level", level.label()), ("node", node_s.as_str())];
+            // Eviction-shaped series additionally carry the replacement
+            // policy that produced them, so dashboards can split the
+            // zoo without re-reading run configs.
+            let policy_labels = [
+                ("level", level.label()),
+                ("node", node_s.as_str()),
+                ("policy", self.meta.policy_for(*level)),
+            ];
             let mut hits = 0u64;
             let mut misses = 0u64;
             let mut evictions = 0u64;
@@ -142,14 +190,14 @@ impl ObsArtifact {
             );
             reg.counter_add(
                 "cachemap_cache_evictions_total",
-                "Cache evictions (clean + dirty) per level and node",
-                &labels,
+                "Cache evictions (clean + dirty) per level, node, and policy",
+                &policy_labels,
                 evictions,
             );
             reg.counter_add(
                 "cachemap_cache_writebacks_total",
-                "Dirty-eviction writebacks per level and node",
-                &labels,
+                "Dirty-eviction writebacks per level, node, and policy",
+                &policy_labels,
                 writebacks,
             );
             reg.counter_add(
@@ -277,6 +325,7 @@ mod tests {
                 io_nodes: 2,
                 storage_nodes: 1,
                 chunk_bytes: 1024,
+                policies: ["slru".to_string(), "lru".to_string(), "gdsf".to_string()],
             },
             mapper: Some(prof),
             engine: rec.finish(),
@@ -307,13 +356,47 @@ mod tests {
         let text = sample_artifact().to_prometheus();
         assert!(text.contains("cachemap_cache_hits_total{level=\"l1\",node=\"0\"} 1"));
         assert!(text.contains("cachemap_cache_misses_total{level=\"l2\",node=\"1\"} 1"));
-        assert!(text.contains("cachemap_cache_writebacks_total{level=\"l2\",node=\"1\"} 1"));
+        // Eviction-shaped series carry the per-level policy label.
+        assert!(text
+            .contains("cachemap_cache_writebacks_total{level=\"l2\",node=\"1\",policy=\"lru\"} 1"));
+        assert!(text
+            .contains("cachemap_cache_evictions_total{level=\"l2\",node=\"1\",policy=\"lru\"} 1"));
         assert!(text.contains("cachemap_client_io_ns_total{client=\"0\"} 500"));
         assert!(
             text.contains("cachemap_net_bytes_total{dst=\"1\",hop=\"client-io\",src=\"0\"} 1024")
         );
         assert!(text.contains("cachemap_events_total{kind=\"failover\"} 1"));
         assert!(text.contains("cachemap_chunk_accesses_bucket{le=\"1\"} 1"));
+    }
+
+    #[test]
+    fn policy_vector_roundtrips_and_defaults_to_lru() {
+        let a = sample_artifact();
+        let b = ObsArtifact::parse(&a.to_json().to_string_compact()).unwrap();
+        assert_eq!(b.meta.policies, a.meta.policies);
+        assert_eq!(b.meta.policy_for(Level::L1), "slru");
+        assert_eq!(b.meta.policy_for(Level::L3), "gdsf");
+        // A pre-zoo artifact (no policies key) parses as all-LRU.
+        let mut json = a.to_json();
+        if let Json::Object(pairs) = &mut json {
+            if let Some((_, Json::Object(meta))) = pairs.iter_mut().find(|(k, _)| k == "meta") {
+                meta.retain(|(k, _)| k != "policies");
+            }
+        }
+        let legacy = ObsArtifact::from_json(&json).unwrap();
+        assert_eq!(legacy.meta.policies, ArtifactMeta::lru_policies());
+        // A malformed vector is rejected, not defaulted.
+        let mut bad = a.to_json();
+        if let Json::Object(pairs) = &mut bad {
+            if let Some((_, Json::Object(meta))) = pairs.iter_mut().find(|(k, _)| k == "meta") {
+                for (k, v) in meta.iter_mut() {
+                    if k == "policies" {
+                        *v = Json::Array(vec![Json::Str("lru".into())]);
+                    }
+                }
+            }
+        }
+        assert!(ObsArtifact::from_json(&bad).is_err());
     }
 
     #[test]

@@ -29,6 +29,20 @@ pub fn validate_artifact(json: &Json) -> Result<(), Vec<String>> {
             if meta.get("label").and_then(Json::as_str).is_none() {
                 errs.push("meta.label: missing or not a string".to_string());
             }
+            match meta.get("policies").and_then(Json::as_array) {
+                Some(policies) if policies.len() == 3 => {
+                    for (i, p) in policies.iter().enumerate() {
+                        if p.as_str().is_none() {
+                            errs.push(format!("meta.policies[{i}]: not a string"));
+                        }
+                    }
+                }
+                Some(policies) => errs.push(format!(
+                    "meta.policies: expected 3 entries (L1, L2, L3), got {}",
+                    policies.len()
+                )),
+                None => errs.push("meta.policies: missing or not an array".to_string()),
+            }
             if let Some(v) = meta.get("schema_version").and_then(Json::as_u64) {
                 if v != crate::SCHEMA_VERSION {
                     errs.push(format!(
@@ -196,6 +210,7 @@ mod tests {
                 io_nodes: 1,
                 storage_nodes: 1,
                 chunk_bytes: 64,
+                policies: ArtifactMeta::lru_policies(),
             },
             mapper: Some(prof),
             engine: rec.finish(),
@@ -214,6 +229,33 @@ mod tests {
         assert!(errs.iter().any(|e| e.contains("meta")));
         assert!(errs.iter().any(|e| e.contains("mapper")));
         assert!(errs.iter().any(|e| e.contains("engine")));
+    }
+
+    #[test]
+    fn missing_policy_vector_is_caught() {
+        let mut json = valid_artifact_json();
+        if let Json::Object(pairs) = &mut json {
+            let meta = pairs.iter_mut().find(|(k, _)| k == "meta").unwrap();
+            if let Json::Object(mpairs) = &mut meta.1 {
+                mpairs.retain(|(k, _)| k != "policies");
+            }
+        }
+        let errs = validate_artifact(&json).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("meta.policies")));
+        // Wrong arity is reported too.
+        let mut json = valid_artifact_json();
+        if let Json::Object(pairs) = &mut json {
+            let meta = pairs.iter_mut().find(|(k, _)| k == "meta").unwrap();
+            if let Json::Object(mpairs) = &mut meta.1 {
+                for (k, v) in mpairs.iter_mut() {
+                    if k == "policies" {
+                        *v = Json::Array(vec![Json::Str("lru".into()), Json::Str("lru".into())]);
+                    }
+                }
+            }
+        }
+        let errs = validate_artifact(&json).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("expected 3 entries")));
     }
 
     #[test]

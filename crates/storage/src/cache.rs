@@ -77,6 +77,9 @@ pub fn build_cache(policy: PolicyKind, capacity: usize) -> Box<dyn ChunkCache + 
         PolicyKind::Lru => Box::new(LruCache::new(capacity)),
         PolicyKind::Fifo => Box::new(FifoCache::new(capacity)),
         PolicyKind::Lfu => Box::new(LfuCache::new(capacity)),
+        PolicyKind::Slru => Box::new(SlruCache::new(capacity)),
+        PolicyKind::Lfuda => Box::new(LfudaCache::new(capacity)),
+        PolicyKind::Gdsf => Box::new(GdsfCache::new(capacity)),
     }
 }
 
@@ -518,6 +521,525 @@ impl ChunkCache for LfuCache {
     }
 }
 
+// ---------------------------------------------------------------------------
+// SLRU
+// ---------------------------------------------------------------------------
+
+/// Which SLRU segment a resident chunk lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Segment {
+    Probationary,
+    Protected,
+}
+
+/// Segmented LRU: new lines enter a probationary segment and only a
+/// re-reference promotes them into the protected segment, so a
+/// sequential scan (every line touched once) churns the probationary
+/// segment while the re-used working set survives in the protected one.
+/// Eviction takes the probationary LRU line first, falling back to the
+/// protected LRU line only when probation is empty.
+///
+/// Both segments are plain recency lists (front = MRU); operations are
+/// O(n) in capacity, like [`LfuCache`], which is fine at simulator cache
+/// sizes.
+#[derive(Debug, Clone)]
+pub struct SlruCache {
+    capacity: usize,
+    protected_cap: usize,
+    probationary: Vec<Chunk>, // front = most recent
+    protected: Vec<Chunk>,    // front = most recent
+    index: FxHashMap<Chunk, (Segment, bool)>,
+    stats: HitMiss,
+}
+
+impl SlruCache {
+    /// Protected fraction of the capacity (the classic SLRU default of
+    /// roughly 80% protected / 20% probationary).
+    fn protected_share(capacity: usize) -> usize {
+        capacity * 4 / 5
+    }
+
+    /// Creates an empty SLRU cache.
+    ///
+    /// # Panics
+    /// Panics if capacity is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        SlruCache {
+            capacity,
+            protected_cap: Self::protected_share(capacity),
+            probationary: Vec::new(),
+            protected: Vec::new(),
+            index: FxHashMap::default(),
+            stats: HitMiss::default(),
+        }
+    }
+
+    fn remove_from_list(list: &mut Vec<Chunk>, chunk: Chunk) {
+        if let Some(pos) = list.iter().position(|&c| c == chunk) {
+            list.remove(pos);
+        }
+    }
+
+    /// Moves a resident chunk to the protected MRU position, demoting
+    /// the protected LRU line back to probation if the segment is over
+    /// its share. Residency never changes, so no eviction can fire here.
+    fn promote(&mut self, chunk: Chunk) {
+        match self.index.get(&chunk).map(|&(seg, _)| seg) {
+            Some(Segment::Probationary) => {
+                Self::remove_from_list(&mut self.probationary, chunk);
+            }
+            Some(Segment::Protected) => {
+                Self::remove_from_list(&mut self.protected, chunk);
+            }
+            None => return,
+        }
+        self.protected.insert(0, chunk);
+        if let Some(e) = self.index.get_mut(&chunk) {
+            e.0 = Segment::Protected;
+        }
+        while self.protected.len() > self.protected_cap.max(1) {
+            // Demote, never evict: the line gets one more probationary
+            // round before a scan can push it out.
+            let Some(demoted) = self.protected.pop() else {
+                break;
+            };
+            self.probationary.insert(0, demoted);
+            if let Some(e) = self.index.get_mut(&demoted) {
+                e.0 = Segment::Probationary;
+            }
+        }
+    }
+
+    /// Evicts in policy order: probationary LRU first, protected LRU
+    /// when probation is empty; `None` on an empty cache.
+    fn evict_one(&mut self) -> Option<(Chunk, bool)> {
+        let victim = self.probationary.pop().or_else(|| self.protected.pop())?;
+        let (_, dirty) = self.index.remove(&victim)?;
+        Some((victim, dirty))
+    }
+}
+
+impl ChunkCache for SlruCache {
+    fn access(&mut self, chunk: Chunk, write: bool) -> bool {
+        if self.index.contains_key(&chunk) {
+            self.promote(chunk);
+            if write {
+                if let Some(e) = self.index.get_mut(&chunk) {
+                    e.1 = true;
+                }
+            }
+            self.stats.hit();
+            true
+        } else {
+            self.stats.miss();
+            false
+        }
+    }
+
+    fn insert(&mut self, chunk: Chunk, dirty: bool) -> InsertOutcome {
+        if self.index.contains_key(&chunk) {
+            // Already resident: a repeat insert counts as a re-reference.
+            self.promote(chunk);
+            if let Some(e) = self.index.get_mut(&chunk) {
+                e.1 |= dirty;
+            }
+            return InsertOutcome::Inserted;
+        }
+        let mut outcome = InsertOutcome::Inserted;
+        if self.index.len() == self.capacity {
+            // Invariant: capacity > 0, so a full cache has a victim.
+            if let Some((victim, was_dirty)) = self.evict_one() {
+                outcome = if was_dirty {
+                    InsertOutcome::EvictedDirty(victim)
+                } else {
+                    InsertOutcome::EvictedClean(victim)
+                };
+            }
+        }
+        self.probationary.insert(0, chunk);
+        self.index.insert(chunk, (Segment::Probationary, dirty));
+        outcome
+    }
+
+    fn contains(&self, chunk: Chunk) -> bool {
+        self.index.contains_key(&chunk)
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn stats(&self) -> HitMiss {
+        self.stats
+    }
+
+    fn reset(&mut self) {
+        self.probationary.clear();
+        self.protected.clear();
+        self.index.clear();
+        self.stats = HitMiss::default();
+    }
+
+    fn drain(&mut self) -> Vec<(Chunk, bool)> {
+        let mut out = Vec::with_capacity(self.index.len());
+        while let Some(entry) = self.evict_one() {
+            out.push(entry);
+        }
+        out
+    }
+
+    fn set_capacity(&mut self, capacity: usize) -> Vec<(Chunk, bool)> {
+        self.capacity = capacity.max(1);
+        self.protected_cap = Self::protected_share(self.capacity);
+        let mut out = Vec::new();
+        while self.index.len() > self.capacity {
+            match self.evict_one() {
+                Some(entry) => out.push(entry),
+                None => break,
+            }
+        }
+        // A shrunk protected share demotes (not evicts) the overflow.
+        while self.protected.len() > self.protected_cap.max(1) && !self.protected.is_empty() {
+            let Some(demoted) = self.protected.pop() else {
+                break;
+            };
+            self.probationary.insert(0, demoted);
+            if let Some(e) = self.index.get_mut(&demoted) {
+                e.0 = Segment::Probationary;
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LFUDA
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct LfudaEntry {
+    hits: u64,
+    key: u64, // eviction priority: cache age at last touch + hit count
+    seq: u64, // tie-break: lower sequence = older = evicted first
+    dirty: bool,
+}
+
+/// LFU with Dynamic Aging: each line's priority is its access count plus
+/// the cache age, and the age ratchets up to every victim's priority. A
+/// once-popular line that stops being touched keeps a frozen priority
+/// while the age climbs past it — unlike plain [`LfuCache`], yesterday's
+/// hot set cannot block today's forever. Eviction is O(n), as for LFU.
+#[derive(Debug, Clone)]
+pub struct LfudaCache {
+    capacity: usize,
+    entries: FxHashMap<Chunk, LfudaEntry>,
+    age: u64,
+    next_seq: u64,
+    stats: HitMiss,
+}
+
+impl LfudaCache {
+    /// Creates an empty LFUDA cache.
+    ///
+    /// # Panics
+    /// Panics if capacity is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LfudaCache {
+            capacity,
+            entries: FxHashMap::default(),
+            age: 0,
+            next_seq: 0,
+            stats: HitMiss::default(),
+        }
+    }
+
+    /// Evicts the minimum-priority entry (ties broken by age, `seq` is
+    /// unique so the choice is deterministic) and ratchets the cache age
+    /// to the victim's priority; `None` on an empty cache.
+    fn evict_min(&mut self) -> Option<(Chunk, bool)> {
+        let victim = *self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| (e.key, e.seq))
+            .map(|(c, _)| c)?;
+        let e = self.entries.remove(&victim)?;
+        self.age = self.age.max(e.key);
+        Some((victim, e.dirty))
+    }
+}
+
+impl ChunkCache for LfudaCache {
+    fn access(&mut self, chunk: Chunk, write: bool) -> bool {
+        let age = self.age;
+        if let Some(e) = self.entries.get_mut(&chunk) {
+            e.hits += 1;
+            e.key = age + e.hits;
+            e.dirty |= write;
+            self.stats.hit();
+            true
+        } else {
+            self.stats.miss();
+            false
+        }
+    }
+
+    fn insert(&mut self, chunk: Chunk, dirty: bool) -> InsertOutcome {
+        let age = self.age;
+        if let Some(e) = self.entries.get_mut(&chunk) {
+            e.hits += 1;
+            e.key = age + e.hits;
+            e.dirty |= dirty;
+            return InsertOutcome::Inserted;
+        }
+        let mut outcome = InsertOutcome::Inserted;
+        if self.entries.len() == self.capacity {
+            // Invariant: capacity > 0, so a full cache has a victim.
+            if let Some((victim, was_dirty)) = self.evict_min() {
+                outcome = if was_dirty {
+                    InsertOutcome::EvictedDirty(victim)
+                } else {
+                    InsertOutcome::EvictedClean(victim)
+                };
+            }
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.insert(
+            chunk,
+            LfudaEntry {
+                hits: 1,
+                key: self.age + 1,
+                seq,
+                dirty,
+            },
+        );
+        outcome
+    }
+
+    fn contains(&self, chunk: Chunk) -> bool {
+        self.entries.contains_key(&chunk)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn stats(&self) -> HitMiss {
+        self.stats
+    }
+
+    fn reset(&mut self) {
+        self.entries.clear();
+        self.age = 0;
+        self.next_seq = 0;
+        self.stats = HitMiss::default();
+    }
+
+    fn drain(&mut self) -> Vec<(Chunk, bool)> {
+        let mut out = Vec::with_capacity(self.entries.len());
+        while let Some(entry) = self.evict_min() {
+            out.push(entry);
+        }
+        out
+    }
+
+    fn set_capacity(&mut self, capacity: usize) -> Vec<(Chunk, bool)> {
+        self.capacity = capacity.max(1);
+        let mut out = Vec::new();
+        while self.entries.len() > self.capacity {
+            match self.evict_min() {
+                Some(entry) => out.push(entry),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GDSF
+// ---------------------------------------------------------------------------
+
+/// Fixed-point scale for GDSF priorities, so `frequency / footprint`
+/// stays in integer arithmetic (bit-deterministic across platforms).
+const GDSF_PRECISION: u64 = 1024;
+
+#[derive(Debug, Clone)]
+struct GdsfEntry {
+    freq: u64,
+    prio: u64, // age + freq * GDSF_PRECISION / footprint
+    seq: u64,  // tie-break: lower sequence = older = evicted first
+    dirty: bool,
+}
+
+/// Greedy-Dual-Size-Frequency: eviction priority is
+/// `age + frequency × precision / footprint`, so small popular lines
+/// outlive large cold ones, and the age ratchet (as in LFUDA) retires
+/// stale lines. The simulator manages uniform 1-unit chunks, where GDSF
+/// reduces to greedy-dual frequency; [`GdsfCache::set_footprint`] feeds
+/// non-uniform footprints (in abstract units) for tests and future
+/// multi-granularity caching.
+#[derive(Debug, Clone)]
+pub struct GdsfCache {
+    capacity: usize,
+    entries: FxHashMap<Chunk, GdsfEntry>,
+    footprints: FxHashMap<Chunk, u64>,
+    age: u64,
+    next_seq: u64,
+    stats: HitMiss,
+}
+
+impl GdsfCache {
+    /// Creates an empty GDSF cache with uniform 1-unit footprints.
+    ///
+    /// # Panics
+    /// Panics if capacity is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        GdsfCache {
+            capacity,
+            entries: FxHashMap::default(),
+            footprints: FxHashMap::default(),
+            age: 0,
+            next_seq: 0,
+            stats: HitMiss::default(),
+        }
+    }
+
+    /// Declares a chunk's footprint in abstract units (clamped to ≥ 1).
+    /// Affects priorities computed from the next touch on; footprints
+    /// survive eviction and reset.
+    pub fn set_footprint(&mut self, chunk: Chunk, units: u64) {
+        self.footprints.insert(chunk, units.max(1));
+    }
+
+    fn footprint(&self, chunk: Chunk) -> u64 {
+        self.footprints.get(&chunk).copied().unwrap_or(1)
+    }
+
+    fn priority(&self, chunk: Chunk, freq: u64) -> u64 {
+        self.age + freq * GDSF_PRECISION / self.footprint(chunk)
+    }
+
+    /// Evicts the minimum-priority entry (unique `seq` tie-break) and
+    /// ratchets the age; `None` on an empty cache.
+    fn evict_min(&mut self) -> Option<(Chunk, bool)> {
+        let victim = *self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| (e.prio, e.seq))
+            .map(|(c, _)| c)?;
+        let e = self.entries.remove(&victim)?;
+        self.age = self.age.max(e.prio);
+        Some((victim, e.dirty))
+    }
+}
+
+impl ChunkCache for GdsfCache {
+    fn access(&mut self, chunk: Chunk, write: bool) -> bool {
+        if let Some(freq) = self.entries.get(&chunk).map(|e| e.freq + 1) {
+            let prio = self.priority(chunk, freq);
+            let e = self.entries.get_mut(&chunk).expect("resident");
+            e.freq = freq;
+            e.prio = prio;
+            e.dirty |= write;
+            self.stats.hit();
+            true
+        } else {
+            self.stats.miss();
+            false
+        }
+    }
+
+    fn insert(&mut self, chunk: Chunk, dirty: bool) -> InsertOutcome {
+        if let Some(freq) = self.entries.get(&chunk).map(|e| e.freq + 1) {
+            let prio = self.priority(chunk, freq);
+            let e = self.entries.get_mut(&chunk).expect("resident");
+            e.freq = freq;
+            e.prio = prio;
+            e.dirty |= dirty;
+            return InsertOutcome::Inserted;
+        }
+        let mut outcome = InsertOutcome::Inserted;
+        if self.entries.len() == self.capacity {
+            // Invariant: capacity > 0, so a full cache has a victim.
+            if let Some((victim, was_dirty)) = self.evict_min() {
+                outcome = if was_dirty {
+                    InsertOutcome::EvictedDirty(victim)
+                } else {
+                    InsertOutcome::EvictedClean(victim)
+                };
+            }
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let prio = self.priority(chunk, 1);
+        self.entries.insert(
+            chunk,
+            GdsfEntry {
+                freq: 1,
+                prio,
+                seq,
+                dirty,
+            },
+        );
+        outcome
+    }
+
+    fn contains(&self, chunk: Chunk) -> bool {
+        self.entries.contains_key(&chunk)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn stats(&self) -> HitMiss {
+        self.stats
+    }
+
+    fn reset(&mut self) {
+        self.entries.clear();
+        self.age = 0;
+        self.next_seq = 0;
+        self.stats = HitMiss::default();
+    }
+
+    fn drain(&mut self) -> Vec<(Chunk, bool)> {
+        let mut out = Vec::with_capacity(self.entries.len());
+        while let Some(entry) = self.evict_min() {
+            out.push(entry);
+        }
+        out
+    }
+
+    fn set_capacity(&mut self, capacity: usize) -> Vec<(Chunk, bool)> {
+        self.capacity = capacity.max(1);
+        let mut out = Vec::new();
+        while self.entries.len() > self.capacity {
+            match self.evict_min() {
+                Some(entry) => out.push(entry),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -625,11 +1147,8 @@ mod tests {
 
     #[test]
     fn policy_factory_builds_each_kind() {
-        for (kind, cap) in [
-            (PolicyKind::Lru, 3),
-            (PolicyKind::Fifo, 3),
-            (PolicyKind::Lfu, 3),
-        ] {
+        for kind in PolicyKind::ALL {
+            let cap = 3;
             let mut c = build_cache(kind, cap);
             assert_eq!(c.capacity(), cap);
             c.insert(1, false);
@@ -640,7 +1159,7 @@ mod tests {
 
     #[test]
     fn drain_surfaces_dirty_residents_and_empties() {
-        for kind in [PolicyKind::Lru, PolicyKind::Fifo, PolicyKind::Lfu] {
+        for kind in PolicyKind::ALL {
             let mut c = build_cache(kind, 4);
             c.insert(1, false);
             c.insert(2, true);
@@ -681,7 +1200,7 @@ mod tests {
 
     #[test]
     fn set_capacity_all_policies_respect_new_limit() {
-        for kind in [PolicyKind::Lru, PolicyKind::Fifo, PolicyKind::Lfu] {
+        for kind in PolicyKind::ALL {
             let mut c = build_cache(kind, 8);
             for i in 0..8 {
                 c.insert(i, i % 2 == 0);
@@ -692,6 +1211,176 @@ mod tests {
             assert_eq!(c.capacity(), 3, "{kind:?}");
             c.insert(100, false);
             assert!(c.len() <= 3, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn slru_scan_does_not_flush_protected_lines() {
+        // Working set {0..4} is re-referenced (promoted to protected),
+        // then a 20-chunk scan storms through. Under LRU the scan would
+        // flush everything; SLRU keeps the protected set resident.
+        let mut c = SlruCache::new(10);
+        for w in 0..4 {
+            c.insert(w, false);
+            assert!(c.access(w, false), "promote {w}");
+        }
+        for s in 100..120 {
+            if !c.access(s, false) {
+                c.insert(s, false);
+            }
+        }
+        for w in 0..4 {
+            assert!(c.contains(w), "scan must not evict protected chunk {w}");
+        }
+        // The same storm against LRU flushes the working set.
+        let mut lru = LruCache::new(10);
+        for w in 0..4 {
+            lru.insert(w, false);
+            lru.access(w, false);
+        }
+        for s in 100..120 {
+            if !lru.access(s, false) {
+                lru.insert(s, false);
+            }
+        }
+        for w in 0..4 {
+            assert!(!lru.contains(w), "LRU baseline loses chunk {w}");
+        }
+    }
+
+    #[test]
+    fn slru_single_use_lines_stay_probationary_and_evict_first() {
+        let mut c = SlruCache::new(4);
+        c.insert(1, false);
+        c.access(1, false); // protected
+        c.insert(2, false); // probationary, never re-touched
+        c.insert(3, false); // probationary
+        c.insert(4, false); // probationary
+        let out = c.insert(5, false);
+        // Probationary LRU (2) goes first, never the protected line.
+        assert_eq!(out, InsertOutcome::EvictedClean(2));
+        assert!(c.contains(1));
+    }
+
+    #[test]
+    fn slru_protected_overflow_demotes_not_evicts() {
+        let mut c = SlruCache::new(5); // protected share = 4
+        for i in 0..5 {
+            c.insert(i, false);
+            assert!(c.access(i, false)); // promote all five
+        }
+        // Residency never shrinks on access: the oldest protected line
+        // was demoted to probation, not dropped.
+        assert_eq!(c.len(), 5);
+        for i in 0..5 {
+            assert!(c.contains(i), "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn lfuda_ages_out_stale_popular_lines() {
+        // Warm phase makes {1, 2} hot; then popularity inverts to
+        // {3, 4}. Plain LFU lets the stale pair block the new pair
+        // forever (3 and 4 evict each other at frequency 1); LFUDA's
+        // age ratchet retires the stale pair and the new pair hits.
+        fn run(c: &mut dyn ChunkCache) -> u64 {
+            for w in [1, 2] {
+                c.insert(w, false);
+            }
+            for _ in 0..10 {
+                c.access(1, false);
+                c.access(2, false);
+            }
+            let before = c.stats().hits;
+            for _ in 0..12 {
+                for n in [3, 4] {
+                    if !c.access(n, false) {
+                        c.insert(n, false);
+                    }
+                }
+            }
+            c.stats().hits - before
+        }
+        let mut lfuda = LfudaCache::new(2);
+        let mut lfu = LfuCache::new(2);
+        let lfuda_hits = run(&mut lfuda);
+        let lfu_hits = run(&mut lfu);
+        assert_eq!(lfu_hits, 0, "LFU baseline starves the new hot pair");
+        assert!(
+            lfuda_hits > 8,
+            "LFUDA must serve the new hot pair (got {lfuda_hits} hits)"
+        );
+    }
+
+    #[test]
+    fn lfuda_eviction_is_deterministic_under_ties() {
+        let mut c = LfudaCache::new(3);
+        c.insert(10, false);
+        c.insert(11, false);
+        c.insert(12, false);
+        // All priorities equal → oldest sequence (10) goes first.
+        assert_eq!(c.insert(13, false), InsertOutcome::EvictedClean(10));
+    }
+
+    #[test]
+    fn gdsf_prefers_evicting_large_cold_lines() {
+        let mut c = GdsfCache::new(3);
+        c.set_footprint(1, 8); // large line
+        c.insert(1, false);
+        c.insert(2, false); // unit footprint
+        c.insert(3, false);
+        // Equal frequency: the large line has the lowest
+        // frequency-per-footprint priority and goes first, even though
+        // line 2 is older in insertion order than line 3.
+        assert_eq!(c.insert(4, false), InsertOutcome::EvictedClean(1));
+    }
+
+    #[test]
+    fn gdsf_frequency_rescues_a_large_line() {
+        let mut c = GdsfCache::new(3);
+        c.set_footprint(1, 4);
+        c.insert(1, false);
+        for _ in 0..8 {
+            c.access(1, false); // freq climbs: 9 * P/4 > 1 * P
+        }
+        c.insert(2, false);
+        c.insert(3, false);
+        // Now the cold unit-footprint line 2 is the victim.
+        assert_eq!(c.insert(4, false), InsertOutcome::EvictedClean(2));
+        assert!(c.contains(1));
+    }
+
+    #[test]
+    fn gdsf_uniform_footprints_age_like_lfuda() {
+        // With uniform footprints GDSF is greedy-dual frequency: the
+        // age ratchet must admit a newly hot line past stale ones.
+        let mut c = GdsfCache::new(2);
+        for _ in 0..10 {
+            c.insert(1, false);
+            c.insert(2, false);
+        }
+        for _ in 0..12 {
+            if !c.access(3, false) {
+                c.insert(3, false);
+            }
+        }
+        assert!(c.contains(3));
+    }
+
+    #[test]
+    fn new_policies_reset_clears_aging_state() {
+        for kind in [PolicyKind::Slru, PolicyKind::Lfuda, PolicyKind::Gdsf] {
+            let mut c = build_cache(kind, 4);
+            for i in 0..20 {
+                if !c.access(i, i % 2 == 0) {
+                    c.insert(i, i % 2 == 0);
+                }
+            }
+            c.reset();
+            assert_eq!(c.len(), 0, "{kind:?}");
+            assert_eq!(c.stats().accesses(), 0, "{kind:?}");
+            c.insert(5, false);
+            assert!(c.contains(5), "{kind:?}");
         }
     }
 

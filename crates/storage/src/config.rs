@@ -80,7 +80,7 @@ impl std::fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 /// Replacement policy selector for the storage caches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PolicyKind {
     /// Least-recently-used (the paper's policy).
     Lru,
@@ -88,6 +88,44 @@ pub enum PolicyKind {
     Fifo,
     /// Least-frequently-used with aging (ablation).
     Lfu,
+    /// Segmented LRU: a probationary segment absorbs single-use lines
+    /// (sequential scans) while re-referenced lines are promoted into a
+    /// protected segment — scan-resistant.
+    Slru,
+    /// LFU with dynamic aging: eviction priority is access count plus a
+    /// cache age that ratchets to each victim's priority, so stale
+    /// once-popular lines eventually age out.
+    Lfuda,
+    /// Greedy-Dual-Size-Frequency: priority is age + frequency scaled by
+    /// the line's footprint, favouring small popular lines. Chunks are
+    /// uniform-footprint in this simulator, but the footprint hook is
+    /// exercised by tests and future multi-granularity work.
+    Gdsf,
+}
+
+impl PolicyKind {
+    /// Every policy, in the canonical sweep order used by ablations and
+    /// the advisor.
+    pub const ALL: [PolicyKind; 6] = [
+        PolicyKind::Lru,
+        PolicyKind::Fifo,
+        PolicyKind::Lfu,
+        PolicyKind::Slru,
+        PolicyKind::Lfuda,
+        PolicyKind::Gdsf,
+    ];
+
+    /// Stable lower-case label, also the wire name (see `storage::wire`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "lru",
+            PolicyKind::Fifo => "fifo",
+            PolicyKind::Lfu => "lfu",
+            PolicyKind::Slru => "slru",
+            PolicyKind::Lfuda => "lfuda",
+            PolicyKind::Gdsf => "gdsf",
+        }
+    }
 }
 
 /// Full platform description consumed by the simulator.
@@ -110,8 +148,10 @@ pub struct PlatformConfig {
     /// L3 (storage node) cache capacity per node, in chunks.
     pub storage_cache_chunks: usize,
 
-    /// Replacement policy used at every level.
-    pub policy: PolicyKind,
+    /// Replacement policy per cache level, indexed `[L1, L2, L3]`
+    /// (client, I/O node, storage node). The paper runs LRU everywhere;
+    /// the policy zoo sweeps levels independently.
+    pub policies: [PolicyKind; 3],
 
     /// Spindles per storage node (PVFS stripes node-local data across
     /// them round-robin; Table 1's "40 GB per disk" with several disks
@@ -163,7 +203,7 @@ impl PlatformConfig {
             client_cache_chunks: 32,
             io_cache_chunks: 128,
             storage_cache_chunks: 384,
-            policy: PolicyKind::Lru,
+            policies: [PolicyKind::Lru; 3],
             disks_per_node: 4,
             rpm: 10_000,
             seek_ns: 4_000_000,            // 4 ms average seek
@@ -213,6 +253,31 @@ impl PlatformConfig {
     pub fn with_readahead(mut self, chunks: usize) -> Self {
         self.readahead_chunks = chunks;
         self
+    }
+
+    /// Returns a copy running one replacement policy at every level (the
+    /// uniform-policy ablation axis).
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policies = [policy; 3];
+        self
+    }
+
+    /// Returns a copy with independent per-level replacement policies
+    /// `(L1, L2, L3)` — the policy-zoo / advisor axis.
+    pub fn with_level_policies(mut self, l1: PolicyKind, l2: PolicyKind, l3: PolicyKind) -> Self {
+        self.policies = [l1, l2, l3];
+        self
+    }
+
+    /// The single policy shared by all levels, or `None` when levels
+    /// differ. The wire codec uses this to keep the uniform encoding
+    /// byte-identical to the pre-zoo format.
+    pub fn uniform_policy(&self) -> Option<PolicyKind> {
+        if self.policies[1] == self.policies[0] && self.policies[2] == self.policies[0] {
+            Some(self.policies[0])
+        } else {
+            None
+        }
     }
 
     /// Returns a copy with a different chunk size in bytes (the Figure 14
@@ -379,6 +444,24 @@ mod tests {
         assert_eq!(c.client_cache_chunks, 48);
         assert_eq!(c.chunk_bytes, 16 * 1024);
         assert_eq!(c.clients_per_io(), 4);
+    }
+
+    #[test]
+    fn policy_builders_and_uniformity() {
+        let c = PlatformConfig::paper_default();
+        assert_eq!(c.uniform_policy(), Some(PolicyKind::Lru));
+        let c = c.with_policy(PolicyKind::Gdsf);
+        assert_eq!(c.policies, [PolicyKind::Gdsf; 3]);
+        assert_eq!(c.uniform_policy(), Some(PolicyKind::Gdsf));
+        let c = c.with_level_policies(PolicyKind::Slru, PolicyKind::Lru, PolicyKind::Lfuda);
+        assert_eq!(c.uniform_policy(), None);
+        assert!(c.validate().is_ok());
+        // Labels are unique and stable — they key wire names and metric
+        // labels.
+        let labels: std::collections::HashSet<&str> =
+            PolicyKind::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), PolicyKind::ALL.len());
+        assert_eq!(PolicyKind::Slru.label(), "slru");
     }
 
     #[test]

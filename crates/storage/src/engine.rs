@@ -449,13 +449,13 @@ impl<'a> Engine<'a> {
         }
         let res = Resources {
             l1: (0..cfg.num_clients)
-                .map(|_| build_cache(cfg.policy, cfg.client_cache_chunks))
+                .map(|_| build_cache(cfg.policies[0], cfg.client_cache_chunks))
                 .collect(),
             l2: (0..cfg.num_io_nodes)
-                .map(|_| build_cache(cfg.policy, cfg.io_cache_chunks))
+                .map(|_| build_cache(cfg.policies[1], cfg.io_cache_chunks))
                 .collect(),
             l3: (0..cfg.num_storage_nodes)
-                .map(|_| build_cache(cfg.policy, cfg.storage_cache_chunks))
+                .map(|_| build_cache(cfg.policies[2], cfg.storage_cache_chunks))
                 .collect(),
             l2_free: vec![0; cfg.num_io_nodes],
             l3_free: vec![0; cfg.num_storage_nodes],

@@ -57,7 +57,7 @@ pub mod topology;
 pub mod trace;
 pub mod wire;
 
-pub use config::{ConfigError, PlatformConfig};
+pub use config::{ConfigError, PlatformConfig, PolicyKind};
 pub use engine::{
     CacheSnapshot, ClientOp, EngineError, EvictionTally, MappedProgram, PolicyStats, RequestPolicy,
 };

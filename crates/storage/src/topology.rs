@@ -58,6 +58,21 @@ pub enum CacheLevel {
     DummyRoot,
 }
 
+impl CacheLevel {
+    /// Index of this level in per-level `[L1, L2, L3]` arrays such as
+    /// [`PlatformConfig::policies`](crate::config::PlatformConfig) and
+    /// the engine's eviction tallies; `None` for the dummy root, which
+    /// holds no cache.
+    pub fn cache_index(self) -> Option<usize> {
+        match self {
+            CacheLevel::Client => Some(0),
+            CacheLevel::Io => Some(1),
+            CacheLevel::Storage => Some(2),
+            CacheLevel::DummyRoot => None,
+        }
+    }
+}
+
 /// One node of the hierarchy tree.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TreeNode {
@@ -454,6 +469,26 @@ mod tests {
         assert_eq!(t.deepest_shared_level(0, 2), Some(CacheLevel::Storage));
         assert_eq!(t.deepest_shared_level(0, 63), None);
         assert_eq!(t.deepest_shared_level(5, 5), Some(CacheLevel::Client));
+    }
+
+    #[test]
+    fn cache_index_addresses_per_level_policies() {
+        use crate::config::PolicyKind;
+        let cfg = PlatformConfig::tiny().with_level_policies(
+            PolicyKind::Slru,
+            PolicyKind::Lfuda,
+            PolicyKind::Gdsf,
+        );
+        let t = HierarchyTree::from_config(&cfg).unwrap();
+        for node in t.nodes() {
+            let policy = node.level.cache_index().map(|i| cfg.policies[i]);
+            match node.level {
+                CacheLevel::Client => assert_eq!(policy, Some(PolicyKind::Slru)),
+                CacheLevel::Io => assert_eq!(policy, Some(PolicyKind::Lfuda)),
+                CacheLevel::Storage => assert_eq!(policy, Some(PolicyKind::Gdsf)),
+                CacheLevel::DummyRoot => assert_eq!(policy, None),
+            }
+        }
     }
 
     #[test]

@@ -39,14 +39,7 @@ fn get_usize(v: &Json, key: &str) -> Result<usize, WireError> {
 
 impl ToJson for PolicyKind {
     fn to_json(&self) -> Json {
-        Json::Str(
-            match self {
-                PolicyKind::Lru => "lru",
-                PolicyKind::Fifo => "fifo",
-                PolicyKind::Lfu => "lfu",
-            }
-            .to_string(),
-        )
+        Json::Str(self.label().to_string())
     }
 }
 
@@ -56,10 +49,47 @@ pub fn policy_from_json(v: &Json) -> Result<PolicyKind, WireError> {
         Some("lru") => Ok(PolicyKind::Lru),
         Some("fifo") => Ok(PolicyKind::Fifo),
         Some("lfu") => Ok(PolicyKind::Lfu),
+        Some("slru") => Ok(PolicyKind::Slru),
+        Some("lfuda") => Ok(PolicyKind::Lfuda),
+        Some("gdsf") => Ok(PolicyKind::Gdsf),
         _ => Err(WireError::new(
             "policy",
-            "expected one of \"lru\", \"fifo\", \"lfu\"",
+            "expected one of \"lru\", \"fifo\", \"lfu\", \"slru\", \"lfuda\", \"gdsf\"",
         )),
+    }
+}
+
+/// Encodes a per-level policy vector: the single legacy string when all
+/// levels agree (keeping uniform configs — notably the all-LRU default —
+/// byte-identical to the pre-zoo wire format, which also keeps their
+/// content fingerprints stable), a 3-element `[l1, l2, l3]` array
+/// otherwise.
+fn policies_to_json(policies: &[PolicyKind; 3]) -> Json {
+    if policies[1] == policies[0] && policies[2] == policies[0] {
+        policies[0].to_json()
+    } else {
+        Json::Array(policies.iter().map(ToJson::to_json).collect())
+    }
+}
+
+/// Parses a per-level policy vector: either the legacy single name
+/// (applied to every level) or a 3-element per-level array.
+pub fn policies_from_json(v: &Json) -> Result<[PolicyKind; 3], WireError> {
+    match v {
+        Json::Array(levels) => {
+            if levels.len() != 3 {
+                return Err(WireError::new(
+                    "policy",
+                    format!("expected 3 per-level policies, got {}", levels.len()),
+                ));
+            }
+            Ok([
+                policy_from_json(&levels[0])?,
+                policy_from_json(&levels[1])?,
+                policy_from_json(&levels[2])?,
+            ])
+        }
+        _ => Ok([policy_from_json(v)?; 3]),
     }
 }
 
@@ -82,7 +112,7 @@ impl ToJson for PlatformConfig {
                 "storage_cache_chunks",
                 Json::UInt(self.storage_cache_chunks as u64),
             ),
-            ("policy", self.policy.to_json()),
+            ("policy", policies_to_json(&self.policies)),
             ("disks_per_node", Json::UInt(self.disks_per_node as u64)),
             ("rpm", Json::UInt(self.rpm as u64)),
             ("seek_ns", Json::UInt(self.seek_ns)),
@@ -111,7 +141,7 @@ pub fn platform_from_json(v: &Json) -> Result<PlatformConfig, WireError> {
         client_cache_chunks: get_usize(v, "client_cache_chunks")?,
         io_cache_chunks: get_usize(v, "io_cache_chunks")?,
         storage_cache_chunks: get_usize(v, "storage_cache_chunks")?,
-        policy: policy_from_json(field(v, "policy")?)?,
+        policies: policies_from_json(field(v, "policy")?)?,
         disks_per_node: get_usize(v, "disks_per_node")?,
         rpm: u32::try_from(get_u64(v, "rpm")?)
             .map_err(|_| WireError::new("rpm", "rpm out of range"))?,
@@ -259,5 +289,71 @@ mod tests {
         assert!(policy_from_json(&Json::Str("mru".into())).is_err());
         let bad = Json::object(vec![("t", Json::Str("x".into()))]);
         assert!(client_op_from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn every_policy_kind_round_trips() {
+        use crate::config::PolicyKind;
+        for kind in PolicyKind::ALL {
+            assert_eq!(policy_from_json(&kind.to_json()).unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn uniform_policy_keeps_the_legacy_string_encoding() {
+        // The all-LRU default must serialize exactly as before the
+        // per-level zoo existed — the content fingerprint hashes these
+        // bytes, so service cache keys for existing configs must not
+        // move.
+        let cfg = PlatformConfig::paper_default();
+        let text = cfg.to_json().to_string_compact();
+        assert!(text.contains("\"policy\":\"lru\""), "{text}");
+        assert!(!text.contains("\"policy\":["), "{text}");
+        // Uniform non-default policies keep the string form too.
+        let cfg = cfg.with_policy(crate::config::PolicyKind::Gdsf);
+        assert!(cfg
+            .to_json()
+            .to_string_compact()
+            .contains("\"policy\":\"gdsf\""));
+    }
+
+    #[test]
+    fn per_level_policy_vectors_round_trip() {
+        use crate::config::PolicyKind;
+        let cfg = PlatformConfig::tiny().with_level_policies(
+            PolicyKind::Slru,
+            PolicyKind::Lru,
+            PolicyKind::Lfuda,
+        );
+        let j = cfg.to_json();
+        assert!(j
+            .to_string_compact()
+            .contains("\"policy\":[\"slru\",\"lru\",\"lfuda\"]"));
+        let back = platform_from_json(&j).unwrap();
+        assert_eq!(back, cfg);
+        // And through actual bytes.
+        let reparsed = cachemap_util::json::parse(&j.to_string_compact()).unwrap();
+        assert_eq!(platform_from_json(&reparsed).unwrap(), cfg);
+    }
+
+    #[test]
+    fn legacy_single_policy_string_parses_to_all_levels() {
+        use crate::config::PolicyKind;
+        let mut j = PlatformConfig::tiny().to_json();
+        if let Json::Object(pairs) = &mut j {
+            pairs
+                .iter_mut()
+                .find(|(k, _)| k == "policy")
+                .expect("policy field")
+                .1 = Json::Str("fifo".into());
+        }
+        let back = platform_from_json(&j).unwrap();
+        assert_eq!(back.policies, [PolicyKind::Fifo; 3]);
+    }
+
+    #[test]
+    fn wrong_arity_policy_vector_is_a_typed_error() {
+        let two = Json::Array(vec![Json::Str("lru".into()), Json::Str("lfu".into())]);
+        assert!(policies_from_json(&two).is_err());
     }
 }

@@ -32,6 +32,7 @@ use cachemap_polyhedral::Program;
 
 pub mod apps;
 pub mod extras;
+pub mod scenarios;
 
 /// Elements of an 8-byte-element array per 64 KB data chunk. Workload
 /// subscripts stride in multiples of this, so at the default chunk size
@@ -110,6 +111,30 @@ pub fn by_name(name: &str, scale: Scale) -> Option<Application> {
     }
 }
 
+/// Builds the adversarial policy-zoo scenarios (see [`scenarios`]).
+pub fn scenarios(scale: Scale) -> Vec<Application> {
+    vec![
+        scenarios::scan_storm(scale),
+        scenarios::zipf_flip(scale),
+        scenarios::graph_bfs(scale),
+        scenarios::graph_dfs(scale),
+    ]
+}
+
+/// Builds one adversarial scenario by name.
+pub fn scenario_by_name(name: &str, scale: Scale) -> Option<Application> {
+    match name {
+        "scan_storm" => Some(scenarios::scan_storm(scale)),
+        "zipf_flip" => Some(scenarios::zipf_flip(scale)),
+        "graph_bfs" => Some(scenarios::graph_bfs(scale)),
+        "graph_dfs" => Some(scenarios::graph_dfs(scale)),
+        _ => None,
+    }
+}
+
+/// The adversarial scenario names, in [`scenarios`] order.
+pub const SCENARIO_NAMES: [&str; 4] = ["scan_storm", "zipf_flip", "graph_bfs", "graph_dfs"];
+
 /// The suite names in Table 2 order.
 pub const NAMES: [&str; 8] = [
     "hf",
@@ -134,6 +159,23 @@ mod tests {
         for (app, name) in s.iter().zip(NAMES) {
             assert_eq!(app.name, name);
         }
+    }
+
+    #[test]
+    fn scenario_registry_roundtrip() {
+        let s = scenarios(Scale::Test);
+        assert_eq!(s.len(), SCENARIO_NAMES.len());
+        for (app, name) in s.iter().zip(SCENARIO_NAMES) {
+            assert_eq!(app.name, name);
+            let again = scenario_by_name(name, Scale::Test).expect(name);
+            assert_eq!(again.name, name);
+        }
+        // Scenario names never collide with the Table 2 suite.
+        for name in SCENARIO_NAMES {
+            assert!(by_name(name, Scale::Test).is_none());
+            assert!(!NAMES.contains(&name));
+        }
+        assert!(scenario_by_name("hf", Scale::Test).is_none());
     }
 
     #[test]

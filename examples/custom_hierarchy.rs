@@ -62,16 +62,19 @@ fn main() {
             "single storage node (64,32,1)".into(),
             base.clone().with_topology(64, 32, 1),
         ),
-        ("FIFO caches".into(), {
-            let mut p = base.clone();
-            p.policy = PolicyKind::Fifo;
-            p
-        }),
-        ("LFU caches".into(), {
-            let mut p = base.clone();
-            p.policy = PolicyKind::Lfu;
-            p
-        }),
+        (
+            "FIFO caches".into(),
+            base.clone().with_policy(PolicyKind::Fifo),
+        ),
+        (
+            "LFU caches".into(),
+            base.clone().with_policy(PolicyKind::Lfu),
+        ),
+        (
+            "mixed zoo: SLRU L1, LFUDA L2, GDSF L3".into(),
+            base.clone()
+                .with_level_policies(PolicyKind::Slru, PolicyKind::Lfuda, PolicyKind::Gdsf),
+        ),
     ];
 
     for (label, platform) in candidates {

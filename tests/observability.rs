@@ -178,6 +178,11 @@ fn recorded_runs_export_schema_valid_prometheus_ready_artifacts() {
                 io_nodes: platform.num_io_nodes,
                 storage_nodes: platform.num_storage_nodes,
                 chunk_bytes: platform.chunk_bytes,
+                policies: [
+                    platform.policies[0].label().to_string(),
+                    platform.policies[1].label().to_string(),
+                    platform.policies[2].label().to_string(),
+                ],
             },
             mapper: None,
             engine: rec.finish(),
